@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the ablation knobs of DESIGN.md: switch-aware
+//! tie-breaking and dominant-set scope (the *quality* side of these
+//! ablations is printed by the `ablation` binary; these measure cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haste::core::{solve_offline, DominantScope, OfflineConfig};
+use haste::model::CoverageMap;
+use haste::sim::ScenarioSpec;
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        num_chargers: 15,
+        num_tasks: 60,
+        release_horizon: 20,
+        duration_range: (5, 20),
+        ..ScenarioSpec::paper_default()
+    }
+}
+
+fn bench_switch_aware(c: &mut Criterion) {
+    let scenario = spec().generate(8);
+    let coverage = CoverageMap::build(&scenario);
+    let mut group = c.benchmark_group("switch_aware_tie_break");
+    for aware in [false, true] {
+        group.bench_with_input(BenchmarkId::from_parameter(aware), &aware, |b, &aware| {
+            b.iter(|| {
+                solve_offline(
+                    &scenario,
+                    &coverage,
+                    &OfflineConfig {
+                        switch_aware: aware,
+                        ..OfflineConfig::greedy()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scope(c: &mut Criterion) {
+    let scenario = spec().generate(9);
+    let coverage = CoverageMap::build(&scenario);
+    let mut group = c.benchmark_group("dominant_scope");
+    for scope in [DominantScope::PerSlot, DominantScope::Global] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scope:?}")),
+            &scope,
+            |b, &scope| {
+                b.iter(|| {
+                    solve_offline(
+                        &scenario,
+                        &coverage,
+                        &OfflineConfig {
+                            scope,
+                            ..OfflineConfig::greedy()
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch_aware, bench_scope);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the core algorithmic kernels: dominant-set
+//! extraction, the greedy family, TabularGreedy color scaling, and the
+//! brute-force enumerator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haste::core::{
+    extract_dominant_sets, solve_exact, solve_offline, DominantScope, HasteRInstance,
+    OfflineConfig,
+};
+use haste::model::{ChargerId, CoverageMap};
+use haste::sim::ScenarioSpec;
+use haste::submodular::{lazy_greedy, locally_greedy, GreedyOptions};
+
+fn bench_dominant_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominant_sets");
+    for &tasks in &[50usize, 200, 800] {
+        let spec = ScenarioSpec {
+            num_tasks: tasks,
+            num_chargers: 1,
+            ..ScenarioSpec::paper_default()
+        };
+        let scenario = spec.generate(1);
+        let coverage = CoverageMap::build(&scenario);
+        let candidates = coverage.tasks_of(ChargerId(0));
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| extract_dominant_sets(candidates, scenario.params.charging_angle));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_family(c: &mut Criterion) {
+    let spec = ScenarioSpec {
+        num_chargers: 20,
+        num_tasks: 80,
+        release_horizon: 30,
+        duration_range: (5, 30),
+        ..ScenarioSpec::paper_default()
+    };
+    let scenario = spec.generate(2);
+    let coverage = CoverageMap::build(&scenario);
+    let instance = HasteRInstance::build(&scenario, &coverage, DominantScope::PerSlot);
+
+    let mut group = c.benchmark_group("greedy");
+    group.bench_function("locally_greedy", |b| {
+        b.iter(|| locally_greedy(&instance, &GreedyOptions::default()));
+    });
+    group.bench_function("lazy_greedy", |b| {
+        b.iter(|| lazy_greedy(&instance, 0.0));
+    });
+    group.finish();
+}
+
+fn bench_tabular_colors(c: &mut Criterion) {
+    let spec = ScenarioSpec {
+        num_chargers: 10,
+        num_tasks: 40,
+        release_horizon: 15,
+        duration_range: (5, 15),
+        ..ScenarioSpec::paper_default()
+    };
+    let scenario = spec.generate(3);
+    let coverage = CoverageMap::build(&scenario);
+
+    let mut group = c.benchmark_group("tabular_colors");
+    for &colors in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(colors), &colors, |b, &colors| {
+            b.iter(|| {
+                solve_offline(
+                    &scenario,
+                    &coverage,
+                    &OfflineConfig {
+                        colors,
+                        samples: 4 * colors,
+                        ..OfflineConfig::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let scenario = ScenarioSpec::small_scale().generate(4);
+    let coverage = CoverageMap::build(&scenario);
+    c.bench_function("brute_force_small_scale", |b| {
+        b.iter(|| solve_exact(&scenario, &coverage, 1 << 24).ok());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dominant_sets,
+    bench_greedy_family,
+    bench_tabular_colors,
+    bench_brute_force
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the distributed negotiation: round engine vs
+//! genuinely threaded engine, and the full online event loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haste::core::{DominantScope, HasteRInstance};
+use haste::distributed::{
+    negotiate_rounds, negotiate_threaded, solve_online, NegotiationConfig, NeighborGraph,
+    OnlineConfig,
+};
+use haste::model::CoverageMap;
+use haste::sim::ScenarioSpec;
+
+fn medium_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        num_chargers: 15,
+        num_tasks: 60,
+        release_horizon: 20,
+        duration_range: (5, 20),
+        ..ScenarioSpec::paper_default()
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let scenario = medium_spec().generate(5);
+    let coverage = CoverageMap::build(&scenario);
+    let graph = NeighborGraph::build(&coverage);
+    let instance = HasteRInstance::build(&scenario, &coverage, DominantScope::PerSlot);
+    let cfg = NegotiationConfig::default();
+
+    let mut group = c.benchmark_group("negotiation_engine");
+    group.sample_size(20);
+    group.bench_function("rounds", |b| {
+        b.iter(|| negotiate_rounds(&instance, &graph, &cfg));
+    });
+    group.bench_function("threaded", |b| {
+        b.iter(|| negotiate_threaded(&instance, &graph, &cfg));
+    });
+    group.finish();
+}
+
+fn bench_online_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_event_loop");
+    group.sample_size(10);
+    for &n in &[10usize, 25, 50] {
+        let spec = ScenarioSpec {
+            num_chargers: n,
+            ..medium_spec()
+        };
+        let scenario = spec.generate(6);
+        let coverage = CoverageMap::build(&scenario);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_online(&scenario, &coverage, &OnlineConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_online_scaling);
+criterion_main!(benches);

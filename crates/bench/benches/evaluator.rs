@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the model substrate: coverage precomputation,
+//! HASTE-R instance construction, and the P1 evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haste::core::{solve_offline, DominantScope, HasteRInstance, OfflineConfig};
+use haste::model::{evaluate, CoverageMap, EvalOptions};
+use haste::sim::ScenarioSpec;
+
+fn bench_coverage_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_map");
+    for &(n, m) in &[(10usize, 50usize), (50, 200), (100, 400)] {
+        let spec = ScenarioSpec {
+            num_chargers: n,
+            num_tasks: m,
+            ..ScenarioSpec::paper_default()
+        };
+        let scenario = spec.generate(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &scenario,
+            |b, s| b.iter(|| CoverageMap::build(s)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_instance_build(c: &mut Criterion) {
+    let scenario = ScenarioSpec::paper_default().generate(1);
+    let coverage = CoverageMap::build(&scenario);
+    let mut group = c.benchmark_group("instance_build");
+    group.sample_size(20);
+    for scope in [DominantScope::PerSlot, DominantScope::Global] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scope:?}")),
+            &scope,
+            |b, &scope| b.iter(|| HasteRInstance::build(&scenario, &coverage, scope)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let scenario = ScenarioSpec::paper_default().generate(1);
+    let coverage = CoverageMap::build(&scenario);
+    let result = solve_offline(&scenario, &coverage, &OfflineConfig::greedy());
+    c.bench_function("p1_evaluator_paper_default", |b| {
+        b.iter(|| {
+            evaluate(
+                &scenario,
+                &coverage,
+                &result.schedule,
+                EvalOptions::default(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_coverage_map, bench_instance_build, bench_evaluator);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates every figure of the paper in one run. Use `--quick` for a
+//! smoke test or `--paper` for the 100-topology fidelity of the paper.
+
+use haste::sim::experiments as exp;
+
+fn main() {
+    let config = haste_bench::parse_args();
+    let ctx = &config.ctx;
+    println!(
+        "regenerating all figures with {} topologies per point on {} threads\n",
+        ctx.topologies, ctx.threads
+    );
+    type FigureThunk<'a> = Box<dyn Fn() -> haste::sim::FigureTable + 'a>;
+    let figs: Vec<(&str, FigureThunk)> = vec![
+        ("fig04", Box::new(|| exp::fig04(ctx))),
+        ("fig05", Box::new(|| exp::fig05(ctx))),
+        ("fig06", Box::new(|| exp::fig06(ctx))),
+        ("fig07", Box::new(|| exp::fig07(ctx))),
+        ("fig08", Box::new(|| exp::fig08(ctx))),
+        ("fig09", Box::new(|| exp::fig09(ctx))),
+        ("fig10", Box::new(|| exp::fig10(ctx))),
+        ("fig11", Box::new(|| exp::fig11(ctx))),
+        ("fig12", Box::new(|| exp::fig12(ctx))),
+        ("fig13", Box::new(|| exp::fig13(ctx))),
+        ("fig14", Box::new(|| exp::fig14(ctx))),
+        ("fig15", Box::new(|| exp::fig15(ctx))),
+        ("fig16", Box::new(|| exp::fig16(ctx))),
+        ("fig17", Box::new(|| exp::fig17(ctx))),
+        ("fig18", Box::new(|| exp::fig18(ctx))),
+        ("headline", Box::new(|| exp::headline(ctx))),
+        ("fig21+22", Box::new(haste::testbed::fig21)),
+        ("fig22", Box::new(haste::testbed::fig22)),
+        ("fig24", Box::new(haste::testbed::fig24)),
+        ("fig25", Box::new(haste::testbed::fig25)),
+    ];
+    for (name, run) in figs {
+        let start = std::time::Instant::now();
+        let table = run();
+        haste_bench::emit(&table, &config);
+        eprintln!("[{name} done in {:.1?}]\n", start.elapsed());
+    }
+}

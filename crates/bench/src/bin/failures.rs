@@ -1,0 +1,8 @@
+//! Extension experiment: charger-failure robustness of the distributed
+//! online scheduler (not a paper figure; see EXPERIMENTS.md).
+
+fn main() {
+    let config = haste_bench::parse_args();
+    let table = haste::sim::experiments::fig_failures(&config.ctx);
+    haste_bench::emit(&table, &config);
+}

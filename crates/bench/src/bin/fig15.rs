@@ -1,0 +1,7 @@
+//! Regenerates Fig. 15 of the paper. See `haste_bench::parse_args` for flags.
+
+fn main() {
+    let config = haste_bench::parse_args();
+    let table = haste::sim::experiments::fig15(&config.ctx);
+    haste_bench::emit(&table, &config);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figs. 21-22: per-task utilities on testbed topology 1
+//! (8 transmitters / 8 nodes), centralized offline and distributed online.
+
+fn main() {
+    let config = haste_bench::parse_args();
+    haste_bench::emit(&haste::testbed::fig21(), &config);
+    haste_bench::emit(&haste::testbed::fig22(), &config);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figs. 24-25: per-task utilities on testbed topology 2
+//! (16 transmitters / 20 nodes), centralized offline and distributed online.
+
+fn main() {
+    let config = haste_bench::parse_args();
+    haste_bench::emit(&haste::testbed::fig24(), &config);
+    haste_bench::emit(&haste::testbed::fig25(), &config);
+}

@@ -1,0 +1,14 @@
+//! Reproduces the paper's headline claims: the online algorithm's fraction
+//! of the brute-force optimum (small-scale) and its improvement over the
+//! online baselines (default setup).
+
+fn main() {
+    let config = haste_bench::parse_args();
+    let table = haste::sim::experiments::headline(&config.ctx);
+    print!("{}", table.render());
+    let v = &table.series[0].values;
+    println!("\nonline/optimal ratio: mean {:.4}, min {:.4}", v[0], v[1]);
+    println!("improvement over GreedyUtility: {:+.2}%", v[2]);
+    println!("improvement over GreedyCover:   {:+.2}%", v[3]);
+    haste_bench::emit(&table, &config);
+}

@@ -1,0 +1,97 @@
+//! Runs the full algorithm roster on a user-provided scenario file in the
+//! `haste_model::io` text format and prints a comparison table; optionally
+//! renders per-slot SVG snapshots of the offline HASTE schedule.
+//!
+//! ```text
+//! cargo run -p haste-bench --bin run_scenario -- path/to/scenario.txt [--svg out_dir]
+//! ```
+
+use haste::core::BaselineKind;
+use haste::model::{io, CoverageMap};
+use haste::sim::Algo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let svg_dir = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1).cloned());
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != svg_dir.as_deref())
+        .cloned()
+        .unwrap_or_else(|| {
+            eprintln!("usage: run_scenario <scenario-file> [--svg out_dir]");
+            std::process::exit(2);
+        });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let scenario = io::read_scenario(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let coverage = CoverageMap::build(&scenario);
+    println!(
+        "{path}: {} chargers, {} tasks, {} slots, rho={:.3}, tau={}",
+        scenario.num_chargers(),
+        scenario.num_tasks(),
+        scenario.grid.num_slots,
+        scenario.rho,
+        scenario.tau
+    );
+    let roster = [
+        Algo::OfflineHaste { colors: 1 },
+        Algo::OfflineHaste { colors: 4 },
+        Algo::OnlineHaste { colors: 1 },
+        Algo::OnlineHaste { colors: 4 },
+        Algo::OfflineBaseline(BaselineKind::GreedyUtility),
+        Algo::OfflineBaseline(BaselineKind::GreedyCover),
+        Algo::OnlineBaseline(BaselineKind::GreedyUtility),
+        Algo::OnlineBaseline(BaselineKind::GreedyCover),
+    ];
+    let labels = [
+        "HASTE offline (C=1)",
+        "HASTE offline (C=4)",
+        "HASTE online  (C=1)",
+        "HASTE online  (C=4)",
+        "GreedyUtility offline",
+        "GreedyCover offline",
+        "GreedyUtility online",
+        "GreedyCover online",
+    ];
+    for (algo, label) in roster.iter().zip(labels) {
+        match algo.run(&scenario, &coverage, 0) {
+            Some(v) => println!("  {label:<24} utility {v:.4}"),
+            None => println!("  {label:<24} (skipped)"),
+        }
+    }
+    // The exact optimum, when tractable.
+    match (Algo::Exact { budget: 1 << 24 }).run(&scenario, &coverage, 0) {
+        Some(opt) => println!("  {:<24} utility {opt:.4} (HASTE-R upper bound)", "Optimal"),
+        None => println!("  {:<24} instance too large to enumerate", "Optimal"),
+    }
+
+    if let Some(dir) = svg_dir {
+        let result = haste::core::solve_offline(
+            &scenario,
+            &coverage,
+            &haste::core::OfflineConfig::default(),
+        );
+        std::fs::create_dir_all(&dir).expect("create svg dir");
+        let opts = haste::sim::render::RenderOptions::default();
+        for slot in 0..scenario.grid.num_slots {
+            let svg = haste::sim::render::render_svg(
+                &scenario,
+                Some(&result.schedule),
+                slot,
+                Some(&result.report),
+                &opts,
+            );
+            let file = format!("{dir}/slot{slot:04}.svg");
+            std::fs::write(&file, svg).expect("write svg");
+        }
+        println!("wrote {} SVG frames to {dir}/", scenario.grid.num_slots);
+    }
+}

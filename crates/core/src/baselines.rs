@@ -1,0 +1,220 @@
+//! The paper's comparison algorithms (Section 7.2).
+//!
+//! * **GreedyUtility** — every charger independently picks, slot by slot,
+//!   the orientation (dominant set) that maximizes the charging utility it
+//!   alone delivers, ignoring its neighbors' plans.
+//! * **GreedyCover** — every charger independently picks the orientation
+//!   covering the largest number of active charging tasks.
+//!
+//! Both are embarrassingly local and serve as the distributed-friendly
+//! baselines HASTE is compared against in every figure.
+
+use haste_model::{evaluate, CoverageMap, EvalOptions, Scenario, UtilityFn};
+use haste_submodular::PartitionedObjective;
+
+use crate::instance::{DominantScope, HasteRInstance};
+use crate::offline::SolveResult;
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Maximize own delivered utility per slot.
+    GreedyUtility,
+    /// Maximize number of covered active tasks per slot.
+    GreedyCover,
+}
+
+impl BaselineKind {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::GreedyUtility => "GreedyUtility",
+            BaselineKind::GreedyCover => "GreedyCover",
+        }
+    }
+}
+
+/// Runs a baseline on a scenario and evaluates it under full P1 semantics.
+///
+/// Both baselines run per charger in isolation (each charger tracks only the
+/// energy *it* delivered), exactly as a charger without a control channel
+/// would, and are therefore trivially implementable in the distributed
+/// online setting as well.
+pub fn solve_baseline(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    kind: BaselineKind,
+) -> SolveResult {
+    solve_baseline_with_delay(scenario, coverage, kind, 0)
+}
+
+/// Like [`solve_baseline`], but chargers only react to a task
+/// `visibility_delay` slots after its release — the baselines' form of the
+/// online rescheduling delay `τ`.
+pub fn solve_baseline_with_delay(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    kind: BaselineKind,
+    visibility_delay: usize,
+) -> SolveResult {
+    let instance = HasteRInstance::build_with(
+        scenario,
+        coverage,
+        crate::InstanceOptions {
+            scope: Some(DominantScope::PerSlot),
+            visibility_delay: Some(visibility_delay),
+            ..crate::InstanceOptions::default()
+        },
+    );
+    let n = scenario.num_chargers();
+    let m = scenario.num_tasks();
+    let mut selection = haste_submodular::Selection::empty(instance.num_partitions());
+
+    // Per-charger view of the energy it has delivered to each task.
+    let mut own_energy = vec![vec![0.0f64; m]; n];
+    for p in 0..instance.num_partitions() {
+        let (charger, _slot) = instance.charger_slot(p);
+        let i = charger.index();
+        let policies = instance.policies(p);
+        let mut best: Option<(usize, f64)> = None;
+        for (x, policy) in policies.iter().enumerate() {
+            let score = match kind {
+                BaselineKind::GreedyUtility => policy
+                    .deliveries
+                    .iter()
+                    .map(|&(t, delta)| {
+                        let task = &scenario.tasks[t];
+                        task.weight
+                            * scenario.utility.marginal(
+                                own_energy[i][t],
+                                delta,
+                                task.required_energy,
+                            )
+                    })
+                    .sum::<f64>(),
+                BaselineKind::GreedyCover => policy.deliveries.len() as f64,
+            };
+            match best {
+                Some((_, b)) if score <= b => {}
+                _ => best = Some((x, score)),
+            }
+        }
+        if let Some((x, score)) = best {
+            if score > 0.0 {
+                selection.choices[p] = Some(x);
+                for &(t, delta) in &policies[x].deliveries {
+                    own_energy[i][t] += delta;
+                }
+            }
+        }
+    }
+
+    let mut schedule = instance.materialize(&selection);
+    schedule.hold_orientations();
+    let relaxed = haste_model::evaluate_relaxed(scenario, coverage, &schedule);
+    let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
+    SolveResult {
+        schedule,
+        relaxed_value: relaxed.total_utility,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{solve_offline, OfflineConfig};
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, Task, TimeGrid};
+
+    /// Two chargers, three tasks. Task 1 is reachable by both chargers;
+    /// tasks 0 and 2 by one each. Coordinating chargers can saturate all
+    /// three; oblivious ones may double-charge task 1.
+    fn scenario() -> Scenario {
+        let params = ChargingParams::simulation_default()
+            .with_receiving_angle(std::f64::consts::TAU);
+        Scenario::new(
+            params,
+            TimeGrid::minutes(6),
+            vec![
+                Charger::new(0, Vec2::new(0.0, 0.0)),
+                Charger::new(1, Vec2::new(30.0, 0.0)),
+            ],
+            vec![
+                Task::new(0, Vec2::new(0.0, 10.0), Angle::ZERO, 0, 6, 480.0, 1.0),
+                Task::new(1, Vec2::new(15.0, 0.0), Angle::ZERO, 0, 6, 480.0, 1.0),
+                Task::new(2, Vec2::new(30.0, 10.0), Angle::ZERO, 0, 6, 480.0, 1.0),
+            ],
+            0.0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baselines_produce_valid_schedules() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        for kind in [BaselineKind::GreedyUtility, BaselineKind::GreedyCover] {
+            let r = solve_baseline(&s, &cov, kind);
+            assert!(r.report.total_utility > 0.0, "{} idle", kind.name());
+            assert!(r.report.total_utility <= s.total_weight() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn haste_at_least_matches_baselines() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        let haste = solve_offline(&s, &cov, &OfflineConfig::with_colors(4));
+        for kind in [BaselineKind::GreedyUtility, BaselineKind::GreedyCover] {
+            let b = solve_baseline(&s, &cov, kind);
+            assert!(
+                haste.relaxed_value >= b.relaxed_value - 1e-9,
+                "HASTE {} < {} {}",
+                haste.relaxed_value,
+                kind.name(),
+                b.relaxed_value
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_cover_ignores_utility_saturation() {
+        // After a task saturates, GreedyCover keeps pointing at the bigger
+        // cluster while GreedyUtility moves on. Construct one charger with
+        // a 2-task cluster (tiny requirements) and a lone task.
+        let params = ChargingParams::simulation_default()
+            .with_receiving_angle(std::f64::consts::TAU);
+        let s = Scenario::new(
+            params,
+            TimeGrid::minutes(4),
+            vec![Charger::new(0, Vec2::ZERO)],
+            vec![
+                // Cluster east: saturates in one slot.
+                Task::new(0, Vec2::new(10.0, 0.0), Angle::ZERO, 0, 4, 10.0, 1.0),
+                Task::new(1, Vec2::new(10.0, 1.0), Angle::ZERO, 0, 4, 10.0, 1.0),
+                // Lone task north, big requirement.
+                Task::new(2, Vec2::new(0.0, 10.0), Angle::ZERO, 0, 4, 960.0, 1.0),
+            ],
+            0.0,
+            0,
+        )
+        .unwrap();
+        let cov = CoverageMap::build(&s);
+        let cover = solve_baseline(&s, &cov, BaselineKind::GreedyCover);
+        let utility = solve_baseline(&s, &cov, BaselineKind::GreedyUtility);
+        assert!(
+            utility.report.total_utility > cover.report.total_utility + 1e-9,
+            "utility {} vs cover {}",
+            utility.report.total_utility,
+            cover.report.total_utility
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BaselineKind::GreedyUtility.name(), "GreedyUtility");
+        assert_eq!(BaselineKind::GreedyCover.name(), "GreedyCover");
+    }
+}

@@ -1,0 +1,301 @@
+//! Dominant task set extraction (Algorithm 1 of the paper).
+//!
+//! A charger can rotate continuously, but only finitely many *sets of
+//! covered tasks* exist; among those only the maximal ("dominant") ones
+//! matter for optimization (Definition 4.1). The paper's Algorithm 1 rotates
+//! the charger through `2π`, recording each maximal covered set. This module
+//! implements the equivalent anchored sweep:
+//!
+//! every covered set is contained in the covered set of some window of width
+//! `A_s` whose *start boundary sits exactly on a task azimuth* (rotate the
+//! window counter-clockwise until its start hits the first covered task's
+//! azimuth — nothing leaves, things may enter). So it suffices to enumerate
+//! the `|T_i|` anchored windows, collect their covered sets, and discard
+//! duplicates and non-maximal sets.
+
+use haste_geometry::{Angle, TAU};
+use haste_model::{CandidateTask, TaskId};
+
+/// One dominant task set of a charger, with the canonical orientation that
+/// covers it and each member's precomputed range power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominantSet {
+    /// An orientation whose charging sector covers every member.
+    pub orientation: Angle,
+    /// Member tasks with their `P_r(s_i, o_j)` in watts, sorted by task id.
+    pub members: Vec<(TaskId, f64)>,
+}
+
+impl DominantSet {
+    /// Ids of the member tasks.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.members.iter().map(|&(t, _)| t)
+    }
+
+    /// Whether this set contains the given task.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.members.binary_search_by_key(&task, |&(t, _)| t).is_ok()
+    }
+}
+
+/// Extracts all dominant task sets of a charger with charging angle
+/// `charging_angle` over the given candidate tasks (the orientation-free
+/// chargeable set `T_i`, e.g. from
+/// [`CoverageMap::tasks_of`](haste_model::CoverageMap::tasks_of), optionally
+/// pre-filtered to the tasks active in one slot).
+///
+/// Returns sets sorted by orientation; each set's members are sorted by task
+/// id. Complexity `O(d² log d)` for `d` candidates — dominated by the
+/// pairwise maximality filter, negligible at HASTE scales.
+///
+/// ```
+/// use haste_core::extract_dominant_sets;
+/// use haste_geometry::Angle;
+/// use haste_model::{CandidateTask, TaskId};
+///
+/// // Three reachable tasks at 10°, 40° and 200°; a 60°-wide charging
+/// // sector can cover the first two together but never the third with
+/// // them.
+/// let candidates = [
+///     CandidateTask { task: TaskId(0), azimuth: Angle::from_degrees(10.0), power: 1.0 },
+///     CandidateTask { task: TaskId(1), azimuth: Angle::from_degrees(40.0), power: 1.0 },
+///     CandidateTask { task: TaskId(2), azimuth: Angle::from_degrees(200.0), power: 1.0 },
+/// ];
+/// let sets = extract_dominant_sets(&candidates, 60f64.to_radians());
+/// assert_eq!(sets.len(), 2);
+/// assert!(sets.iter().any(|s| s.contains(TaskId(0)) && s.contains(TaskId(1))));
+/// ```
+pub fn extract_dominant_sets(
+    candidates: &[CandidateTask],
+    charging_angle: f64,
+) -> Vec<DominantSet> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // A full-circle charger has exactly one dominant set: everything.
+    if charging_angle >= TAU - 1e-12 {
+        let mut members: Vec<(TaskId, f64)> =
+            candidates.iter().map(|c| (c.task, c.power)).collect();
+        members.sort_by_key(|&(t, _)| t);
+        return vec![DominantSet {
+            orientation: Angle::ZERO,
+            members,
+        }];
+    }
+
+    let half = charging_angle / 2.0;
+    // Anchored windows: one per candidate azimuth.
+    let mut sets: Vec<DominantSet> = Vec::with_capacity(candidates.len());
+    for anchor in candidates {
+        let start = anchor.azimuth;
+        let mut members: Vec<(TaskId, f64)> = candidates
+            .iter()
+            .filter(|c| start.ccw_delta(c.azimuth).radians() <= charging_angle + 1e-12)
+            .map(|c| (c.task, c.power))
+            .collect();
+        members.sort_by_key(|&(t, _)| t);
+        sets.push(DominantSet {
+            // The window is [start, start + A_s]; its covering orientation
+            // is the bisector.
+            orientation: start + Angle::from_radians(half),
+            members,
+        });
+    }
+
+    // Deduplicate identical member sets (keep the first orientation).
+    sets.sort_by(|a, b| {
+        a.members
+            .len()
+            .cmp(&b.members.len())
+            .reverse()
+            .then_with(|| a.members.partial_cmp(&b.members).expect("finite"))
+    });
+    sets.dedup_by(|a, b| a.members == b.members);
+
+    // Drop non-maximal sets. Sets are sorted by decreasing size, so any
+    // superset of `sets[i]` appears before it.
+    let mut maximal: Vec<DominantSet> = Vec::with_capacity(sets.len());
+    'outer: for set in sets {
+        for bigger in &maximal {
+            if is_subset(&set.members, &bigger.members) {
+                continue 'outer;
+            }
+        }
+        maximal.push(set);
+    }
+    maximal.sort_by(|a, b| {
+        a.orientation
+            .radians()
+            .partial_cmp(&b.orientation.radians())
+            .expect("finite")
+    });
+    maximal
+}
+
+/// Whether every member of `small` (sorted by id) appears in `big` (sorted).
+fn is_subset(small: &[(TaskId, f64)], big: &[(TaskId, f64)]) -> bool {
+    if small.len() > big.len() {
+        return false;
+    }
+    let mut it = big.iter();
+    'outer: for &(t, _) in small {
+        for &(u, _) in it.by_ref() {
+            match u.cmp(&t) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u32, azimuth_deg: f64) -> CandidateTask {
+        CandidateTask {
+            task: TaskId(id),
+            azimuth: Angle::from_degrees(azimuth_deg),
+            power: 1.0 + id as f64,
+        }
+    }
+
+    fn ids(set: &DominantSet) -> Vec<u32> {
+        set.task_ids().map(|t| t.0).collect()
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert!(extract_dominant_sets(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_task_single_set() {
+        let sets = extract_dominant_sets(&[cand(0, 45.0)], 60f64.to_radians());
+        assert_eq!(sets.len(), 1);
+        assert_eq!(ids(&sets[0]), vec![0]);
+        // Orientation bisects the anchored window [45°, 105°].
+        assert!((sets[0].orientation.degrees() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_toy_example_structure() {
+        // Six tasks around the circle with a 90° charging angle, loosely
+        // mimicking Fig. 2: consecutive clusters yield overlapping maximal
+        // sets.
+        let candidates = vec![
+            cand(0, 0.0),
+            cand(1, 30.0),
+            cand(2, 60.0),
+            cand(3, 120.0),
+            cand(4, 200.0),
+            cand(5, 300.0),
+        ];
+        let sets = extract_dominant_sets(&candidates, 90f64.to_radians());
+        let all: Vec<Vec<u32>> = sets.iter().map(ids).collect();
+        // Anchored windows: [0°,90°]→{0,1,2}; [30°,120°]→{1,2,3};
+        // [120°,210°]→{3,4}; [200°,290°]→{4} (dominated);
+        // [300°,30°] wraps →{0,1,5} (30° sits on the closed boundary).
+        assert!(all.contains(&vec![0, 1, 2]));
+        assert!(all.contains(&vec![1, 2, 3]));
+        assert!(all.contains(&vec![3, 4]));
+        assert!(all.contains(&vec![0, 1, 5]));
+        // {4} alone is dominated by {3,4}; {2,3} by {1,2,3}.
+        assert!(!all.contains(&vec![4]));
+        assert!(!all.contains(&vec![2, 3]));
+        assert_eq!(sets.len(), 4);
+    }
+
+    #[test]
+    fn full_circle_covers_everything_in_one_set() {
+        let candidates = vec![cand(0, 10.0), cand(1, 170.0), cand(2, 350.0)];
+        let sets = extract_dominant_sets(&candidates, TAU);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(ids(&sets[0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coincident_azimuths_merge() {
+        let candidates = vec![cand(0, 90.0), cand(1, 90.0), cand(2, 270.0)];
+        let sets = extract_dominant_sets(&candidates, 60f64.to_radians());
+        let all: Vec<Vec<u32>> = sets.iter().map(ids).collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&vec![0, 1]));
+        assert!(all.contains(&vec![2]));
+    }
+
+    #[test]
+    fn wraparound_window() {
+        let candidates = vec![cand(0, 350.0), cand(1, 10.0), cand(2, 180.0)];
+        let sets = extract_dominant_sets(&candidates, 40f64.to_radians());
+        let all: Vec<Vec<u32>> = sets.iter().map(ids).collect();
+        assert!(all.contains(&vec![0, 1]), "wrap-around pair missed: {all:?}");
+        assert!(all.contains(&vec![2]));
+    }
+
+    #[test]
+    fn every_set_is_coverable_by_its_orientation() {
+        // Property: for each dominant set, the reported orientation's window
+        // of half-width A_s/2 contains every member azimuth.
+        let candidates: Vec<CandidateTask> = (0..12)
+            .map(|i| cand(i, (i as f64 * 37.0) % 360.0))
+            .collect();
+        let a_s = 75f64.to_radians();
+        for set in extract_dominant_sets(&candidates, a_s) {
+            for (t, _) in &set.members {
+                let az = candidates
+                    .iter()
+                    .find(|c| c.task == *t)
+                    .unwrap()
+                    .azimuth;
+                assert!(
+                    az.within(set.orientation, a_s / 2.0),
+                    "task {t:?} not covered by orientation {}",
+                    set.orientation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_set_is_subset_of_another() {
+        let candidates: Vec<CandidateTask> = (0..15)
+            .map(|i| cand(i, (i as f64 * 53.0) % 360.0))
+            .collect();
+        let sets = extract_dominant_sets(&candidates, 100f64.to_radians());
+        for (i, a) in sets.iter().enumerate() {
+            for (j, b) in sets.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !is_subset(&a.members, &b.members),
+                        "set {i} ⊆ set {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_helper() {
+        let a = vec![(TaskId(1), 0.0), (TaskId(3), 0.0)];
+        let b = vec![(TaskId(1), 0.0), (TaskId(2), 0.0), (TaskId(3), 0.0)];
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&[], &a));
+        let c = vec![(TaskId(4), 0.0)];
+        assert!(!is_subset(&c, &b));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let set = DominantSet {
+            orientation: Angle::ZERO,
+            members: vec![(TaskId(2), 1.0), (TaskId(5), 1.0), (TaskId(9), 1.0)],
+        };
+        assert!(set.contains(TaskId(5)));
+        assert!(!set.contains(TaskId(4)));
+    }
+}

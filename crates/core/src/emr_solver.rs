@@ -1,0 +1,248 @@
+//! EMR-constrained offline scheduling.
+//!
+//! The paper's companion line of work (Safe Charging / SCAPE, refs.
+//! [42]–[48]) adds a safety constraint to charger scheduling: the aggregate
+//! electromagnetic radiation may not exceed a threshold `R_t` at any point
+//! of the field, at any time. This module layers that constraint onto the
+//! HASTE machinery: a slot-major greedy that, before selecting a scheduling
+//! policy, checks the candidate orientation against the radiation already
+//! committed in the same slot over a grid of sample points, and skips
+//! infeasible choices.
+//!
+//! No approximation ratio is claimed — the EMR-constrained problem is not
+//! a partition matroid (the constraint couples chargers within a slot) and
+//! has its own literature; this is the natural greedy heuristic on top of
+//! the HASTE-R objective, offered as an extension.
+
+use haste_geometry::Vec2;
+use haste_model::{emr, evaluate, CoverageMap, EvalOptions, Scenario};
+use haste_submodular::PartitionedObjective;
+
+use crate::instance::{DominantScope, HasteRInstance};
+use crate::offline::SolveResult;
+
+/// Options of the EMR-constrained solver.
+#[derive(Debug, Clone)]
+pub struct EmrOptions {
+    /// Radiation threshold `R_t` (same unit as the charging power model).
+    pub threshold: f64,
+    /// Grid spacing of the sample points, in meters.
+    pub resolution: f64,
+}
+
+impl Default for EmrOptions {
+    fn default() -> Self {
+        EmrOptions {
+            threshold: f64::INFINITY,
+            resolution: 2.5,
+        }
+    }
+}
+
+/// Result of an EMR-constrained solve.
+#[derive(Debug, Clone)]
+pub struct EmrResult {
+    /// The schedule and its evaluation (same shape as the unconstrained
+    /// solver's result).
+    pub solve: SolveResult,
+    /// Peak radiation of the final schedule over all slots and sample
+    /// points — guaranteed `≤ threshold`.
+    pub peak_intensity: f64,
+    /// Number of greedy choices rejected for violating the threshold.
+    pub rejected_choices: usize,
+}
+
+/// Greedy HASTE-R maximization under the EMR threshold.
+///
+/// Identical to the `C = 1` offline algorithm except that, slot by slot, a
+/// policy is selectable only if pointing the charger there keeps every
+/// sample point at or below `options.threshold` given the orientations
+/// already fixed for that slot. Chargers left unassigned stay dark in that
+/// slot (holding a previous orientation could violate the budget), so no
+/// hold pass is applied.
+pub fn solve_offline_emr(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    options: &EmrOptions,
+) -> EmrResult {
+    let instance = HasteRInstance::build(scenario, coverage, DominantScope::PerSlot);
+    let (lo, hi) = emr::scenario_bounds(scenario);
+    let points: Vec<Vec2> = emr::sample_grid(lo, hi, options.resolution);
+
+    let mut state = instance.new_state();
+    let mut choices: Vec<Option<usize>> = vec![None; instance.num_partitions()];
+    let mut rejected = 0usize;
+    // Radiation already committed at each sample point in the current slot.
+    let mut slot_intensity = vec![0.0f64; points.len()];
+    let mut current_slot = usize::MAX;
+
+    #[allow(clippy::needless_range_loop)]
+    for p in 0..instance.num_partitions() {
+        let (charger_id, slot) = instance.charger_slot(p);
+        if slot != current_slot {
+            current_slot = slot;
+            slot_intensity.iter_mut().for_each(|v| *v = 0.0);
+        }
+        let charger = &scenario.chargers[charger_id.index()];
+        let mut best: Option<(usize, f64)> = None;
+        for x in 0..instance.num_choices(p) {
+            let gain = instance.marginal(&state, p, x);
+            if gain <= 0.0 {
+                continue;
+            }
+            if best.is_some_and(|(_, bg)| gain <= bg) {
+                continue;
+            }
+            // Feasibility: adding this orientation keeps every sample point
+            // under the threshold.
+            let theta = instance.policies(p)[x].orientation;
+            let feasible = points.iter().zip(&slot_intensity).all(|(&pt, &base)| {
+                base + emr::contribution(&scenario.params, charger, Some(theta), pt)
+                    <= options.threshold + 1e-12
+            });
+            if feasible {
+                best = Some((x, gain));
+            } else {
+                rejected += 1;
+            }
+        }
+        if let Some((x, _)) = best {
+            instance.commit(&mut state, p, x);
+            choices[p] = Some(x);
+            let theta = instance.policies(p)[x].orientation;
+            for (pt, base) in points.iter().zip(slot_intensity.iter_mut()) {
+                *base += emr::contribution(&scenario.params, charger, Some(theta), *pt);
+            }
+        }
+    }
+
+    let selection = haste_submodular::Selection {
+        value: instance.value(&state),
+        choices,
+    };
+    let schedule = instance.materialize(&selection);
+    let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
+    let peak_intensity = emr::peak_intensity(scenario, &schedule, &points);
+    EmrResult {
+        solve: SolveResult {
+            schedule,
+            relaxed_value: selection.value,
+            report,
+        },
+        peak_intensity,
+        rejected_choices: rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{solve_offline, OfflineConfig};
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, Task, TimeGrid};
+
+    /// Two chargers flanking one device that both can reach: unconstrained
+    /// greedy stacks both beams on it; a tight EMR budget forbids that.
+    fn scenario() -> Scenario {
+        let params = ChargingParams::simulation_default()
+            .with_receiving_angle(std::f64::consts::TAU);
+        Scenario::new(
+            params,
+            TimeGrid::minutes(4),
+            vec![
+                Charger::new(0, Vec2::new(0.0, 0.0)),
+                Charger::new(1, Vec2::new(20.0, 0.0)),
+            ],
+            vec![Task::new(
+                0,
+                Vec2::new(10.0, 0.0),
+                Angle::ZERO,
+                0,
+                4,
+                10_000.0,
+                1.0,
+            )],
+            0.0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn infinite_threshold_matches_unconstrained_quality() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        let emr = solve_offline_emr(&s, &cov, &EmrOptions::default());
+        let plain = solve_offline(
+            &s,
+            &cov,
+            &OfflineConfig {
+                switch_aware: false,
+                ..OfflineConfig::greedy()
+            },
+        );
+        assert!((emr.solve.relaxed_value - plain.relaxed_value).abs() < 1e-9);
+        assert_eq!(emr.rejected_choices, 0);
+    }
+
+    #[test]
+    fn threshold_is_never_exceeded() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        // A single beam peaks at 10000/40² = 6.25 right at the charger;
+        // two beams stack to 8.0 at the device. A threshold of 6.5 allows
+        // any one beam but forbids stacking both on the device.
+        let options = EmrOptions {
+            threshold: 6.5,
+            resolution: 2.0,
+        };
+        let result = solve_offline_emr(&s, &cov, &options);
+        assert!(
+            result.peak_intensity <= options.threshold + 1e-9,
+            "peak {} over threshold",
+            result.peak_intensity
+        );
+        assert!(result.rejected_choices > 0, "constraint never bound");
+        // The device still gets served by one charger per slot.
+        assert!(result.solve.report.total_utility > 0.0);
+    }
+
+    #[test]
+    fn utility_monotone_in_threshold() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        let mut previous = -1.0;
+        for threshold in [3.0, 5.0, 9.0, f64::INFINITY] {
+            let r = solve_offline_emr(
+                &s,
+                &cov,
+                &EmrOptions {
+                    threshold,
+                    resolution: 2.0,
+                },
+            );
+            assert!(
+                r.solve.relaxed_value >= previous - 1e-9,
+                "threshold {threshold}: {} < {previous}",
+                r.solve.relaxed_value
+            );
+            previous = r.solve.relaxed_value;
+        }
+    }
+
+    #[test]
+    fn zero_threshold_means_darkness() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        let r = solve_offline_emr(
+            &s,
+            &cov,
+            &EmrOptions {
+                threshold: 0.0,
+                resolution: 2.0,
+            },
+        );
+        assert_eq!(r.solve.report.total_utility, 0.0);
+        assert_eq!(r.peak_intensity, 0.0);
+    }
+}

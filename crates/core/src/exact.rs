@@ -1,0 +1,99 @@
+//! Exact optimum for small instances (the paper's brute-force comparator of
+//! Figs. 8–9).
+
+use haste_model::{evaluate, CoverageMap, EvalOptions, Scenario};
+pub use haste_submodular::BruteForceError;
+
+use crate::instance::{DominantScope, HasteRInstance};
+use crate::offline::SolveResult;
+
+/// Computes the exact HASTE-R optimum by exhaustively enumerating one
+/// scheduling policy per (charger, slot), then evaluates the optimal
+/// schedule under full P1 semantics.
+///
+/// `budget` caps the number of enumerated combinations (see
+/// [`haste_submodular::brute_force`]); the paper runs this only on
+/// 5-charger / 10-task instances.
+///
+/// Note that `relaxed_value` of the result is the optimum of **HASTE-R**,
+/// which upper-bounds the HASTE optimum (Eq. 9 of the paper) — using it as
+/// the "Optimal" reference makes every reported approximation ratio
+/// conservative.
+pub fn solve_exact(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    budget: u128,
+) -> Result<SolveResult, BruteForceError> {
+    let instance = HasteRInstance::build(scenario, coverage, DominantScope::PerSlot);
+    let selection = haste_submodular::brute_force(&instance, budget)?;
+    let schedule = instance.materialize(&selection);
+    let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
+    Ok(SolveResult {
+        schedule,
+        relaxed_value: selection.value,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{solve_offline, OfflineConfig};
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, Task, TimeGrid};
+
+    fn small_scenario() -> Scenario {
+        Scenario::new(
+            ChargingParams::simulation_default(),
+            TimeGrid::minutes(3),
+            vec![
+                Charger::new(0, Vec2::new(0.0, 0.0)),
+                Charger::new(1, Vec2::new(10.0, 0.0)),
+            ],
+            vec![
+                Task::new(
+                    0,
+                    Vec2::new(5.0, 0.0),
+                    Angle::from_degrees(180.0),
+                    0,
+                    3,
+                    1000.0,
+                    0.5,
+                ),
+                Task::new(
+                    1,
+                    Vec2::new(5.0, 2.0),
+                    Angle::from_degrees(0.0),
+                    0,
+                    3,
+                    1000.0,
+                    0.5,
+                ),
+            ],
+            1.0 / 12.0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_dominates_greedy_and_tabular() {
+        let s = small_scenario();
+        let cov = CoverageMap::build(&s);
+        let exact = solve_exact(&s, &cov, 1 << 24).unwrap();
+        for config in [OfflineConfig::greedy(), OfflineConfig::with_colors(4)] {
+            let approx = solve_offline(&s, &cov, &config);
+            assert!(exact.relaxed_value >= approx.relaxed_value - 1e-9);
+            // And the theoretical guarantee holds with room to spare.
+            let ratio = (1.0 - s.rho) * 0.5;
+            assert!(approx.report.total_utility >= ratio * exact.relaxed_value - 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_guard_propagates() {
+        let s = small_scenario();
+        let cov = CoverageMap::build(&s);
+        assert!(solve_exact(&s, &cov, 0).is_err());
+    }
+}

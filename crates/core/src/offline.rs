@@ -1,0 +1,255 @@
+//! The centralized offline algorithm (Algorithm 2 of the paper).
+//!
+//! Builds the HASTE-R instance, maximizes its submodular objective with
+//! TabularGreedy (`C` colors; `C = 1` degenerates to locally greedy), and
+//! materializes the resulting orientation schedule. Achieves
+//! `(1 − ρ)(1 − 1/e)` of the HASTE optimum as `C → ∞` (Theorem 5.1), and
+//! `(1 − ρ)/2` at `C = 1`.
+
+use haste_model::{evaluate, CoverageMap, EvalOptions, EvalReport, Scenario, Schedule};
+use haste_submodular::{lazy_greedy, locally_greedy, tabular_greedy, GreedyOptions, TabularOptions};
+
+use crate::instance::{DominantScope, HasteRInstance};
+
+/// Configuration of the centralized offline solver.
+#[derive(Debug, Clone)]
+pub struct OfflineConfig {
+    /// Number of TabularGreedy colors `C` (1 = plain locally greedy).
+    pub colors: usize,
+    /// Monte-Carlo samples for the color expectation (`C > 1` only).
+    pub samples: usize,
+    /// RNG seed for TabularGreedy.
+    pub seed: u64,
+    /// Break exact gain ties toward the charger's previous orientation to
+    /// avoid gratuitous switching delay (`C = 1` path only).
+    pub switch_aware: bool,
+    /// Dominant-set extraction scope.
+    pub scope: DominantScope,
+    /// With `colors <= 1`, use Minoux's lazy greedy (globally ordered,
+    /// priority-queue accelerated) instead of the block-ordered locally
+    /// greedy. Same 1/2 guarantee; usually fewer oracle calls, but without
+    /// switch-aware tie-breaking.
+    pub lazy: bool,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        OfflineConfig {
+            colors: 4,
+            samples: 16,
+            seed: 0,
+            switch_aware: true,
+            scope: DominantScope::PerSlot,
+            lazy: false,
+        }
+    }
+}
+
+impl OfflineConfig {
+    /// Plain locally greedy (`C = 1`) configuration.
+    pub fn greedy() -> Self {
+        OfflineConfig {
+            colors: 1,
+            ..OfflineConfig::default()
+        }
+    }
+
+    /// TabularGreedy with the given number of colors.
+    pub fn with_colors(colors: usize) -> Self {
+        OfflineConfig {
+            colors,
+            ..OfflineConfig::default()
+        }
+    }
+}
+
+/// The outcome of the offline solver.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The orientation schedule for all chargers and slots.
+    pub schedule: Schedule,
+    /// Objective value under HASTE-R (no switching delay) as reported by
+    /// the optimizer.
+    pub relaxed_value: f64,
+    /// Full P1 evaluation of the schedule (switching delay included).
+    pub report: EvalReport,
+}
+
+/// Runs Algorithm 2 on a scenario.
+pub fn solve_offline(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    config: &OfflineConfig,
+) -> SolveResult {
+    let instance = HasteRInstance::build(scenario, coverage, config.scope);
+    let selection = if config.colors <= 1 && config.lazy {
+        lazy_greedy(&instance, 0.0)
+    } else if config.colors <= 1 {
+        let tie = instance.switch_avoiding_tie_break();
+        let options = GreedyOptions {
+            tie_break: config.switch_aware.then_some(&tie as _),
+            ..GreedyOptions::default()
+        };
+        locally_greedy(&instance, &options)
+    } else {
+        tabular_greedy(
+            &instance,
+            &TabularOptions {
+                colors: config.colors,
+                samples: config.samples,
+                seed: config.seed,
+                min_gain: 0.0,
+            },
+        )
+    };
+    let mut schedule = instance.materialize(&selection);
+    // Chargers hold their last orientation through unassigned slots: free
+    // top-up charging at zero switching cost (see Schedule::hold_orientations).
+    schedule.hold_orientations();
+    let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
+    SolveResult {
+        schedule,
+        relaxed_value: selection.value,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, Task, TimeGrid};
+
+    fn two_task_scenario(rho: f64) -> Scenario {
+        Scenario::new(
+            ChargingParams::simulation_default(),
+            TimeGrid::minutes(4),
+            vec![Charger::new(0, Vec2::ZERO)],
+            vec![
+                Task::new(
+                    0,
+                    Vec2::new(10.0, 0.0),
+                    Angle::from_degrees(180.0),
+                    0,
+                    4,
+                    480.0,
+                    0.5,
+                ),
+                Task::new(
+                    1,
+                    Vec2::new(0.0, 10.0),
+                    Angle::from_degrees(270.0),
+                    0,
+                    2,
+                    480.0,
+                    0.5,
+                ),
+            ],
+            rho,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn offline_solves_and_reports_consistent_values() {
+        let s = two_task_scenario(0.0);
+        let cov = CoverageMap::build(&s);
+        let result = solve_offline(&s, &cov, &OfflineConfig::default());
+        // With ρ = 0, P1 evaluation equals the relaxed value.
+        assert!(
+            (result.relaxed_value - result.report.total_utility).abs() < 1e-9,
+            "relaxed {} vs evaluated {}",
+            result.relaxed_value,
+            result.report.total_utility
+        );
+        assert!(result.report.total_utility > 0.0);
+    }
+
+    #[test]
+    fn switching_delay_only_hurts() {
+        let s0 = two_task_scenario(0.0);
+        let s5 = two_task_scenario(0.5);
+        let cov = CoverageMap::build(&s0);
+        let r0 = solve_offline(&s0, &cov, &OfflineConfig::greedy());
+        let r5 = solve_offline(&s5, &cov, &OfflineConfig::greedy());
+        assert!(r5.report.total_utility <= r0.report.total_utility + 1e-12);
+        // And never below the (1-ρ) worst case of its own relaxed value.
+        assert!(r5.report.total_utility >= (1.0 - 0.5) * r5.relaxed_value - 1e-9);
+    }
+
+    #[test]
+    fn tabular_beats_or_matches_greedy_here() {
+        let s = two_task_scenario(0.0);
+        let cov = CoverageMap::build(&s);
+        let greedy = solve_offline(&s, &cov, &OfflineConfig::greedy());
+        let tabular = solve_offline(
+            &s,
+            &cov,
+            &OfflineConfig {
+                colors: 8,
+                samples: 64,
+                seed: 3,
+                ..OfflineConfig::default()
+            },
+        );
+        assert!(tabular.relaxed_value >= greedy.relaxed_value - 1e-9);
+    }
+
+    #[test]
+    fn switch_aware_tie_break_reduces_switches() {
+        // Symmetric tasks make every slot a tie; switch-aware greedy should
+        // hold one orientation instead of oscillating.
+        let s = two_task_scenario(0.25);
+        let cov = CoverageMap::build(&s);
+        let aware = solve_offline(
+            &s,
+            &cov,
+            &OfflineConfig {
+                switch_aware: true,
+                ..OfflineConfig::greedy()
+            },
+        );
+        let naive = solve_offline(
+            &s,
+            &cov,
+            &OfflineConfig {
+                switch_aware: false,
+                ..OfflineConfig::greedy()
+            },
+        );
+        assert!(aware.report.total_switches() <= naive.report.total_switches());
+    }
+
+    #[test]
+    fn lazy_greedy_strategy_is_equivalent_quality() {
+        let s = two_task_scenario(0.0);
+        let cov = CoverageMap::build(&s);
+        let eager = solve_offline(&s, &cov, &OfflineConfig::greedy());
+        let lazy = solve_offline(
+            &s,
+            &cov,
+            &OfflineConfig {
+                lazy: true,
+                ..OfflineConfig::greedy()
+            },
+        );
+        // Lazy greedy visits elements globally by gain; on this instance it
+        // finds at least the locally greedy value (both carry the same 1/2
+        // guarantee in general).
+        assert!(lazy.relaxed_value >= 0.9 * eager.relaxed_value - 1e-9);
+        // Its reported value must also replay correctly.
+        let replay = haste_model::evaluate_relaxed(&s, &cov, &lazy.schedule);
+        assert!((lazy.relaxed_value - replay.total_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_scenario_yields_empty_schedule() {
+        let mut s = two_task_scenario(0.0);
+        s.tasks.clear();
+        let cov = CoverageMap::build(&s);
+        let result = solve_offline(&s, &cov, &OfflineConfig::default());
+        assert_eq!(result.report.total_utility, 0.0);
+        assert_eq!(result.schedule.switch_count(haste_model::ChargerId(0)), 0);
+    }
+}

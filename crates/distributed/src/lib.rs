@@ -1,0 +1,30 @@
+//! Distributed online scheduling for HASTE (Algorithm 3 of the paper).
+//!
+//! * [`NeighborGraph`] — chargers sharing a task are neighbors and can talk,
+//! * [`negotiate_rounds`] — the bid/update negotiation protocol, simulated
+//!   in deterministic synchronous rounds with exact message accounting,
+//! * [`negotiate_threaded`] — the same protocol with one OS thread per
+//!   charger and real crossbeam message passing; bit-identical outcomes,
+//! * [`solve_online`] — the arrival event loop with rescheduling delay `τ`,
+//! * [`solve_baseline_online`] — GreedyUtility / GreedyCover under the same
+//!   online visibility rules.
+//!
+//! Theorem 6.1: the online algorithm achieves a `½(1 − ρ)(1 − 1/e)`
+//! competitive ratio; the test suites and Figs. 9/12–16 exercise it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod neighbors;
+mod online;
+mod protocol;
+mod round_engine;
+mod threaded_engine;
+
+pub use neighbors::NeighborGraph;
+pub use online::{
+    solve_baseline_online, solve_online, ChargerFailure, EngineKind, OnlineConfig, OnlineResult,
+};
+pub use protocol::{color_of, final_color_of, NegotiationConfig, NegotiationStats};
+pub use round_engine::negotiate_rounds;
+pub use threaded_engine::negotiate_threaded;

@@ -1,0 +1,114 @@
+//! The neighbor graph of a charger network.
+//!
+//! Two chargers are neighbors iff they can both charge at least one common
+//! task (Section 6.1). The paper assumes the communication range is at least
+//! twice the charging range, so neighbors can always talk directly.
+
+use haste_model::{ChargerId, CoverageMap};
+
+/// Adjacency structure over chargers.
+#[derive(Debug, Clone)]
+pub struct NeighborGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl NeighborGraph {
+    /// Builds the graph from precomputed coverage.
+    pub fn build(coverage: &CoverageMap) -> Self {
+        let n = coverage.num_chargers();
+        let mut adj = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if coverage.are_neighbors(ChargerId(a as u32), ChargerId(b as u32)) {
+                    adj[a].push(b);
+                    adj[b].push(a);
+                }
+            }
+        }
+        NeighborGraph { adj }
+    }
+
+    /// Number of chargers.
+    #[inline]
+    pub fn num_chargers(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbor indices of charger `i`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Degree of charger `i` (`|N(s_i)|`).
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Average degree over all chargers.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        self.adj.iter().map(Vec::len).sum::<usize>() as f64 / self.adj.len() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, Scenario, Task, TimeGrid};
+
+    /// Three chargers in a row; middle tasks visible to adjacent pairs.
+    fn scenario() -> Scenario {
+        let params = ChargingParams::simulation_default()
+            .with_receiving_angle(std::f64::consts::TAU);
+        Scenario::new(
+            params,
+            TimeGrid::minutes(2),
+            vec![
+                Charger::new(0, Vec2::new(0.0, 0.0)),
+                Charger::new(1, Vec2::new(30.0, 0.0)),
+                Charger::new(2, Vec2::new(60.0, 0.0)),
+            ],
+            vec![
+                Task::new(0, Vec2::new(15.0, 0.0), Angle::ZERO, 0, 2, 100.0, 1.0),
+                Task::new(1, Vec2::new(45.0, 0.0), Angle::ZERO, 0, 2, 100.0, 1.0),
+            ],
+            0.0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_topology() {
+        let s = scenario();
+        let g = NeighborGraph::build(&CoverageMap::build(&s));
+        assert_eq!(g.num_chargers(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_common_tasks_no_edges() {
+        let mut s = scenario();
+        s.tasks.clear();
+        let g = NeighborGraph::build(&CoverageMap::build(&s));
+        assert_eq!(g.average_degree(), 0.0);
+        for i in 0..3 {
+            assert!(g.neighbors(i).is_empty());
+        }
+    }
+}

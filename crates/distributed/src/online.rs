@@ -1,0 +1,583 @@
+//! The distributed **online** scheduler: Algorithm 3 embedded in the
+//! arrival event loop.
+//!
+//! Charging tasks become known at their release slots. On every arrival the
+//! affected chargers re-negotiate their future policies; because of the
+//! rescheduling delay `τ` the new plan only takes effect `τ` slots later —
+//! until then the previous plan keeps executing (and whatever it delivered
+//! is accounted as the initial energy of the re-negotiation). The final
+//! schedule is scored by the full P1 evaluator (switching delay `ρ`
+//! included), which is how the competitive ratio
+//! `½(1 − ρ)(1 − 1/e)` of Theorem 6.1 is exercised empirically.
+
+use haste_core::{solve_baseline_with_delay, BaselineKind, HasteRInstance, InstanceOptions, SolveResult};
+use haste_model::{
+    evaluate, evaluate_relaxed, CoverageMap, EvalOptions, EvalReport, Scenario, Schedule,
+};
+use haste_submodular::Selection;
+
+use crate::neighbors::NeighborGraph;
+use crate::protocol::{NegotiationConfig, NegotiationStats};
+use crate::round_engine::negotiate_rounds;
+use crate::threaded_engine::negotiate_threaded;
+
+/// Which negotiation engine executes each re-planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Sequential synchronous rounds (fast, exact message accounting).
+    #[default]
+    Rounds,
+    /// One thread per charger with real message passing (identical output).
+    Threaded,
+}
+
+/// A charger failure event: the charger stops emitting (and negotiating)
+/// from `slot` onward. The network detects it at `slot` and, after the
+/// rescheduling delay `τ`, replans around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChargerFailure {
+    /// Which charger dies.
+    pub charger: haste_model::ChargerId,
+    /// First slot it is dead in.
+    pub slot: haste_model::Slot,
+}
+
+/// Configuration of the online scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineConfig {
+    /// Negotiation parameters (colors, samples, shared seed).
+    pub negotiation: NegotiationConfig,
+    /// Engine choice.
+    pub engine: EngineKind,
+    /// Injected charger failures (robustness studies / failure testing).
+    pub failures: Vec<ChargerFailure>,
+    /// Localized renegotiation: on each arrival only the chargers able to
+    /// serve the new tasks (plus their one-hop neighbors) replan; everyone
+    /// else keeps their current plan, which enters the replanning as fixed
+    /// background energy. This is the locality the paper's Algorithm 3
+    /// describes ("invoked at charger `s_i` upon arrival of new charging
+    /// tasks that can be charged by `s_i`"); the default `false` replans
+    /// globally, which is what the reported figures use.
+    pub localized: bool,
+}
+
+/// Result of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    /// The executed schedule.
+    pub schedule: Schedule,
+    /// Full P1 evaluation (switching delay included).
+    pub report: EvalReport,
+    /// HASTE-R value of the executed schedule (no switching delay).
+    pub relaxed_value: f64,
+    /// Communication counters accumulated over all re-negotiations,
+    /// indexed by absolute slot.
+    pub stats: NegotiationStats,
+}
+
+/// Runs the distributed online algorithm over a scenario whose tasks carry
+/// their release slots.
+pub fn solve_online(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    config: &OnlineConfig,
+) -> OnlineResult {
+    let horizon = scenario.active_horizon();
+    let n = scenario.num_chargers();
+    let graph = NeighborGraph::build(coverage);
+    let mut schedule = Schedule::empty(n, scenario.grid.num_slots);
+    let mut stats = NegotiationStats::new(horizon);
+    let mut known = vec![false; scenario.num_tasks()];
+    let mut disabled = vec![false; n];
+    // Physical death slot per charger (cleared from the executed schedule
+    // immediately, independent of the replanning delay).
+    let mut dead_from: Vec<Option<usize>> = vec![None; n];
+
+    // Re-negotiation events: one per distinct task release or charger
+    // failure slot.
+    let mut events: Vec<usize> = scenario.tasks.iter().map(|t| t.release_slot).collect();
+    events.extend(config.failures.iter().map(|f| f.slot));
+    events.sort_unstable();
+    events.dedup();
+
+    for &t in &events {
+        for task in &scenario.tasks {
+            if task.release_slot <= t {
+                known[task.id.index()] = true;
+            }
+        }
+        for failure in &config.failures {
+            if failure.slot <= t {
+                let i = failure.charger.index();
+                disabled[i] = true;
+                let first = dead_from[i].map_or(failure.slot, |d| d.min(failure.slot));
+                dead_from[i] = Some(first);
+            }
+        }
+        // A dead charger stops emitting the moment it dies, regardless of
+        // how long the replanning takes.
+        clear_dead(&mut schedule, &dead_from);
+        // The new plan takes effect after the rescheduling delay.
+        let effective = (t + scenario.tau).min(horizon);
+        if effective >= horizon {
+            continue;
+        }
+        // Which chargers replan at this event: everyone (global mode), or —
+        // in localized mode — the chargers able to serve a task released
+        // right now, the newly failed ones' neighborhoods, and one hop of
+        // neighbors of each (the paper's negotiation scope).
+        let replanning: Vec<bool> = if config.localized {
+            let mut core = vec![false; n];
+            for task in &scenario.tasks {
+                if task.release_slot == t {
+                    for c in coverage.chargers_of(task.id) {
+                        core[c.index()] = true;
+                    }
+                }
+            }
+            for failure in &config.failures {
+                if failure.slot == t {
+                    core[failure.charger.index()] = true;
+                }
+            }
+            let mut aff = core.clone();
+            for (i, &is_core) in core.iter().enumerate() {
+                if is_core {
+                    for &j in graph.neighbors(i) {
+                        aff[j] = true;
+                    }
+                }
+            }
+            aff
+        } else {
+            vec![true; n]
+        };
+        let planning_disabled: Vec<bool> = (0..n)
+            .map(|i| disabled[i] || !replanning[i])
+            .collect();
+        if planning_disabled.iter().all(|&d| d) {
+            continue;
+        }
+
+        // Energy the frozen prefix already delivered (HASTE-R semantics —
+        // the negotiation plans against the relaxed objective, exactly as
+        // the analysis of Theorem 6.1 does).
+        let prefix = evaluate(
+            scenario,
+            coverage,
+            &schedule,
+            EvalOptions {
+                rho: Some(0.0),
+                slot_limit: Some(effective),
+                ..EvalOptions::default()
+            },
+        );
+        let mut initial_energy = prefix.per_task_energy;
+        // In localized mode the kept future plans of non-replanning
+        // chargers enter as fixed background energy (utility only depends
+        // on each task's total, so the slot structure is irrelevant here).
+        let snapshot = config.localized.then(|| schedule.clone());
+        if config.localized {
+            let mut masked = schedule.clone();
+            for (i, &replans) in replanning.iter().enumerate() {
+                if replans {
+                    for k in effective..schedule.num_slots() {
+                        masked.set(haste_model::ChargerId(i as u32), k, None);
+                    }
+                }
+            }
+            let kept = evaluate(
+                scenario,
+                coverage,
+                &masked,
+                EvalOptions {
+                    rho: Some(0.0),
+                    slot_start: Some(effective),
+                    ..EvalOptions::default()
+                },
+            );
+            for (total, add) in initial_energy.iter_mut().zip(&kept.per_task_energy) {
+                *total += add;
+            }
+        }
+        let instance = HasteRInstance::build_with(
+            scenario,
+            coverage,
+            InstanceOptions {
+                slot_range: Some(effective..horizon),
+                known_tasks: Some(known.clone()),
+                initial_energy: Some(initial_energy),
+                disabled_chargers: planning_disabled
+                    .iter()
+                    .any(|&d| d)
+                    .then(|| planning_disabled.clone()),
+                ..InstanceOptions::default()
+            },
+        );
+        let (selection, run_stats): (Selection, NegotiationStats) = match config.engine {
+            EngineKind::Rounds => negotiate_rounds(&instance, &graph, &config.negotiation),
+            EngineKind::Threaded => negotiate_threaded(&instance, &graph, &config.negotiation),
+        };
+        instance.materialize_into(&selection, &mut schedule);
+        // Localized mode: restore the kept plans of non-replanning chargers
+        // (materialize_into wrote None over their partitions).
+        if let Some(snapshot) = snapshot {
+            for (i, &replans) in replanning.iter().enumerate() {
+                if !replans {
+                    let id = haste_model::ChargerId(i as u32);
+                    for k in effective..schedule.num_slots() {
+                        schedule.set(id, k, snapshot.get(id, k));
+                    }
+                }
+            }
+        }
+        // Chargers hold their last orientation through unassigned slots
+        // (free top-up at zero switching cost); later renegotiations
+        // overwrite the held suffix anyway. Holding must never resurrect a
+        // dead charger.
+        schedule.hold_orientations();
+        clear_dead(&mut schedule, &dead_from);
+        stats.absorb(&run_stats, effective);
+    }
+    clear_dead(&mut schedule, &dead_from);
+
+    let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
+    let relaxed = evaluate_relaxed(scenario, coverage, &schedule);
+    OnlineResult {
+        schedule,
+        report,
+        relaxed_value: relaxed.total_utility,
+        stats,
+    }
+}
+
+/// Blanks out every slot at or past a charger's death.
+fn clear_dead(schedule: &mut Schedule, dead_from: &[Option<usize>]) {
+    for (i, dead) in dead_from.iter().enumerate() {
+        if let Some(d) = *dead {
+            for k in d..schedule.num_slots() {
+                schedule.set(haste_model::ChargerId(i as u32), k, None);
+            }
+        }
+    }
+}
+
+/// Runs a baseline in the online setting: chargers only react to a task
+/// `τ` slots after its release (their rescheduling delay), everything else
+/// identical to the offline baseline.
+pub fn solve_baseline_online(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    kind: BaselineKind,
+) -> SolveResult {
+    solve_baseline_with_delay(scenario, coverage, kind, scenario.tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haste_core::{solve_offline, OfflineConfig};
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, Task, TimeGrid};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scenario(seed: u64, n: usize, m: usize, tau: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = ChargingParams::simulation_default();
+        let chargers = (0..n)
+            .map(|i| {
+                Charger::new(
+                    i as u32,
+                    Vec2::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                )
+            })
+            .collect();
+        let tasks = (0..m)
+            .map(|j| {
+                let release = rng.gen_range(0..5usize);
+                let duration = rng.gen_range(2 * tau.max(1)..=8usize.max(2 * tau + 1));
+                Task::new(
+                    j as u32,
+                    Vec2::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                    Angle::from_radians(rng.gen_range(0.0..std::f64::consts::TAU)),
+                    release,
+                    release + duration,
+                    rng.gen_range(500.0..3000.0),
+                    1.0 / m as f64,
+                )
+            })
+            .collect();
+        Scenario::new(params, TimeGrid::minutes(16), chargers, tasks, 1.0 / 12.0, tau).unwrap()
+    }
+
+    #[test]
+    fn online_with_no_delay_and_single_release_matches_offline_greedy_quality() {
+        // Everything released at slot 0 and τ = 0 → one negotiation over
+        // the full horizon; its value must be in the same class as the
+        // centralized greedy (both are locally greedy executions, possibly
+        // in different partition orders).
+        let mut s = random_scenario(3, 5, 10, 0);
+        for task in &mut s.tasks {
+            let d = task.end_slot - task.release_slot;
+            task.release_slot = 0;
+            task.end_slot = d;
+        }
+        s.validate().unwrap();
+        let cov = CoverageMap::build(&s);
+        let online = solve_online(&s, &cov, &OnlineConfig::default());
+        let offline = solve_offline(&s, &cov, &OfflineConfig::greedy());
+        // Equal guarantee class: allow a modest spread between the two
+        // greedy execution orders.
+        assert!(
+            online.relaxed_value >= 0.8 * offline.relaxed_value - 1e-9,
+            "online {} vs offline {}",
+            online.relaxed_value,
+            offline.relaxed_value
+        );
+    }
+
+    #[test]
+    fn rescheduling_delay_only_hurts() {
+        let s0 = random_scenario(5, 5, 12, 0);
+        let mut s2 = s0.clone();
+        s2.tau = 2;
+        let cov = CoverageMap::build(&s0);
+        let r0 = solve_online(&s0, &cov, &OnlineConfig::default());
+        let r2 = solve_online(&s2, &cov, &OnlineConfig::default());
+        assert!(
+            r2.relaxed_value <= r0.relaxed_value + 1e-9,
+            "tau=2 {} should not beat tau=0 {}",
+            r2.relaxed_value,
+            r0.relaxed_value
+        );
+    }
+
+    #[test]
+    fn online_beats_or_matches_online_baselines_on_average() {
+        let mut wins = 0;
+        let trials = 5;
+        for seed in 0..trials {
+            let s = random_scenario(100 + seed, 6, 14, 1);
+            let cov = CoverageMap::build(&s);
+            let online = solve_online(&s, &cov, &OnlineConfig::default());
+            let bu = solve_baseline_online(&s, &cov, BaselineKind::GreedyUtility);
+            let bc = solve_baseline_online(&s, &cov, BaselineKind::GreedyCover);
+            if online.report.total_utility >= bu.report.total_utility - 1e-9
+                && online.report.total_utility >= bc.report.total_utility - 1e-9
+            {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins * 2 >= trials,
+            "online HASTE lost to baselines in {} of {trials} trials",
+            trials - wins
+        );
+    }
+
+    #[test]
+    fn engines_agree_online() {
+        let s = random_scenario(8, 5, 10, 1);
+        let cov = CoverageMap::build(&s);
+        let rounds = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                engine: EngineKind::Rounds,
+                ..OnlineConfig::default()
+            },
+        );
+        let threaded = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                engine: EngineKind::Threaded,
+                ..OnlineConfig::default()
+            },
+        );
+        assert_eq!(rounds.schedule, threaded.schedule);
+        assert_eq!(rounds.stats.messages, threaded.stats.messages);
+    }
+
+    #[test]
+    fn report_value_bounded_by_relaxed() {
+        let s = random_scenario(13, 5, 10, 1);
+        let cov = CoverageMap::build(&s);
+        let r = solve_online(&s, &cov, &OnlineConfig::default());
+        assert!(r.report.total_utility <= r.relaxed_value + 1e-9);
+        assert!(r.report.total_utility >= (1.0 - s.rho) * r.relaxed_value - 1e-9);
+    }
+
+    #[test]
+    fn localized_replanning_close_to_global_and_cheaper() {
+        for seed in [41u64, 42, 43] {
+            let s = random_scenario(seed, 8, 20, 1);
+            let cov = CoverageMap::build(&s);
+            let global = solve_online(&s, &cov, &OnlineConfig::default());
+            let local = solve_online(
+                &s,
+                &cov,
+                &OnlineConfig {
+                    localized: true,
+                    ..OnlineConfig::default()
+                },
+            );
+            assert!(
+                local.stats.messages <= global.stats.messages,
+                "seed {seed}: localized sent more messages ({} vs {})",
+                local.stats.messages,
+                global.stats.messages
+            );
+            assert!(
+                local.relaxed_value >= 0.85 * global.relaxed_value - 1e-9,
+                "seed {seed}: localized {} far below global {}",
+                local.relaxed_value,
+                global.relaxed_value
+            );
+        }
+    }
+
+    #[test]
+    fn localized_engines_agree() {
+        let s = random_scenario(44, 6, 14, 1);
+        let cov = CoverageMap::build(&s);
+        let cfg = OnlineConfig {
+            localized: true,
+            ..OnlineConfig::default()
+        };
+        let rounds = solve_online(&s, &cov, &cfg);
+        let threaded = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                engine: EngineKind::Threaded,
+                ..cfg
+            },
+        );
+        assert_eq!(rounds.schedule, threaded.schedule);
+        assert_eq!(rounds.stats.messages, threaded.stats.messages);
+    }
+
+    #[test]
+    fn online_baseline_with_zero_tau_equals_offline_baseline() {
+        let mut s = random_scenario(31, 5, 12, 0);
+        s.tau = 0;
+        let cov = CoverageMap::build(&s);
+        for kind in [
+            haste_core::BaselineKind::GreedyUtility,
+            haste_core::BaselineKind::GreedyCover,
+        ] {
+            let online = solve_baseline_online(&s, &cov, kind);
+            let offline = haste_core::solve_baseline(&s, &cov, kind);
+            assert_eq!(online.schedule, offline.schedule, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn failed_charger_emits_nothing_after_death() {
+        let s = random_scenario(21, 4, 10, 1);
+        let cov = CoverageMap::build(&s);
+        let kill_slot = 3;
+        let cfg = OnlineConfig {
+            failures: vec![ChargerFailure {
+                charger: haste_model::ChargerId(0),
+                slot: kill_slot,
+            }],
+            ..OnlineConfig::default()
+        };
+        let r = solve_online(&s, &cov, &cfg);
+        for k in kill_slot..s.grid.num_slots {
+            assert_eq!(
+                r.schedule.get(haste_model::ChargerId(0), k),
+                None,
+                "dead charger oriented in slot {k}"
+            );
+        }
+        // Failure can only cost utility.
+        let healthy = solve_online(&s, &cov, &OnlineConfig::default());
+        assert!(r.report.total_utility <= healthy.report.total_utility + 1e-9);
+    }
+
+    #[test]
+    fn killing_every_charger_at_zero_yields_nothing() {
+        let s = random_scenario(22, 3, 8, 1);
+        let cov = CoverageMap::build(&s);
+        let failures = (0..3)
+            .map(|i| ChargerFailure {
+                charger: haste_model::ChargerId(i),
+                slot: 0,
+            })
+            .collect();
+        let r = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                failures,
+                ..OnlineConfig::default()
+            },
+        );
+        assert_eq!(r.report.total_utility, 0.0);
+    }
+
+    #[test]
+    fn survivors_replan_around_a_failure() {
+        // Two chargers sharing one long task; kill one mid-way — the other
+        // must keep serving and total utility must beat "kill both".
+        let s = random_scenario(23, 2, 6, 1);
+        let cov = CoverageMap::build(&s);
+        let one_dead = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                failures: vec![ChargerFailure {
+                    charger: haste_model::ChargerId(1),
+                    slot: 2,
+                }],
+                ..OnlineConfig::default()
+            },
+        );
+        let both_dead = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                failures: vec![
+                    ChargerFailure {
+                        charger: haste_model::ChargerId(0),
+                        slot: 2,
+                    },
+                    ChargerFailure {
+                        charger: haste_model::ChargerId(1),
+                        slot: 2,
+                    },
+                ],
+                ..OnlineConfig::default()
+            },
+        );
+        assert!(one_dead.report.total_utility >= both_dead.report.total_utility - 1e-12);
+        // Engines agree under failures too.
+        let threaded = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                engine: EngineKind::Threaded,
+                failures: vec![ChargerFailure {
+                    charger: haste_model::ChargerId(1),
+                    slot: 2,
+                }],
+                ..OnlineConfig::default()
+            },
+        );
+        assert_eq!(one_dead.schedule, threaded.schedule);
+    }
+
+    #[test]
+    fn empty_scenario() {
+        let mut s = random_scenario(1, 3, 5, 1);
+        s.tasks.clear();
+        let cov = CoverageMap::build(&s);
+        let r = solve_online(&s, &cov, &OnlineConfig::default());
+        assert_eq!(r.report.total_utility, 0.0);
+        assert_eq!(r.stats.messages, 0);
+    }
+}

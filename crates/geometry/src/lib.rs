@@ -1,0 +1,28 @@
+//! 2D geometry substrate for directional wireless charger networks.
+//!
+//! This crate provides the geometric vocabulary the HASTE reproduction is
+//! built on:
+//!
+//! * [`Vec2`] — points and displacement vectors in the plane,
+//! * [`Angle`] — an orientation on the circle, always normalized to
+//!   `[0, 2π)`, with arithmetic that respects wrap-around,
+//! * [`Sector`] — the charging / receiving area of the directional charging
+//!   model (an apex, a facing direction, a half-angle and a radius),
+//! * [`Arc`] — a circular arc of directions, the object swept by the
+//!   dominant-task-set extraction algorithm.
+//!
+//! Everything here is plain value types with no allocation, suitable for the
+//! hot loops of the schedulers; all operations are `f64` and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod angle;
+mod arc;
+mod sector;
+mod vec2;
+
+pub use angle::{Angle, TAU};
+pub use arc::Arc;
+pub use sector::Sector;
+pub use vec2::Vec2;

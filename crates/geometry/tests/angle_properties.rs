@@ -1,0 +1,113 @@
+//! Property-based tests of the circular-angle algebra — the foundation the
+//! dominant-set sweep relies on.
+
+use haste_geometry::{Angle, Arc, Sector, Vec2, TAU};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Normalization is idempotent and lands in [0, 2π).
+    #[test]
+    fn normalization_invariant(raw in -1e6f64..1e6) {
+        let a = Angle::from_radians(raw);
+        prop_assert!((0.0..TAU).contains(&a.radians()));
+        let again = Angle::from_radians(a.radians());
+        prop_assert!((a.radians() - again.radians()).abs() < 1e-9);
+    }
+
+    /// ccw_delta is the inverse of rotation: b = a + ccw_delta(a, b).
+    #[test]
+    fn ccw_delta_inverts_rotation(a in 0.0f64..TAU, b in 0.0f64..TAU) {
+        let a = Angle::from_radians(a);
+        let b = Angle::from_radians(b);
+        let rebuilt = a + a.ccw_delta(b);
+        prop_assert!(rebuilt.distance(b).radians() < 1e-9);
+    }
+
+    /// Distance is symmetric, bounded by π, and zero iff equal (mod 2π).
+    #[test]
+    fn distance_metric_properties(a in 0.0f64..TAU, b in 0.0f64..TAU) {
+        let a = Angle::from_radians(a);
+        let b = Angle::from_radians(b);
+        let d1 = a.distance(b).radians();
+        let d2 = b.distance(a).radians();
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!(d1 <= std::f64::consts::PI + 1e-12);
+        prop_assert!(a.distance(a).radians() < 1e-12);
+    }
+
+    /// Triangle inequality on the circle.
+    #[test]
+    fn distance_triangle(a in 0.0f64..TAU, b in 0.0f64..TAU, c in 0.0f64..TAU) {
+        let (a, b, c) = (
+            Angle::from_radians(a),
+            Angle::from_radians(b),
+            Angle::from_radians(c),
+        );
+        prop_assert!(
+            a.distance(c).radians() <= a.distance(b).radians() + b.distance(c).radians() + 1e-9
+        );
+    }
+
+    /// An arc contains exactly the points within its sweep.
+    #[test]
+    fn arc_membership_matches_delta(start in 0.0f64..TAU, width in 0.0f64..TAU, probe in 0.0f64..TAU) {
+        let start = Angle::from_radians(start);
+        let arc = Arc::new(start, width);
+        let probe = Angle::from_radians(probe);
+        let inside = start.ccw_delta(probe).radians() <= width + 1e-12;
+        prop_assert_eq!(arc.contains(probe), inside);
+    }
+
+    /// within() agrees with the symmetric arc test.
+    #[test]
+    fn within_matches_centered_arc(center in 0.0f64..TAU, half in 0.0f64..(TAU / 2.0), probe in 0.0f64..TAU) {
+        let center = Angle::from_radians(center);
+        let probe = Angle::from_radians(probe);
+        let arc = Arc::centered(center, half);
+        // Allow boundary fuzz: the two predicates use the same tolerance
+        // but accumulate rounding differently.
+        if (probe.distance(center).radians() - half).abs() > 1e-9 {
+            prop_assert_eq!(probe.within(center, half), arc.contains(probe));
+        }
+    }
+
+    /// Sector containment is invariant under translation and rotation of
+    /// the whole picture.
+    #[test]
+    fn sector_rigid_motion_invariance(
+        facing in 0.0f64..TAU,
+        opening in 0.1f64..TAU,
+        px in -30.0f64..30.0,
+        py in -30.0f64..30.0,
+        shift in 0.0f64..TAU,
+        dx in -50.0f64..50.0,
+        dy in -50.0f64..50.0,
+    ) {
+        let apex = Vec2::new(3.0, -2.0);
+        let p = Vec2::new(px, py);
+        let sector = Sector::new(apex, Angle::from_radians(facing), opening, 25.0);
+        let original = sector.contains(p);
+
+        // Rotate everything by `shift` around the origin, then translate.
+        let rot = |v: Vec2| {
+            let (s, c) = shift.sin_cos();
+            Vec2::new(v.x * c - v.y * s, v.x * s + v.y * c)
+        };
+        let t = Vec2::new(dx, dy);
+        let moved = Sector::new(
+            rot(apex) + t,
+            Angle::from_radians(facing + shift),
+            opening,
+            25.0,
+        );
+        // Skip razor-edge cases where rounding flips the boundary.
+        let d = (p - apex).norm();
+        let edge = ((p - apex).azimuth().distance(Angle::from_radians(facing)).radians()
+            - opening / 2.0)
+            .abs();
+        prop_assume!((d - 25.0).abs() > 1e-6 && edge > 1e-6);
+        prop_assert_eq!(original, moved.contains(rot(p) + t));
+    }
+}

@@ -1,0 +1,190 @@
+//! Precomputed charger ↔ task chargeability.
+
+use haste_geometry::Angle;
+
+use crate::{power, ChargerId, Scenario, TaskId};
+
+/// A task chargeable by a given charger, with the quantities the schedulers
+/// need precomputed: the azimuth `ψ_ij` the charger must face, and the
+/// range-only power `P_r(s_i, o_j)` it would deliver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateTask {
+    /// The task's id.
+    pub task: TaskId,
+    /// Azimuth of the device from the charger.
+    pub azimuth: Angle,
+    /// `P_r(s_i, o_j)` in watts (positive by construction).
+    pub power: f64,
+}
+
+/// For every charger, the set of tasks it can charge (the paper's `T_i`) and
+/// the reverse index (for every task, the chargers that can reach it).
+///
+/// Chargeability is orientation-independent (distance and receiving-sector
+/// tests only), so this map is computed once per scenario and reused by
+/// dominant-set extraction, the objective oracles, and the neighbor graph of
+/// the distributed algorithm.
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    per_charger: Vec<Vec<CandidateTask>>,
+    per_task: Vec<Vec<ChargerId>>,
+}
+
+impl CoverageMap {
+    /// Builds the map for a scenario. `O(n · m)` pair tests.
+    pub fn build(scenario: &Scenario) -> Self {
+        let n = scenario.num_chargers();
+        let m = scenario.num_tasks();
+        let mut per_charger = vec![Vec::new(); n];
+        let mut per_task = vec![Vec::new(); m];
+        for charger in &scenario.chargers {
+            let i = charger.id.index();
+            for task in &scenario.tasks {
+                if power::chargeable(&scenario.params, charger, task) {
+                    let d = charger.pos.distance(task.device_pos);
+                    per_charger[i].push(CandidateTask {
+                        task: task.id,
+                        azimuth: power::azimuth_to(charger, task),
+                        power: power::range_power(&scenario.params, d)
+                            * power::receiver_gain_factor(&scenario.params, charger, task),
+                    });
+                    per_task[task.id.index()].push(charger.id);
+                }
+            }
+        }
+        CoverageMap {
+            per_charger,
+            per_task,
+        }
+    }
+
+    /// Tasks chargeable by charger `i` (the paper's `T_i`).
+    #[inline]
+    pub fn tasks_of(&self, charger: ChargerId) -> &[CandidateTask] {
+        &self.per_charger[charger.index()]
+    }
+
+    /// Chargers able to charge task `j`.
+    #[inline]
+    pub fn chargers_of(&self, task: TaskId) -> &[ChargerId] {
+        &self.per_task[task.index()]
+    }
+
+    /// Number of chargers in the map.
+    #[inline]
+    pub fn num_chargers(&self) -> usize {
+        self.per_charger.len()
+    }
+
+    /// Number of tasks in the map.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.per_task.len()
+    }
+
+    /// Whether two chargers are neighbors in the paper's sense: they can
+    /// both charge at least one common task.
+    pub fn are_neighbors(&self, a: ChargerId, b: ChargerId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ta, tb) = (&self.per_charger[a.index()], &self.per_charger[b.index()]);
+        // Candidate lists are sorted by task id by construction.
+        let (mut ia, mut ib) = (0, 0);
+        while ia < ta.len() && ib < tb.len() {
+            match ta[ia].task.cmp(&tb[ib].task) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Charger, ChargingParams, Task, TimeGrid};
+    use haste_geometry::Vec2;
+
+    fn scenario() -> Scenario {
+        // Two chargers west and east of two devices; devices face west, so
+        // only the west charger can charge them. A third far-away charger
+        // reaches nothing.
+        Scenario::new(
+            ChargingParams::simulation_default(),
+            TimeGrid::minutes(10),
+            vec![
+                Charger::new(0, Vec2::new(0.0, 0.0)),
+                Charger::new(1, Vec2::new(20.0, 0.0)),
+                Charger::new(2, Vec2::new(500.0, 500.0)),
+            ],
+            vec![
+                Task::new(
+                    0,
+                    Vec2::new(10.0, 0.0),
+                    Angle::from_degrees(180.0),
+                    0,
+                    10,
+                    1000.0,
+                    1.0,
+                ),
+                Task::new(
+                    1,
+                    Vec2::new(10.0, 1.0),
+                    Angle::from_degrees(180.0),
+                    0,
+                    10,
+                    1000.0,
+                    1.0,
+                ),
+            ],
+            0.0,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coverage_respects_receiving_sector() {
+        let s = scenario();
+        let map = CoverageMap::build(&s);
+        assert_eq!(map.tasks_of(ChargerId(0)).len(), 2);
+        assert_eq!(map.tasks_of(ChargerId(1)).len(), 0);
+        assert_eq!(map.tasks_of(ChargerId(2)).len(), 0);
+        assert_eq!(map.chargers_of(TaskId(0)), &[ChargerId(0)]);
+    }
+
+    #[test]
+    fn candidate_fields_are_consistent() {
+        let s = scenario();
+        let map = CoverageMap::build(&s);
+        let c = &map.tasks_of(ChargerId(0))[0];
+        assert_eq!(c.task, TaskId(0));
+        assert!((c.azimuth.degrees() - 0.0).abs() < 1e-9);
+        assert!((c.power - 10_000.0 / 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbor_relation() {
+        // Put both chargers where they can reach task 0.
+        let mut s = scenario();
+        s.tasks[0].device_facing = Angle::from_degrees(0.0); // faces east charger
+        let map = CoverageMap::build(&s);
+        // Task 0 now reachable only from charger 1; task 1 still only from 0.
+        assert!(!map.are_neighbors(ChargerId(0), ChargerId(1)));
+        assert!(!map.are_neighbors(ChargerId(0), ChargerId(0)));
+
+        // Device between the two and 120° receiving angle facing north-ish
+        // wouldn't cover both; instead make it face halfway using a full
+        // receiving circle.
+        let mut s2 = scenario();
+        s2.params.receiving_angle = std::f64::consts::TAU;
+        let map2 = CoverageMap::build(&s2);
+        assert!(map2.are_neighbors(ChargerId(0), ChargerId(1)));
+        assert!(map2.are_neighbors(ChargerId(1), ChargerId(0)));
+    }
+
+    use haste_geometry::Angle;
+}

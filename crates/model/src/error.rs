@@ -1,0 +1,65 @@
+//! Error type for scenario validation.
+
+use std::fmt;
+
+/// Errors raised when validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A charging-model constant is out of range.
+    InvalidParams(&'static str),
+    /// A task is malformed (window, energy or weight).
+    InvalidTask {
+        /// Index of the offending task in the scenario.
+        index: usize,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A charger is malformed (non-finite position).
+    InvalidCharger {
+        /// Index of the offending charger in the scenario.
+        index: usize,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The time grid is malformed.
+    InvalidTimeGrid(&'static str),
+    /// The scenario-level delays are out of range.
+    InvalidDelay(&'static str),
+    /// Duplicate identifier in a scenario.
+    DuplicateId(&'static str),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParams(r) => write!(f, "invalid charging parameters: {r}"),
+            ModelError::InvalidTask { index, reason } => {
+                write!(f, "invalid task #{index}: {reason}")
+            }
+            ModelError::InvalidCharger { index, reason } => {
+                write!(f, "invalid charger #{index}: {reason}")
+            }
+            ModelError::InvalidTimeGrid(r) => write!(f, "invalid time grid: {r}"),
+            ModelError::InvalidDelay(r) => write!(f, "invalid delay: {r}"),
+            ModelError::DuplicateId(r) => write!(f, "duplicate id: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::InvalidTask {
+            index: 3,
+            reason: "end before release",
+        };
+        assert!(e.to_string().contains("task #3"));
+        assert!(ModelError::InvalidParams("x").to_string().contains("x"));
+        assert!(ModelError::InvalidTimeGrid("y").to_string().contains("y"));
+    }
+}

@@ -1,0 +1,216 @@
+//! The directional charging power model `P_r` (Section 3.1 of the paper).
+//!
+//! The model splits naturally into an orientation-*independent* part — is the
+//! device in range, and is the charger inside the device's receiving sector —
+//! and an orientation-*dependent* part — is the device inside the charger's
+//! charging sector for the current orientation `θ_i`. The schedulers exploit
+//! this split: the independent part is precomputed once per scenario in a
+//! [`crate::CoverageMap`], and only the cheap angular test runs in the inner
+//! loops.
+
+use haste_geometry::{Angle, Vec2};
+
+use crate::{ChargingParams, Charger, Task};
+
+/// The range-only power term `P_r(s_i, o_j) = α/(‖s_i o_j‖+β)²` for
+/// `‖s_i o_j‖ ≤ D`, else `0` — the paper's orientation-free shorthand used
+/// throughout HASTE-R.
+#[inline]
+pub fn range_power(params: &ChargingParams, distance: f64) -> f64 {
+    if distance <= params.radius + 1e-12 {
+        let denom = distance + params.beta;
+        params.alpha / (denom * denom)
+    } else {
+        0.0
+    }
+}
+
+/// Orientation-independent chargeability: the device of `task` is within
+/// range of `charger` **and** the charger lies inside the device's receiving
+/// sector. When this holds, the charger can deliver
+/// [`range_power`] to the task whenever its own sector covers the device.
+pub fn chargeable(params: &ChargingParams, charger: &Charger, task: &Task) -> bool {
+    let d = charger.pos.distance(task.device_pos);
+    if d > params.radius + 1e-12 {
+        return false;
+    }
+    // A co-located pair is always mutually covered.
+    if d <= f64::EPSILON {
+        return true;
+    }
+    let to_charger = (charger.pos - task.device_pos).azimuth();
+    to_charger.within(task.device_facing, params.receiving_angle / 2.0)
+}
+
+/// Orientation-dependent coverage: whether a charger at `charger_pos`
+/// oriented at `theta` covers a device at `device_pos` *angularly* (range
+/// must be checked separately, or once via [`chargeable`]).
+#[inline]
+pub fn covers_direction(
+    params: &ChargingParams,
+    charger_pos: Vec2,
+    theta: Angle,
+    device_pos: Vec2,
+) -> bool {
+    let d = device_pos - charger_pos;
+    if d.norm() <= f64::EPSILON {
+        return true;
+    }
+    d.azimuth().within(theta, params.charging_angle / 2.0)
+}
+
+/// The device-side anisotropy factor for energy from `charger` arriving at
+/// the device of `task` (1.0 under the paper's isotropic model). Defined
+/// only up to the mutual-coverage test: callers should gate on
+/// [`chargeable`].
+pub fn receiver_gain_factor(params: &ChargingParams, charger: &Charger, task: &Task) -> f64 {
+    let d = charger.pos - task.device_pos;
+    if d.norm() <= f64::EPSILON {
+        return 1.0;
+    }
+    let offset = d.azimuth().distance(task.device_facing).radians();
+    params.receiver_gain.factor(offset)
+}
+
+/// The azimuth `ψ_ij` of the device of `task` as seen from `charger` — the
+/// direction a charger must (approximately) face to cover the task.
+#[inline]
+pub fn azimuth_to(charger: &Charger, task: &Task) -> Angle {
+    (task.device_pos - charger.pos).azimuth()
+}
+
+/// The full charging power function `P_r(s_i, θ_i, o_j, φ_j)` of the paper:
+/// positive iff the pair is mutually covered, `α/(d+β)²` in that case.
+///
+/// `theta = None` encodes `Φ` (the charger is switching / unoriented) and
+/// yields zero.
+pub fn received_power(
+    params: &ChargingParams,
+    charger: &Charger,
+    theta: Option<Angle>,
+    task: &Task,
+) -> f64 {
+    let Some(theta) = theta else { return 0.0 };
+    if !chargeable(params, charger, task) {
+        return 0.0;
+    }
+    if !covers_direction(params, charger.pos, theta, task.device_pos) {
+        return 0.0;
+    }
+    range_power(params, charger.pos.distance(task.device_pos))
+        * receiver_gain_factor(params, charger, task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haste_geometry::Vec2;
+
+    fn params() -> ChargingParams {
+        ChargingParams::simulation_default()
+    }
+
+    fn task_at(pos: Vec2, facing_deg: f64) -> Task {
+        Task::new(0, pos, Angle::from_degrees(facing_deg), 0, 10, 1000.0, 1.0)
+    }
+
+    #[test]
+    fn range_power_decays_and_cuts_off() {
+        let p = params();
+        let p0 = range_power(&p, 0.0);
+        let p10 = range_power(&p, 10.0);
+        let p20 = range_power(&p, 20.0);
+        assert!(p0 > p10 && p10 > p20);
+        assert!((p0 - 10_000.0 / 1600.0).abs() < 1e-9);
+        assert_eq!(range_power(&p, 20.5), 0.0);
+    }
+
+    #[test]
+    fn mutual_coverage_required() {
+        let p = params();
+        let charger = Charger::new(0, Vec2::ZERO);
+        // Device 10 m east, facing back west toward the charger: chargeable.
+        let facing_charger = task_at(Vec2::new(10.0, 0.0), 180.0);
+        assert!(chargeable(&p, &charger, &facing_charger));
+        // Device facing away from the charger: not chargeable.
+        let facing_away = task_at(Vec2::new(10.0, 0.0), 0.0);
+        assert!(!chargeable(&p, &charger, &facing_away));
+        // Out of range even when facing back.
+        let far = task_at(Vec2::new(25.0, 0.0), 180.0);
+        assert!(!chargeable(&p, &charger, &far));
+    }
+
+    #[test]
+    fn received_power_needs_both_sectors() {
+        let p = params();
+        let charger = Charger::new(0, Vec2::ZERO);
+        let task = task_at(Vec2::new(10.0, 0.0), 180.0);
+        // Charger faces the device: full power.
+        let pw = received_power(&p, &charger, Some(Angle::ZERO), &task);
+        assert!((pw - 10_000.0 / 2500.0).abs() < 1e-9);
+        // Charger faces away: zero.
+        assert_eq!(
+            received_power(&p, &charger, Some(Angle::from_degrees(90.0)), &task),
+            0.0
+        );
+        // Switching (Φ): zero.
+        assert_eq!(received_power(&p, &charger, None, &task), 0.0);
+    }
+
+    #[test]
+    fn coverage_boundary_is_inclusive() {
+        let p = params(); // A_s = 60°, half-angle 30°
+        let charger = Charger::new(0, Vec2::ZERO);
+        let on_edge = Vec2::unit(Angle::from_degrees(30.0)) * 5.0;
+        assert!(covers_direction(&p, charger.pos, Angle::ZERO, on_edge));
+        let outside = Vec2::unit(Angle::from_degrees(30.5)) * 5.0;
+        assert!(!covers_direction(&p, charger.pos, Angle::ZERO, outside));
+    }
+
+    #[test]
+    fn azimuth_to_points_at_device() {
+        let charger = Charger::new(0, Vec2::new(1.0, 1.0));
+        let task = task_at(Vec2::new(1.0, 5.0), 0.0);
+        assert!((azimuth_to(&charger, &task).degrees() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_receiver_gain_rolls_off() {
+        use crate::ReceiverGain;
+        let mut p = params();
+        p.receiving_angle = std::f64::consts::PI; // 180° sector
+        p.receiver_gain = ReceiverGain::Cosine { exponent: 1.0 };
+        let charger = Charger::new(0, Vec2::ZERO);
+        // Device east of the charger. Facing dead-on (west): full gain.
+        let head_on = task_at(Vec2::new(10.0, 0.0), 180.0);
+        let p0 = received_power(&p, &charger, Some(Angle::ZERO), &head_on);
+        // Facing 60° off: gain cos(60°) = 0.5.
+        let oblique = task_at(Vec2::new(10.0, 0.0), 120.0);
+        let p60 = received_power(&p, &charger, Some(Angle::ZERO), &oblique);
+        assert!(p0 > 0.0);
+        assert!((p60 / p0 - 0.5).abs() < 1e-9, "ratio {}", p60 / p0);
+        // Uniform model keeps both equal.
+        p.receiver_gain = ReceiverGain::Uniform;
+        let u0 = received_power(&p, &charger, Some(Angle::ZERO), &head_on);
+        let u60 = received_power(&p, &charger, Some(Angle::ZERO), &oblique);
+        assert!((u0 - u60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_factor_exponent_zero_is_uniform() {
+        use crate::ReceiverGain;
+        let g = ReceiverGain::Cosine { exponent: 0.0 };
+        assert_eq!(g.factor(0.5), 1.0);
+        assert_eq!(ReceiverGain::Uniform.factor(1.2), 1.0);
+    }
+
+    #[test]
+    fn colocated_pair_is_chargeable() {
+        let p = params();
+        let charger = Charger::new(0, Vec2::new(3.0, 3.0));
+        let task = task_at(Vec2::new(3.0, 3.0), 45.0);
+        assert!(chargeable(&p, &charger, &task));
+        let pw = received_power(&p, &charger, Some(Angle::ZERO), &task);
+        assert!(pw > 0.0);
+    }
+}

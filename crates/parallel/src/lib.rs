@@ -1,0 +1,250 @@
+//! Minimal parallel-execution substrate for the HASTE experiment harness.
+//!
+//! The simulation sweeps evaluate hundreds of independent random topologies
+//! per figure; this crate provides the small amount of machinery needed to
+//! spread that work across cores:
+//!
+//! * [`par_map`] / [`par_for_each`] — scoped parallel iteration over a slice
+//!   (atomic index claiming, results returned in input order, worker panics
+//!   propagate),
+//! * [`par_map_reduce`] — parallel map followed by an associative fold,
+//! * [`ThreadPool`] — a persistent pool for fire-and-forget jobs,
+//! * [`default_threads`] — the machine's available parallelism.
+//!
+//! Rayon is the obvious off-the-shelf answer, but it is outside this
+//! project's dependency allowlist; the subset needed here is small enough to
+//! build safely on `std::thread::scope` + `crossbeam` channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::ThreadPool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items` in parallel and returns the
+/// results in input order.
+///
+/// `f` receives `(index, &item)`. Work is claimed element-by-element via an
+/// atomic counter, so uneven per-item cost balances automatically. With
+/// `threads <= 1` (or a single item) the map runs inline on the caller's
+/// thread. If any invocation of `f` panics, the panic propagates to the
+/// caller once all workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let counter = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let counter = &counter;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                // The receiver sits below in the same scope; send only fails
+                // if collection stopped early, in which case stopping the
+                // worker is the right thing to do anyway.
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index sent exactly once"))
+            .collect()
+    })
+}
+
+/// Runs `f` on every element in parallel for its side effects.
+pub fn par_for_each<T, F>(items: &[T], threads: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        items.iter().enumerate().for_each(|(i, t)| f(i, t));
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let counter = &counter;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i, &items[i]);
+            });
+        }
+    });
+}
+
+/// Parallel map followed by a fold with an associative `combine`.
+///
+/// Each worker folds its own share locally; the per-worker partials are then
+/// combined on the calling thread, so `combine` must be associative and
+/// `identity` a true identity for the result to be deterministic up to
+/// `combine`'s associativity (floating-point sums may differ in the last
+/// bits across thread counts).
+pub fn par_map_reduce<T, R, F, C>(items: &[T], threads: usize, identity: R, f: F, combine: C) -> R
+where
+    T: Sync,
+    R: Send + Clone,
+    F: Fn(usize, &T) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    let counter = AtomicUsize::new(0);
+    let partials = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let counter = &counter;
+            let f = &f;
+            let combine = &combine;
+            let local_identity = identity.clone();
+            handles.push(scope.spawn(move || {
+                let mut acc = local_identity;
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    acc = combine(acc, f(i, &items[i]));
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    partials.into_iter().fold(identity, &combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, 8, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_single_thread_inline() {
+        let items = vec![1, 2, 3];
+        assert_eq!(par_map(&items, 1, |_, &x| x * x), vec![1, 4, 9]);
+        assert_eq!(par_map(&items, 0, |_, &x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn par_for_each_visits_everything_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..500).collect();
+        par_for_each(&items, 8, |_, &i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_reduce_sums() {
+        let items: Vec<u64> = (1..=1000).collect();
+        let total = par_map_reduce(&items, 8, 0u64, |_, &x| x, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn par_map_reduce_empty_returns_identity() {
+        let items: Vec<u64> = vec![];
+        let total = par_map_reduce(&items, 8, 42u64, |_, &x| x, |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, 4, |_, &x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        let items: Vec<u64> = (0..64).rev().collect();
+        let out = par_map(&items, 8, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

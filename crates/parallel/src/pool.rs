@@ -1,0 +1,168 @@
+//! A persistent thread pool for fire-and-forget jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers to implement
+/// [`ThreadPool::wait_idle`].
+struct Shared {
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing `'static` jobs.
+///
+/// Jobs are dispatched through an unbounded channel; [`ThreadPool::wait_idle`]
+/// blocks until every submitted job has finished. Dropping the pool closes
+/// the channel and joins all workers (after letting queued jobs drain).
+///
+/// The experiment sweeps use the scoped [`crate::par_map`] instead (it can
+/// borrow from the caller); the pool exists for long-lived pipelines such as
+/// the threaded distributed engine's helpers, and as a reusable substrate.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|idx| {
+                let receiver = receiver.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("haste-pool-{idx}"))
+                    .spawn(move || {
+                        for job in receiver.iter() {
+                            job();
+                            if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _guard = shared.idle_lock.lock();
+                                shared.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("pool is live while not dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Blocks until every job submitted so far has completed.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain the queue and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop joins
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(1);
+        pool.wait_idle();
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _round in 0..5 {
+            for _ in 0..20 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+}

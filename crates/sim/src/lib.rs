@@ -1,0 +1,27 @@
+//! Simulation harness for HASTE: scenario generation, parallel parameter
+//! sweeps, statistics, and the experiment registry reproducing every figure
+//! of the paper's evaluation (Section 7).
+//!
+//! * [`ScenarioSpec`] — recipes for the paper's default and small-scale
+//!   setups, uniform or Gaussian task placement,
+//! * [`Algo`] — the algorithm roster (offline/online HASTE, baselines,
+//!   brute-force optimum),
+//! * [`experiments`] — `fig04()` … `fig18()` plus `headline()`, each
+//!   returning the [`FigureTable`] of numbers behind the figure,
+//! * [`Summary`] / [`BoxStats`] — the statistics the figures report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo;
+pub mod experiments;
+mod generators;
+pub mod render;
+mod stats;
+mod table;
+
+pub use algo::Algo;
+pub use experiments::ExperimentCtx;
+pub use generators::{Placement, ScenarioSpec};
+pub use stats::{BoxStats, Summary};
+pub use table::{FigureTable, Series};

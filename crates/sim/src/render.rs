@@ -1,0 +1,242 @@
+//! SVG rendering of scenarios and schedule snapshots.
+//!
+//! Zero-dependency visual debugging: one SVG per time slot showing the
+//! field, the chargers with their current charging sectors, and the tasks
+//! colored by charging utility. Useful for eyeballing what a scheduler
+//! actually does (and for README screenshots).
+
+use std::fmt::Write as _;
+
+use haste_geometry::{Angle, Vec2};
+use haste_model::{EvalReport, Scenario, Schedule, Slot};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Output width in pixels (height follows the field's aspect ratio).
+    pub width: f64,
+    /// Margin around the field, in meters.
+    pub margin: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 720.0,
+            margin: 2.0,
+        }
+    }
+}
+
+/// Renders one slot of a schedule as an SVG document.
+///
+/// * chargers are dark squares; if oriented in `slot`, their charging
+///   sector is drawn as a translucent wedge,
+/// * tasks are circles — grey before release / after expiry, otherwise
+///   colored from red (utility 0) to green (utility 1) using
+///   `report.per_task_utility` when provided.
+pub fn render_svg(
+    scenario: &Scenario,
+    schedule: Option<&Schedule>,
+    slot: Slot,
+    report: Option<&EvalReport>,
+    options: &RenderOptions,
+) -> String {
+    // World bounds.
+    let mut min = Vec2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in scenario
+        .chargers
+        .iter()
+        .map(|c| c.pos)
+        .chain(scenario.tasks.iter().map(|t| t.device_pos))
+    {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    if !min.x.is_finite() {
+        min = Vec2::ZERO;
+        max = Vec2::new(1.0, 1.0);
+    }
+    min -= Vec2::new(options.margin, options.margin);
+    max += Vec2::new(options.margin, options.margin);
+    let world_w = (max.x - min.x).max(1e-9);
+    let world_h = (max.y - min.y).max(1e-9);
+    let scale = options.width / world_w;
+    let height = world_h * scale;
+    // SVG y grows downward; flip.
+    let tx = |p: Vec2| -> (f64, f64) { ((p.x - min.x) * scale, (max.y - p.y) * scale) };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.1} {:.1}">"#,
+        options.width, height, options.width, height
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fcfcf8" stroke="#ccc"/>"##
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="8" y="16" font-family="monospace" font-size="12">slot {slot}</text>"#
+    );
+
+    // Charging sectors first (under everything else).
+    if let Some(schedule) = schedule {
+        for charger in &scenario.chargers {
+            let Some(theta) = schedule.get(charger.id, slot) else {
+                continue;
+            };
+            let r = scenario.params.radius * scale;
+            let half = scenario.params.charging_angle / 2.0;
+            let (cx, cy) = tx(charger.pos);
+            let a0 = theta - Angle::from_radians(half);
+            let a1 = theta + Angle::from_radians(half);
+            // Endpoints on the arc, with the y-flip applied to angles.
+            let end = |a: Angle| {
+                (
+                    cx + r * a.radians().cos(),
+                    cy - r * a.radians().sin(),
+                )
+            };
+            let (x0, y0) = end(a0);
+            let (x1, y1) = end(a1);
+            let large = if scenario.params.charging_angle > std::f64::consts::PI {
+                1
+            } else {
+                0
+            };
+            let _ = writeln!(
+                svg,
+                r##"<path d="M {cx:.1} {cy:.1} L {x0:.1} {y0:.1} A {r:.1} {r:.1} 0 {large} 0 {x1:.1} {y1:.1} Z" fill="#4b8bff" fill-opacity="0.15" stroke="#4b8bff" stroke-opacity="0.5"/>"##
+            );
+        }
+    }
+
+    // Tasks.
+    for task in &scenario.tasks {
+        let (x, y) = tx(task.device_pos);
+        let color = if !task.active_at(slot) {
+            "#bbbbbb".to_string()
+        } else {
+            let u = report
+                .and_then(|r| r.per_task_utility.get(task.id.index()).copied())
+                .unwrap_or(0.5)
+                .clamp(0.0, 1.0);
+            let red = (220.0 * (1.0 - u)) as u32;
+            let green = (180.0 * u) as u32;
+            format!("#{red:02x}{green:02x}30")
+        };
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="{color}" stroke="#333"/>"##
+        );
+        // Device facing tick.
+        let dir = Vec2::unit(task.device_facing) * (10.0 / scale);
+        let (x2, y2) = tx(task.device_pos + dir);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{y:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#333"/>"##
+        );
+    }
+
+    // Chargers on top.
+    for charger in &scenario.chargers {
+        let (x, y) = tx(charger.pos);
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="8" height="8" fill="#222"/>"##,
+            x - 4.0,
+            y - 4.0
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioSpec;
+    use haste_model::CoverageMap;
+
+    fn scenario() -> Scenario {
+        ScenarioSpec {
+            num_chargers: 3,
+            num_tasks: 5,
+            ..ScenarioSpec::small_scale()
+        }
+        .generate(1)
+    }
+
+    #[test]
+    fn svg_structure_is_complete() {
+        let s = scenario();
+        let svg = render_svg(&s, None, 0, None, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + chargers
+    }
+
+    #[test]
+    fn sectors_drawn_only_for_oriented_chargers() {
+        let s = scenario();
+        let cov = CoverageMap::build(&s);
+        let r = haste_core::solve_offline(&s, &cov, &haste_core::OfflineConfig::greedy());
+        let with = render_svg(&s, Some(&r.schedule), 0, Some(&r.report), &RenderOptions::default());
+        let without = render_svg(&s, None, 0, None, &RenderOptions::default());
+        assert!(with.matches("<path").count() >= without.matches("<path").count());
+        // Every path is a wedge of an oriented charger in slot 0.
+        let oriented = s
+            .chargers
+            .iter()
+            .filter(|c| r.schedule.get(c.id, 0).is_some())
+            .count();
+        assert_eq!(with.matches("<path").count(), oriented);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let s = scenario();
+        let a = render_svg(&s, None, 2, None, &RenderOptions::default());
+        let b = render_svg(&s, None, 2, None, &RenderOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_scenario_still_renders() {
+        let mut s = scenario();
+        s.chargers.clear();
+        s.tasks.clear();
+        let svg = render_svg(&s, None, 0, None, &RenderOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn utility_colors_move_from_red_to_green() {
+        let mut s = scenario();
+        // Make every task active in slot 0 so the color ramp is visible.
+        for t in &mut s.tasks {
+            t.release_slot = 0;
+            t.end_slot = s.grid.num_slots;
+        }
+        let cov = CoverageMap::build(&s);
+        let mut report = haste_model::evaluate_relaxed(
+            &s,
+            &cov,
+            &haste_model::Schedule::empty(s.num_chargers(), s.grid.num_slots),
+        );
+        // Force extremes.
+        for (i, u) in report.per_task_utility.iter_mut().enumerate() {
+            *u = if i % 2 == 0 { 0.0 } else { 1.0 };
+        }
+        let svg = render_svg(&s, None, 0, Some(&report), &RenderOptions::default());
+        assert!(svg.contains("#dc0030")); // pure red at utility 0
+        assert!(svg.contains("#00b430")); // green at utility 1
+    }
+}

@@ -1,0 +1,172 @@
+//! Summary statistics for experiment series.
+
+/// Mean / variance / extremes of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; empty input yields a zeroed summary.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count,
+            mean,
+            variance,
+            min,
+            max,
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Five-number summary for box plots (Figs. 7 and 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean (the paper reports it alongside the box).
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Computes the five-number summary (linear-interpolation quantiles).
+    /// Empty input yields zeros.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return BoxStats {
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        BoxStats {
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean,
+        }
+    }
+}
+
+/// Linear-interpolation quantile of a sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!((s.min, s.max), (7.0, 7.0));
+    }
+
+    #[test]
+    fn box_stats_quartiles() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert!((b.q1 - 2.0).abs() < 1e-12);
+        assert!((b.q3 - 4.0).abs() < 1e-12);
+        assert!((b.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_interpolates() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((b.median - 2.5).abs() < 1e-12);
+        assert!((b.q1 - 1.75).abs() < 1e-12);
+        assert!((b.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_unsorted_input() {
+        let b = BoxStats::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.median, 3.0);
+    }
+
+    #[test]
+    fn box_stats_empty_and_single() {
+        assert_eq!(BoxStats::of(&[]).median, 0.0);
+        let b = BoxStats::of(&[2.5]);
+        assert_eq!(b.q1, 2.5);
+        assert_eq!(b.q3, 2.5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Tabular experiment output: aligned text and CSV.
+
+use std::fmt::Write as _;
+
+/// One legend entry of a figure: a name and one value per x tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One value per x tick (`NaN` marks a missing point).
+    pub values: Vec<f64>,
+}
+
+/// A reproduced figure as the table of numbers behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Identifier, e.g. `"fig04"`.
+    pub id: String,
+    /// Human title, e.g. `"A_s versus charging utility (offline)"`.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// X ticks.
+    pub x: Vec<f64>,
+    /// The series (same length as `x` each).
+    pub series: Vec<Series>,
+}
+
+impl FigureTable {
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.name.len() + 2)
+            .chain([self.x_label.len() + 2, 16])
+            .max()
+            .expect("non-empty iterator");
+        let _ = write!(out, "{:>width$}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>width$}", s.name);
+        }
+        let _ = writeln!(out);
+        for (i, &x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x:>width$.4}");
+            for s in &self.series {
+                let v = s.values.get(i).copied().unwrap_or(f64::NAN);
+                if v.is_nan() {
+                    let _ = write!(out, "{:>width$}", "-");
+                } else {
+                    let _ = write!(out, "{v:>width$.4}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders a CSV with the x column first.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.name));
+        }
+        let _ = writeln!(out);
+        for (i, &x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                let v = s.values.get(i).copied().unwrap_or(f64::NAN);
+                if v.is_nan() {
+                    let _ = write!(out, ",");
+                } else {
+                    let _ = write!(out, ",{v}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Value of the named series at x tick `i`.
+    pub fn value(&self, series: &str, i: usize) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.name == series)
+            .and_then(|s| s.values.get(i))
+            .copied()
+    }
+
+    /// Mean of a series over all ticks, ignoring NaNs.
+    pub fn series_mean(&self, series: &str) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.name == series)?;
+        let vals: Vec<f64> = s.values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureTable {
+        FigureTable {
+            id: "fig00".into(),
+            title: "demo".into(),
+            x_label: "x".into(),
+            x: vec![1.0, 2.0],
+            series: vec![
+                Series {
+                    name: "A".into(),
+                    values: vec![0.5, 0.75],
+                },
+                Series {
+                    name: "B".into(),
+                    values: vec![0.25, f64::NAN],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = table().render();
+        assert!(text.contains("fig00"));
+        assert!(text.contains('A'));
+        assert!(text.contains("0.7500"));
+        assert!(text.contains('-')); // NaN marker
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,A,B");
+        assert_eq!(lines[1], "1,0.5,0.25");
+        assert_eq!(lines[2], "2,0.75,");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn lookups() {
+        let t = table();
+        assert_eq!(t.value("A", 1), Some(0.75));
+        assert_eq!(t.value("C", 0), None);
+        assert!((t.series_mean("A").unwrap() - 0.625).abs() < 1e-12);
+        assert_eq!(t.series_mean("B").unwrap(), 0.25); // NaN skipped
+    }
+}

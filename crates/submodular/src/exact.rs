@@ -1,0 +1,150 @@
+//! Exact optimum by exhaustive enumeration.
+
+use crate::{PartitionedObjective, Selection};
+
+/// Why brute force refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BruteForceError {
+    /// The search space exceeds the caller-provided budget.
+    TooLarge {
+        /// Product of per-partition option counts (saturating).
+        combinations: u128,
+        /// The budget that was exceeded.
+        budget: u128,
+    },
+}
+
+impl std::fmt::Display for BruteForceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BruteForceError::TooLarge {
+                combinations,
+                budget,
+            } => write!(
+                f,
+                "brute force refused: {combinations} combinations exceed budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BruteForceError {}
+
+/// Finds the exact maximum of a monotone objective over the partition
+/// matroid by enumerating one choice per non-empty partition.
+///
+/// Monotonicity means leaving a non-empty partition unfilled is never
+/// strictly better, so enumerating exactly-one-per-partition suffices for
+/// the optimum value. Refuses to run if the number of combinations exceeds
+/// `budget` (the paper uses this only on 5-charger/10-task instances,
+/// Figs. 8–9).
+pub fn brute_force<O: PartitionedObjective>(
+    obj: &O,
+    budget: u128,
+) -> Result<Selection, BruteForceError> {
+    let p_total = obj.num_partitions();
+    let sizes: Vec<usize> = (0..p_total).map(|p| obj.num_choices(p)).collect();
+    let mut combinations: u128 = 1;
+    for &s in &sizes {
+        if s > 0 {
+            combinations = combinations.saturating_mul(s as u128);
+        }
+    }
+    if combinations > budget {
+        return Err(BruteForceError::TooLarge {
+            combinations,
+            budget,
+        });
+    }
+
+    let mut best = Selection::empty(p_total);
+    let mut current: Vec<Option<usize>> = vec![None; p_total];
+    // Depth-first product enumeration carrying the oracle state down the
+    // tree so each node costs one commit instead of a full replay.
+    fn recurse<O: PartitionedObjective>(
+        obj: &O,
+        sizes: &[usize],
+        p: usize,
+        state: &O::State,
+        current: &mut Vec<Option<usize>>,
+        best: &mut Selection,
+    ) {
+        if p == sizes.len() {
+            let value = obj.value(state);
+            if value > best.value {
+                best.value = value;
+                best.choices.clone_from(current);
+            }
+            return;
+        }
+        if sizes[p] == 0 {
+            current[p] = None;
+            recurse(obj, sizes, p + 1, state, current, best);
+            return;
+        }
+        for x in 0..sizes[p] {
+            let mut next = state.clone();
+            obj.commit(&mut next, p, x);
+            current[p] = Some(x);
+            recurse(obj, sizes, p + 1, &next, current, best);
+        }
+        current[p] = None;
+    }
+
+    let state = obj.new_state();
+    // Seed `best` with the empty solution value (0 for normalized f).
+    best.value = obj.value(&state);
+    recurse(obj, &sizes, 0, &state, &mut current, &mut best);
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::ToyCoverage;
+    use crate::{evaluate_selection, locally_greedy, GreedyOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_known_optimum() {
+        let toy = ToyCoverage::example();
+        let opt = brute_force(&toy, 1000).unwrap();
+        assert!((opt.value - 7.0).abs() < 1e-12);
+        assert_eq!(opt.choices, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let toy = ToyCoverage::random(&mut rng, 10, 10, 5, 1);
+        let err = brute_force(&toy, 10).unwrap_err();
+        assert!(matches!(err, BruteForceError::TooLarge { .. }));
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn optimum_dominates_greedy() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let toy = ToyCoverage::random(&mut rng, 5, 3, 6, 2);
+            let opt = brute_force(&toy, 1 << 20).unwrap();
+            let greedy = locally_greedy(&toy, &GreedyOptions::default());
+            assert!(opt.value >= greedy.value - 1e-9);
+            // Reported value must equal a replay of the chosen set.
+            assert!((opt.value - evaluate_selection(&toy, &opt.choices)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_empty_partitions() {
+        let toy = ToyCoverage {
+            choices: vec![vec![], vec![vec![0]], vec![]],
+            weights: vec![3.0],
+            cap: 1,
+        };
+        let opt = brute_force(&toy, 1000).unwrap();
+        assert_eq!(opt.choices, vec![None, Some(0), None]);
+        assert!((opt.value - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! Greedy maximization: locally greedy (block-by-block) and lazy greedy
+//! (global, with stale-marginal re-evaluation).
+
+use crate::{PartitionedObjective, Selection};
+
+/// Options shared by the greedy optimizers.
+pub struct GreedyOptions<'a> {
+    /// Visit order of partitions for [`locally_greedy`]; `None` is natural
+    /// order `0..P`. Must be a permutation of `0..P` when given.
+    pub order: Option<&'a [usize]>,
+    /// Tie-break hook: given the choices committed so far and the partition
+    /// being filled, may return a preferred choice index that wins exact
+    /// ties (used by HASTE to avoid needless orientation switches).
+    #[allow(clippy::type_complexity)]
+    pub tie_break: Option<&'a dyn Fn(&[Option<usize>], usize) -> Option<usize>>,
+    /// Skip elements whose marginal gain is ≤ this threshold (default 0:
+    /// zero-gain blocks stay unassigned so schedules stay parsimonious;
+    /// the guarantee is unaffected because skipped gains are zero).
+    pub min_gain: f64,
+}
+
+impl Default for GreedyOptions<'_> {
+    fn default() -> Self {
+        GreedyOptions {
+            order: None,
+            tie_break: None,
+            min_gain: 0.0,
+        }
+    }
+}
+
+/// The locally greedy algorithm: fills each partition in turn with the
+/// element of maximum marginal gain given everything chosen so far.
+///
+/// For a normalized monotone submodular `f` under a partition matroid this
+/// achieves at least `1/2` of the optimum (Nemhauser–Wolsey–Fisher, 1978) —
+/// and equals TabularGreedy with `C = 1`.
+///
+/// Complexity: one `marginal` call per (partition, choice) pair plus one
+/// `commit` per partition.
+pub fn locally_greedy<O: PartitionedObjective>(obj: &O, options: &GreedyOptions) -> Selection {
+    let p_total = obj.num_partitions();
+    if let Some(order) = options.order {
+        assert_eq!(order.len(), p_total, "order must be a permutation");
+    }
+    let mut state = obj.new_state();
+    let mut choices = vec![None; p_total];
+    let natural: Vec<usize>;
+    let order: &[usize] = match options.order {
+        Some(o) => o,
+        None => {
+            natural = (0..p_total).collect();
+            &natural
+        }
+    };
+    for &p in order {
+        let preferred = options.tie_break.and_then(|f| f(&choices, p));
+        let mut best: Option<(usize, f64)> = None;
+        for x in 0..obj.num_choices(p) {
+            let gain = obj.marginal(&state, p, x);
+            let better = match best {
+                None => true,
+                Some((bx, bg)) => {
+                    gain > bg + 1e-15
+                        || ((gain - bg).abs() <= 1e-15
+                            && preferred == Some(x)
+                            && preferred != Some(bx))
+                }
+            };
+            if better {
+                best = Some((x, gain));
+            }
+        }
+        if let Some((x, gain)) = best {
+            if gain > options.min_gain {
+                obj.commit(&mut state, p, x);
+                choices[p] = Some(x);
+            }
+        }
+    }
+    let value = obj.value(&state);
+    Selection { choices, value }
+}
+
+/// The globally greedy algorithm with lazy evaluation (Minoux's accelerated
+/// greedy): repeatedly pick the element of maximum marginal gain over *all*
+/// unfilled partitions, re-evaluating stale marginals only when they reach
+/// the head of a max-heap. Valid because submodularity guarantees marginals
+/// only shrink as the solution grows.
+///
+/// Same `1/2` guarantee as [`locally_greedy`] for partition matroids; usually
+/// far fewer oracle calls on instances with many low-value elements.
+pub fn lazy_greedy<O: PartitionedObjective>(obj: &O, min_gain: f64) -> Selection {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// Heap entry ordered by cached gain (max-heap), ties by ids for
+    /// determinism.
+    struct Entry {
+        gain: f64,
+        partition: usize,
+        choice: usize,
+        /// Solution size when `gain` was computed.
+        epoch: usize,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.gain
+                .partial_cmp(&other.gain)
+                .expect("gains are finite")
+                // Deterministic tie-break: lower (partition, choice) first.
+                .then_with(|| other.partition.cmp(&self.partition))
+                .then_with(|| other.choice.cmp(&self.choice))
+        }
+    }
+
+    let p_total = obj.num_partitions();
+    let mut state = obj.new_state();
+    let mut choices: Vec<Option<usize>> = vec![None; p_total];
+    let mut heap = BinaryHeap::new();
+    for p in 0..p_total {
+        for x in 0..obj.num_choices(p) {
+            let gain = obj.marginal(&state, p, x);
+            if gain > min_gain {
+                heap.push(Entry {
+                    gain,
+                    partition: p,
+                    choice: x,
+                    epoch: 0,
+                });
+            }
+        }
+    }
+    let mut epoch = 0usize;
+    while let Some(top) = heap.pop() {
+        if choices[top.partition].is_some() {
+            continue; // partition already filled
+        }
+        if top.epoch == epoch {
+            obj.commit(&mut state, top.partition, top.choice);
+            choices[top.partition] = Some(top.choice);
+            epoch += 1;
+        } else {
+            let gain = obj.marginal(&state, top.partition, top.choice);
+            if gain > min_gain {
+                heap.push(Entry {
+                    gain,
+                    partition: top.partition,
+                    choice: top.choice,
+                    epoch,
+                });
+            }
+        }
+    }
+    let value = obj.value(&state);
+    Selection { choices, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::ToyCoverage;
+    use crate::{brute_force, evaluate_selection};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn locally_greedy_on_example() {
+        let toy = ToyCoverage::example();
+        let sel = locally_greedy(&toy, &GreedyOptions::default());
+        // Greedy: partition 0 picks {2} (4.0 > 3.0)? No: {0,1} covers 1+2=3,
+        // {2} covers 4 → picks {2}. Partition 1 then picks {1} (2 > 0).
+        assert_eq!(sel.choices, vec![Some(1), Some(0)]);
+        assert!((sel.value - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_greedy_matches_value_reporting() {
+        let toy = ToyCoverage::example();
+        let sel = lazy_greedy(&toy, 0.0);
+        assert!((sel.value - evaluate_selection(&toy, &sel.choices)).abs() < 1e-12);
+        // Global greedy picks {2} first, then {1}: same value 6.0 here.
+        assert!((sel.value - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_respects_half_guarantee_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let toy = ToyCoverage::random(&mut rng, 4, 3, 6, 2);
+            let opt = brute_force(&toy, 1 << 16).unwrap();
+            for sel in [
+                locally_greedy(&toy, &GreedyOptions::default()),
+                lazy_greedy(&toy, 0.0),
+            ] {
+                assert!(
+                    sel.value >= 0.5 * opt.value - 1e-9,
+                    "greedy {} < half of optimum {}",
+                    sel.value,
+                    opt.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_order_changes_nothing_for_modular_parts() {
+        let toy = ToyCoverage::example();
+        let order = [1usize, 0];
+        let sel = locally_greedy(
+            &toy,
+            &GreedyOptions {
+                order: Some(&order),
+                ..GreedyOptions::default()
+            },
+        );
+        // Partition 1 first picks {2} (4.0), then partition 0 picks {0,1}.
+        assert_eq!(sel.choices, vec![Some(0), Some(1)]);
+        assert!((sel.value - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_break_prefers_hinted_choice() {
+        // Two identical choices; tie-break should pick the hinted one.
+        let toy = ToyCoverage {
+            choices: vec![vec![vec![0], vec![0]]],
+            weights: vec![1.0],
+            cap: 1,
+        };
+        let hint = |_: &[Option<usize>], _p: usize| Some(1usize);
+        let sel = locally_greedy(
+            &toy,
+            &GreedyOptions {
+                tie_break: Some(&hint),
+                ..GreedyOptions::default()
+            },
+        );
+        assert_eq!(sel.choices, vec![Some(1)]);
+    }
+
+    #[test]
+    fn zero_gain_blocks_left_unassigned() {
+        let toy = ToyCoverage {
+            choices: vec![vec![vec![]], vec![vec![0]]],
+            weights: vec![1.0],
+            cap: 1,
+        };
+        for sel in [
+            locally_greedy(&toy, &GreedyOptions::default()),
+            lazy_greedy(&toy, 0.0),
+        ] {
+            assert_eq!(sel.choices[0], None);
+            assert_eq!(sel.choices[1], Some(0));
+        }
+    }
+
+    #[test]
+    fn empty_objective() {
+        let toy = ToyCoverage {
+            choices: vec![],
+            weights: vec![],
+            cap: 1,
+        };
+        let sel = locally_greedy(&toy, &GreedyOptions::default());
+        assert_eq!(sel.value, 0.0);
+        assert!(sel.choices.is_empty());
+    }
+}

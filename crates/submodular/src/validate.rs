@@ -1,0 +1,271 @@
+//! Numerical validation of oracle contracts.
+//!
+//! The approximation guarantees of every optimizer in this crate assume the
+//! objective is normalized, monotone and submodular, and that its
+//! incremental state is order-independent. These checkers probe those
+//! properties on random subsets of the ground set; the HASTE test suites run
+//! them against the real scheduling objective (Lemma 4.2 of the paper,
+//! checked by machine).
+//!
+//! Note that the properties are required on the *full* ground set — sets may
+//! contain several elements of the same partition; the matroid constraint is
+//! the optimizer's business, not the function's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::PartitionedObjective;
+
+/// An element of the ground set: `(partition, choice)`.
+pub type Element = (usize, usize);
+
+/// Evaluates `f` on an arbitrary set of elements by replaying commits.
+pub fn value_of_set<O: PartitionedObjective>(obj: &O, set: &[Element]) -> f64 {
+    let mut state = obj.new_state();
+    for &(p, x) in set {
+        obj.commit(&mut state, p, x);
+    }
+    obj.value(&state)
+}
+
+/// All elements of the ground set.
+fn all_elements<O: PartitionedObjective>(obj: &O) -> Vec<Element> {
+    (0..obj.num_partitions())
+        .flat_map(|p| (0..obj.num_choices(p)).map(move |x| (p, x)))
+        .collect()
+}
+
+fn random_subset(rng: &mut StdRng, universe: &[Element], keep_prob: f64) -> Vec<Element> {
+    universe
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(keep_prob))
+        .collect()
+}
+
+/// Checks `f(∅) = 0`.
+pub fn check_normalized<O: PartitionedObjective>(obj: &O, tol: f64) -> Result<(), String> {
+    let v = obj.value(&obj.new_state());
+    if v.abs() > tol {
+        return Err(format!("f(∅) = {v}, expected 0"));
+    }
+    Ok(())
+}
+
+/// Checks monotonicity: marginal gains are never negative, on `trials`
+/// random (set, element) pairs.
+pub fn check_monotone<O: PartitionedObjective>(
+    obj: &O,
+    trials: usize,
+    seed: u64,
+    tol: f64,
+) -> Result<(), String> {
+    let universe = all_elements(obj);
+    if universe.is_empty() {
+        return Ok(());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let set = random_subset(&mut rng, &universe, 0.4);
+        let e = universe[rng.gen_range(0..universe.len())];
+        let mut state = obj.new_state();
+        for &(p, x) in &set {
+            obj.commit(&mut state, p, x);
+        }
+        let gain = obj.marginal(&state, e.0, e.1);
+        if gain < -tol {
+            return Err(format!(
+                "trial {t}: negative marginal {gain} for element {e:?} on set of {} elements",
+                set.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks submodularity (diminishing returns): for random `A ⊆ B` and
+/// `e ∉ B`, `f(A∪e) − f(A) ≥ f(B∪e) − f(B)`.
+pub fn check_submodular<O: PartitionedObjective>(
+    obj: &O,
+    trials: usize,
+    seed: u64,
+    tol: f64,
+) -> Result<(), String> {
+    let universe = all_elements(obj);
+    if universe.is_empty() {
+        return Ok(());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        // Draw B, thin it to A, pick e outside B.
+        let b = random_subset(&mut rng, &universe, 0.5);
+        let a: Vec<Element> = b.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        let outside: Vec<Element> = universe
+            .iter()
+            .copied()
+            .filter(|e| !b.contains(e))
+            .collect();
+        if outside.is_empty() {
+            continue;
+        }
+        let e = outside[rng.gen_range(0..outside.len())];
+
+        let mut state_a = obj.new_state();
+        for &(p, x) in &a {
+            obj.commit(&mut state_a, p, x);
+        }
+        let gain_a = obj.marginal(&state_a, e.0, e.1);
+
+        let mut state_b = obj.new_state();
+        for &(p, x) in &b {
+            obj.commit(&mut state_b, p, x);
+        }
+        let gain_b = obj.marginal(&state_b, e.0, e.1);
+
+        if gain_a < gain_b - tol {
+            return Err(format!(
+                "trial {t}: diminishing returns violated for {e:?}: \
+                 gain on |A|={} is {gain_a}, gain on |B|={} is {gain_b}",
+                a.len(),
+                b.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks order independence: committing a random set in two different
+/// orders yields the same value.
+pub fn check_order_independence<O: PartitionedObjective>(
+    obj: &O,
+    trials: usize,
+    seed: u64,
+    tol: f64,
+) -> Result<(), String> {
+    let universe = all_elements(obj);
+    if universe.is_empty() {
+        return Ok(());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let mut set = random_subset(&mut rng, &universe, 0.5);
+        let v1 = value_of_set(obj, &set);
+        // Fisher–Yates shuffle.
+        for i in (1..set.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            set.swap(i, j);
+        }
+        let v2 = value_of_set(obj, &set);
+        if (v1 - v2).abs() > tol {
+            return Err(format!(
+                "trial {t}: order dependence: {v1} vs {v2} on a set of {} elements",
+                set.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every checker; convenience for test suites.
+pub fn check_all<O: PartitionedObjective>(
+    obj: &O,
+    trials: usize,
+    seed: u64,
+    tol: f64,
+) -> Result<(), String> {
+    check_normalized(obj, tol)?;
+    check_monotone(obj, trials, seed, tol)?;
+    check_submodular(obj, trials, seed.wrapping_add(1), tol)?;
+    check_order_independence(obj, trials, seed.wrapping_add(2), tol)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::ToyCoverage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn toy_coverage_passes_all_checks() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let toy = ToyCoverage::random(&mut rng, 5, 3, 7, 2);
+            check_all(&toy, 50, 99, 1e-9).unwrap();
+        }
+    }
+
+    /// A deliberately supermodular ("synergy") function must be caught.
+    struct Supermodular;
+    impl PartitionedObjective for Supermodular {
+        type State = u32;
+        fn new_state(&self) -> u32 {
+            0
+        }
+        fn num_partitions(&self) -> usize {
+            3
+        }
+        fn num_choices(&self, _p: usize) -> usize {
+            1
+        }
+        fn value(&self, state: &u32) -> f64 {
+            let n = *state as f64;
+            n * n // convex in |X| → supermodular
+        }
+        fn marginal(&self, state: &u32, _p: usize, _x: usize) -> f64 {
+            self.value(&(state + 1)) - self.value(state)
+        }
+        fn commit(&self, state: &mut u32, _p: usize, _x: usize) {
+            *state += 1;
+        }
+    }
+
+    #[test]
+    fn supermodular_is_rejected() {
+        let err = check_submodular(&Supermodular, 200, 1, 1e-9);
+        assert!(err.is_err());
+        // But it is monotone and normalized.
+        check_normalized(&Supermodular, 1e-12).unwrap();
+        check_monotone(&Supermodular, 100, 1, 1e-9).unwrap();
+    }
+
+    /// A decreasing function must be caught by the monotonicity check.
+    struct Decreasing;
+    impl PartitionedObjective for Decreasing {
+        type State = u32;
+        fn new_state(&self) -> u32 {
+            0
+        }
+        fn num_partitions(&self) -> usize {
+            2
+        }
+        fn num_choices(&self, _p: usize) -> usize {
+            1
+        }
+        fn value(&self, state: &u32) -> f64 {
+            -(*state as f64)
+        }
+        fn marginal(&self, state: &u32, _p: usize, _x: usize) -> f64 {
+            self.value(&(state + 1)) - self.value(state)
+        }
+        fn commit(&self, state: &mut u32, _p: usize, _x: usize) {
+            *state += 1;
+        }
+    }
+
+    #[test]
+    fn decreasing_is_rejected() {
+        assert!(check_monotone(&Decreasing, 50, 1, 1e-9).is_err());
+    }
+
+    #[test]
+    fn empty_universe_passes_vacuously() {
+        let toy = ToyCoverage {
+            choices: vec![],
+            weights: vec![],
+            cap: 1,
+        };
+        check_all(&toy, 10, 0, 1e-9).unwrap();
+    }
+}

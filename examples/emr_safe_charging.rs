@@ -1,0 +1,55 @@
+//! EMR-safe charging: schedule under an electromagnetic-radiation budget
+//! (the Safe Charging constraint from the paper's related-work line) and
+//! watch the utility/safety trade-off.
+//!
+//! ```text
+//! cargo run --release -p haste --example emr_safe_charging
+//! ```
+
+use haste::core::{solve_offline_emr, EmrOptions};
+use haste::model::emr;
+use haste::prelude::*;
+
+fn main() {
+    let spec = ScenarioSpec {
+        field: 30.0,
+        num_chargers: 10,
+        num_tasks: 25,
+        energy_range: (3_000.0, 9_000.0),
+        duration_range: (5, 20),
+        release_horizon: 10,
+        ..ScenarioSpec::paper_default()
+    };
+    let scenario = spec.generate(99);
+    let coverage = CoverageMap::build(&scenario);
+
+    // Reference: the unconstrained scheduler and the radiation it causes.
+    let plain = solve_offline(&scenario, &coverage, &OfflineConfig::greedy());
+    let (lo, hi) = emr::scenario_bounds(&scenario);
+    let points = emr::sample_grid(lo, hi, 2.5);
+    let unconstrained_peak = emr::peak_intensity(&scenario, &plain.schedule, &points);
+    println!(
+        "unconstrained: utility {:.4}, peak EMR {:.3}",
+        plain.report.total_utility, unconstrained_peak
+    );
+
+    // Tighten the radiation budget step by step.
+    println!("\n{:>12} {:>10} {:>10} {:>10}", "threshold", "utility", "peak", "rejected");
+    for fraction in [1.0, 0.75, 0.5, 0.25, 0.1] {
+        let threshold = unconstrained_peak * fraction;
+        let result = solve_offline_emr(
+            &scenario,
+            &coverage,
+            &EmrOptions {
+                threshold,
+                resolution: 2.5,
+            },
+        );
+        println!(
+            "{threshold:>12.3} {:>10.4} {:>10.3} {:>10}",
+            result.solve.report.total_utility, result.peak_intensity, result.rejected_choices
+        );
+        assert!(result.peak_intensity <= threshold + 1e-9);
+    }
+    println!("\nevery schedule above respects its radiation budget at every sample point.");
+}

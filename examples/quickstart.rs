@@ -1,0 +1,79 @@
+//! Quickstart: build a small charger network, schedule it offline, and
+//! compare against the paper's baselines.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use haste::prelude::*;
+
+fn main() {
+    // A 25 m × 25 m field with 8 chargers and 20 charging tasks, using the
+    // paper's charging model constants (α = 10⁴, β = 40, D = 20 m,
+    // A_s = A_o = 60°, ρ = 1/12).
+    let spec = ScenarioSpec {
+        field: 25.0,
+        num_chargers: 8,
+        num_tasks: 20,
+        energy_range: (2_000.0, 8_000.0),
+        duration_range: (5, 20),
+        release_horizon: 10,
+        ..ScenarioSpec::paper_default()
+    };
+    let scenario = spec.generate(2024);
+    let coverage = CoverageMap::build(&scenario);
+    println!(
+        "scenario: {} chargers, {} tasks, {} slots of {}s",
+        scenario.num_chargers(),
+        scenario.num_tasks(),
+        scenario.grid.num_slots,
+        scenario.grid.slot_seconds,
+    );
+
+    // Dominant task sets of the first charger — the discrete orientation
+    // choices Algorithm 1 extracts from the continuous [0, 2π).
+    let sets = extract_dominant_sets(
+        coverage.tasks_of(scenario.chargers[0].id),
+        scenario.params.charging_angle,
+    );
+    println!(
+        "charger 0 can reach {} tasks via {} dominant orientations",
+        coverage.tasks_of(scenario.chargers[0].id).len(),
+        sets.len()
+    );
+    for set in &sets {
+        let ids: Vec<u32> = set.task_ids().map(|t| t.0).collect();
+        println!(
+            "  orientation {:>8} covers tasks {ids:?}",
+            format!("{}", set.orientation)
+        );
+    }
+
+    // Centralized offline schedule (Algorithm 2, TabularGreedy C = 4).
+    let haste = solve_offline(&scenario, &coverage, &OfflineConfig::default());
+    println!(
+        "\nHASTE offline:   utility {:.4} (relaxed {:.4}), {} orientation switches",
+        haste.report.total_utility,
+        haste.relaxed_value,
+        haste.report.total_switches()
+    );
+
+    // The paper's two baselines.
+    for kind in [BaselineKind::GreedyUtility, BaselineKind::GreedyCover] {
+        let b = solve_baseline(&scenario, &coverage, kind);
+        println!(
+            "{:<16} utility {:.4}",
+            format!("{}:", kind.name()),
+            b.report.total_utility
+        );
+    }
+
+    // Per-task breakdown for the HASTE schedule.
+    println!("\nper-task utilities (HASTE offline):");
+    for (task, u) in scenario.tasks.iter().zip(&haste.report.per_task_utility) {
+        println!(
+            "  task {:>2}: window [{:>2}, {:>2}), needs {:>7.0} J, utility {:.3}",
+            task.id.0, task.release_slot, task.end_slot, task.required_energy, u
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's "insights" study (Section 7.5): how the spatial spread of
+//! task placement and per-task energy requirements shape charging utility
+//! (Figs. 17 and 18, reduced scale).
+//!
+//! ```text
+//! cargo run --example task_placement_insights --release
+//! ```
+
+use haste::prelude::*;
+
+fn main() {
+    // Insight 1 (Fig. 17): the more uniformly tasks spread, the higher the
+    // overall utility — concentrated clusters over-charge some tasks while
+    // starving others, and the concave utility punishes that.
+    println!("Gaussian placement spread versus overall utility (offline HASTE):");
+    let algo = Algo::OfflineHaste { colors: 1 };
+    for sigma in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        let spec = ScenarioSpec {
+            num_tasks: 50,
+            placement: Placement::Gaussian {
+                sigma_x: sigma,
+                sigma_y: sigma,
+            },
+            ..ScenarioSpec::paper_default()
+        };
+        let mut total = 0.0;
+        let reps = 5;
+        for seed in 0..reps {
+            let scenario = spec.generate(seed);
+            let coverage = CoverageMap::build(&scenario);
+            total += algo.run(&scenario, &coverage, seed).unwrap_or(0.0);
+        }
+        println!("  sigma = {sigma:>5.1} m  ->  utility {:.4}", total / reps as f64);
+    }
+
+    // Insight 2 (Fig. 18): the maximum achievable individual utility decays
+    // roughly like 1/E_j — a task demanding more energy needs more charger
+    // slots to saturate, which is not cost-efficient for the fleet.
+    println!("\nrequired energy versus best individual task utility:");
+    let spec = ScenarioSpec {
+        energy_range: (5_000.0, 100_000.0),
+        ..ScenarioSpec::paper_default()
+    };
+    let scenario = spec.generate(11);
+    let coverage = CoverageMap::build(&scenario);
+    let result = solve_offline(&scenario, &coverage, &OfflineConfig::greedy());
+    let bins = 6;
+    let (lo, hi) = spec.energy_range;
+    let width = (hi - lo) / bins as f64;
+    let mut best = vec![0.0f64; bins];
+    for (task, &u) in scenario.tasks.iter().zip(&result.report.per_task_utility) {
+        let b = (((task.required_energy - lo) / width) as usize).min(bins - 1);
+        best[b] = best[b].max(u);
+    }
+    for (b, &u) in best.iter().enumerate() {
+        let center = (lo + (b as f64 + 0.5) * width) / 1000.0;
+        println!("  E ~ {center:>5.1} kJ  ->  best utility {u:.3}");
+    }
+}

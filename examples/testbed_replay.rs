@@ -1,0 +1,47 @@
+//! Replays the paper's field experiments (Section 8) on the fitted
+//! empirical charging model: per-task utilities for both testbed
+//! topologies, offline and online (Figs. 21, 22, 24, 25).
+//!
+//! ```text
+//! cargo run --example testbed_replay --release
+//! ```
+
+use haste::testbed;
+
+fn main() {
+    let t1 = testbed::topology1();
+    println!(
+        "topology 1: {} TX91501 transmitters on a 2.4 m square, {} sensor nodes\n",
+        t1.num_chargers(),
+        t1.num_tasks()
+    );
+    for figure in [testbed::fig21(), testbed::fig22()] {
+        print!("{}", figure.render());
+        summarize(&figure);
+        println!();
+    }
+
+    let t2 = testbed::topology2();
+    println!(
+        "topology 2 (irregular): {} transmitters, {} sensor nodes\n",
+        t2.num_chargers(),
+        t2.num_tasks()
+    );
+    for figure in [testbed::fig24(), testbed::fig25()] {
+        print!("{}", figure.render());
+        summarize(&figure);
+        println!();
+    }
+}
+
+fn summarize(figure: &haste::sim::FigureTable) {
+    let haste = figure.series_mean("HASTE(C=4)").unwrap_or(f64::NAN);
+    for baseline in ["GreedyUtility", "GreedyCover"] {
+        if let Some(b) = figure.series_mean(baseline) {
+            println!(
+                "  HASTE vs {baseline}: +{:.2}% on average",
+                100.0 * (haste - b) / b.max(1e-12)
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerates every figure with per-figure topology budgets suited to a
+# single-core box. Paper fidelity would be --paper (100 topologies).
+set -x
+BIN="cargo run --release -q -p haste-bench --bin"
+$BIN fig04 -- --topologies 30
+$BIN fig05 -- --topologies 30
+$BIN fig06 -- --topologies 30
+$BIN fig07 -- --topologies 30
+$BIN fig08 -- --topologies 30
+$BIN fig09 -- --topologies 30
+$BIN fig10 -- --topologies 20
+$BIN fig11 -- --topologies 8
+$BIN fig12 -- --topologies 10
+$BIN fig13 -- --topologies 10
+$BIN fig14 -- --topologies 10
+$BIN fig15 -- --topologies 8
+$BIN fig16 -- --topologies 8
+$BIN fig17 -- --topologies 20
+$BIN fig18 -- --topologies 20
+$BIN headline -- --topologies 30
+$BIN fig21_22
+$BIN fig24_25
+$BIN failures -- --topologies 8
+$BIN ablation -- --topologies 10

@@ -1,0 +1,139 @@
+//! Consistency between the centralized offline and distributed online
+//! algorithms, and between the two negotiation engines (the machinery
+//! behind Theorem 6.1's "same performance as Algorithm 2" argument).
+
+use haste::prelude::*;
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        field: 30.0,
+        num_chargers: 8,
+        num_tasks: 20,
+        energy_range: (1_000.0, 6_000.0),
+        duration_range: (4, 12),
+        release_horizon: 8,
+        ..ScenarioSpec::paper_default()
+    }
+}
+
+/// With every task known at t = 0 and no rescheduling delay, the online
+/// algorithm is one big negotiation — a locally greedy execution of the
+/// same submodular problem the offline algorithm solves. Partition orders
+/// differ, so values differ slightly, but they live in the same band.
+#[test]
+fn single_release_no_delay_matches_offline_band() {
+    for seed in 0..4u64 {
+        let mut scenario = spec().generate(seed);
+        for task in &mut scenario.tasks {
+            let d = task.end_slot - task.release_slot;
+            task.release_slot = 0;
+            task.end_slot = d;
+        }
+        scenario.tau = 0;
+        scenario.validate().unwrap();
+        let coverage = CoverageMap::build(&scenario);
+        let online = solve_online(&scenario, &coverage, &OnlineConfig::default());
+        let offline = solve_offline(&scenario, &coverage, &OfflineConfig::greedy());
+        let lo = 0.85 * offline.relaxed_value;
+        assert!(
+            online.relaxed_value >= lo - 1e-9,
+            "seed {seed}: online {} far below offline {}",
+            online.relaxed_value,
+            offline.relaxed_value
+        );
+    }
+}
+
+/// The threaded engine is a genuinely distributed execution (per-charger state,
+/// channel messages) and must agree with the deterministic round engine
+/// bit for bit — including communication counters.
+#[test]
+fn engines_bit_identical_across_seeds_and_colors() {
+    for seed in 0..3u64 {
+        let scenario = spec().generate(40 + seed);
+        let coverage = CoverageMap::build(&scenario);
+        for colors in [1usize, 4] {
+            let cfg = OnlineConfig {
+                negotiation: NegotiationConfig {
+                    colors,
+                    samples: 8,
+                    seed,
+                },
+                ..OnlineConfig::default()
+            };
+            let rounds = solve_online(&scenario, &coverage, &cfg);
+            let threaded = solve_online(
+                &scenario,
+                &coverage,
+                &OnlineConfig {
+                    engine: EngineKind::Threaded,
+                    ..cfg
+                },
+            );
+            assert_eq!(rounds.schedule, threaded.schedule, "seed {seed} C={colors}");
+            assert_eq!(rounds.stats.messages, threaded.stats.messages);
+            assert_eq!(rounds.stats.rounds, threaded.stats.rounds);
+        }
+    }
+}
+
+/// Growing the rescheduling delay τ cannot help (tasks lose their first
+/// τ slots of charging opportunity).
+#[test]
+fn larger_tau_degrades_gracefully() {
+    let mut previous = f64::INFINITY;
+    for tau in [0usize, 2, 4] {
+        let mut total = 0.0;
+        for seed in 0..4u64 {
+            let mut scenario = spec().generate(70 + seed);
+            scenario.tau = tau;
+            let coverage = CoverageMap::build(&scenario);
+            total += solve_online(&scenario, &coverage, &OnlineConfig::default())
+                .relaxed_value;
+        }
+        assert!(
+            total <= previous + 0.05 * previous.min(total.max(1e-9)),
+            "tau={tau}: total {total} above previous {previous}"
+        );
+        previous = total;
+    }
+}
+
+/// Message counts grow superlinearly with charger density while rounds
+/// grow roughly linearly (Fig. 16's trend).
+#[test]
+fn communication_scales_with_network_size() {
+    let mut messages = Vec::new();
+    let mut rounds = Vec::new();
+    for n in [5usize, 10, 20] {
+        let mut total_m = 0.0;
+        let mut total_r = 0.0;
+        for seed in 0..3u64 {
+            let s = ScenarioSpec {
+                num_chargers: n,
+                ..spec()
+            }
+            .generate(seed);
+            let coverage = CoverageMap::build(&s);
+            let r = solve_online(&s, &coverage, &OnlineConfig::default());
+            total_m += r.stats.avg_messages_per_slot();
+            total_r += r.stats.avg_rounds_per_slot();
+        }
+        messages.push(total_m / 3.0);
+        rounds.push(total_r / 3.0);
+    }
+    assert!(
+        messages[0] < messages[1] && messages[1] < messages[2],
+        "messages not increasing: {messages:?}"
+    );
+    assert!(
+        rounds[0] <= rounds[2] + 1e-9,
+        "rounds should not shrink with density: {rounds:?}"
+    );
+    // Superlinear growth of messages: 4× chargers should cost well over 4×
+    // messages (each round touches more neighbors).
+    assert!(
+        messages[2] > 2.0 * messages[0],
+        "message growth too flat: {messages:?}"
+    );
+}
