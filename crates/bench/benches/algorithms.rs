@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haste::core::{
-    extract_dominant_sets, solve_exact, solve_offline, DominantScope, HasteRInstance,
-    OfflineConfig,
+    extract_dominant_sets, solve_exact, solve_offline, DominantScope, HasteRInstance, OfflineConfig,
 };
 use haste::model::{ChargerId, CoverageMap};
 use haste::sim::ScenarioSpec;
@@ -64,19 +63,23 @@ fn bench_tabular_colors(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("tabular_colors");
     for &colors in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(colors), &colors, |b, &colors| {
-            b.iter(|| {
-                solve_offline(
-                    &scenario,
-                    &coverage,
-                    &OfflineConfig {
-                        colors,
-                        samples: 4 * colors,
-                        ..OfflineConfig::default()
-                    },
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(colors),
+            &colors,
+            |b, &colors| {
+                b.iter(|| {
+                    solve_offline(
+                        &scenario,
+                        &coverage,
+                        &OfflineConfig {
+                            colors,
+                            samples: 4 * colors,
+                            ..OfflineConfig::default()
+                        },
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

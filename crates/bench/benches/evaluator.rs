@@ -55,5 +55,10 @@ fn bench_evaluator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_coverage_map, bench_instance_build, bench_evaluator);
+criterion_group!(
+    benches,
+    bench_coverage_map,
+    bench_instance_build,
+    bench_evaluator
+);
 criterion_main!(benches);

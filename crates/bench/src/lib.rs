@@ -11,9 +11,22 @@
 //!
 //! Results are printed as aligned tables and saved as CSV.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use haste::sim::{ExperimentCtx, FigureTable};
+
+/// Default output directory: `results/` under the workspace root, so the
+/// binaries write to the same place no matter which directory they are
+/// launched from (`cargo run` from a crate directory used to scatter
+/// `results/` folders into the source tree).
+pub fn default_out_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("results")
+}
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone)]
@@ -27,7 +40,7 @@ pub struct RunConfig {
 /// Parses `std::env::args`; exits with a usage message on error.
 pub fn parse_args() -> RunConfig {
     let mut ctx = ExperimentCtx::default();
-    let mut out_dir = PathBuf::from("results");
+    let mut out_dir = default_out_dir();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -93,6 +106,18 @@ pub fn emit(table: &FigureTable, config: &RunConfig) {
 mod tests {
     use super::*;
     use haste::sim::Series;
+
+    #[test]
+    fn default_out_dir_is_anchored_at_the_workspace_root() {
+        let dir = default_out_dir();
+        assert!(dir.is_absolute(), "default out dir must not depend on CWD");
+        assert!(dir.ends_with("results"));
+        assert!(
+            dir.parent().unwrap().join("Cargo.toml").exists(),
+            "{} is not under the workspace root",
+            dir.display()
+        );
+    }
 
     #[test]
     fn emit_writes_csv() {

@@ -117,6 +117,7 @@ pub fn solve_baseline_with_delay(
         schedule,
         relaxed_value: relaxed.total_utility,
         report,
+        metrics: crate::SolverMetrics::default(),
     }
 }
 
@@ -131,8 +132,8 @@ mod tests {
     /// tasks 0 and 2 by one each. Coordinating chargers can saturate all
     /// three; oblivious ones may double-charge task 1.
     fn scenario() -> Scenario {
-        let params = ChargingParams::simulation_default()
-            .with_receiving_angle(std::f64::consts::TAU);
+        let params =
+            ChargingParams::simulation_default().with_receiving_angle(std::f64::consts::TAU);
         Scenario::new(
             params,
             TimeGrid::minutes(6),
@@ -184,8 +185,8 @@ mod tests {
         // After a task saturates, GreedyCover keeps pointing at the bigger
         // cluster while GreedyUtility moves on. Construct one charger with
         // a 2-task cluster (tiny requirements) and a lone task.
-        let params = ChargingParams::simulation_default()
-            .with_receiving_angle(std::f64::consts::TAU);
+        let params =
+            ChargingParams::simulation_default().with_receiving_angle(std::f64::consts::TAU);
         let s = Scenario::new(
             params,
             TimeGrid::minutes(4),

@@ -34,7 +34,9 @@ impl DominantSet {
 
     /// Whether this set contains the given task.
     pub fn contains(&self, task: TaskId) -> bool {
-        self.members.binary_search_by_key(&task, |&(t, _)| t).is_ok()
+        self.members
+            .binary_search_by_key(&task, |&(t, _)| t)
+            .is_ok()
     }
 }
 
@@ -232,7 +234,10 @@ mod tests {
         let candidates = vec![cand(0, 350.0), cand(1, 10.0), cand(2, 180.0)];
         let sets = extract_dominant_sets(&candidates, 40f64.to_radians());
         let all: Vec<Vec<u32>> = sets.iter().map(ids).collect();
-        assert!(all.contains(&vec![0, 1]), "wrap-around pair missed: {all:?}");
+        assert!(
+            all.contains(&vec![0, 1]),
+            "wrap-around pair missed: {all:?}"
+        );
         assert!(all.contains(&vec![2]));
     }
 
@@ -246,11 +251,7 @@ mod tests {
         let a_s = 75f64.to_radians();
         for set in extract_dominant_sets(&candidates, a_s) {
             for (t, _) in &set.members {
-                let az = candidates
-                    .iter()
-                    .find(|c| c.task == *t)
-                    .unwrap()
-                    .azimuth;
+                let az = candidates.iter().find(|c| c.task == *t).unwrap().azimuth;
                 assert!(
                     az.within(set.orientation, a_s / 2.0),
                     "task {t:?} not covered by orientation {}",
@@ -269,10 +270,7 @@ mod tests {
         for (i, a) in sets.iter().enumerate() {
             for (j, b) in sets.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !is_subset(&a.members, &b.members),
-                        "set {i} ⊆ set {j}"
-                    );
+                    assert!(!is_subset(&a.members, &b.members), "set {i} ⊆ set {j}");
                 }
             }
         }

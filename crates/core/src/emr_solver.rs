@@ -128,6 +128,7 @@ pub fn solve_offline_emr(
             schedule,
             relaxed_value: selection.value,
             report,
+            metrics: crate::SolverMetrics::default(),
         },
         peak_intensity,
         rejected_choices: rejected,
@@ -144,8 +145,8 @@ mod tests {
     /// Two chargers flanking one device that both can reach: unconstrained
     /// greedy stacks both beams on it; a tight EMR budget forbids that.
     fn scenario() -> Scenario {
-        let params = ChargingParams::simulation_default()
-            .with_receiving_angle(std::f64::consts::TAU);
+        let params =
+            ChargingParams::simulation_default().with_receiving_angle(std::f64::consts::TAU);
         Scenario::new(
             params,
             TimeGrid::minutes(4),

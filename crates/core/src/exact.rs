@@ -32,6 +32,7 @@ pub fn solve_exact(
         schedule,
         relaxed_value: selection.value,
         report,
+        metrics: crate::SolverMetrics::default(),
     })
 }
 

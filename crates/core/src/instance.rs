@@ -59,6 +59,11 @@ pub struct InstanceOptions {
     /// Chargers with `disabled[i]` get no policies at all — the online
     /// scheduler uses this to plan around failed chargers.
     pub disabled_chargers: Option<Vec<bool>>,
+    /// Worker threads for the per-charger dominant-set extraction (`None`
+    /// or `Some(1)` = sequential). Chargers are independent during
+    /// extraction and families are assembled in charger order afterwards,
+    /// so the instance is identical for every thread count.
+    pub threads: Option<usize>,
 }
 
 /// One selectable scheduling policy: a dominant set with the per-slot energy
@@ -110,12 +115,11 @@ impl<'a> HasteRInstance<'a> {
     ) -> Self {
         let n = scenario.num_chargers();
         let scope = options.scope.unwrap_or(DominantScope::PerSlot);
-        let slot_range = options
-            .slot_range
-            .unwrap_or(0..scenario.active_horizon());
+        let slot_range = options.slot_range.unwrap_or(0..scenario.active_horizon());
         let known = options.known_tasks;
         let visibility_delay = options.visibility_delay.unwrap_or(0);
         let slot_seconds = scenario.grid.slot_seconds;
+        let threads = options.threads.unwrap_or(1).max(1);
 
         let usable = |task_idx: usize, k: Slot| -> bool {
             let task = &scenario.tasks[task_idx];
@@ -125,101 +129,109 @@ impl<'a> HasteRInstance<'a> {
         };
 
         // Global extraction reuses one dominant family per charger.
+        let charger_ids: Vec<usize> = (0..n).collect();
         let global_sets: Vec<Vec<DominantSet>> = if scope == DominantScope::Global {
-            (0..n)
-                .map(|i| {
-                    let candidates: Vec<_> = coverage
-                        .tasks_of(ChargerId(i as u32))
-                        .iter()
-                        .filter(|c| known.as_ref().is_none_or(|kn| kn[c.task.index()]))
-                        .copied()
-                        .collect();
-                    extract_dominant_sets(&candidates, scenario.params.charging_angle)
-                })
-                .collect()
+            haste_parallel::par_map(&charger_ids, threads, |_, &i| {
+                let candidates: Vec<_> = coverage
+                    .tasks_of(ChargerId(i as u32))
+                    .iter()
+                    .filter(|c| known.as_ref().is_none_or(|kn| kn[c.task.index()]))
+                    .copied()
+                    .collect();
+                extract_dominant_sets(&candidates, scenario.params.charging_angle)
+            })
         } else {
             Vec::new()
         };
 
         let slots = slot_range.len();
+        // The usable candidate set of a charger is piecewise constant in k
+        // (it changes only at task visibility starts and ends), so build
+        // one policy family per (charger, segment) and share it. Chargers
+        // are independent here, so the segment extraction fans out across
+        // threads; the family table is then assembled sequentially in
+        // charger order, giving the exact same indices as a sequential
+        // build.
+        let per_charger_segments: Vec<Vec<(Slot, Slot, Vec<Policy>)>> =
+            haste_parallel::par_map(&charger_ids, threads, |_, &i| {
+                if options.disabled_chargers.as_ref().is_some_and(|d| d[i]) {
+                    return Vec::new(); // stays on the empty family
+                }
+                let charger = ChargerId(i as u32);
+                let candidates = coverage.tasks_of(charger);
+                let mut segments = Vec::new();
+                let mut k = slot_range.start;
+                while k < slot_range.end {
+                    // Next slot where some candidate's visibility flips.
+                    let mut next_change = slot_range.end;
+                    for c in candidates {
+                        let task = &scenario.tasks[c.task.index()];
+                        let start = task.release_slot + visibility_delay;
+                        if start > k && start < next_change {
+                            next_change = start;
+                        }
+                        if task.end_slot > k && task.end_slot < next_change {
+                            next_change = task.end_slot;
+                        }
+                    }
+                    let family: Vec<Policy> = match scope {
+                        DominantScope::PerSlot => {
+                            let active: Vec<_> = candidates
+                                .iter()
+                                .filter(|c| usable(c.task.index(), k))
+                                .copied()
+                                .collect();
+                            if active.is_empty() {
+                                Vec::new()
+                            } else {
+                                extract_dominant_sets(&active, scenario.params.charging_angle)
+                                    .into_iter()
+                                    .map(|set| Policy {
+                                        orientation: set.orientation,
+                                        deliveries: set
+                                            .members
+                                            .iter()
+                                            .map(|&(t, power)| (t.index(), power * slot_seconds))
+                                            .collect(),
+                                    })
+                                    .collect()
+                            }
+                        }
+                        DominantScope::Global => global_sets[i]
+                            .iter()
+                            .map(|set| Policy {
+                                orientation: set.orientation,
+                                deliveries: set
+                                    .members
+                                    .iter()
+                                    // Global sets may contain tasks unusable
+                                    // in this segment; they receive nothing.
+                                    .filter(|(t, _)| usable(t.index(), k))
+                                    .map(|&(t, power)| (t.index(), power * slot_seconds))
+                                    .collect(),
+                            })
+                            .collect(),
+                    };
+                    segments.push((k, next_change, family));
+                    k = next_change;
+                }
+                segments
+            });
+
         // families[0] is the shared empty family.
         let mut families: Vec<Vec<Policy>> = vec![Vec::new()];
         let mut partition_family: Vec<u32> = vec![0; n * slots];
-        // The usable candidate set of a charger is piecewise constant in k
-        // (it changes only at task visibility starts and ends), so build
-        // one policy family per (charger, segment) and share it.
-        for i in 0..n {
-            if options
-                .disabled_chargers
-                .as_ref()
-                .is_some_and(|d| d[i])
-            {
-                continue; // stays on the empty family
-            }
-            let charger = ChargerId(i as u32);
-            let candidates = coverage.tasks_of(charger);
-            let mut k = slot_range.start;
-            while k < slot_range.end {
-                // Next slot where some candidate's visibility flips.
-                let mut next_change = slot_range.end;
-                for c in candidates {
-                    let task = &scenario.tasks[c.task.index()];
-                    let start = task.release_slot + visibility_delay;
-                    if start > k && start < next_change {
-                        next_change = start;
-                    }
-                    if task.end_slot > k && task.end_slot < next_change {
-                        next_change = task.end_slot;
-                    }
-                }
-                let family: Vec<Policy> = match scope {
-                    DominantScope::PerSlot => {
-                        let active: Vec<_> = candidates
-                            .iter()
-                            .filter(|c| usable(c.task.index(), k))
-                            .copied()
-                            .collect();
-                        if active.is_empty() {
-                            Vec::new()
-                        } else {
-                            extract_dominant_sets(&active, scenario.params.charging_angle)
-                                .into_iter()
-                                .map(|set| Policy {
-                                    orientation: set.orientation,
-                                    deliveries: set
-                                        .members
-                                        .iter()
-                                        .map(|&(t, power)| (t.index(), power * slot_seconds))
-                                        .collect(),
-                                })
-                                .collect()
-                        }
-                    }
-                    DominantScope::Global => global_sets[i]
-                        .iter()
-                        .map(|set| Policy {
-                            orientation: set.orientation,
-                            deliveries: set
-                                .members
-                                .iter()
-                                // Global sets may contain tasks unusable in
-                                // this segment; they receive nothing.
-                                .filter(|(t, _)| usable(t.index(), k))
-                                .map(|&(t, power)| (t.index(), power * slot_seconds))
-                                .collect(),
-                        })
-                        .collect(),
-                };
+        for (i, segments) in per_charger_segments.into_iter().enumerate() {
+            for (seg_start, seg_end, family) in segments {
                 let family_idx = if family.is_empty() && scope == DominantScope::PerSlot {
                     0
                 } else {
                     families.push(family);
                     (families.len() - 1) as u32
                 };
-                for slot in k..next_change {
+                for slot in seg_start..seg_end {
                     partition_family[(slot - slot_range.start) * n + i] = family_idx;
                 }
-                k = next_change;
             }
         }
         let initial_energy = options
@@ -279,10 +291,8 @@ impl<'a> HasteRInstance<'a> {
     /// Converts an optimizer [`Selection`] into a fresh orientation
     /// [`Schedule`] (slots outside the instance's range stay unassigned).
     pub fn materialize(&self, selection: &Selection) -> Schedule {
-        let mut schedule = Schedule::empty(
-            self.scenario.num_chargers(),
-            self.scenario.grid.num_slots,
-        );
+        let mut schedule =
+            Schedule::empty(self.scenario.num_chargers(), self.scenario.grid.num_slots);
         self.materialize_into(selection, &mut schedule);
         schedule
     }
@@ -423,7 +433,7 @@ mod tests {
         let cov = CoverageMap::build(&s);
         let inst = HasteRInstance::build(&s, &cov, DominantScope::PerSlot);
         assert_eq!(inst.num_partitions(), 4); // 1 charger × 4 slots
-        // Slots 0-1: both tasks active → two dominant sets; slots 2-3: one.
+                                              // Slots 0-1: both tasks active → two dominant sets; slots 2-3: one.
         assert_eq!(inst.num_choices(0), 2);
         assert_eq!(inst.num_choices(1), 2);
         assert_eq!(inst.num_choices(2), 1);

@@ -23,6 +23,7 @@ mod dominant;
 mod emr_solver;
 mod exact;
 mod instance;
+mod metrics;
 mod offline;
 
 pub use baselines::{solve_baseline, solve_baseline_with_delay, BaselineKind};
@@ -30,4 +31,5 @@ pub use dominant::{extract_dominant_sets, DominantSet};
 pub use emr_solver::{solve_offline_emr, EmrOptions, EmrResult};
 pub use exact::{solve_exact, BruteForceError};
 pub use instance::{DominantScope, EnergyState, HasteRInstance, InstanceOptions, Policy};
+pub use metrics::SolverMetrics;
 pub use offline::{solve_offline, OfflineConfig, SolveResult};

@@ -6,10 +6,16 @@
 //! `(1 − ρ)(1 − 1/e)` of the HASTE optimum as `C → ∞` (Theorem 5.1), and
 //! `(1 − ρ)/2` at `C = 1`.
 
-use haste_model::{evaluate, CoverageMap, EvalOptions, EvalReport, Scenario, Schedule};
-use haste_submodular::{lazy_greedy, locally_greedy, tabular_greedy, GreedyOptions, TabularOptions};
+use std::time::Instant;
 
-use crate::instance::{DominantScope, HasteRInstance};
+use haste_model::{evaluate, CoverageMap, EvalOptions, EvalReport, Scenario, Schedule};
+use haste_submodular::{
+    lazy_greedy_with_stats, locally_greedy_with_stats, tabular_greedy_with_stats, GreedyOptions,
+    TabularOptions,
+};
+
+use crate::instance::{DominantScope, HasteRInstance, InstanceOptions};
+use crate::metrics::SolverMetrics;
 
 /// Configuration of the centralized offline solver.
 #[derive(Debug, Clone)]
@@ -30,6 +36,10 @@ pub struct OfflineConfig {
     /// greedy. Same 1/2 guarantee; usually fewer oracle calls, but without
     /// switch-aware tie-breaking.
     pub lazy: bool,
+    /// Worker threads for instance construction and the optimizer's argmax
+    /// scans (0 or 1 = sequential). The solution is bit-identical for every
+    /// value — parallelism only changes wall-clock.
+    pub threads: usize,
 }
 
 impl Default for OfflineConfig {
@@ -41,6 +51,7 @@ impl Default for OfflineConfig {
             switch_aware: true,
             scope: DominantScope::PerSlot,
             lazy: false,
+            threads: 1,
         }
     }
 }
@@ -73,6 +84,8 @@ pub struct SolveResult {
     pub relaxed_value: f64,
     /// Full P1 evaluation of the schedule (switching delay included).
     pub report: EvalReport,
+    /// Oracle-call counters and per-phase wall-clock of this solve.
+    pub metrics: SolverMetrics,
 }
 
 /// Runs Algorithm 2 on a scenario.
@@ -81,36 +94,66 @@ pub fn solve_offline(
     coverage: &CoverageMap,
     config: &OfflineConfig,
 ) -> SolveResult {
-    let instance = HasteRInstance::build(scenario, coverage, config.scope);
-    let selection = if config.colors <= 1 && config.lazy {
-        lazy_greedy(&instance, 0.0)
+    let threads = config.threads.max(1);
+    let mut metrics = SolverMetrics {
+        threads,
+        ..SolverMetrics::default()
+    };
+
+    let t0 = Instant::now();
+    let instance = HasteRInstance::build_with(
+        scenario,
+        coverage,
+        InstanceOptions {
+            scope: Some(config.scope),
+            threads: Some(threads),
+            ..InstanceOptions::default()
+        },
+    );
+    metrics.instance_build = t0.elapsed();
+
+    let t1 = Instant::now();
+    let (selection, stats) = if config.colors <= 1 && config.lazy {
+        lazy_greedy_with_stats(&instance, 0.0, threads)
     } else if config.colors <= 1 {
         let tie = instance.switch_avoiding_tie_break();
         let options = GreedyOptions {
             tie_break: config.switch_aware.then_some(&tie as _),
+            threads,
             ..GreedyOptions::default()
         };
-        locally_greedy(&instance, &options)
+        locally_greedy_with_stats(&instance, &options)
     } else {
-        tabular_greedy(
+        tabular_greedy_with_stats(
             &instance,
             &TabularOptions {
                 colors: config.colors,
                 samples: config.samples,
                 seed: config.seed,
                 min_gain: 0.0,
+                threads,
             },
         )
     };
+    metrics.greedy = t1.elapsed();
+    metrics.absorb_stats(&stats);
+
+    let t2 = Instant::now();
     let mut schedule = instance.materialize(&selection);
     // Chargers hold their last orientation through unassigned slots: free
     // top-up charging at zero switching cost (see Schedule::hold_orientations).
     schedule.hold_orientations();
+    metrics.rounding = t2.elapsed();
+
+    let t3 = Instant::now();
     let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
+    metrics.p1_eval = t3.elapsed();
+
     SolveResult {
         schedule,
         relaxed_value: selection.value,
         report,
+        metrics,
     }
 }
 
@@ -241,6 +284,46 @@ mod tests {
         // Its reported value must also replay correctly.
         let replay = haste_model::evaluate_relaxed(&s, &cov, &lazy.schedule);
         assert!((lazy.relaxed_value - replay.total_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_are_monotone_sane() {
+        let s = two_task_scenario(0.0);
+        let cov = CoverageMap::build(&s);
+        let r = solve_offline(&s, &cov, &OfflineConfig::default());
+        let m = &r.metrics;
+        assert_eq!(m.threads, 1);
+        // Something was scanned and something was committed.
+        assert!(m.oracle_marginals > 0);
+        assert!(m.oracle_commits > 0);
+        // Commits never exceed marginal evaluations: every commit follows a
+        // winning scan.
+        assert!(m.oracle_commits <= m.oracle_marginals);
+        assert!(m.total_time() >= m.greedy);
+        // Coverage build happens outside the solver.
+        assert_eq!(m.coverage_build, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_solution() {
+        let s = two_task_scenario(0.25);
+        let cov = CoverageMap::build(&s);
+        for base in [
+            OfflineConfig::default(),
+            OfflineConfig::greedy(),
+            OfflineConfig {
+                lazy: true,
+                ..OfflineConfig::greedy()
+            },
+        ] {
+            let seq = solve_offline(&s, &cov, &base);
+            let par = solve_offline(&s, &cov, &OfflineConfig { threads: 4, ..base });
+            assert_eq!(seq.schedule, par.schedule);
+            assert_eq!(seq.relaxed_value.to_bits(), par.relaxed_value.to_bits());
+            // Oracle counters are arithmetic → thread-invariant too.
+            assert_eq!(seq.metrics.oracle_marginals, par.metrics.oracle_marginals);
+            assert_eq!(seq.metrics.oracle_commits, par.metrics.oracle_commits);
+        }
     }
 
     #[test]

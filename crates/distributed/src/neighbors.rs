@@ -68,8 +68,8 @@ mod tests {
 
     /// Three chargers in a row; middle tasks visible to adjacent pairs.
     fn scenario() -> Scenario {
-        let params = ChargingParams::simulation_default()
-            .with_receiving_angle(std::f64::consts::TAU);
+        let params =
+            ChargingParams::simulation_default().with_receiving_angle(std::f64::consts::TAU);
         Scenario::new(
             params,
             TimeGrid::minutes(2),

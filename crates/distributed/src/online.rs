@@ -10,7 +10,12 @@
 //! included), which is how the competitive ratio
 //! `½(1 − ρ)(1 − 1/e)` of Theorem 6.1 is exercised empirically.
 
-use haste_core::{solve_baseline_with_delay, BaselineKind, HasteRInstance, InstanceOptions, SolveResult};
+use std::time::Instant;
+
+use haste_core::{
+    solve_baseline_with_delay, BaselineKind, HasteRInstance, InstanceOptions, SolveResult,
+    SolverMetrics,
+};
 use haste_model::{
     evaluate, evaluate_relaxed, CoverageMap, EvalOptions, EvalReport, Scenario, Schedule,
 };
@@ -59,6 +64,10 @@ pub struct OnlineConfig {
     /// tasks that can be charged by `s_i`"); the default `false` replans
     /// globally, which is what the reported figures use.
     pub localized: bool,
+    /// Worker threads for the instance (re)builds on each negotiation
+    /// (`0` means 1). The executed schedule is bit-identical for every
+    /// value; this only parallelizes dominant-set extraction.
+    pub threads: usize,
 }
 
 /// Result of an online run.
@@ -73,6 +82,10 @@ pub struct OnlineResult {
     /// Communication counters accumulated over all re-negotiations,
     /// indexed by absolute slot.
     pub stats: NegotiationStats,
+    /// Solver phase timings and oracle counters accumulated over all
+    /// re-negotiations (`instance_build`, `greedy` = negotiation time,
+    /// `rounding` = materialization, `p1_eval` = final evaluation).
+    pub metrics: SolverMetrics,
 }
 
 /// Runs the distributed online algorithm over a scenario whose tasks carry
@@ -84,9 +97,14 @@ pub fn solve_online(
 ) -> OnlineResult {
     let horizon = scenario.active_horizon();
     let n = scenario.num_chargers();
+    let threads = config.threads.max(1);
     let graph = NeighborGraph::build(coverage);
     let mut schedule = Schedule::empty(n, scenario.grid.num_slots);
     let mut stats = NegotiationStats::new(horizon);
+    let mut metrics = SolverMetrics {
+        threads,
+        ..SolverMetrics::default()
+    };
     let mut known = vec![false; scenario.num_tasks()];
     let mut disabled = vec![false; n];
     // Physical death slot per charger (cleared from the executed schedule
@@ -152,9 +170,7 @@ pub fn solve_online(
         } else {
             vec![true; n]
         };
-        let planning_disabled: Vec<bool> = (0..n)
-            .map(|i| disabled[i] || !replanning[i])
-            .collect();
+        let planning_disabled: Vec<bool> = (0..n).map(|i| disabled[i] || !replanning[i]).collect();
         if planning_disabled.iter().all(|&d| d) {
             continue;
         }
@@ -200,6 +216,7 @@ pub fn solve_online(
                 *total += add;
             }
         }
+        let build_start = Instant::now();
         let instance = HasteRInstance::build_with(
             scenario,
             coverage,
@@ -211,14 +228,20 @@ pub fn solve_online(
                     .iter()
                     .any(|&d| d)
                     .then(|| planning_disabled.clone()),
+                threads: Some(threads),
                 ..InstanceOptions::default()
             },
         );
+        metrics.instance_build += build_start.elapsed();
+        let negotiate_start = Instant::now();
         let (selection, run_stats): (Selection, NegotiationStats) = match config.engine {
             EngineKind::Rounds => negotiate_rounds(&instance, &graph, &config.negotiation),
             EngineKind::Threaded => negotiate_threaded(&instance, &graph, &config.negotiation),
         };
+        metrics.greedy += negotiate_start.elapsed();
+        let rounding_start = Instant::now();
         instance.materialize_into(&selection, &mut schedule);
+        metrics.rounding += rounding_start.elapsed();
         // Localized mode: restore the kept plans of non-replanning chargers
         // (materialize_into wrote None over their partitions).
         if let Some(snapshot) = snapshot {
@@ -241,13 +264,18 @@ pub fn solve_online(
     }
     clear_dead(&mut schedule, &dead_from);
 
+    let eval_start = Instant::now();
     let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
     let relaxed = evaluate_relaxed(scenario, coverage, &schedule);
+    metrics.p1_eval += eval_start.elapsed();
+    metrics.oracle_marginals = stats.oracle_marginals;
+    metrics.oracle_commits = stats.oracle_commits;
     OnlineResult {
         schedule,
         report,
         relaxed_value: relaxed.total_utility,
         stats,
+        metrics,
     }
 }
 
@@ -308,7 +336,15 @@ mod tests {
                 )
             })
             .collect();
-        Scenario::new(params, TimeGrid::minutes(16), chargers, tasks, 1.0 / 12.0, tau).unwrap()
+        Scenario::new(
+            params,
+            TimeGrid::minutes(16),
+            chargers,
+            tasks,
+            1.0 / 12.0,
+            tau,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -569,6 +605,46 @@ mod tests {
             },
         );
         assert_eq!(one_dead.schedule, threaded.schedule);
+    }
+
+    #[test]
+    fn metrics_are_monotone_sane() {
+        // Seed 100 is known to produce a served scenario (it also drives
+        // `online_beats_or_matches_online_baselines_on_average`).
+        let s = random_scenario(100, 6, 14, 1);
+        let cov = CoverageMap::build(&s);
+        let r = solve_online(&s, &cov, &OnlineConfig::default());
+        assert_eq!(r.metrics.threads, 1);
+        assert!(r.metrics.oracle_marginals > 0);
+        assert!(r.metrics.oracle_commits > 0);
+        assert_eq!(r.metrics.oracle_marginals, r.stats.oracle_marginals);
+        assert_eq!(r.metrics.oracle_commits, r.stats.oracle_commits);
+        assert!(r.metrics.total_time() >= r.metrics.greedy);
+        // The online loop never builds a coverage map itself.
+        assert_eq!(r.metrics.coverage_build, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_online_solution() {
+        let s = random_scenario(19, 6, 14, 1);
+        let cov = CoverageMap::build(&s);
+        let base = solve_online(&s, &cov, &OnlineConfig::default());
+        let par = solve_online(
+            &s,
+            &cov,
+            &OnlineConfig {
+                threads: 4,
+                ..OnlineConfig::default()
+            },
+        );
+        assert_eq!(base.schedule, par.schedule);
+        assert_eq!(
+            base.relaxed_value.to_bits(),
+            par.relaxed_value.to_bits(),
+            "threads changed the online value"
+        );
+        assert_eq!(base.stats.messages, par.stats.messages);
+        assert_eq!(base.metrics.oracle_marginals, par.metrics.oracle_marginals);
     }
 
     #[test]

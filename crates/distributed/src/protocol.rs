@@ -45,6 +45,13 @@ pub struct NegotiationStats {
     pub messages: u64,
     /// Total rounds executed.
     pub rounds: u64,
+    /// Marginal-gain oracle evaluations across all chargers' bid
+    /// computations (each charger counts its own `best_bid` scans).
+    pub oracle_marginals: u64,
+    /// Commit operations chargers applied to their local sample states when
+    /// fixing their own policies (neighbor-decide replays are not counted —
+    /// they mirror a commit already counted at the fixing charger).
+    pub oracle_commits: u64,
     /// Messages per decision slot (indexed by slot − range start).
     pub per_slot_messages: Vec<u64>,
     /// Rounds per decision slot.
@@ -57,6 +64,8 @@ impl NegotiationStats {
         NegotiationStats {
             messages: 0,
             rounds: 0,
+            oracle_marginals: 0,
+            oracle_commits: 0,
             per_slot_messages: vec![0; slots],
             per_slot_rounds: vec![0; slots],
         }
@@ -79,6 +88,8 @@ impl NegotiationStats {
     pub fn absorb(&mut self, other: &NegotiationStats, slot_offset: usize) {
         self.messages += other.messages;
         self.rounds += other.rounds;
+        self.oracle_marginals += other.oracle_marginals;
+        self.oracle_commits += other.oracle_commits;
         let needed = slot_offset + other.per_slot_messages.len();
         if self.per_slot_messages.len() < needed {
             self.per_slot_messages.resize(needed, 0);

@@ -30,27 +30,30 @@ pub(crate) const GAIN_EPS: f64 = 1e-15;
 /// choice maximizing the summed marginal over the samples whose color
 /// matches (falling back to all samples when none match, exactly like the
 /// centralized TabularGreedy estimator). Allocation-free: this sits on the
-/// innermost path of every negotiation round.
+/// innermost path of every negotiation round. Also returns the number of
+/// marginal oracle evaluations the scan performed, for the negotiation's
+/// oracle accounting.
 pub(crate) fn best_bid(
     inst: &HasteRInstance,
     states: &[EnergyState],
     cfg: &NegotiationConfig,
     c: usize,
     partition: usize,
-) -> Option<(f64, usize)> {
+) -> (Option<(f64, usize)>, u64) {
     let choices = inst.num_choices(partition);
     if choices == 0 {
-        return None;
+        return (None, 0);
     }
     let c_total = cfg.colors.max(1);
-    let any_match = (0..states.len())
-        .any(|s| color_of(cfg.seed, s, partition, c_total) == c);
+    let any_match = (0..states.len()).any(|s| color_of(cfg.seed, s, partition, c_total) == c);
     let mut best: Option<(f64, usize)> = None;
+    let mut calls = 0u64;
     for x in 0..choices {
         let mut gain = 0.0;
         for (s, state) in states.iter().enumerate() {
             if !any_match || color_of(cfg.seed, s, partition, c_total) == c {
                 gain += inst.marginal(state, partition, x);
+                calls += 1;
             }
         }
         match best {
@@ -58,15 +61,11 @@ pub(crate) fn best_bid(
             _ => best = Some((gain, x)),
         }
     }
-    best.filter(|&(g, _)| g > GAIN_EPS)
+    (best.filter(|&(g, _)| g > GAIN_EPS), calls)
 }
 
 /// Samples whose color for `partition` equals `c`.
-pub(crate) fn matching_samples(
-    cfg: &NegotiationConfig,
-    partition: usize,
-    c: usize,
-) -> Vec<usize> {
+pub(crate) fn matching_samples(cfg: &NegotiationConfig, partition: usize, c: usize) -> Vec<usize> {
     (0..cfg.effective_samples())
         .filter(|&s| color_of(cfg.seed, s, partition, cfg.colors.max(1)) == c)
         .collect()
@@ -106,7 +105,9 @@ pub fn negotiate_rounds(
                     any_participant = true;
                     stats.add_messages(rel_k, graph.degree(i) as u64);
                     let p = rel_k * n + i;
-                    bids[i] = best_bid(inst, &states, cfg, c, p);
+                    let (bid, calls) = best_bid(inst, &states, cfg, c, p);
+                    bids[i] = bid;
+                    stats.oracle_marginals += calls;
                 }
                 if !any_participant {
                     break;
@@ -133,6 +134,7 @@ pub fn negotiate_rounds(
                     table[p][c] = Some(choice);
                     for s in matching_samples(cfg, p, c) {
                         inst.commit(&mut states[s], p, choice);
+                        stats.oracle_commits += 1;
                     }
                     done[i] = true;
                     any_fixed = true;
@@ -179,8 +181,8 @@ mod tests {
     };
 
     fn line_scenario() -> Scenario {
-        let params = ChargingParams::simulation_default()
-            .with_receiving_angle(std::f64::consts::TAU);
+        let params =
+            ChargingParams::simulation_default().with_receiving_angle(std::f64::consts::TAU);
         Scenario::new(
             params,
             TimeGrid::minutes(4),
@@ -278,8 +280,8 @@ mod tests {
         // saturates the slot is smaller but still positive — both may
         // serve; what matters is the negotiation terminates and beats
         // the single-charger utility).
-        let params = ChargingParams::simulation_default()
-            .with_receiving_angle(std::f64::consts::TAU);
+        let params =
+            ChargingParams::simulation_default().with_receiving_angle(std::f64::consts::TAU);
         let s = Scenario::new(
             params,
             TimeGrid::minutes(2),

@@ -67,6 +67,11 @@ pub fn negotiate_threaded(
     let barrier = Barrier::new(n);
     let any_fixed = AtomicBool::new(false);
     let total_messages = AtomicU64::new(0);
+    // Oracle accounting mirrors the round engine: each charger counts its
+    // own bid scans and own-fix commits (neighbor Decide replays are the
+    // distributed copy of a commit already counted at the fixer).
+    let total_marginals = AtomicU64::new(0);
+    let total_commits = AtomicU64::new(0);
     let per_slot_messages: Vec<AtomicU64> = (0..k_total).map(|_| AtomicU64::new(0)).collect();
     let per_slot_rounds: Vec<AtomicU64> = (0..k_total).map(|_| AtomicU64::new(0)).collect();
 
@@ -84,6 +89,8 @@ pub fn negotiate_threaded(
             let barrier = &barrier;
             let any_fixed = &any_fixed;
             let total_messages = &total_messages;
+            let total_marginals = &total_marginals;
+            let total_commits = &total_commits;
             let per_slot_messages = &per_slot_messages;
             let per_slot_rounds = &per_slot_rounds;
             handles.push(scope.spawn(move || {
@@ -97,6 +104,8 @@ pub fn negotiate_threaded(
                     barrier,
                     any_fixed,
                     total_messages,
+                    total_marginals,
+                    total_commits,
                     per_slot_messages,
                     per_slot_rounds,
                 )
@@ -132,6 +141,8 @@ pub fn negotiate_threaded(
 
     let mut stats = NegotiationStats::new(k_total);
     stats.messages = total_messages.load(Ordering::Relaxed);
+    stats.oracle_marginals = total_marginals.load(Ordering::Relaxed);
+    stats.oracle_commits = total_commits.load(Ordering::Relaxed);
     for k in 0..k_total {
         stats.per_slot_messages[k] = per_slot_messages[k].load(Ordering::Relaxed);
         let r = per_slot_rounds[k].load(Ordering::Relaxed);
@@ -153,6 +164,8 @@ fn charger_thread(
     barrier: &Barrier,
     any_fixed: &AtomicBool,
     total_messages: &AtomicU64,
+    total_marginals: &AtomicU64,
+    total_commits: &AtomicU64,
     per_slot_messages: &[AtomicU64],
     per_slot_rounds: &[AtomicU64],
 ) -> Vec<(usize, usize, usize)> {
@@ -195,17 +208,21 @@ fn charger_thread(
                 let my_bid = if done {
                     None
                 } else {
-                    best_bid(inst, &local_states, cfg, c, my_partition)
+                    let (bid, calls) = best_bid(inst, &local_states, cfg, c, my_partition);
+                    total_marginals.fetch_add(calls, Ordering::Relaxed);
+                    bid
                 };
                 if !done {
                     count(rel_k, deg as u64);
                 }
                 for tx in &neighbor_tx {
-                    tx.send(Msg::Bid { from: me, bid: my_bid })
-                        .expect("neighbor alive");
+                    tx.send(Msg::Bid {
+                        from: me,
+                        bid: my_bid,
+                    })
+                    .expect("neighbor alive");
                 }
-                let mut neighbor_bids: Vec<(usize, Option<(f64, usize)>)> =
-                    Vec::with_capacity(deg);
+                let mut neighbor_bids: Vec<(usize, Option<(f64, usize)>)> = Vec::with_capacity(deg);
                 while neighbor_bids.len() < deg {
                     // Buffered messages are all Decides of this round
                     // (Bids are consumed immediately), so poll the channel.
@@ -243,6 +260,7 @@ fn charger_thread(
                     my_fixes.push((my_partition, c, choice));
                     for s in matching_samples(cfg, my_partition, c) {
                         inst.commit(&mut local_states[s], my_partition, choice);
+                        total_commits.fetch_add(1, Ordering::Relaxed);
                     }
                     any_fixed.store(true, Ordering::SeqCst);
                     done = true;
@@ -340,6 +358,11 @@ mod tests {
                 assert_eq!(stats_r.messages, stats_t.messages, "seed {seed} C={colors}");
                 assert_eq!(stats_r.rounds, stats_t.rounds);
                 assert_eq!(stats_r.per_slot_messages, stats_t.per_slot_messages);
+                // Both engines execute the same protocol, so they pay the
+                // same oracle work.
+                assert_eq!(stats_r.oracle_marginals, stats_t.oracle_marginals);
+                assert_eq!(stats_r.oracle_commits, stats_t.oracle_commits);
+                assert!(stats_r.oracle_marginals > 0);
             }
         }
     }

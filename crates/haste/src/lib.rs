@@ -63,13 +63,13 @@ pub mod prelude {
         BaselineKind, DominantScope, EmrOptions, HasteRInstance, OfflineConfig, SolveResult,
     };
     pub use haste_distributed::{
-        negotiate_rounds, negotiate_threaded, solve_baseline_online, solve_online,
-        ChargerFailure, EngineKind, NegotiationConfig, NeighborGraph, OnlineConfig,
+        negotiate_rounds, negotiate_threaded, solve_baseline_online, solve_online, ChargerFailure,
+        EngineKind, NegotiationConfig, NeighborGraph, OnlineConfig,
     };
     pub use haste_geometry::{Angle, Arc, Sector, Vec2};
     pub use haste_model::{
-        evaluate, evaluate_relaxed, Charger, ChargingParams, CoverageMap, EvalOptions,
-        EvalReport, Scenario, Schedule, Task, TimeGrid, UtilityFn,
+        evaluate, evaluate_relaxed, Charger, ChargingParams, CoverageMap, EvalOptions, EvalReport,
+        Scenario, Schedule, Task, TimeGrid, UtilityFn,
     };
     pub use haste_sim::{Algo, ExperimentCtx, FigureTable, Placement, ScenarioSpec, Summary};
 }

@@ -33,27 +33,40 @@ pub struct CoverageMap {
 impl CoverageMap {
     /// Builds the map for a scenario. `O(n · m)` pair tests.
     pub fn build(scenario: &Scenario) -> Self {
-        let n = scenario.num_chargers();
+        Self::build_par(scenario, 1)
+    }
+
+    /// Like [`CoverageMap::build`], with the per-charger pair tests spread
+    /// over `threads` workers. Chargers are independent rows of the map and
+    /// each row is computed in full by one worker, so the result is
+    /// identical to the sequential build for every thread count.
+    pub fn build_par(scenario: &Scenario, threads: usize) -> Self {
         let m = scenario.num_tasks();
-        let mut per_charger = vec![Vec::new(); n];
-        let mut per_task = vec![Vec::new(); m];
-        for charger in &scenario.chargers {
-            let i = charger.id.index();
-            for task in &scenario.tasks {
-                if power::chargeable(&scenario.params, charger, task) {
+        let rows = haste_parallel::par_map(&scenario.chargers, threads, |_, charger| {
+            scenario
+                .tasks
+                .iter()
+                .filter(|task| power::chargeable(&scenario.params, charger, task))
+                .map(|task| {
                     let d = charger.pos.distance(task.device_pos);
-                    per_charger[i].push(CandidateTask {
+                    CandidateTask {
                         task: task.id,
                         azimuth: power::azimuth_to(charger, task),
                         power: power::range_power(&scenario.params, d)
                             * power::receiver_gain_factor(&scenario.params, charger, task),
-                    });
-                    per_task[task.id.index()].push(charger.id);
-                }
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        // Reverse index, derived sequentially so charger ids stay sorted.
+        let mut per_task = vec![Vec::new(); m];
+        for (charger, row) in scenario.chargers.iter().zip(&rows) {
+            for cand in row {
+                per_task[cand.task.index()].push(charger.id);
             }
         }
         CoverageMap {
-            per_charger,
+            per_charger: rows,
             per_task,
         }
     }
@@ -184,6 +197,15 @@ mod tests {
         let map2 = CoverageMap::build(&s2);
         assert!(map2.are_neighbors(ChargerId(0), ChargerId(1)));
         assert!(map2.are_neighbors(ChargerId(1), ChargerId(0)));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let s = scenario();
+        let seq = CoverageMap::build(&s);
+        let par = CoverageMap::build_par(&s, 4);
+        assert_eq!(seq.per_charger, par.per_charger);
+        assert_eq!(seq.per_task, par.per_task);
     }
 
     use haste_geometry::Angle;

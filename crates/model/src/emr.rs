@@ -14,7 +14,7 @@
 
 use haste_geometry::Vec2;
 
-use crate::{power, ChargingParams, Charger, Orientation, Schedule, Scenario};
+use crate::{power, Charger, ChargingParams, Orientation, Scenario, Schedule};
 
 /// EMR intensity at `point` given each charger's orientation in one slot
 /// (`None` = off / switching = no radiation). Units follow the power model

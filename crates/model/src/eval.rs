@@ -159,8 +159,7 @@ pub fn slot_energy(scenario: &Scenario, charger_idx: usize, task_idx: usize) -> 
     let charger = &scenario.chargers[charger_idx];
     let task = &scenario.tasks[task_idx];
     let theta = power::azimuth_to(charger, task);
-    power::received_power(&scenario.params, charger, Some(theta), task)
-        * scenario.grid.slot_seconds
+    power::received_power(&scenario.params, charger, Some(theta), task) * scenario.grid.slot_seconds
 }
 
 #[cfg(test)]

@@ -372,6 +372,8 @@ mod tests {
             reason: "nope".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(ParseError::MissingSection("grid").to_string().contains("grid"));
+        assert!(ParseError::MissingSection("grid")
+            .to_string()
+            .contains("grid"));
     }
 }

@@ -10,7 +10,7 @@
 
 use haste_geometry::{Angle, Vec2};
 
-use crate::{ChargingParams, Charger, Task};
+use crate::{Charger, ChargingParams, Task};
 
 /// The range-only power term `P_r(s_i, o_j) = α/(‖s_i o_j‖+β)²` for
 /// `‖s_i o_j‖ ≤ D`, else `0` — the paper's orientation-free shorthand used

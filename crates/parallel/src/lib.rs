@@ -118,6 +118,97 @@ where
     });
 }
 
+/// Applies `f` to every index in `0..n` in parallel and returns the results
+/// in index order. Like [`par_map`] without needing a materialized slice —
+/// the optimizers use it to scan candidate ranges.
+pub fn par_map_range<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let counter = &counter;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index sent exactly once"))
+            .collect()
+    })
+}
+
+/// Parallel fold of `f(0), …, f(n-1)` with an associative `combine`.
+///
+/// Each worker folds its claimed indices locally; partials are combined on
+/// the calling thread. When `combine` is associative **and commutative**
+/// with a true `identity` (e.g. a total-order maximum), the result is
+/// bit-identical for every thread count — the property the greedy argmax
+/// scans rely on.
+pub fn par_reduce_range<R, F, C>(n: usize, threads: usize, identity: R, f: F, combine: C) -> R
+where
+    R: Send + Clone,
+    F: Fn(usize) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).fold(identity, |acc, i| combine(acc, f(i)));
+    }
+    let counter = AtomicUsize::new(0);
+    let partials = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let counter = &counter;
+            let f = &f;
+            let combine = &combine;
+            let local_identity = identity.clone();
+            handles.push(scope.spawn(move || {
+                let mut acc = local_identity;
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    acc = combine(acc, f(i));
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    partials.into_iter().fold(identity, &combine)
+}
+
 /// Parallel map followed by a fold with an associative `combine`.
 ///
 /// Each worker folds its own share locally; the per-worker partials are then

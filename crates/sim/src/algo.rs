@@ -1,8 +1,6 @@
 //! The algorithm roster experiments choose from.
 
-use haste_core::{
-    solve_baseline, solve_exact, solve_offline, BaselineKind, OfflineConfig,
-};
+use haste_core::{solve_baseline, solve_exact, solve_offline, BaselineKind, OfflineConfig};
 use haste_distributed::{
     solve_baseline_online, solve_online, NegotiationConfig, OnlineConfig, OnlineResult,
 };
@@ -66,12 +64,16 @@ impl Algo {
                 );
                 Some(result.report.total_utility)
             }
-            Algo::OnlineHaste { .. } => {
-                Some(self.run_online(scenario, coverage, seed).report.total_utility)
-            }
-            Algo::OfflineBaseline(kind) => {
-                Some(solve_baseline(scenario, coverage, kind).report.total_utility)
-            }
+            Algo::OnlineHaste { .. } => Some(
+                self.run_online(scenario, coverage, seed)
+                    .report
+                    .total_utility,
+            ),
+            Algo::OfflineBaseline(kind) => Some(
+                solve_baseline(scenario, coverage, kind)
+                    .report
+                    .total_utility,
+            ),
             Algo::OnlineBaseline(kind) => Some(
                 solve_baseline_online(scenario, coverage, kind)
                     .report
@@ -177,7 +179,11 @@ mod tests {
                 Algo::OnlineHaste { colors: 1 },
             ] {
                 let v = algo.run(&s, &cov, seed).unwrap();
-                assert!(v <= opt + 1e-9, "{} {v} exceeds optimum {opt}", algo.label());
+                assert!(
+                    v <= opt + 1e-9,
+                    "{} {v} exceeds optimum {opt}",
+                    algo.label()
+                );
             }
         }
     }

@@ -111,12 +111,7 @@ fn sweep(
 }
 
 /// Distribution of HASTE's utility per color count, as a box plot table.
-fn color_box(
-    ctx: &ExperimentCtx,
-    id: &str,
-    title: &str,
-    online: bool,
-) -> FigureTable {
+fn color_box(ctx: &ExperimentCtx, id: &str, title: &str, online: bool) -> FigureTable {
     let colors: Vec<f64> = (1..=8).map(|c| c as f64).collect();
     let names = ["min", "q1", "median", "q3", "max", "mean"];
     let mut series: Vec<Series> = names
@@ -793,7 +788,10 @@ mod tests {
             }
             for name in ["HASTE(C=1)", "HASTE(C=4)"] {
                 let v = t.value(name, i).unwrap();
-                assert!(v <= opt + 1e-9, "{name} {v} above optimal {opt} at tick {i}");
+                assert!(
+                    v <= opt + 1e-9,
+                    "{name} {v} above optimal {opt} at tick {i}"
+                );
             }
         }
     }

@@ -128,8 +128,7 @@ impl ScenarioSpec {
                 } else {
                     rng.gen_range(0..self.release_horizon)
                 };
-                let duration =
-                    rng.gen_range(self.duration_range.0..=self.duration_range.1);
+                let duration = rng.gen_range(self.duration_range.0..=self.duration_range.1);
                 let energy = rng.gen_range(self.energy_range.0..=self.energy_range.1);
                 Task::new(
                     j as u32,

@@ -96,12 +96,7 @@ pub fn render_svg(
             let a0 = theta - Angle::from_radians(half);
             let a1 = theta + Angle::from_radians(half);
             // Endpoints on the arc, with the y-flip applied to angles.
-            let end = |a: Angle| {
-                (
-                    cx + r * a.radians().cos(),
-                    cy - r * a.radians().sin(),
-                )
-            };
+            let end = |a: Angle| (cx + r * a.radians().cos(), cy - r * a.radians().sin());
             let (x0, y0) = end(a0);
             let (x1, y1) = end(a1);
             let large = if scenario.params.charging_angle > std::f64::consts::PI {
@@ -188,7 +183,13 @@ mod tests {
         let s = scenario();
         let cov = CoverageMap::build(&s);
         let r = haste_core::solve_offline(&s, &cov, &haste_core::OfflineConfig::greedy());
-        let with = render_svg(&s, Some(&r.schedule), 0, Some(&r.report), &RenderOptions::default());
+        let with = render_svg(
+            &s,
+            Some(&r.schedule),
+            0,
+            Some(&r.report),
+            &RenderOptions::default(),
+        );
         let without = render_svg(&s, None, 0, None, &RenderOptions::default());
         assert!(with.matches("<path").count() >= without.matches("<path").count());
         // Every path is a wedge of an oriented charger in slot 0.

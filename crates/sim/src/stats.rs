@@ -29,8 +29,7 @@ impl Summary {
         }
         let count = values.len();
         let mean = values.iter().sum::<f64>() / count as f64;
-        let variance =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Summary {

@@ -1,7 +1,14 @@
 //! Greedy maximization: locally greedy (block-by-block) and lazy greedy
 //! (global, with stale-marginal re-evaluation).
+//!
+//! Both optimizers can fan their per-candidate marginal scans out across
+//! threads (`GreedyOptions::threads`). The parallel path is bit-identical to
+//! the sequential one for any thread count: candidate gains are computed
+//! independently (one oracle call each, no accumulation order to vary) and
+//! the winner is then picked by a sequential scan over the gains in index
+//! order, so epsilon tie-breaking behaves exactly as before.
 
-use crate::{PartitionedObjective, Selection};
+use crate::{OptimizerStats, PartitionedObjective, Selection, PAR_ARGMAX_MIN_WORK};
 
 /// Options shared by the greedy optimizers.
 pub struct GreedyOptions<'a> {
@@ -17,6 +24,9 @@ pub struct GreedyOptions<'a> {
     /// zero-gain blocks stay unassigned so schedules stay parsimonious;
     /// the guarantee is unaffected because skipped gains are zero).
     pub min_gain: f64,
+    /// Worker threads for the per-candidate marginal scans (0 or 1 =
+    /// sequential). Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for GreedyOptions<'_> {
@@ -25,7 +35,19 @@ impl Default for GreedyOptions<'_> {
             order: None,
             tie_break: None,
             min_gain: 0.0,
+            threads: 1,
         }
+    }
+}
+
+/// Threads to actually use for a scan of `work` oracle calls: stays
+/// sequential below [`PAR_ARGMAX_MIN_WORK`] so thread setup cannot dominate
+/// tiny scans. Purely a performance gate — both paths agree bitwise.
+pub(crate) fn effective_threads(threads: usize, work: usize) -> usize {
+    if threads > 1 && work >= PAR_ARGMAX_MIN_WORK {
+        threads
+    } else {
+        1
     }
 }
 
@@ -39,10 +61,19 @@ impl Default for GreedyOptions<'_> {
 /// Complexity: one `marginal` call per (partition, choice) pair plus one
 /// `commit` per partition.
 pub fn locally_greedy<O: PartitionedObjective>(obj: &O, options: &GreedyOptions) -> Selection {
+    locally_greedy_with_stats(obj, options).0
+}
+
+/// [`locally_greedy`] that also reports oracle-call counts.
+pub fn locally_greedy_with_stats<O: PartitionedObjective>(
+    obj: &O,
+    options: &GreedyOptions,
+) -> (Selection, OptimizerStats) {
     let p_total = obj.num_partitions();
     if let Some(order) = options.order {
         assert_eq!(order.len(), p_total, "order must be a permutation");
     }
+    let mut stats = OptimizerStats::default();
     let mut state = obj.new_state();
     let mut choices = vec![None; p_total];
     let natural: Vec<usize>;
@@ -55,9 +86,19 @@ pub fn locally_greedy<O: PartitionedObjective>(obj: &O, options: &GreedyOptions)
     };
     for &p in order {
         let preferred = options.tie_break.and_then(|f| f(&choices, p));
+        let n_choices = obj.num_choices(p);
+        stats.marginal_calls += n_choices as u64;
+        // Candidate gains are independent one-call evaluations, so the scan
+        // parallelizes without changing a single bit; the epsilon/tie-break
+        // selection below stays sequential in index order.
+        let state_ref = &state;
+        let gains = haste_parallel::par_map_range(
+            n_choices,
+            effective_threads(options.threads, n_choices),
+            |x| obj.marginal(state_ref, p, x),
+        );
         let mut best: Option<(usize, f64)> = None;
-        for x in 0..obj.num_choices(p) {
-            let gain = obj.marginal(&state, p, x);
+        for (x, &gain) in gains.iter().enumerate() {
             let better = match best {
                 None => true,
                 Some((bx, bg)) => {
@@ -75,11 +116,12 @@ pub fn locally_greedy<O: PartitionedObjective>(obj: &O, options: &GreedyOptions)
             if gain > options.min_gain {
                 obj.commit(&mut state, p, x);
                 choices[p] = Some(x);
+                stats.commit_calls += 1;
             }
         }
     }
     let value = obj.value(&state);
-    Selection { choices, value }
+    (Selection { choices, value }, stats)
 }
 
 /// The globally greedy algorithm with lazy evaluation (Minoux's accelerated
@@ -91,6 +133,21 @@ pub fn locally_greedy<O: PartitionedObjective>(obj: &O, options: &GreedyOptions)
 /// Same `1/2` guarantee as [`locally_greedy`] for partition matroids; usually
 /// far fewer oracle calls on instances with many low-value elements.
 pub fn lazy_greedy<O: PartitionedObjective>(obj: &O, min_gain: f64) -> Selection {
+    lazy_greedy_with_stats(obj, min_gain, 1).0
+}
+
+/// [`lazy_greedy`] that also reports oracle-call counts and can fill the
+/// initial heap in parallel over partitions (`threads`).
+///
+/// Only the initial marginal sweep parallelizes — the Minoux re-evaluation
+/// loop is inherently sequential. Per-partition results are flattened in
+/// partition order before insertion, and the heap's ordering is total
+/// (gain, then ids), so the outcome is bit-identical for any thread count.
+pub fn lazy_greedy_with_stats<O: PartitionedObjective>(
+    obj: &O,
+    min_gain: f64,
+    threads: usize,
+) -> (Selection, OptimizerStats) {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -126,12 +183,21 @@ pub fn lazy_greedy<O: PartitionedObjective>(obj: &O, min_gain: f64) -> Selection
     }
 
     let p_total = obj.num_partitions();
+    let mut stats = OptimizerStats::default();
     let mut state = obj.new_state();
     let mut choices: Vec<Option<usize>> = vec![None; p_total];
+    let total_candidates: usize = (0..p_total).map(|p| obj.num_choices(p)).sum();
+    stats.marginal_calls += total_candidates as u64;
+    let state_ref = &state;
+    let per_partition =
+        haste_parallel::par_map_range(p_total, effective_threads(threads, total_candidates), |p| {
+            (0..obj.num_choices(p))
+                .map(|x| (obj.marginal(state_ref, p, x), x))
+                .collect::<Vec<_>>()
+        });
     let mut heap = BinaryHeap::new();
-    for p in 0..p_total {
-        for x in 0..obj.num_choices(p) {
-            let gain = obj.marginal(&state, p, x);
+    for (p, candidates) in per_partition.into_iter().enumerate() {
+        for (gain, x) in candidates {
             if gain > min_gain {
                 heap.push(Entry {
                     gain,
@@ -150,9 +216,11 @@ pub fn lazy_greedy<O: PartitionedObjective>(obj: &O, min_gain: f64) -> Selection
         if top.epoch == epoch {
             obj.commit(&mut state, top.partition, top.choice);
             choices[top.partition] = Some(top.choice);
+            stats.commit_calls += 1;
             epoch += 1;
         } else {
             let gain = obj.marginal(&state, top.partition, top.choice);
+            stats.marginal_calls += 1;
             if gain > min_gain {
                 heap.push(Entry {
                     gain,
@@ -164,7 +232,7 @@ pub fn lazy_greedy<O: PartitionedObjective>(obj: &O, min_gain: f64) -> Selection
         }
     }
     let value = obj.value(&state);
-    Selection { choices, value }
+    (Selection { choices, value }, stats)
 }
 
 #[cfg(test)]
@@ -275,5 +343,45 @@ mod tests {
         let sel = locally_greedy(&toy, &GreedyOptions::default());
         assert_eq!(sel.value, 0.0);
         assert!(sel.choices.is_empty());
+    }
+
+    #[test]
+    fn parallel_scan_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..15 {
+            let toy = ToyCoverage::random(&mut rng, 8, 5, 12, 3);
+            let seq = locally_greedy(&toy, &GreedyOptions::default());
+            let par = locally_greedy(
+                &toy,
+                &GreedyOptions {
+                    threads: 4,
+                    ..GreedyOptions::default()
+                },
+            );
+            assert_eq!(seq.choices, par.choices);
+            assert_eq!(seq.value.to_bits(), par.value.to_bits());
+            let (lseq, _) = lazy_greedy_with_stats(&toy, 0.0, 1);
+            let (lpar, _) = lazy_greedy_with_stats(&toy, 0.0, 4);
+            assert_eq!(lseq.choices, lpar.choices);
+            assert_eq!(lseq.value.to_bits(), lpar.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn stats_count_oracle_calls() {
+        let toy = ToyCoverage::example();
+        let (sel, stats) = locally_greedy_with_stats(&toy, &GreedyOptions::default());
+        // One marginal per (partition, choice) pair, one commit per chosen.
+        let expected: u64 = (0..toy.num_partitions())
+            .map(|p| toy.num_choices(p) as u64)
+            .sum();
+        assert_eq!(stats.marginal_calls, expected);
+        assert_eq!(stats.commit_calls, sel.num_chosen() as u64);
+
+        let (lsel, lstats) = lazy_greedy_with_stats(&toy, 0.0, 1);
+        // Lazy greedy pays at least the initial sweep and exactly one commit
+        // per chosen partition; re-evaluations only add to the count.
+        assert!(lstats.marginal_calls >= expected);
+        assert_eq!(lstats.commit_calls, lsel.num_chosen() as u64);
     }
 }

@@ -32,8 +32,37 @@ pub mod validate;
 pub(crate) mod toy;
 
 pub use exact::{brute_force, BruteForceError};
-pub use greedy::{lazy_greedy, locally_greedy, GreedyOptions};
-pub use tabular::{tabular_greedy, TabularOptions};
+pub use greedy::{
+    lazy_greedy, lazy_greedy_with_stats, locally_greedy, locally_greedy_with_stats, GreedyOptions,
+};
+pub use tabular::{tabular_greedy, tabular_greedy_with_stats, TabularOptions};
+
+/// Oracle-call accounting reported by the `*_with_stats` optimizers.
+///
+/// Counts are computed arithmetically from loop bounds rather than through
+/// shared atomics, so they are exact and identical for every thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    /// Number of `marginal` oracle evaluations performed.
+    pub marginal_calls: u64,
+    /// Number of `commit` operations applied to optimizer states.
+    pub commit_calls: u64,
+}
+
+impl OptimizerStats {
+    /// Accumulates another optimizer run's counters into `self`.
+    pub fn merge(&mut self, other: &OptimizerStats) {
+        self.marginal_calls += other.marginal_calls;
+        self.commit_calls += other.commit_calls;
+    }
+}
+
+/// Minimum argmax scan size (candidates × states touched per candidate)
+/// before the optimizers fan the scan out across threads: below this the
+/// scoped-thread setup costs more than the oracle calls it parallelizes.
+/// Both paths compute bit-identical results, so the gate is a pure
+/// performance knob.
+pub(crate) const PAR_ARGMAX_MIN_WORK: usize = 1024;
 
 /// The outcome of an optimizer: one chosen element per partition (or `None`
 /// for empty partitions / zero-gain blocks) and the achieved objective value.
@@ -77,8 +106,9 @@ impl Selection {
 /// [`validate`] module can check all three numerically.
 pub trait PartitionedObjective: Sync {
     /// Evaluation state. `f(X)` for a set `X` is obtained by committing the
-    /// elements of `X` (in any order) onto a fresh state.
-    type State: Clone + Send;
+    /// elements of `X` (in any order) onto a fresh state. `Sync` because the
+    /// parallel argmax scans read a shared state from several threads.
+    type State: Clone + Send + Sync;
 
     /// A fresh state representing the empty set.
     fn new_state(&self) -> Self::State;

@@ -25,7 +25,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{evaluate_selection, PartitionedObjective, Selection};
+use crate::greedy::effective_threads;
+use crate::{evaluate_selection, OptimizerStats, PartitionedObjective, Selection};
 
 /// Options for [`tabular_greedy`].
 #[derive(Debug, Clone)]
@@ -39,8 +40,14 @@ pub struct TabularOptions {
     pub samples: usize,
     /// RNG seed (colors and rounding are the only randomness).
     pub seed: u64,
-    /// Elements with estimated marginal gain ≤ this stay unassigned.
+    /// Elements whose estimated **per-sample average** marginal gain is ≤
+    /// this stay unassigned. The same scale as a single oracle marginal, so
+    /// the threshold means the same thing regardless of how many samples
+    /// happen to realize a color.
     pub min_gain: f64,
+    /// Worker threads for the per-candidate argmax scans (0 or 1 =
+    /// sequential). Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for TabularOptions {
@@ -50,6 +57,25 @@ impl Default for TabularOptions {
             samples: 16,
             seed: 0,
             min_gain: 0.0,
+            threads: 1,
+        }
+    }
+}
+
+/// Total-order maximum over `(gain, candidate index)`: higher gain wins,
+/// exact ties go to the lower index. Associative and commutative (gains are
+/// finite), so a parallel reduction yields the same result as a sequential
+/// first-max-wins scan for any thread count.
+fn better(a: Option<(f64, usize)>, b: Option<(f64, usize)>) -> Option<(f64, usize)> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some((ag, ax)), Some((bg, bx))) => {
+            if bg > ag || (bg == ag && bx < ax) {
+                Some((bg, bx))
+            } else {
+                Some((ag, ax))
+            }
         }
     }
 }
@@ -59,18 +85,28 @@ impl Default for TabularOptions {
 /// With `colors == 1` this is the deterministic locally greedy algorithm
 /// (single sample, color always matching).
 pub fn tabular_greedy<O: PartitionedObjective>(obj: &O, options: &TabularOptions) -> Selection {
+    tabular_greedy_with_stats(obj, options).0
+}
+
+/// [`tabular_greedy`] that also reports oracle-call counts.
+pub fn tabular_greedy_with_stats<O: PartitionedObjective>(
+    obj: &O,
+    options: &TabularOptions,
+) -> (Selection, OptimizerStats) {
     let c_total = options.colors.max(1);
     if c_total == 1 {
-        return crate::locally_greedy(
+        return crate::locally_greedy_with_stats(
             obj,
             &crate::GreedyOptions {
                 min_gain: options.min_gain,
+                threads: options.threads,
                 ..crate::GreedyOptions::default()
             },
         );
     }
     let p_total = obj.num_partitions();
     let n_samples = options.samples.max(1);
+    let mut stats = OptimizerStats::default();
     let mut rng = StdRng::seed_from_u64(options.seed);
 
     // colors[s][p]: the color sample `s` assigns to partition `p`.
@@ -81,6 +117,7 @@ pub fn tabular_greedy<O: PartitionedObjective>(obj: &O, options: &TabularOptions
     // table[p][c]: the element chosen for partition p at color c.
     let mut table: Vec<Vec<Option<usize>>> = vec![vec![None; c_total]; p_total];
 
+    let all_samples: Vec<usize> = (0..n_samples).collect();
     let mut matching: Vec<usize> = Vec::with_capacity(n_samples);
     // `c` and `p` index several tables at once; the explicit ranges mirror
     // the paper's two-level loop.
@@ -93,30 +130,40 @@ pub fn tabular_greedy<O: PartitionedObjective>(obj: &O, options: &TabularOptions
             }
             matching.clear();
             matching.extend((0..n_samples).filter(|&s| colors[s][p] == c));
-            let mut best: Option<(usize, f64)> = None;
-            for x in 0..choices {
-                let gain: f64 = if matching.is_empty() {
-                    // No sample realizes this color here; fall back to the
-                    // average marginal over all samples as an unbiased-ish
-                    // proxy (scale is irrelevant for the argmax).
-                    (0..n_samples)
-                        .map(|s| obj.marginal(&states[s], p, x))
-                        .sum()
-                } else {
-                    matching
+            // No sample realizes this color here → estimate over all samples
+            // as a proxy; nothing gets committed in that case.
+            let scan: &[usize] = if matching.is_empty() {
+                &all_samples
+            } else {
+                &matching
+            };
+            let cnt = scan.len();
+            stats.marginal_calls += (choices * cnt) as u64;
+            // Candidates are independent; scan them across threads with a
+            // total-order max reduction. Per-candidate gains sum over the
+            // matching samples sequentially, so every thread count produces
+            // the exact same floats.
+            let states_ref = &states;
+            let best = haste_parallel::par_reduce_range(
+                choices,
+                effective_threads(options.threads, choices.saturating_mul(cnt)),
+                None,
+                |x| {
+                    let sum: f64 = scan
                         .iter()
-                        .map(|&s| obj.marginal(&states[s], p, x))
-                        .sum()
-                };
-                match best {
-                    Some((_, bg)) if gain <= bg => {}
-                    _ => best = Some((x, gain)),
-                }
-            }
-            if let Some((x, gain)) = best {
-                let threshold = options.min_gain * matching.len().max(1) as f64;
-                if gain > threshold {
+                        .map(|&s| obj.marginal(&states_ref[s], p, x))
+                        .sum();
+                    // Per-sample average: keeps the argmax of the sum (all
+                    // candidates divide by the same count) while putting the
+                    // estimate on the same scale as `min_gain`.
+                    Some((sum / cnt as f64, x))
+                },
+                better,
+            );
+            if let Some((gain, x)) = best {
+                if gain > options.min_gain {
                     table[p][c] = Some(x);
+                    stats.commit_calls += matching.len() as u64;
                     for &s in &matching {
                         obj.commit(&mut states[s], p, x);
                     }
@@ -131,9 +178,8 @@ pub fn tabular_greedy<O: PartitionedObjective>(obj: &O, options: &TabularOptions
     for (s, state) in states.iter().enumerate() {
         let value = obj.value(state);
         if best_sel.as_ref().is_none_or(|b| value > b.value) {
-            let choices: Vec<Option<usize>> = (0..p_total)
-                .map(|p| table[p][colors[s][p]])
-                .collect();
+            let choices: Vec<Option<usize>> =
+                (0..p_total).map(|p| table[p][colors[s][p]]).collect();
             best_sel = Some(Selection { choices, value });
         }
     }
@@ -142,7 +188,7 @@ pub fn tabular_greedy<O: PartitionedObjective>(obj: &O, options: &TabularOptions
         (sel.value - evaluate_selection(obj, &sel.choices)).abs() <= 1e-9 * (1.0 + sel.value.abs()),
         "sample state diverged from replay"
     );
-    sel
+    (sel, stats)
 }
 
 #[cfg(test)]
@@ -164,7 +210,7 @@ mod tests {
                     colors: 1,
                     samples: 5,
                     seed: 9,
-                    min_gain: 0.0,
+                    ..TabularOptions::default()
                 },
             );
             let greedy = locally_greedy(&toy, &GreedyOptions::default());
@@ -205,7 +251,7 @@ mod tests {
             colors: 3,
             samples: 16,
             seed: 1234,
-            min_gain: 0.0,
+            ..TabularOptions::default()
         };
         let a = tabular_greedy(&toy, &opts);
         let b = tabular_greedy(&toy, &opts);
@@ -271,5 +317,84 @@ mod tests {
         );
         // With many colors/samples, tabular should find the 2.0 solution.
         assert!((tab.value - 2.0).abs() < 1e-9, "tabular {}", tab.value);
+    }
+
+    #[test]
+    fn parallel_scan_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let toy = ToyCoverage::random(&mut rng, 8, 5, 12, 2);
+            let base = TabularOptions {
+                colors: 4,
+                samples: 16,
+                seed: trial,
+                ..TabularOptions::default()
+            };
+            let seq = tabular_greedy(&toy, &base);
+            let par = tabular_greedy(
+                &toy,
+                &TabularOptions {
+                    threads: 4,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(seq.choices, par.choices);
+            assert_eq!(seq.value.to_bits(), par.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn min_gain_is_per_sample_average() {
+        // Every element delivers exactly 1.0 per sample (cap 1, single item
+        // of weight 1 per choice). A threshold just below the per-sample
+        // unit gain keeps everything; just above it must reject everything,
+        // regardless of how many samples realize each color — the historic
+        // bug scaled the empty-color fallback by n_samples while
+        // thresholding as if one sample matched, inflating gains 16×.
+        let toy = ToyCoverage {
+            choices: vec![vec![vec![0]], vec![vec![1]], vec![vec![2]]],
+            weights: vec![1.0; 3],
+            cap: 1,
+        };
+        let base = TabularOptions {
+            colors: 4,
+            samples: 16,
+            seed: 7,
+            ..TabularOptions::default()
+        };
+        let keep = tabular_greedy(
+            &toy,
+            &TabularOptions {
+                min_gain: 0.99,
+                ..base.clone()
+            },
+        );
+        assert_eq!(keep.num_chosen(), 3, "unit gains exceed 0.99");
+        let reject = tabular_greedy(
+            &toy,
+            &TabularOptions {
+                min_gain: 1.01,
+                ..base
+            },
+        );
+        assert_eq!(reject.num_chosen(), 0, "no per-sample gain exceeds 1.01");
+    }
+
+    #[test]
+    fn stats_are_sane_and_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let toy = ToyCoverage::random(&mut rng, 8, 4, 10, 2);
+        let opts = TabularOptions {
+            colors: 4,
+            samples: 16,
+            seed: 3,
+            ..TabularOptions::default()
+        };
+        let (sel, stats) = tabular_greedy_with_stats(&toy, &opts);
+        assert!(stats.marginal_calls > 0);
+        assert!(stats.commit_calls as usize >= sel.num_chosen());
+        let (_, stats4) = tabular_greedy_with_stats(&toy, &TabularOptions { threads: 4, ..opts });
+        // Counters are arithmetic, not sampled: identical across threads.
+        assert_eq!(stats, stats4);
     }
 }

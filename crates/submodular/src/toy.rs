@@ -26,10 +26,7 @@ impl ToyCoverage {
     /// Best (cap = 1): {0,1} + {2} = 1.0 + 2.0 + 4.0 = 7.0.
     pub fn example() -> Self {
         ToyCoverage {
-            choices: vec![
-                vec![vec![0, 1], vec![2]],
-                vec![vec![1], vec![2]],
-            ],
+            choices: vec![vec![vec![0, 1], vec![2]], vec![vec![1], vec![2]]],
             weights: vec![1.0, 2.0, 4.0],
             cap: 1,
         }

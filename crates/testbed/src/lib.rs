@@ -53,14 +53,78 @@ pub fn topology1() -> Scenario {
     // the longest windows.
     let w = 1.0 / 8.0;
     let tasks = vec![
-        Task::new(0, Vec2::new(0.5, 1.2), Angle::from_degrees(180.0), 0, 10, 8_750.0, w),
-        Task::new(1, Vec2::new(1.2, 0.5), Angle::from_degrees(270.0), 1, 5, 10_500.0, w),
-        Task::new(2, Vec2::new(1.9, 1.0), Angle::from_degrees(0.0), 0, 4, 7_500.0, w),
-        Task::new(3, Vec2::new(1.2, 1.9), Angle::from_degrees(90.0), 2, 6, 12_500.0, w),
-        Task::new(4, Vec2::new(0.8, 0.8), Angle::from_degrees(225.0), 3, 7, 9_500.0, w),
-        Task::new(5, Vec2::new(1.6, 1.6), Angle::from_degrees(45.0), 0, 9, 10_000.0, w),
-        Task::new(6, Vec2::new(0.4, 1.9), Angle::from_degrees(135.0), 4, 8, 11_500.0, w),
-        Task::new(7, Vec2::new(2.0, 0.4), Angle::from_degrees(300.0), 2, 7, 8_000.0, w),
+        Task::new(
+            0,
+            Vec2::new(0.5, 1.2),
+            Angle::from_degrees(180.0),
+            0,
+            10,
+            8_750.0,
+            w,
+        ),
+        Task::new(
+            1,
+            Vec2::new(1.2, 0.5),
+            Angle::from_degrees(270.0),
+            1,
+            5,
+            10_500.0,
+            w,
+        ),
+        Task::new(
+            2,
+            Vec2::new(1.9, 1.0),
+            Angle::from_degrees(0.0),
+            0,
+            4,
+            7_500.0,
+            w,
+        ),
+        Task::new(
+            3,
+            Vec2::new(1.2, 1.9),
+            Angle::from_degrees(90.0),
+            2,
+            6,
+            12_500.0,
+            w,
+        ),
+        Task::new(
+            4,
+            Vec2::new(0.8, 0.8),
+            Angle::from_degrees(225.0),
+            3,
+            7,
+            9_500.0,
+            w,
+        ),
+        Task::new(
+            5,
+            Vec2::new(1.6, 1.6),
+            Angle::from_degrees(45.0),
+            0,
+            9,
+            10_000.0,
+            w,
+        ),
+        Task::new(
+            6,
+            Vec2::new(0.4, 1.9),
+            Angle::from_degrees(135.0),
+            4,
+            8,
+            11_500.0,
+            w,
+        ),
+        Task::new(
+            7,
+            Vec2::new(2.0, 0.4),
+            Angle::from_degrees(300.0),
+            2,
+            7,
+            8_000.0,
+            w,
+        ),
     ];
     Scenario::new(
         params,
@@ -79,7 +143,7 @@ pub fn topology2() -> Scenario {
     let params = ChargingParams::testbed_tx91501();
     let mut rng = StdRng::seed_from_u64(0x7E57_BEDF);
     let side = 3.6;
-    let chargers = (0..16)
+    let chargers: Vec<Charger> = (0..16)
         .map(|i| {
             Charger::new(
                 i as u32,
@@ -92,22 +156,40 @@ pub fn topology2() -> Scenario {
         .map(|j| {
             let release = rng.gen_range(0..4usize);
             let duration = rng.gen_range(3..=9usize);
-            Task::new(
-                j as u32,
-                Vec2::new(
-                    rng.gen_range(0.2..side - 0.2),
-                    rng.gen_range(0.2..side - 0.2),
-                ),
-                Angle::from_degrees(rng.gen_range(0.0..360.0)),
-                release,
-                release + duration,
-                rng.gen_range(8_000.0..14_000.0),
-                w,
-            )
+            // Resample placement/facing until at least one transmitter can
+            // reach the node: an unreachable node would be a dead row in
+            // Figs. 24–25, and the paper's physical deployment has none.
+            loop {
+                let task = Task::new(
+                    j as u32,
+                    Vec2::new(
+                        rng.gen_range(0.2..side - 0.2),
+                        rng.gen_range(0.2..side - 0.2),
+                    ),
+                    Angle::from_degrees(rng.gen_range(0.0..360.0)),
+                    release,
+                    release + duration,
+                    rng.gen_range(8_000.0..14_000.0),
+                    w,
+                );
+                if chargers
+                    .iter()
+                    .any(|c| haste_model::power::chargeable(&params, c, &task))
+                {
+                    break task;
+                }
+            }
         })
         .collect();
-    Scenario::new(params, TimeGrid::minutes(13), chargers, tasks, 1.0 / 12.0, 1)
-        .expect("topology 2 is a valid scenario")
+    Scenario::new(
+        params,
+        TimeGrid::minutes(13),
+        chargers,
+        tasks,
+        1.0 / 12.0,
+        1,
+    )
+    .expect("topology 2 is a valid scenario")
 }
 
 /// The testbed algorithm roster of Figs. 21–25.
@@ -144,22 +226,27 @@ pub fn per_task_utilities(scenario: &Scenario, algo: Algo, seed: u64) -> Vec<f64
             .report
             .per_task_utility
         }
-        Algo::OnlineHaste { .. } => algo
-            .run_online(scenario, &coverage, seed)
-            .report
-            .per_task_utility,
-        Algo::OfflineBaseline(kind) => haste_core::solve_baseline(scenario, &coverage, kind)
-            .report
-            .per_task_utility,
+        Algo::OnlineHaste { .. } => {
+            algo.run_online(scenario, &coverage, seed)
+                .report
+                .per_task_utility
+        }
+        Algo::OfflineBaseline(kind) => {
+            haste_core::solve_baseline(scenario, &coverage, kind)
+                .report
+                .per_task_utility
+        }
         Algo::OnlineBaseline(kind) => {
             haste_distributed::solve_baseline_online(scenario, &coverage, kind)
                 .report
                 .per_task_utility
         }
-        Algo::Exact { budget } => haste_core::solve_exact(scenario, &coverage, budget)
-            .expect("testbed instances are small")
-            .report
-            .per_task_utility,
+        Algo::Exact { budget } => {
+            haste_core::solve_exact(scenario, &coverage, budget)
+                .expect("testbed instances are small")
+                .report
+                .per_task_utility
+        }
     }
 }
 

@@ -34,7 +34,10 @@ fn main() {
     );
 
     // Tighten the radiation budget step by step.
-    println!("\n{:>12} {:>10} {:>10} {:>10}", "threshold", "utility", "peak", "rejected");
+    println!(
+        "\n{:>12} {:>10} {:>10} {:>10}",
+        "threshold", "utility", "peak", "rejected"
+    );
     for fraction in [1.0, 0.75, 0.5, 0.25, 0.1] {
         let threshold = unconstrained_peak * fraction;
         let result = solve_offline_emr(

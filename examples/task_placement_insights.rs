@@ -30,7 +30,10 @@ fn main() {
             let coverage = CoverageMap::build(&scenario);
             total += algo.run(&scenario, &coverage, seed).unwrap_or(0.0);
         }
-        println!("  sigma = {sigma:>5.1} m  ->  utility {:.4}", total / reps as f64);
+        println!(
+            "  sigma = {sigma:>5.1} m  ->  utility {:.4}",
+            total / reps as f64
+        );
     }
 
     // Insight 2 (Fig. 18): the maximum achievable individual utility decays

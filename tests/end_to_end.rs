@@ -90,9 +90,14 @@ fn schedules_only_use_extracted_orientations() {
         for k in 0..scenario.grid.num_slots {
             if let Some(theta) = r.schedule.get(charger.id, k) {
                 let covers_any = candidates.iter().any(|c| {
-                    c.azimuth.within(theta, scenario.params.charging_angle / 2.0)
+                    c.azimuth
+                        .within(theta, scenario.params.charging_angle / 2.0)
                 });
-                assert!(covers_any, "charger {:?} slot {k} aims at nothing", charger.id);
+                assert!(
+                    covers_any,
+                    "charger {:?} slot {k} aims at nothing",
+                    charger.id
+                );
             }
         }
     }
@@ -110,8 +115,7 @@ fn wider_angles_never_hurt() {
         for seed in 0..4u64 {
             let scenario = spec.generate(seed);
             let coverage = CoverageMap::build(&scenario);
-            total += solve_offline(&scenario, &coverage, &OfflineConfig::greedy())
-                .relaxed_value;
+            total += solve_offline(&scenario, &coverage, &OfflineConfig::greedy()).relaxed_value;
         }
         utilities.push(total);
     }

@@ -88,8 +88,7 @@ fn larger_tau_degrades_gracefully() {
             let mut scenario = spec().generate(70 + seed);
             scenario.tau = tau;
             let coverage = CoverageMap::build(&scenario);
-            total += solve_online(&scenario, &coverage, &OnlineConfig::default())
-                .relaxed_value;
+            total += solve_online(&scenario, &coverage, &OnlineConfig::default()).relaxed_value;
         }
         assert!(
             total <= previous + 0.05 * previous.min(total.max(1e-9)),

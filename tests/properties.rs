@@ -172,6 +172,128 @@ proptest! {
 }
 
 proptest! {
+    // Each case runs several full solves on paper-family scenarios.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On scenarios drawn from the paper's small-scale generator, the value
+    /// the greedy oracle accumulates incrementally equals a from-scratch
+    /// replay of the materialized schedule through `evaluate_relaxed` —
+    /// for both the locally greedy (`C = 1`) and TabularGreedy (`C = 4`)
+    /// paths — and `solve_offline` reports exactly that value.
+    #[test]
+    fn relaxed_value_matches_evaluator_replay(
+        seed in 0u64..10_000,
+        n in 3usize..=6,
+        m in 6usize..=14,
+    ) {
+        use haste::submodular::{
+            locally_greedy_with_stats, tabular_greedy_with_stats, GreedyOptions, TabularOptions,
+        };
+        let scenario = haste::sim::ScenarioSpec {
+            num_chargers: n,
+            num_tasks: m,
+            ..haste::sim::ScenarioSpec::small_scale()
+        }
+        .generate(seed);
+        let coverage = CoverageMap::build(&scenario);
+        let inst = HasteRInstance::build(&scenario, &coverage, DominantScope::PerSlot);
+        for colors in [1usize, 4] {
+            let (sel, _) = if colors == 1 {
+                locally_greedy_with_stats(&inst, &GreedyOptions::default())
+            } else {
+                tabular_greedy_with_stats(&inst, &TabularOptions {
+                    colors,
+                    samples: 8,
+                    seed,
+                    ..TabularOptions::default()
+                })
+            };
+            // Independent replay: materialize (no orientation holding) and
+            // score with the standalone relaxed evaluator.
+            let schedule = inst.materialize(&sel);
+            let replay = evaluate_relaxed(&scenario, &coverage, &schedule);
+            prop_assert!(
+                (sel.value - replay.total_utility).abs() < 1e-9,
+                "C={}: oracle value {} vs replay {}",
+                colors, sel.value, replay.total_utility
+            );
+            // The full solver pipeline reports exactly this value.
+            let r = haste::core::solve_offline(
+                &scenario,
+                &coverage,
+                &haste::core::OfflineConfig {
+                    colors,
+                    samples: 8,
+                    seed,
+                    switch_aware: false,
+                    ..haste::core::OfflineConfig::default()
+                },
+            );
+            prop_assert_eq!(
+                r.relaxed_value.to_bits(),
+                sel.value.to_bits(),
+                "C={}: solve_offline diverged from the bare optimizer",
+                colors
+            );
+        }
+    }
+
+    /// The parallel solve path returns the bit-identical solution — same
+    /// schedule, same value bits, same oracle counters — for any thread
+    /// count, on both optimizer paths.
+    #[test]
+    fn parallel_solve_is_bit_identical(
+        seed in 0u64..10_000,
+        n in 3usize..=6,
+        m in 6usize..=14,
+        threads in 2usize..=8,
+    ) {
+        let scenario = haste::sim::ScenarioSpec {
+            num_chargers: n,
+            num_tasks: m,
+            ..haste::sim::ScenarioSpec::small_scale()
+        }
+        .generate(seed);
+        let coverage = CoverageMap::build(&scenario);
+        let coverage_par = CoverageMap::build_par(&scenario, threads);
+        for charger in &scenario.chargers {
+            prop_assert_eq!(
+                coverage_par.tasks_of(charger.id),
+                coverage.tasks_of(charger.id)
+            );
+        }
+        for colors in [1usize, 4] {
+            let base = haste::core::solve_offline(
+                &scenario,
+                &coverage,
+                &haste::core::OfflineConfig {
+                    colors,
+                    ..haste::core::OfflineConfig::default()
+                },
+            );
+            let par = haste::core::solve_offline(
+                &scenario,
+                &coverage,
+                &haste::core::OfflineConfig {
+                    colors,
+                    threads,
+                    ..haste::core::OfflineConfig::default()
+                },
+            );
+            prop_assert_eq!(&base.schedule, &par.schedule);
+            prop_assert_eq!(
+                base.relaxed_value.to_bits(),
+                par.relaxed_value.to_bits(),
+                "C={}, threads={}: value changed",
+                colors, threads
+            );
+            prop_assert_eq!(base.metrics.oracle_marginals, par.metrics.oracle_marginals);
+            prop_assert_eq!(base.metrics.oracle_commits, par.metrics.oracle_commits);
+        }
+    }
+}
+
+proptest! {
     // The threaded engine spawns one OS thread per charger per negotiation;
     // keep the case count low.
     #![proptest_config(ProptestConfig::with_cases(10))]

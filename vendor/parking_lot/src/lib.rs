@@ -1,0 +1,131 @@
+//! Offline-vendored subset of `parking_lot`: a non-poisoning [`Mutex`] and a
+//! [`Condvar`] whose `wait` takes `&mut MutexGuard` — the API shape the
+//! `haste-parallel` thread pool relies on. Implemented over `std::sync`
+//! primitives (poison errors are swallowed, matching parking_lot's
+//! poison-free semantics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard of a locked [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait` can temporarily take the std guard by
+    // value; it is `Some` at every API boundary.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+/// A condition variable pairing with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut started = lock.lock();
+        while !*started {
+            cv.wait(&mut started);
+        }
+        assert!(*started);
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline-vendored subset of `proptest`, implementing the surface this
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`strategy::Strategy`] with [`strategy::Strategy::prop_map`],
+//! * range strategies (`0.0f64..1.0`, `1usize..=4`, …), tuple strategies,
+//!   and [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Unlike upstream there is **no shrinking** and no failure persistence:
+//! cases are generated from a seed derived deterministically from the test
+//! name, a failing case panics with the assertion message directly. That
+//! keeps runs reproducible without any filesystem or network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The RNG handed to strategies; deterministic per test.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            // `bool` as a strategy means "any bool" (upstream: `any::<bool>()`
+            // shorthand is not a thing; kept for convenience).
+            let _ = self;
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A 0);
+    impl_tuple_strategy!(A 0, B 1);
+    impl_tuple_strategy!(A 0, B 1, C 2);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed count or a range of counts.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from `element`.
+    pub fn vec<S: Strategy, N: SizeRange>(element: S, size: N) -> VecStrategy<S, N> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, N> {
+        element: S,
+        size: N,
+    }
+
+    impl<S: Strategy, N: SizeRange> Strategy for VecStrategy<S, N> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Subset of upstream's `ProptestConfig`: only the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a of the test's full name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Marker returned through `?`-less early exit when `prop_assume!` rejects a
+/// case; the runner draws a replacement case.
+#[derive(Debug)]
+pub struct CaseRejected;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Asserts a condition inside a property; panics (failing the test, with no
+/// shrinking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Rejects the current case unless the condition holds; the runner replaces
+/// it with a fresh one (bounded retries).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseRejected);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal recursive expansion of [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat_param in $strat:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        // Upstream style: the `#[test]` attribute is written by the caller
+        // inside the macro body and passed through via `$meta`.
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = <$crate::strategy::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = u64::from(cfg.cases) * 20 + 100;
+            while accepted < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "prop_assume! rejected too many cases ({} attempts for {} target cases)",
+                    attempts,
+                    cfg.cases
+                );
+                $(let $arg = ($strat).sample(&mut rng);)+
+                // The closure gives `prop_assume!` an early-return channel
+                // out of `$body`; it cannot be inlined into the `let`.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::CaseRejected> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 0.0f64..1.0, n in 1usize..=4) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        /// prop_map composes.
+        #[test]
+        fn mapped_strategy(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        /// Tuples and vec() generate with requested shapes.
+        #[test]
+        fn tuple_and_vec(
+            (a, b) in (0u32..10, 0u32..10),
+            v in collection::vec(0i32..5, 7),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline-vendored `serde` facade.
+//!
+//! The workspace's model types derive `Serialize` / `Deserialize` for
+//! interoperability, but no serde format crate is shipped (scenario I/O uses
+//! the plain-text format in `haste-model::io`). This facade provides the
+//! trait names and re-exports the no-op derives so those annotations compile
+//! without any crates.io access. If a real format crate is ever added, swap
+//! this vendored pair for upstream `serde` — the annotations are already
+//! upstream-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

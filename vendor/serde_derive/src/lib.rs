@@ -1,0 +1,25 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline-vendored
+//! `serde` facade.
+//!
+//! The workspace derives serde traits on its model types but deliberately
+//! ships no serde *format* crate (see `haste-model`'s text format in
+//! `io.rs`), so nothing ever consumes the generated impls. These derives
+//! therefore expand to nothing; they exist so the `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` annotations keep compiling without
+//! network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); expands
+/// to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
