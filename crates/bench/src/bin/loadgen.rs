@@ -1,0 +1,106 @@
+//! Drives the scheduling daemon with concurrent Poisson task arrivals and
+//! prints throughput and submit-to-ack latency percentiles, plus the
+//! daemon's solver metrics. Self-hosts a daemon by default; point it at a
+//! running one with `--addr`.
+//!
+//! ```text
+//! cargo run --release -p haste-bench --bin loadgen -- \
+//!     [--addr host:port] [--connections 8] [--submissions 10000] \
+//!     [--chargers 8] [--field 200] [--slots 64] [--seed 1] \
+//!     [--max-pending 4096] [--no-verify]
+//! ```
+//!
+//! Exits non-zero on any transport/protocol error, on rejected
+//! submissions, or when the streamed session's utility does not match the
+//! batch replay of its own submission trace bit for bit.
+
+use haste::service::loadgen::{self, LoadgenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = LoadgenConfig::default();
+    let mut strict = true;
+
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                config.addr = Some(value(&args, i, "--addr"));
+                i += 1;
+            }
+            "--connections" => {
+                config.connections = parse(&value(&args, i, "--connections"));
+                i += 1;
+            }
+            "--submissions" => {
+                config.submissions = parse(&value(&args, i, "--submissions"));
+                i += 1;
+            }
+            "--chargers" => {
+                config.chargers = parse(&value(&args, i, "--chargers"));
+                i += 1;
+            }
+            "--field" => {
+                config.field = parse(&value(&args, i, "--field"));
+                i += 1;
+            }
+            "--slots" => {
+                config.slots = parse(&value(&args, i, "--slots"));
+                i += 1;
+            }
+            "--seed" => {
+                config.seed = parse(&value(&args, i, "--seed"));
+                i += 1;
+            }
+            "--max-pending" => {
+                config.max_pending = parse(&value(&args, i, "--max-pending"));
+                i += 1;
+            }
+            "--no-verify" => config.verify_replay = false,
+            "--lenient" => strict = false,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let report = loadgen::run(&config).unwrap_or_else(|e| {
+        eprintln!("loadgen failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{report}");
+
+    if strict {
+        if report.accepted != report.submitted {
+            eprintln!(
+                "FAIL: {} of {} submissions were not accepted",
+                report.submitted - report.accepted,
+                report.submitted
+            );
+            std::process::exit(1);
+        }
+        if report.replay_matches == Some(false) {
+            eprintln!(
+                "FAIL: streamed utility {} != replay utility {}",
+                report.utility,
+                report.replay_utility.unwrap_or(f64::NAN)
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric value `{s}`");
+        std::process::exit(2);
+    })
+}

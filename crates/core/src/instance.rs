@@ -60,7 +60,8 @@ pub struct InstanceOptions {
     /// scheduler uses this to plan around failed chargers.
     pub disabled_chargers: Option<Vec<bool>>,
     /// Worker threads for the per-charger dominant-set extraction (`None`
-    /// or `Some(1)` = sequential). Chargers are independent during
+    /// or `Some(1)` = sequential, `Some(0)` = auto-detect via
+    /// `haste_parallel::default_threads`). Chargers are independent during
     /// extraction and families are assembled in charger order afterwards,
     /// so the instance is identical for every thread count.
     pub threads: Option<usize>,
@@ -119,7 +120,7 @@ impl<'a> HasteRInstance<'a> {
         let known = options.known_tasks;
         let visibility_delay = options.visibility_delay.unwrap_or(0);
         let slot_seconds = scenario.grid.slot_seconds;
-        let threads = options.threads.unwrap_or(1).max(1);
+        let threads = options.threads.map_or(1, haste_parallel::resolve_threads);
 
         let usable = |task_idx: usize, k: Slot| -> bool {
             let task = &scenario.tasks[task_idx];

@@ -37,8 +37,9 @@ pub struct OfflineConfig {
     /// switch-aware tie-breaking.
     pub lazy: bool,
     /// Worker threads for instance construction and the optimizer's argmax
-    /// scans (0 or 1 = sequential). The solution is bit-identical for every
-    /// value — parallelism only changes wall-clock.
+    /// scans (1 = sequential, 0 = auto-detect via
+    /// [`haste_parallel::default_threads`]). The solution is bit-identical
+    /// for every value — parallelism only changes wall-clock.
     pub threads: usize,
 }
 
@@ -94,7 +95,7 @@ pub fn solve_offline(
     coverage: &CoverageMap,
     config: &OfflineConfig,
 ) -> SolveResult {
-    let threads = config.threads.max(1);
+    let threads = haste_parallel::resolve_threads(config.threads);
     let mut metrics = SolverMetrics {
         threads,
         ..SolverMetrics::default()
@@ -324,6 +325,39 @@ mod tests {
             assert_eq!(seq.metrics.oracle_marginals, par.metrics.oracle_marginals);
             assert_eq!(seq.metrics.oracle_commits, par.metrics.oracle_commits);
         }
+    }
+
+    #[test]
+    fn threads_zero_means_auto_detect() {
+        // `threads: 0` resolves to the machine's parallelism — uniformly
+        // across every config that carries the knob — and never changes the
+        // solution (parallel paths are bit-deterministic).
+        let s = two_task_scenario(0.25);
+        let cov = CoverageMap::build(&s);
+        let auto = solve_offline(
+            &s,
+            &cov,
+            &OfflineConfig {
+                threads: 0,
+                ..OfflineConfig::default()
+            },
+        );
+        assert_eq!(auto.metrics.threads, haste_parallel::default_threads());
+        let seq = solve_offline(&s, &cov, &OfflineConfig::default());
+        assert_eq!(auto.schedule, seq.schedule);
+        assert_eq!(auto.relaxed_value.to_bits(), seq.relaxed_value.to_bits());
+        // The instance builder shares the convention: `Some(0)` is auto,
+        // `None` stays sequential.
+        let inst = HasteRInstance::build_with(
+            &s,
+            &cov,
+            InstanceOptions {
+                threads: Some(0),
+                ..InstanceOptions::default()
+            },
+        );
+        let inst_seq = HasteRInstance::build_with(&s, &cov, InstanceOptions::default());
+        assert_eq!(inst.ground_set_size(), inst_seq.ground_set_size());
     }
 
     #[test]

@@ -1,0 +1,1053 @@
+//! The incremental **online engine**: the event loop of [`solve_online`]
+//! re-packaged as a long-lived state machine that a daemon can drive.
+//!
+//! [`solve_online`](crate::solve_online) consumes a scenario whose future is
+//! fully known (task releases are data) and replays the arrival events in
+//! one call. A scheduling *service* cannot do that: tasks arrive over a
+//! wire, one at a time, while the virtual clock advances. [`OnlineEngine`]
+//! holds the evolving scenario, schedule and negotiation state between
+//! arrivals:
+//!
+//! * [`OnlineEngine::submit`] admits a task into the **current open slot**
+//!   (with backpressure once `max_pending` submissions accumulate),
+//! * [`OnlineEngine::tick`] closes the slot — if tasks arrived, the
+//!   affected chargers re-negotiate exactly as in Algorithm 3 (rescheduling
+//!   delay `τ`, switching delay `ρ` at evaluation) — and opens the next,
+//! * [`OnlineEngine::snapshot`] / [`OnlineEngine::restore`] round-trip the
+//!   full engine state through a text format, so a restarted daemon resumes
+//!   bit-deterministically.
+//!
+//! # Determinism contract
+//!
+//! A streamed session and [`replay_trace`] of its submission trace produce
+//! **bit-identical** schedules and utilities: both grow the scenario in the
+//! same arrival order and fire the same re-negotiation events. The engine
+//! also matches [`solve_online`](crate::solve_online) bitwise when every
+//! task releases at slot 0 (then both negotiate over the same coverage).
+//! With staggered releases the batch solver is *not* the reference: it
+//! builds its coverage map and neighbor graph over all tasks — including
+//! ones the online system has not seen yet — whereas the engine only ever
+//! knows arrived tasks, which is the honest online information model.
+//!
+//! The engine ignores [`OnlineConfig::failures`]; injected charger failures
+//! are a batch-experiment feature (a daemon would learn of failures through
+//! its own channel, which this crate does not model yet).
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use haste_core::SolverMetrics;
+use haste_model::{
+    evaluate, evaluate_relaxed, io, CoverageMap, EvalOptions, EvalReport, Scenario, Schedule, Task,
+    TaskId,
+};
+
+use crate::neighbors::NeighborGraph;
+use crate::online::{replan_event, OnlineConfig, OnlineResult, ReplanEvent};
+use crate::protocol::NegotiationStats;
+use crate::EngineKind;
+
+/// A task submission, as it arrives over the wire: everything a [`Task`]
+/// carries except its id and release slot, which the engine assigns (the
+/// id is the arrival index, the release slot is the current open slot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Position of the rechargeable device, in meters.
+    pub device_pos: haste_geometry::Vec2,
+    /// Orientation of the device's receiving sector.
+    pub device_facing: haste_geometry::Angle,
+    /// One past the last active slot (absolute).
+    pub end_slot: usize,
+    /// Required charging energy in joules.
+    pub required_energy: f64,
+    /// Weight in the overall utility.
+    pub weight: f64,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// The per-slot submission queue is full; retry after the next tick.
+    Backpressure {
+        /// The configured `max_pending` bound that was hit.
+        limit: usize,
+    },
+    /// The virtual clock has consumed every slot of the grid.
+    Closed,
+    /// The task itself is invalid (bad window, non-finite fields, …).
+    BadTask(String),
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Backpressure { limit } => {
+                write!(f, "submission queue full ({limit} pending); tick first")
+            }
+            AdmitError::Closed => write!(f, "the time grid is exhausted"),
+            AdmitError::BadTask(reason) => write!(f, "invalid task: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A snapshot failed to parse or reassemble into a consistent engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotError {
+    /// 1-based line number within the snapshot text (0 = whole document).
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The incremental online scheduler. See the [module docs](self) for the
+/// lifecycle and determinism contract.
+#[derive(Debug, Clone)]
+pub struct OnlineEngine {
+    /// The evolving instance: `tasks` holds exactly the *arrived* tasks, in
+    /// arrival order (ids are arrival indices). Doubles as the submission
+    /// trace that [`replay_trace`] consumes.
+    scenario: Scenario,
+    /// Pre-loaded future releases (from a scenario file), stably sorted by
+    /// release slot; injected into `scenario` when their slot opens.
+    staged: VecDeque<Task>,
+    coverage: CoverageMap,
+    /// How many tasks `coverage` was built over (lazy rebuild watermark).
+    coverage_tasks: usize,
+    config: OnlineConfig,
+    max_pending: usize,
+    /// Submissions admitted into the current open slot.
+    pending: usize,
+    /// The current open slot; slots `0..clock` are closed.
+    clock: usize,
+    schedule: Schedule,
+    stats: NegotiationStats,
+    metrics: SolverMetrics,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl OnlineEngine {
+    /// Creates an engine over a base scenario. Any tasks the scenario
+    /// carries become *staged* arrivals: they are injected when the clock
+    /// reaches their release slot, exactly as if a client had submitted
+    /// them then (stable order: earlier ids first within a slot). Slot 0
+    /// opens immediately.
+    ///
+    /// `max_pending` bounds submissions per open slot (admission control);
+    /// use `usize::MAX` for no bound.
+    pub fn new(mut scenario: Scenario, config: OnlineConfig, max_pending: usize) -> Self {
+        let mut staged: Vec<Task> = std::mem::take(&mut scenario.tasks);
+        staged.sort_by_key(|t| t.release_slot);
+        let threads = haste_parallel::resolve_threads(config.threads);
+        let n = scenario.num_chargers();
+        let num_slots = scenario.grid.num_slots;
+        let mut engine = OnlineEngine {
+            coverage: CoverageMap::build(&scenario),
+            coverage_tasks: 0,
+            scenario,
+            staged: staged.into(),
+            config,
+            max_pending,
+            pending: 0,
+            clock: 0,
+            schedule: Schedule::empty(n, num_slots),
+            stats: NegotiationStats::new(0),
+            metrics: SolverMetrics {
+                threads,
+                ..SolverMetrics::default()
+            },
+            admitted: 0,
+            rejected: 0,
+        };
+        engine.release_due();
+        engine
+    }
+
+    /// Injects every staged task whose release slot has been reached into
+    /// the live scenario, re-assigning ids to arrival order.
+    fn release_due(&mut self) {
+        while let Some(front) = self.staged.front() {
+            if front.release_slot > self.clock {
+                break;
+            }
+            let mut task = self.staged.pop_front().expect("front exists");
+            task.id = TaskId(self.scenario.num_tasks() as u32);
+            self.scenario.tasks.push(task);
+            self.admitted += 1;
+        }
+    }
+
+    /// Rebuilds the coverage map if tasks arrived since the last build.
+    fn refresh_coverage(&mut self) {
+        if self.coverage_tasks != self.scenario.num_tasks() {
+            let start = Instant::now();
+            self.coverage = CoverageMap::build(&self.scenario);
+            self.metrics.coverage_build += start.elapsed();
+            self.coverage_tasks = self.scenario.num_tasks();
+        }
+    }
+
+    /// Admits a task into the current open slot (its release slot becomes
+    /// the current clock). O(1) — negotiation is deferred to [`tick`]
+    /// (`tick` is where the slot closes and arrivals become visible to the
+    /// chargers, matching the paper's slotted information model).
+    ///
+    /// [`tick`]: OnlineEngine::tick
+    pub fn submit(&mut self, spec: TaskSpec) -> Result<TaskId, AdmitError> {
+        if self.is_closed() {
+            self.rejected += 1;
+            return Err(AdmitError::Closed);
+        }
+        if self.pending >= self.max_pending {
+            self.rejected += 1;
+            return Err(AdmitError::Backpressure {
+                limit: self.max_pending,
+            });
+        }
+        let id = self.scenario.num_tasks();
+        let task = Task::new(
+            id as u32,
+            spec.device_pos,
+            spec.device_facing,
+            self.clock,
+            spec.end_slot,
+            spec.required_energy,
+            spec.weight,
+        );
+        if let Err(e) = task.validate(id) {
+            self.rejected += 1;
+            return Err(AdmitError::BadTask(e.to_string()));
+        }
+        if task.end_slot > self.scenario.grid.num_slots {
+            self.rejected += 1;
+            return Err(AdmitError::BadTask(
+                "task window exceeds the time grid".to_string(),
+            ));
+        }
+        self.scenario.tasks.push(task);
+        self.pending += 1;
+        self.admitted += 1;
+        Ok(TaskId(id as u32))
+    }
+
+    /// Closes the current slot and opens the next. If tasks arrived in the
+    /// closing slot the chargers re-negotiate (one event, exactly as in
+    /// [`solve_online`](crate::solve_online)); otherwise the plan stands.
+    /// Returns the newly opened slot, or `None` once the grid is exhausted.
+    pub fn tick(&mut self) -> Option<usize> {
+        if self.is_closed() {
+            return None;
+        }
+        let t = self.clock;
+        let arrived_now: Vec<usize> = self
+            .scenario
+            .tasks
+            .iter()
+            .filter(|task| task.release_slot == t)
+            .map(|task| task.id.index())
+            .collect();
+        if !arrived_now.is_empty() {
+            self.refresh_coverage();
+            let graph = NeighborGraph::build(&self.coverage);
+            let threads = self.metrics.threads;
+            replan_event(
+                &self.scenario,
+                &self.coverage,
+                &graph,
+                &self.config,
+                &mut self.schedule,
+                ReplanEvent {
+                    slot: t,
+                    horizon: self.scenario.active_horizon(),
+                    known: None,
+                    disabled: &vec![false; self.scenario.num_chargers()],
+                    arrived_now: &arrived_now,
+                    failed_now: &[],
+                    threads,
+                },
+                &mut self.stats,
+                &mut self.metrics,
+            );
+            self.metrics.oracle_marginals = self.stats.oracle_marginals;
+            self.metrics.oracle_commits = self.stats.oracle_commits;
+        }
+        self.clock += 1;
+        self.pending = 0;
+        self.release_due();
+        Some(self.clock)
+    }
+
+    /// Ticks through every remaining slot (releasing all staged tasks on
+    /// the way), then evaluates the executed schedule under the full P1
+    /// model and returns the same [`OnlineResult`] shape as
+    /// [`solve_online`](crate::solve_online).
+    pub fn finish(mut self) -> OnlineResult {
+        while self.tick().is_some() {}
+        self.refresh_coverage();
+        let eval_start = Instant::now();
+        let report = evaluate(
+            &self.scenario,
+            &self.coverage,
+            &self.schedule,
+            EvalOptions::default(),
+        );
+        let relaxed = evaluate_relaxed(&self.scenario, &self.coverage, &self.schedule);
+        self.metrics.p1_eval += eval_start.elapsed();
+        OnlineResult {
+            schedule: self.schedule,
+            report,
+            relaxed_value: relaxed.total_utility,
+            stats: self.stats,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Full P1 evaluation of the schedule as executed so far (switching
+    /// delay included). Cheap enough to answer a status query.
+    pub fn evaluate(&mut self) -> EvalReport {
+        self.refresh_coverage();
+        evaluate(
+            &self.scenario,
+            &self.coverage,
+            &self.schedule,
+            EvalOptions::default(),
+        )
+    }
+
+    /// HASTE-R (relaxed, no switching delay) value of the current schedule.
+    pub fn relaxed_value(&mut self) -> f64 {
+        self.refresh_coverage();
+        evaluate_relaxed(&self.scenario, &self.coverage, &self.schedule).total_utility
+    }
+
+    /// The current open slot (slots `0..clock()` are closed).
+    #[inline]
+    pub fn clock(&self) -> usize {
+        self.clock
+    }
+
+    /// Whether every slot of the grid has been consumed.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.clock >= self.scenario.grid.num_slots
+    }
+
+    /// The evolving scenario: exactly the arrived tasks, in arrival order —
+    /// i.e. the submission trace [`replay_trace`] accepts.
+    #[inline]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The schedule as planned/executed so far.
+    #[inline]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Accumulated negotiation counters.
+    #[inline]
+    pub fn stats(&self) -> &NegotiationStats {
+        &self.stats
+    }
+
+    /// Accumulated solver phase timings and oracle counters.
+    #[inline]
+    pub fn metrics(&self) -> &SolverMetrics {
+        &self.metrics
+    }
+
+    /// `(admitted, rejected, pending-in-open-slot)` admission counters.
+    /// Staged releases count as admitted when injected.
+    #[inline]
+    pub fn counters(&self) -> (u64, u64, usize) {
+        (self.admitted, self.rejected, self.pending)
+    }
+
+    /// Tasks staged for future release slots (from the base scenario).
+    #[inline]
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// The scheduling configuration this engine runs under.
+    #[inline]
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the full engine state as text:
+    ///
+    /// ```text
+    /// # haste-service snapshot v1
+    /// clock <open_slot>
+    /// counters <admitted> <rejected> <pending>
+    /// config <colors> <samples> <seed> <rounds|threaded> <localized> <threads> <max_pending>
+    /// stats <messages> <rounds> <oracle_marginals> <oracle_commits>
+    /// perslot messages <len> <v>...
+    /// perslot rounds <len> <v>...
+    /// scenario <num_lines>     (followed by an embedded scenario document)
+    /// staged <num_tasks>       (followed by one `task` line each)
+    /// schedule <num_lines>     (followed by an embedded schedule document)
+    /// ```
+    ///
+    /// [`restore`](OnlineEngine::restore) reconstructs an engine that
+    /// continues bit-identically (floats use shortest-roundtrip formatting,
+    /// which is lossless). Phase *timings* reset to zero on restore — they
+    /// are wall-clock measurements, not algorithm state. Charging
+    /// parameters beyond the five the scenario text carries reset to
+    /// simulation defaults, mirroring `model::io`.
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# haste-service snapshot v1");
+        let _ = writeln!(out, "clock {}", self.clock);
+        let _ = writeln!(
+            out,
+            "counters {} {} {}",
+            self.admitted, self.rejected, self.pending
+        );
+        let engine = match self.config.engine {
+            EngineKind::Rounds => "rounds",
+            EngineKind::Threaded => "threaded",
+        };
+        let _ = writeln!(
+            out,
+            "config {} {} {} {} {} {} {}",
+            self.config.negotiation.colors,
+            self.config.negotiation.samples,
+            self.config.negotiation.seed,
+            engine,
+            self.config.localized as u8,
+            self.config.threads,
+            self.max_pending
+        );
+        let _ = writeln!(
+            out,
+            "stats {} {} {} {}",
+            self.stats.messages,
+            self.stats.rounds,
+            self.stats.oracle_marginals,
+            self.stats.oracle_commits
+        );
+        for (name, values) in [
+            ("messages", &self.stats.per_slot_messages),
+            ("rounds", &self.stats.per_slot_rounds),
+        ] {
+            let _ = write!(out, "perslot {name} {}", values.len());
+            for v in values {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+        let scenario_text = io::write_scenario(&self.scenario);
+        let _ = writeln!(out, "scenario {}", scenario_text.lines().count());
+        out.push_str(&scenario_text);
+        let _ = writeln!(out, "staged {}", self.staged.len());
+        for task in &self.staged {
+            let _ = writeln!(out, "{}", io::task_line(task));
+        }
+        let schedule_text = io::write_schedule(&self.schedule);
+        let _ = writeln!(out, "schedule {}", schedule_text.lines().count());
+        out.push_str(&schedule_text);
+        out
+    }
+
+    /// Reconstructs an engine from [`snapshot`](OnlineEngine::snapshot)
+    /// text. The restored engine continues bit-identically to the
+    /// snapshotted one under the same subsequent operations.
+    pub fn restore(text: &str) -> Result<Self, SnapshotError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut cursor = Cursor {
+            lines: &lines,
+            pos: 0,
+        };
+
+        let clock = {
+            let (line_no, rest) = cursor.directive("clock")?;
+            parse_uints(rest, 1, line_no)?[0]
+        };
+        let (admitted, rejected, pending) = {
+            let (line_no, rest) = cursor.directive("counters")?;
+            let v = parse_uints(rest, 3, line_no)?;
+            (v[0] as u64, v[1] as u64, v[2])
+        };
+        let (config, max_pending) = {
+            let (line_no, rest) = cursor.directive("config")?;
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 7 {
+                return Err(SnapshotError {
+                    line: line_no,
+                    reason: format!("config expects 7 fields, got {}", fields.len()),
+                });
+            }
+            let uint = |s: &str, what: &str| -> Result<usize, SnapshotError> {
+                s.parse().map_err(|_| SnapshotError {
+                    line: line_no,
+                    reason: format!("bad {what} `{s}`"),
+                })
+            };
+            let engine = match fields[3] {
+                "rounds" => EngineKind::Rounds,
+                "threaded" => EngineKind::Threaded,
+                other => {
+                    return Err(SnapshotError {
+                        line: line_no,
+                        reason: format!("unknown engine `{other}`"),
+                    })
+                }
+            };
+            let config = OnlineConfig {
+                negotiation: crate::protocol::NegotiationConfig {
+                    colors: uint(fields[0], "colors")?,
+                    samples: uint(fields[1], "samples")?,
+                    seed: fields[2].parse().map_err(|_| SnapshotError {
+                        line: line_no,
+                        reason: format!("bad seed `{}`", fields[2]),
+                    })?,
+                },
+                engine,
+                failures: Vec::new(),
+                localized: match fields[4] {
+                    "0" => false,
+                    "1" => true,
+                    other => {
+                        return Err(SnapshotError {
+                            line: line_no,
+                            reason: format!("bad localized flag `{other}`"),
+                        })
+                    }
+                },
+                threads: uint(fields[5], "threads")?,
+            };
+            (config, uint(fields[6], "max_pending")?)
+        };
+        let mut stats = {
+            let (line_no, rest) = cursor.directive("stats")?;
+            let v = parse_uints(rest, 4, line_no)?;
+            NegotiationStats {
+                messages: v[0] as u64,
+                rounds: v[1] as u64,
+                oracle_marginals: v[2] as u64,
+                oracle_commits: v[3] as u64,
+                per_slot_messages: Vec::new(),
+                per_slot_rounds: Vec::new(),
+            }
+        };
+        for name in ["messages", "rounds"] {
+            let (line_no, rest) = cursor.directive("perslot")?;
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.first() != Some(&name) {
+                return Err(SnapshotError {
+                    line: line_no,
+                    reason: format!("expected `perslot {name}`"),
+                });
+            }
+            let values = parse_uints(&fields[1..].join(" "), fields.len() - 1, line_no)?;
+            if values.is_empty() {
+                return Err(SnapshotError {
+                    line: line_no,
+                    reason: "perslot needs a length field".to_string(),
+                });
+            }
+            let (len, values) = (values[0], &values[1..]);
+            if values.len() != len {
+                return Err(SnapshotError {
+                    line: line_no,
+                    reason: format!(
+                        "perslot {name}: expected {len} values, got {}",
+                        values.len()
+                    ),
+                });
+            }
+            let values: Vec<u64> = values.iter().map(|&v| v as u64).collect();
+            match name {
+                "messages" => stats.per_slot_messages = values,
+                _ => stats.per_slot_rounds = values,
+            }
+        }
+        let scenario = {
+            let block = cursor.block("scenario")?;
+            io::read_scenario(&block.text).map_err(|e| SnapshotError {
+                line: block.line_no,
+                reason: format!("embedded scenario: {e}"),
+            })?
+        };
+        let staged = {
+            let (line_no, rest) = cursor.directive("staged")?;
+            let count = parse_uints(rest, 1, line_no)?[0];
+            let mut staged = VecDeque::with_capacity(count);
+            for _ in 0..count {
+                let (line_no, line) = cursor.raw_line("staged task")?;
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                if fields.first() != Some(&"task") {
+                    return Err(SnapshotError {
+                        line: line_no,
+                        reason: "expected a `task` line".to_string(),
+                    });
+                }
+                let task = io::parse_task_fields(&fields[1..]).map_err(|reason| SnapshotError {
+                    line: line_no,
+                    reason,
+                })?;
+                staged.push_back(task);
+            }
+            staged
+        };
+        let schedule = {
+            let block = cursor.block("schedule")?;
+            io::read_schedule(&block.text).map_err(|e| SnapshotError {
+                line: block.line_no,
+                reason: format!("embedded schedule: {e}"),
+            })?
+        };
+
+        if schedule.num_chargers() != scenario.num_chargers() {
+            return Err(SnapshotError {
+                line: 0,
+                reason: "schedule/scenario charger counts disagree".to_string(),
+            });
+        }
+        if scenario.grid.num_slots > 0 && schedule.num_slots() != scenario.grid.num_slots {
+            return Err(SnapshotError {
+                line: 0,
+                reason: "schedule does not span the time grid".to_string(),
+            });
+        }
+        let threads = haste_parallel::resolve_threads(config.threads);
+        let coverage = CoverageMap::build(&scenario);
+        let coverage_tasks = scenario.num_tasks();
+        Ok(OnlineEngine {
+            coverage,
+            coverage_tasks,
+            scenario,
+            staged,
+            config,
+            max_pending,
+            pending,
+            clock,
+            schedule,
+            metrics: SolverMetrics {
+                threads,
+                oracle_marginals: stats.oracle_marginals,
+                oracle_commits: stats.oracle_commits,
+                ..SolverMetrics::default()
+            },
+            stats,
+            admitted,
+            rejected,
+        })
+    }
+}
+
+/// Replays a submission trace in batch: every task of `scenario` is staged
+/// and injected at its release slot, and the engine runs to the end of the
+/// grid. A streamed session whose final scenario equals `scenario` (which
+/// is exactly what [`OnlineEngine::scenario`] returns) produces the same
+/// schedule and utility **bit for bit**.
+pub fn replay_trace(scenario: Scenario, config: OnlineConfig) -> OnlineResult {
+    OnlineEngine::new(scenario, config, usize::MAX).finish()
+}
+
+/// Line cursor over a snapshot document (top-level comments/blanks are
+/// skipped; counted embedded blocks are taken verbatim).
+struct Cursor<'a> {
+    lines: &'a [&'a str],
+    pos: usize,
+}
+
+/// A counted embedded block (`scenario`/`schedule` sections).
+struct Block {
+    text: String,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Next non-blank, non-comment line, split as `(line_no, directive, rest)`.
+    fn next_directive(&mut self) -> Option<(usize, &'a str, &'a str)> {
+        while self.pos < self.lines.len() {
+            let line_no = self.pos + 1;
+            let line = self.lines[self.pos].trim();
+            self.pos += 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            return Some((line_no, directive, rest.trim()));
+        }
+        None
+    }
+
+    /// Demands the next directive to be `expected`; returns `(line_no, rest)`.
+    fn directive(&mut self, expected: &str) -> Result<(usize, &'a str), SnapshotError> {
+        match self.next_directive() {
+            Some((line_no, d, rest)) if d == expected => Ok((line_no, rest)),
+            Some((line_no, d, _)) => Err(SnapshotError {
+                line: line_no,
+                reason: format!("expected `{expected}`, found `{d}`"),
+            }),
+            None => Err(SnapshotError {
+                line: self.lines.len(),
+                reason: format!("truncated: missing `{expected}` section"),
+            }),
+        }
+    }
+
+    /// Reads a `<name> <num_lines>` header plus that many verbatim lines.
+    fn block(&mut self, name: &str) -> Result<Block, SnapshotError> {
+        let (line_no, rest) = self.directive(name)?;
+        let count = parse_uints(rest, 1, line_no)?[0];
+        if self.pos + count > self.lines.len() {
+            return Err(SnapshotError {
+                line: line_no,
+                reason: format!(
+                    "truncated: `{name}` announces {count} lines, {} remain",
+                    self.lines.len() - self.pos
+                ),
+            });
+        }
+        let mut text = String::new();
+        for line in &self.lines[self.pos..self.pos + count] {
+            text.push_str(line);
+            text.push('\n');
+        }
+        self.pos += count;
+        Ok(Block { text, line_no })
+    }
+
+    /// The next raw line (no comment skipping — used inside counted
+    /// sections such as `staged`).
+    fn raw_line(&mut self, what: &str) -> Result<(usize, &'a str), SnapshotError> {
+        if self.pos >= self.lines.len() {
+            return Err(SnapshotError {
+                line: self.lines.len(),
+                reason: format!("truncated: missing {what} line"),
+            });
+        }
+        let line_no = self.pos + 1;
+        let line = self.lines[self.pos];
+        self.pos += 1;
+        Ok((line_no, line))
+    }
+}
+
+/// Parses exactly `expected` whitespace-separated non-negative integers.
+fn parse_uints(text: &str, expected: usize, line_no: usize) -> Result<Vec<usize>, SnapshotError> {
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    if fields.len() != expected {
+        return Err(SnapshotError {
+            line: line_no,
+            reason: format!("expected {expected} fields, got {}", fields.len()),
+        });
+    }
+    fields
+        .iter()
+        .map(|f| {
+            f.parse::<usize>().map_err(|_| SnapshotError {
+                line: line_no,
+                reason: format!("`{f}` is not a non-negative integer"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_online;
+    use haste_geometry::{Angle, Vec2};
+    use haste_model::{Charger, ChargingParams, TimeGrid};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scenario(seed: u64, n: usize, m: usize, tau: usize) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = ChargingParams::simulation_default();
+        let chargers = (0..n)
+            .map(|i| {
+                Charger::new(
+                    i as u32,
+                    Vec2::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                )
+            })
+            .collect();
+        let tasks = (0..m)
+            .map(|j| {
+                let release = rng.gen_range(0..5usize);
+                let duration = rng.gen_range(2 * tau.max(1)..=8usize.max(2 * tau + 1));
+                Task::new(
+                    j as u32,
+                    Vec2::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)),
+                    Angle::from_radians(rng.gen_range(0.0..std::f64::consts::TAU)),
+                    release,
+                    release + duration,
+                    rng.gen_range(500.0..3000.0),
+                    1.0 / m as f64,
+                )
+            })
+            .collect();
+        Scenario::new(
+            params,
+            TimeGrid::minutes(16),
+            chargers,
+            tasks,
+            1.0 / 12.0,
+            tau,
+        )
+        .unwrap()
+    }
+
+    fn spec_of(task: &Task) -> TaskSpec {
+        TaskSpec {
+            device_pos: task.device_pos,
+            device_facing: task.device_facing,
+            end_slot: task.end_slot,
+            required_energy: task.required_energy,
+            weight: task.weight,
+        }
+    }
+
+    /// Streams a scenario's tasks live (submitting each at its release
+    /// slot) and returns the engine just before the final run-out.
+    fn stream(scenario: &Scenario, config: &OnlineConfig) -> OnlineEngine {
+        let mut base = scenario.clone();
+        base.tasks.clear();
+        let mut engine = OnlineEngine::new(base, config.clone(), usize::MAX);
+        let mut by_release: Vec<&Task> = scenario.tasks.iter().collect();
+        by_release.sort_by_key(|t| t.release_slot);
+        let mut next = 0;
+        loop {
+            while next < by_release.len() && by_release[next].release_slot == engine.clock() {
+                engine.submit(spec_of(by_release[next])).unwrap();
+                next += 1;
+            }
+            if engine.tick().is_none() {
+                break;
+            }
+        }
+        assert_eq!(next, by_release.len(), "every task submitted");
+        engine
+    }
+
+    #[test]
+    fn streamed_session_equals_batch_replay() {
+        let s = random_scenario(11, 5, 12, 1);
+        let config = OnlineConfig::default();
+        let engine = stream(&s, &config);
+        let trace = engine.scenario().clone();
+        let streamed = engine.finish();
+        let replayed = replay_trace(trace, config);
+        assert_eq!(streamed.schedule, replayed.schedule);
+        assert_eq!(
+            streamed.report.total_utility.to_bits(),
+            replayed.report.total_utility.to_bits()
+        );
+        assert_eq!(streamed.stats.messages, replayed.stats.messages);
+        assert_eq!(streamed.stats.rounds, replayed.stats.rounds);
+    }
+
+    #[test]
+    fn streamed_session_equals_batch_replay_localized_threaded() {
+        let s = random_scenario(23, 6, 10, 2);
+        let config = OnlineConfig {
+            engine: EngineKind::Threaded,
+            localized: true,
+            ..OnlineConfig::default()
+        };
+        let engine = stream(&s, &config);
+        let trace = engine.scenario().clone();
+        let streamed = engine.finish();
+        let replayed = replay_trace(trace, config);
+        assert_eq!(streamed.schedule, replayed.schedule);
+        assert_eq!(
+            streamed.report.total_utility.to_bits(),
+            replayed.report.total_utility.to_bits()
+        );
+    }
+
+    #[test]
+    fn all_release_zero_matches_solve_online_bitwise() {
+        // When every task releases at slot 0 the engine's arrived-only
+        // coverage equals the batch solver's full coverage, so the two
+        // must agree bit for bit.
+        let mut s = random_scenario(7, 5, 10, 1);
+        for task in &mut s.tasks {
+            let d = task.end_slot - task.release_slot;
+            task.release_slot = 0;
+            task.end_slot = d;
+        }
+        s.validate().unwrap();
+        let config = OnlineConfig::default();
+        let cov = CoverageMap::build(&s);
+        let batch = solve_online(&s, &cov, &config);
+        let incremental = replay_trace(s, config);
+        assert_eq!(batch.schedule, incremental.schedule);
+        assert_eq!(
+            batch.report.total_utility.to_bits(),
+            incremental.report.total_utility.to_bits()
+        );
+        assert_eq!(
+            batch.relaxed_value.to_bits(),
+            incremental.relaxed_value.to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let s = random_scenario(31, 5, 12, 1);
+        let config = OnlineConfig::default();
+        let mut base = s.clone();
+        base.tasks.clear();
+        let mut live = OnlineEngine::new(base, config.clone(), 64);
+        let mut by_release: Vec<&Task> = s.tasks.iter().collect();
+        by_release.sort_by_key(|t| t.release_slot);
+        let mut next = 0;
+        // Run half the grid live...
+        for _ in 0..s.grid.num_slots / 2 {
+            while next < by_release.len() && by_release[next].release_slot == live.clock() {
+                live.submit(spec_of(by_release[next])).unwrap();
+                next += 1;
+            }
+            live.tick().unwrap();
+        }
+        // ...then "kill the daemon" and bring up a restored twin.
+        let snap = live.snapshot();
+        let mut restored = OnlineEngine::restore(&snap).unwrap();
+        assert_eq!(restored.clock(), live.clock());
+        assert_eq!(restored.counters(), live.counters());
+        // Drive both to the end with the identical remaining trace.
+        let mut next_r = next;
+        loop {
+            while next < by_release.len() && by_release[next].release_slot == live.clock() {
+                live.submit(spec_of(by_release[next])).unwrap();
+                next += 1;
+            }
+            if live.tick().is_none() {
+                break;
+            }
+        }
+        loop {
+            while next_r < by_release.len() && by_release[next_r].release_slot == restored.clock() {
+                restored.submit(spec_of(by_release[next_r])).unwrap();
+                next_r += 1;
+            }
+            if restored.tick().is_none() {
+                break;
+            }
+        }
+        let a = live.finish();
+        let b = restored.finish();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(
+            a.report.total_utility.to_bits(),
+            b.report.total_utility.to_bits()
+        );
+        assert_eq!(a.stats.messages, b.stats.messages);
+        assert_eq!(a.stats.per_slot_messages, b.stats.per_slot_messages);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_stable() {
+        let s = random_scenario(5, 4, 8, 1);
+        let engine = OnlineEngine::new(s, OnlineConfig::default(), 32);
+        let snap = engine.snapshot();
+        let restored = OnlineEngine::restore(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn admission_control_backpressure_and_badtask() {
+        let s = random_scenario(13, 3, 0, 0);
+        let mut engine = OnlineEngine::new(s, OnlineConfig::default(), 2);
+        let good = TaskSpec {
+            device_pos: Vec2::new(10.0, 10.0),
+            device_facing: Angle::from_radians(1.0),
+            end_slot: 6,
+            required_energy: 800.0,
+            weight: 1.0,
+        };
+        assert!(engine.submit(good).is_ok());
+        assert!(engine.submit(good).is_ok());
+        assert_eq!(
+            engine.submit(good),
+            Err(AdmitError::Backpressure { limit: 2 })
+        );
+        // A tick drains the pending window.
+        engine.tick().unwrap();
+        assert!(engine.submit(good).is_ok());
+        // Window entirely in the past / beyond the grid.
+        assert!(matches!(
+            engine.submit(TaskSpec {
+                end_slot: 1,
+                ..good
+            }),
+            Err(AdmitError::BadTask(_))
+        ));
+        assert!(matches!(
+            engine.submit(TaskSpec {
+                end_slot: 10_000,
+                ..good
+            }),
+            Err(AdmitError::BadTask(_))
+        ));
+        assert!(matches!(
+            engine.submit(TaskSpec {
+                required_energy: -1.0,
+                ..good
+            }),
+            Err(AdmitError::BadTask(_))
+        ));
+        let (admitted, rejected, pending) = engine.counters();
+        assert_eq!(admitted, 3);
+        assert_eq!(rejected, 4);
+        assert_eq!(pending, 1);
+        // Exhaust the grid: everything is Closed afterwards.
+        while engine.tick().is_some() {}
+        assert_eq!(engine.submit(good), Err(AdmitError::Closed));
+    }
+
+    #[test]
+    fn snapshot_error_paths() {
+        // Truncated document.
+        assert!(OnlineEngine::restore("clock 3\n").is_err());
+        // Corrupt directive order.
+        assert!(OnlineEngine::restore("counters 0 0 0\nclock 1\n").is_err());
+        // Block announcing more lines than exist.
+        let err = OnlineEngine::restore(
+            "clock 0\ncounters 0 0 0\nconfig 1 1 0 rounds 0 1 8\nstats 0 0 0 0\n\
+             perslot messages 0\nperslot rounds 0\nscenario 99\nparams 1 0 10 1 1\n",
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("truncated"), "{err}");
+        // Tampered embedded scenario surfaces the nested parse error.
+        let s = random_scenario(3, 2, 2, 0);
+        let snap = OnlineEngine::new(s, OnlineConfig::default(), 8).snapshot();
+        let bad = snap.replace("delays", "dleays");
+        let err = OnlineEngine::restore(&bad).unwrap_err();
+        assert!(err.reason.contains("embedded scenario"), "{err}");
+    }
+
+    #[test]
+    fn staged_releases_count_as_admitted() {
+        let s = random_scenario(17, 4, 9, 1);
+        let m = s.num_tasks() as u64;
+        let result = replay_trace(s, OnlineConfig::default());
+        // All staged tasks were injected; the utility is well-defined.
+        assert!(result.report.total_utility.is_finite());
+        assert!(m > 0);
+    }
+}

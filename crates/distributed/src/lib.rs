@@ -7,7 +7,10 @@
 //!   charger and real crossbeam message passing; bit-identical outcomes,
 //! * [`solve_online`] — the arrival event loop with rescheduling delay `τ`,
 //! * [`solve_baseline_online`] — GreedyUtility / GreedyCover under the same
-//!   online visibility rules.
+//!   online visibility rules,
+//! * [`OnlineEngine`] — the same event loop as a long-lived incremental
+//!   state machine (live task submission, virtual-time ticks,
+//!   snapshot/restore) for the scheduling daemon in `haste-service`.
 //!
 //! Theorem 6.1: the online algorithm achieves a `½(1 − ρ)(1 − 1/e)`
 //! competitive ratio; the test suites and Figs. 9/12–16 exercise it.
@@ -15,12 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod neighbors;
 mod online;
 mod protocol;
 mod round_engine;
 mod threaded_engine;
 
+pub use engine::{replay_trace, AdmitError, OnlineEngine, SnapshotError, TaskSpec};
 pub use neighbors::NeighborGraph;
 pub use online::{
     solve_baseline_online, solve_online, ChargerFailure, EngineKind, OnlineConfig, OnlineResult,

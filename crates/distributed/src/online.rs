@@ -65,8 +65,10 @@ pub struct OnlineConfig {
     /// globally, which is what the reported figures use.
     pub localized: bool,
     /// Worker threads for the instance (re)builds on each negotiation
-    /// (`0` means 1). The executed schedule is bit-identical for every
-    /// value; this only parallelizes dominant-set extraction.
+    /// (1 = sequential, `0` = auto-detect via
+    /// `haste_parallel::default_threads`). The executed schedule is
+    /// bit-identical for every value; this only parallelizes dominant-set
+    /// extraction.
     pub threads: usize,
 }
 
@@ -97,7 +99,7 @@ pub fn solve_online(
 ) -> OnlineResult {
     let horizon = scenario.active_horizon();
     let n = scenario.num_chargers();
-    let threads = config.threads.max(1);
+    let threads = haste_parallel::resolve_threads(config.threads);
     let graph = NeighborGraph::build(coverage);
     let mut schedule = Schedule::empty(n, scenario.grid.num_slots);
     let mut stats = NegotiationStats::new(horizon);
@@ -135,132 +137,41 @@ pub fn solve_online(
         // A dead charger stops emitting the moment it dies, regardless of
         // how long the replanning takes.
         clear_dead(&mut schedule, &dead_from);
-        // The new plan takes effect after the rescheduling delay.
-        let effective = (t + scenario.tau).min(horizon);
-        if effective >= horizon {
-            continue;
-        }
-        // Which chargers replan at this event: everyone (global mode), or —
-        // in localized mode — the chargers able to serve a task released
-        // right now, the newly failed ones' neighborhoods, and one hop of
-        // neighbors of each (the paper's negotiation scope).
-        let replanning: Vec<bool> = if config.localized {
-            let mut core = vec![false; n];
-            for task in &scenario.tasks {
-                if task.release_slot == t {
-                    for c in coverage.chargers_of(task.id) {
-                        core[c.index()] = true;
-                    }
-                }
-            }
-            for failure in &config.failures {
-                if failure.slot == t {
-                    core[failure.charger.index()] = true;
-                }
-            }
-            let mut aff = core.clone();
-            for (i, &is_core) in core.iter().enumerate() {
-                if is_core {
-                    for &j in graph.neighbors(i) {
-                        aff[j] = true;
-                    }
-                }
-            }
-            aff
-        } else {
-            vec![true; n]
-        };
-        let planning_disabled: Vec<bool> = (0..n).map(|i| disabled[i] || !replanning[i]).collect();
-        if planning_disabled.iter().all(|&d| d) {
-            continue;
-        }
-
-        // Energy the frozen prefix already delivered (HASTE-R semantics —
-        // the negotiation plans against the relaxed objective, exactly as
-        // the analysis of Theorem 6.1 does).
-        let prefix = evaluate(
+        let arrived_now: Vec<usize> = scenario
+            .tasks
+            .iter()
+            .filter(|task| task.release_slot == t)
+            .map(|task| task.id.index())
+            .collect();
+        let failed_now: Vec<usize> = config
+            .failures
+            .iter()
+            .filter(|f| f.slot == t)
+            .map(|f| f.charger.index())
+            .collect();
+        let replanned = replan_event(
             scenario,
             coverage,
-            &schedule,
-            EvalOptions {
-                rho: Some(0.0),
-                slot_limit: Some(effective),
-                ..EvalOptions::default()
+            &graph,
+            config,
+            &mut schedule,
+            ReplanEvent {
+                slot: t,
+                horizon,
+                known: Some(&known),
+                disabled: &disabled,
+                arrived_now: &arrived_now,
+                failed_now: &failed_now,
+                threads,
             },
+            &mut stats,
+            &mut metrics,
         );
-        let mut initial_energy = prefix.per_task_energy;
-        // In localized mode the kept future plans of non-replanning
-        // chargers enter as fixed background energy (utility only depends
-        // on each task's total, so the slot structure is irrelevant here).
-        let snapshot = config.localized.then(|| schedule.clone());
-        if config.localized {
-            let mut masked = schedule.clone();
-            for (i, &replans) in replanning.iter().enumerate() {
-                if replans {
-                    for k in effective..schedule.num_slots() {
-                        masked.set(haste_model::ChargerId(i as u32), k, None);
-                    }
-                }
-            }
-            let kept = evaluate(
-                scenario,
-                coverage,
-                &masked,
-                EvalOptions {
-                    rho: Some(0.0),
-                    slot_start: Some(effective),
-                    ..EvalOptions::default()
-                },
-            );
-            for (total, add) in initial_energy.iter_mut().zip(&kept.per_task_energy) {
-                *total += add;
-            }
+        // Holding (inside `replan_event`) must never resurrect a dead
+        // charger.
+        if replanned {
+            clear_dead(&mut schedule, &dead_from);
         }
-        let build_start = Instant::now();
-        let instance = HasteRInstance::build_with(
-            scenario,
-            coverage,
-            InstanceOptions {
-                slot_range: Some(effective..horizon),
-                known_tasks: Some(known.clone()),
-                initial_energy: Some(initial_energy),
-                disabled_chargers: planning_disabled
-                    .iter()
-                    .any(|&d| d)
-                    .then(|| planning_disabled.clone()),
-                threads: Some(threads),
-                ..InstanceOptions::default()
-            },
-        );
-        metrics.instance_build += build_start.elapsed();
-        let negotiate_start = Instant::now();
-        let (selection, run_stats): (Selection, NegotiationStats) = match config.engine {
-            EngineKind::Rounds => negotiate_rounds(&instance, &graph, &config.negotiation),
-            EngineKind::Threaded => negotiate_threaded(&instance, &graph, &config.negotiation),
-        };
-        metrics.greedy += negotiate_start.elapsed();
-        let rounding_start = Instant::now();
-        instance.materialize_into(&selection, &mut schedule);
-        metrics.rounding += rounding_start.elapsed();
-        // Localized mode: restore the kept plans of non-replanning chargers
-        // (materialize_into wrote None over their partitions).
-        if let Some(snapshot) = snapshot {
-            for (i, &replans) in replanning.iter().enumerate() {
-                if !replans {
-                    let id = haste_model::ChargerId(i as u32);
-                    for k in effective..schedule.num_slots() {
-                        schedule.set(id, k, snapshot.get(id, k));
-                    }
-                }
-            }
-        }
-        // Chargers hold their last orientation through unassigned slots
-        // (free top-up at zero switching cost); later renegotiations
-        // overwrite the held suffix anyway. Holding must never resurrect a
-        // dead charger.
-        schedule.hold_orientations();
-        clear_dead(&mut schedule, &dead_from);
-        stats.absorb(&run_stats, effective);
     }
     clear_dead(&mut schedule, &dead_from);
 
@@ -288,6 +199,170 @@ fn clear_dead(schedule: &mut Schedule, dead_from: &[Option<usize>]) {
             }
         }
     }
+}
+
+/// One re-negotiation event, as seen by [`replan_event`].
+pub(crate) struct ReplanEvent<'a> {
+    /// The slot the event fires at (task release / failure detection).
+    pub slot: usize,
+    /// Planning horizon (`scenario.active_horizon()` for batch runs; the
+    /// incremental engine passes the full grid).
+    pub horizon: usize,
+    /// Which tasks are known at this event (`None` = all of them, which is
+    /// what the incremental engine uses: its scenario only ever contains
+    /// arrived tasks).
+    pub known: Option<&'a [bool]>,
+    /// Chargers disabled by failures (never participate again).
+    pub disabled: &'a [bool],
+    /// Task indices released exactly at `slot` (localized scope seeds).
+    pub arrived_now: &'a [usize],
+    /// Charger indices failing exactly at `slot` (localized scope seeds).
+    pub failed_now: &'a [usize],
+    /// Resolved worker-thread count for instance builds.
+    pub threads: usize,
+}
+
+/// Executes one re-negotiation: freezes the prefix up to `slot + τ`, builds
+/// the suffix HASTE-R instance, negotiates, and splices the new plan into
+/// `schedule`. Returns `false` when the event is a no-op (past the horizon,
+/// or nobody replans). Shared verbatim between [`solve_online`] and the
+/// incremental [`crate::engine::OnlineEngine`] so both produce bit-identical
+/// schedules for the same event sequence.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replan_event(
+    scenario: &Scenario,
+    coverage: &CoverageMap,
+    graph: &NeighborGraph,
+    config: &OnlineConfig,
+    schedule: &mut Schedule,
+    event: ReplanEvent<'_>,
+    stats: &mut NegotiationStats,
+    metrics: &mut SolverMetrics,
+) -> bool {
+    let n = scenario.num_chargers();
+    // The new plan takes effect after the rescheduling delay.
+    let effective = (event.slot + scenario.tau).min(event.horizon);
+    if effective >= event.horizon {
+        return false;
+    }
+    // Which chargers replan at this event: everyone (global mode), or —
+    // in localized mode — the chargers able to serve a task released
+    // right now, the newly failed ones, and one hop of neighbors of each
+    // (the paper's negotiation scope).
+    let replanning: Vec<bool> = if config.localized {
+        let mut core = vec![false; n];
+        for &task in event.arrived_now {
+            for c in coverage.chargers_of(haste_model::TaskId(task as u32)) {
+                core[c.index()] = true;
+            }
+        }
+        for &charger in event.failed_now {
+            core[charger] = true;
+        }
+        let mut aff = core.clone();
+        for (i, &is_core) in core.iter().enumerate() {
+            if is_core {
+                for &j in graph.neighbors(i) {
+                    aff[j] = true;
+                }
+            }
+        }
+        aff
+    } else {
+        vec![true; n]
+    };
+    let planning_disabled: Vec<bool> = (0..n)
+        .map(|i| event.disabled[i] || !replanning[i])
+        .collect();
+    if planning_disabled.iter().all(|&d| d) {
+        return false;
+    }
+
+    // Energy the frozen prefix already delivered (HASTE-R semantics —
+    // the negotiation plans against the relaxed objective, exactly as
+    // the analysis of Theorem 6.1 does).
+    let prefix = evaluate(
+        scenario,
+        coverage,
+        schedule,
+        EvalOptions {
+            rho: Some(0.0),
+            slot_limit: Some(effective),
+            ..EvalOptions::default()
+        },
+    );
+    let mut initial_energy = prefix.per_task_energy;
+    // In localized mode the kept future plans of non-replanning
+    // chargers enter as fixed background energy (utility only depends
+    // on each task's total, so the slot structure is irrelevant here).
+    let snapshot = config.localized.then(|| schedule.clone());
+    if config.localized {
+        let mut masked = schedule.clone();
+        for (i, &replans) in replanning.iter().enumerate() {
+            if replans {
+                for k in effective..schedule.num_slots() {
+                    masked.set(haste_model::ChargerId(i as u32), k, None);
+                }
+            }
+        }
+        let kept = evaluate(
+            scenario,
+            coverage,
+            &masked,
+            EvalOptions {
+                rho: Some(0.0),
+                slot_start: Some(effective),
+                ..EvalOptions::default()
+            },
+        );
+        for (total, add) in initial_energy.iter_mut().zip(&kept.per_task_energy) {
+            *total += add;
+        }
+    }
+    let build_start = Instant::now();
+    let instance = HasteRInstance::build_with(
+        scenario,
+        coverage,
+        InstanceOptions {
+            slot_range: Some(effective..event.horizon),
+            known_tasks: event.known.map(<[bool]>::to_vec),
+            initial_energy: Some(initial_energy),
+            disabled_chargers: planning_disabled
+                .iter()
+                .any(|&d| d)
+                .then(|| planning_disabled.clone()),
+            threads: Some(event.threads),
+            ..InstanceOptions::default()
+        },
+    );
+    metrics.instance_build += build_start.elapsed();
+    let negotiate_start = Instant::now();
+    let (selection, run_stats): (Selection, NegotiationStats) = match config.engine {
+        EngineKind::Rounds => negotiate_rounds(&instance, graph, &config.negotiation),
+        EngineKind::Threaded => negotiate_threaded(&instance, graph, &config.negotiation),
+    };
+    metrics.greedy += negotiate_start.elapsed();
+    let rounding_start = Instant::now();
+    instance.materialize_into(&selection, schedule);
+    metrics.rounding += rounding_start.elapsed();
+    // Localized mode: restore the kept plans of non-replanning chargers
+    // (materialize_into wrote None over their partitions).
+    if let Some(snapshot) = snapshot {
+        for (i, &replans) in replanning.iter().enumerate() {
+            if !replans {
+                let id = haste_model::ChargerId(i as u32);
+                for k in effective..schedule.num_slots() {
+                    schedule.set(id, k, snapshot.get(id, k));
+                }
+            }
+        }
+    }
+    // Chargers hold their last orientation through unassigned slots
+    // (free top-up at zero switching cost); later renegotiations
+    // overwrite the held suffix anyway.
+    schedule.hold_orientations();
+    stats.absorb(&run_stats, effective);
+    true
 }
 
 /// Runs a baseline in the online setting: chargers only react to a task
@@ -614,7 +689,9 @@ mod tests {
         let s = random_scenario(100, 6, 14, 1);
         let cov = CoverageMap::build(&s);
         let r = solve_online(&s, &cov, &OnlineConfig::default());
-        assert_eq!(r.metrics.threads, 1);
+        // `OnlineConfig::default()` leaves `threads: 0` = auto-detect.
+        assert_eq!(r.metrics.threads, haste_parallel::resolve_threads(0));
+        assert!(r.metrics.threads >= 1);
         assert!(r.metrics.oracle_marginals > 0);
         assert!(r.metrics.oracle_commits > 0);
         assert_eq!(r.metrics.oracle_marginals, r.stats.oracle_marginals);

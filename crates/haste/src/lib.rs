@@ -12,7 +12,9 @@
 //!   formulation, the centralized offline algorithm, baselines and the
 //!   brute-force optimum,
 //! * [`distributed`] — the distributed online algorithm with round-based
-//!   and threaded negotiation engines,
+//!   and threaded negotiation engines, plus the incremental online engine,
+//! * [`service`] — the long-running scheduling daemon (TCP wire protocol,
+//!   snapshot/restore) with its client and load-generator harness,
 //! * [`submodular`] — generic submodular maximization under a partition
 //!   matroid,
 //! * [`sim`] — scenario generators, parallel sweeps and the experiment
@@ -52,6 +54,7 @@ pub use haste_distributed as distributed;
 pub use haste_geometry as geometry;
 pub use haste_model as model;
 pub use haste_parallel as parallel;
+pub use haste_service as service;
 pub use haste_sim as sim;
 pub use haste_submodular as submodular;
 pub use haste_testbed as testbed;
@@ -63,8 +66,9 @@ pub mod prelude {
         BaselineKind, DominantScope, EmrOptions, HasteRInstance, OfflineConfig, SolveResult,
     };
     pub use haste_distributed::{
-        negotiate_rounds, negotiate_threaded, solve_baseline_online, solve_online, ChargerFailure,
-        EngineKind, NegotiationConfig, NeighborGraph, OnlineConfig,
+        negotiate_rounds, negotiate_threaded, replay_trace, solve_baseline_online, solve_online,
+        ChargerFailure, EngineKind, NegotiationConfig, NeighborGraph, OnlineConfig, OnlineEngine,
+        TaskSpec,
     };
     pub use haste_geometry::{Angle, Arc, Sector, Vec2};
     pub use haste_model::{

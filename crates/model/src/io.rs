@@ -23,7 +23,10 @@ use std::fmt::Write as _;
 
 use haste_geometry::{Angle, Vec2};
 
-use crate::{Charger, ChargingParams, ModelError, Scenario, Task, TimeGrid, UtilityModel};
+use crate::{
+    Charger, ChargerId, ChargingParams, ModelError, Scenario, Schedule, Task, TimeGrid,
+    UtilityModel,
+};
 
 /// Errors raised while parsing the text format.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,20 +84,42 @@ pub fn write_scenario(scenario: &Scenario) -> String {
         let _ = writeln!(out, "charger {} {} {}", c.id.0, c.pos.x, c.pos.y);
     }
     for t in &scenario.tasks {
-        let _ = writeln!(
-            out,
-            "task {} {} {} {} {} {} {} {}",
-            t.id.0,
-            t.device_pos.x,
-            t.device_pos.y,
-            t.device_facing.radians(),
-            t.release_slot,
-            t.end_slot,
-            t.required_energy,
-            t.weight
-        );
+        let _ = writeln!(out, "{}", task_line(t));
     }
     out
+}
+
+/// Renders one task as a `task ...` directive line (no trailing newline) —
+/// the exact syntax [`read_scenario`] accepts. Exposed so other text
+/// formats (e.g. daemon snapshots) can embed tasks verbatim.
+pub fn task_line(t: &Task) -> String {
+    format!(
+        "task {} {} {} {} {} {} {} {}",
+        t.id.0,
+        t.device_pos.x,
+        t.device_pos.y,
+        t.device_facing.radians(),
+        t.release_slot,
+        t.end_slot,
+        t.required_energy,
+        t.weight
+    )
+}
+
+/// Parses the fields of a `task` directive (everything after the `task`
+/// keyword). The inverse of [`task_line`]; does not validate the task
+/// against any grid.
+pub fn parse_task_fields(fields: &[&str]) -> Result<Task, String> {
+    let v = parse_f64s(fields, 8)?;
+    Ok(Task::new(
+        v[0] as u32,
+        Vec2::new(v[1], v[2]),
+        Angle::from_radians(v[3]),
+        v[4] as usize,
+        v[5] as usize,
+        v[6],
+        v[7],
+    ))
 }
 
 /// Parses a scenario from the text format.
@@ -158,16 +183,7 @@ pub fn read_scenario(text: &str) -> Result<Scenario, ParseError> {
                 chargers.push(Charger::new(v[0] as u32, Vec2::new(v[1], v[2])));
             }
             "task" => {
-                let v = parse_f64s(&rest, 8).map_err(|e| bad(&e))?;
-                tasks.push(Task::new(
-                    v[0] as u32,
-                    Vec2::new(v[1], v[2]),
-                    Angle::from_radians(v[3]),
-                    v[4] as usize,
-                    v[5] as usize,
-                    v[6],
-                    v[7],
-                ));
+                tasks.push(parse_task_fields(&rest).map_err(|e| bad(&e))?);
             }
             other => return Err(bad(&format!("unknown directive `{other}`"))),
         }
@@ -180,6 +196,121 @@ pub fn read_scenario(text: &str) -> Result<Scenario, ParseError> {
         Scenario::new(params, grid, chargers, tasks, rho, tau).map_err(ParseError::Invalid)?;
     scenario.utility = utility;
     Ok(scenario)
+}
+
+/// Renders a schedule in the text format:
+///
+/// ```text
+/// # haste schedule v1
+/// schedule <num_chargers> <num_slots>
+/// row <charger_id> <orientation_rad | -> ...
+/// ```
+///
+/// One `row` line per charger with exactly `num_slots` entries; `-` marks
+/// an unassigned slot. Orientations use shortest-roundtrip float
+/// formatting, so [`read_schedule`] reconstructs the schedule bit-exactly.
+pub fn write_schedule(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# haste schedule v1");
+    let _ = writeln!(
+        out,
+        "schedule {} {}",
+        schedule.num_chargers(),
+        schedule.num_slots()
+    );
+    for i in 0..schedule.num_chargers() {
+        let _ = write!(out, "row {i}");
+        for o in schedule.row(ChargerId(i as u32)) {
+            match o {
+                Some(theta) => {
+                    let _ = write!(out, " {}", theta.radians());
+                }
+                None => out.push_str(" -"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a schedule from the text format. Every charger row must be
+/// present exactly once with exactly `num_slots` entries.
+pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
+    let mut dims: Option<(usize, usize)> = None;
+    let mut schedule: Option<Schedule> = None;
+    let mut seen: Vec<bool> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| ParseError::BadLine {
+            line: line_no,
+            reason: reason.to_string(),
+        };
+        let mut fields = line.split_whitespace();
+        let directive = fields.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = fields.collect();
+        match directive {
+            "schedule" => {
+                if dims.is_some() {
+                    return Err(bad("duplicate `schedule` line"));
+                }
+                let v = parse_f64s(&rest, 2).map_err(|e| bad(&e))?;
+                if v[0] < 0.0 || v[0].fract() != 0.0 || v[1] < 0.0 || v[1].fract() != 0.0 {
+                    return Err(bad("dimensions must be non-negative integers"));
+                }
+                let (n, k) = (v[0] as usize, v[1] as usize);
+                dims = Some((n, k));
+                schedule = Some(Schedule::empty(n, k));
+                seen = vec![false; n];
+            }
+            "row" => {
+                let (n, k) = dims.ok_or_else(|| bad("`row` before `schedule` line"))?;
+                let schedule = schedule.as_mut().expect("dims implies schedule");
+                if rest.len() != k + 1 {
+                    return Err(bad(&format!(
+                        "expected charger id + {k} entries, got {} fields",
+                        rest.len()
+                    )));
+                }
+                let id: usize = rest[0]
+                    .parse()
+                    .map_err(|_| bad("bad charger id in `row`"))?;
+                if id >= n {
+                    return Err(bad(&format!("charger id {id} out of range (n = {n})")));
+                }
+                if seen[id] {
+                    return Err(bad(&format!("duplicate row for charger {id}")));
+                }
+                seen[id] = true;
+                for (slot, field) in rest[1..].iter().enumerate() {
+                    if *field == "-" {
+                        continue;
+                    }
+                    let theta: f64 = field
+                        .parse()
+                        .map_err(|_| bad(&format!("`{field}` is not an orientation")))?;
+                    if !theta.is_finite() {
+                        return Err(bad("orientation must be finite"));
+                    }
+                    schedule.set(ChargerId(id as u32), slot, Some(Angle::from_radians(theta)));
+                }
+            }
+            other => return Err(bad(&format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let (n, _) = dims.ok_or(ParseError::MissingSection("schedule"))?;
+    if let Some(missing) = (0..n).find(|&i| !seen[i]) {
+        return Err(ParseError::BadLine {
+            line: 0,
+            reason: format!("missing row for charger {missing}"),
+        });
+    }
+    Ok(schedule.expect("dims implies schedule"))
 }
 
 fn parse_f64s(fields: &[&str], expected: usize) -> Result<Vec<f64>, String> {
@@ -361,6 +492,149 @@ mod tests {
                 prop_assert_eq!(&parsed.tasks, &scenario.tasks);
                 prop_assert_eq!(parsed.rho, scenario.rho);
                 prop_assert_eq!(parsed.tau, scenario.tau);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_roundtrip_exact() {
+        let mut s = Schedule::empty(3, 5);
+        s.set(ChargerId(0), 0, Some(Angle::from_degrees(12.5)));
+        s.set(
+            ChargerId(0),
+            3,
+            Some(Angle::from_radians(std::f64::consts::PI)),
+        );
+        s.set(ChargerId(2), 4, Some(Angle::from_radians(1e-9)));
+        let parsed = read_schedule(&write_schedule(&s)).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn schedule_roundtrip_empty() {
+        let s = Schedule::empty(0, 0);
+        assert_eq!(read_schedule(&write_schedule(&s)).unwrap(), s);
+        let s = Schedule::empty(2, 0);
+        assert_eq!(read_schedule(&write_schedule(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn schedule_errors_reported() {
+        // Truncated: header only, rows missing.
+        match read_schedule("schedule 2 3\nrow 0 - - -") {
+            Err(ParseError::BadLine { reason, .. }) => {
+                assert!(reason.contains("missing row for charger 1"))
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        // Bad field count in a row.
+        assert!(matches!(
+            read_schedule("schedule 1 3\nrow 0 - -"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+        // Out-of-range charger id.
+        match read_schedule("schedule 1 1\nrow 5 -") {
+            Err(ParseError::BadLine { line: 2, reason }) => {
+                assert!(reason.contains("out of range"))
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        // Row before header, duplicate rows, missing header entirely.
+        assert!(matches!(
+            read_schedule("row 0 -"),
+            Err(ParseError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_schedule("schedule 1 1\nrow 0 -\nrow 0 -"),
+            Err(ParseError::BadLine { line: 3, .. })
+        ));
+        assert!(matches!(
+            read_schedule("# nothing\n"),
+            Err(ParseError::MissingSection("schedule"))
+        ));
+        // Non-numeric orientation and non-finite orientation.
+        assert!(matches!(
+            read_schedule("schedule 1 1\nrow 0 north"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_schedule("schedule 1 1\nrow 0 inf"),
+            Err(ParseError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_truncated_task_line_rejected() {
+        // Task line cut mid-way (7 of 8 fields).
+        let text = "params 1 0 10 1 1\ngrid 60 4\ndelays 0 0\n\
+                    task 0 1 1 0 0 3 100";
+        assert!(matches!(
+            read_scenario(text),
+            Err(ParseError::BadLine { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_out_of_range_slots_rejected() {
+        // release >= end.
+        let text = "params 10000 40 20 1 1\ngrid 60 4\ndelays 0 0\n\
+                    task 0 1 1 0 3 3 100 1";
+        assert!(matches!(read_scenario(text), Err(ParseError::Invalid(_))));
+        // end past the grid.
+        let text = "params 10000 40 20 1 1\ngrid 60 4\ndelays 0 0\n\
+                    task 0 1 1 0 0 5 100 1";
+        assert!(matches!(read_scenario(text), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn task_line_matches_scenario_syntax() {
+        let t = Task::new(
+            7,
+            Vec2::new(-3.25, 8.5),
+            Angle::from_degrees(123.0),
+            1,
+            4,
+            555.5,
+            2.0,
+        );
+        let line = task_line(&t);
+        let fields: Vec<&str> = line.split_whitespace().skip(1).collect();
+        let parsed = parse_task_fields(&fields).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    mod schedule_roundtrip_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary schedules (random assigned/unassigned patterns,
+            /// random orientations) round-trip bit-exactly through the
+            /// text format.
+            #[test]
+            fn arbitrary_schedules_roundtrip(
+                n in 1usize..5,
+                k in 1usize..7,
+                // Negative cells mean "unassigned" (the vendored proptest
+                // stub has no Option strategy).
+                cells in proptest::collection::vec(
+                    -2.0f64..std::f64::consts::TAU,
+                    35,
+                ),
+            ) {
+                let mut s = Schedule::empty(n, k);
+                for i in 0..n {
+                    for slot in 0..k {
+                        let theta = cells[i * 7 + slot];
+                        if theta >= 0.0 {
+                            s.set(ChargerId(i as u32), slot, Some(Angle::from_radians(theta)));
+                        }
+                    }
+                }
+                let parsed = read_schedule(&write_schedule(&s)).unwrap();
+                prop_assert_eq!(parsed, s);
             }
         }
     }

@@ -32,6 +32,22 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves a user-facing `threads` knob: `0` means "auto-detect via
+/// [`default_threads`]", any other value is taken literally.
+///
+/// Every `threads` field in the workspace (`GreedyOptions`, `TabularOptions`,
+/// `InstanceOptions`, `OfflineConfig`, `OnlineConfig`, the service daemon)
+/// shares this convention, so `0` behaves identically everywhere. All
+/// parallel paths are bit-deterministic in the thread count, so auto-detect
+/// never changes results — only wall-clock.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        default_threads()
+    } else {
+        requested
+    }
+}
+
 /// Applies `f` to every element of `items` in parallel and returns the
 /// results in input order.
 ///
@@ -324,6 +340,14 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto_detect() {
+        assert_eq!(resolve_threads(0), default_threads());
+        for n in 1..=8 {
+            assert_eq!(resolve_threads(n), n);
+        }
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! A blocking typed client for the daemon's wire protocol.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use haste_distributed::TaskSpec;
+use haste_model::{io as model_io, Scenario, Schedule, TaskId};
+
+use crate::proto::VERSION;
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The daemon replied `ERR <code> <message>`.
+    Server {
+        /// Stable error code (see [`crate::proto::ErrCode`]).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The daemon's reply did not match the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server error code, if this is a server-side rejection.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// A successful reply: the `OK` fields or a `DATA` payload.
+#[derive(Debug)]
+enum Payload {
+    Fields(String),
+    Document(String),
+}
+
+/// A connected protocol client. One request is in flight at a time
+/// (the protocol is strictly request/reply).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects and performs the `HELLO` handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        client.request_fields(&format!("HELLO {VERSION}"))?;
+        Ok(client)
+    }
+
+    /// Sends one request line (plus an optional multi-line payload) and
+    /// reads the reply.
+    fn request(&mut self, line: &str, payload: Option<&str>) -> Result<Payload, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        if let Some(payload) = payload {
+            self.writer.write_all(payload.as_bytes())?;
+            if !payload.is_empty() && !payload.ends_with('\n') {
+                self.writer.write_all(b"\n")?;
+            }
+        }
+        self.writer.flush()?;
+        let head = self.read_line()?;
+        let (kind, rest) = head.split_once(' ').unwrap_or((head.as_str(), ""));
+        match kind {
+            "OK" => Ok(Payload::Fields(rest.to_string())),
+            "DATA" => {
+                let count: usize = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("bad DATA count `{rest}`")))?;
+                let mut document = String::new();
+                for _ in 0..count {
+                    document.push_str(&self.read_line()?);
+                    document.push('\n');
+                }
+                Ok(Payload::Document(document))
+            }
+            "ERR" => {
+                let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+                Err(ClientError::Server {
+                    code: code.to_string(),
+                    message: message.to_string(),
+                })
+            }
+            other => Err(ClientError::Protocol(format!("unknown reply `{other}`"))),
+        }
+    }
+
+    fn request_fields(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.request(line, None)? {
+            Payload::Fields(fields) => Ok(fields),
+            Payload::Document(_) => Err(ClientError::Protocol("expected OK, got DATA".to_string())),
+        }
+    }
+
+    fn request_document(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.request(line, None)? {
+            Payload::Document(document) => Ok(document),
+            Payload::Fields(_) => Err(ClientError::Protocol("expected DATA, got OK".to_string())),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-reply".to_string(),
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Loads a scenario into a fresh daemon, starting its engine.
+    pub fn load(&mut self, scenario: &Scenario) -> Result<(), ClientError> {
+        let text = model_io::write_scenario(scenario);
+        let count = text.lines().count();
+        match self.request(&format!("LOAD {count}"), Some(&text))? {
+            Payload::Fields(_) => Ok(()),
+            Payload::Document(_) => Err(ClientError::Protocol("expected OK, got DATA".to_string())),
+        }
+    }
+
+    /// Submits a task into the current open slot; returns its assigned id
+    /// and release slot.
+    pub fn submit(&mut self, spec: &TaskSpec) -> Result<(TaskId, usize), ClientError> {
+        let line = format!(
+            "SUBMIT {} {} {} {} {} {}",
+            spec.device_pos.x,
+            spec.device_pos.y,
+            spec.device_facing.radians(),
+            spec.end_slot,
+            spec.required_energy,
+            spec.weight
+        );
+        let fields = self.request_fields(&line)?;
+        let task = parse_field(&fields, "task")?;
+        let release = parse_field(&fields, "release")?;
+        Ok((TaskId(task as u32), release))
+    }
+
+    /// Closes `n` slots; returns `(clock, still_open)`.
+    pub fn tick(&mut self, n: usize) -> Result<(usize, bool), ClientError> {
+        let fields = self.request_fields(&format!("TICK {n}"))?;
+        Ok((
+            parse_field(&fields, "slot")?,
+            parse_field(&fields, "open")? == 1,
+        ))
+    }
+
+    /// The current open slot and whether the grid still has slots.
+    pub fn clock(&mut self) -> Result<(usize, bool), ClientError> {
+        let fields = self.request_fields("CLOCK?")?;
+        Ok((
+            parse_field(&fields, "slot")?,
+            parse_field(&fields, "open")? == 1,
+        ))
+    }
+
+    /// The schedule as planned/executed so far.
+    pub fn schedule(&mut self) -> Result<Schedule, ClientError> {
+        let document = self.request_document("SCHEDULE?")?;
+        model_io::read_schedule(&document)
+            .map_err(|e| ClientError::Protocol(format!("bad schedule document: {e}")))
+    }
+
+    /// `(full P1 utility, relaxed HASTE-R value)` of the current schedule.
+    pub fn utility(&mut self) -> Result<(f64, f64), ClientError> {
+        let fields = self.request_fields("UTILITY?")?;
+        Ok((
+            parse_f64_field(&fields, "utility")?,
+            parse_f64_field(&fields, "relaxed")?,
+        ))
+    }
+
+    /// Solver metrics and counters, as `(key, value)` pairs.
+    pub fn metrics(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        let document = self.request_document("METRICS?")?;
+        document
+            .lines()
+            .map(|line| {
+                line.split_once(' ')
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .ok_or_else(|| ClientError::Protocol(format!("bad metrics line `{line}`")))
+            })
+            .collect()
+    }
+
+    /// The daemon's full engine state as snapshot text.
+    pub fn snapshot(&mut self) -> Result<String, ClientError> {
+        self.request_document("SNAPSHOT")
+    }
+
+    /// Replaces the daemon's engine state from snapshot text; returns the
+    /// restored clock.
+    pub fn restore(&mut self, snapshot: &str) -> Result<usize, ClientError> {
+        let count = snapshot.lines().count();
+        match self.request(&format!("RESTORE {count}"), Some(snapshot))? {
+            Payload::Fields(fields) => parse_field(&fields, "slot"),
+            Payload::Document(_) => Err(ClientError::Protocol("expected OK, got DATA".to_string())),
+        }
+    }
+
+    /// Closes the session politely.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        self.request_fields("BYE")?;
+        Ok(())
+    }
+}
+
+/// Extracts `key=<usize>` from an `OK` field list.
+fn parse_field(fields: &str, key: &str) -> Result<usize, ClientError> {
+    find_value(fields, key)?
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("`{key}` is not an integer in `{fields}`")))
+}
+
+/// Extracts `key=<f64>` from an `OK` field list.
+fn parse_f64_field(fields: &str, key: &str) -> Result<f64, ClientError> {
+    find_value(fields, key)?
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("`{key}` is not a number in `{fields}`")))
+}
+
+fn find_value<'a>(fields: &'a str, key: &str) -> Result<&'a str, ClientError> {
+    fields
+        .split_whitespace()
+        .find_map(|field| field.strip_prefix(key)?.strip_prefix('='))
+        .ok_or_else(|| ClientError::Protocol(format!("missing `{key}=` in `{fields}`")))
+}

@@ -1,0 +1,34 @@
+//! The HASTE scheduling **service**: a long-running daemon that drives the
+//! incremental online engine
+//! ([`OnlineEngine`](haste_distributed::OnlineEngine)) over a TCP wire
+//! protocol, plus the matching typed client and a load-generator harness.
+//!
+//! * [`serve`] — starts the daemon: a `std::net` TCP listener whose
+//!   connections are handled on a [`haste_parallel::ThreadPool`] (no async
+//!   runtime; the workspace builds fully offline),
+//! * [`proto`] — the versioned line-oriented wire protocol (`HELLO`,
+//!   `LOAD`, `SUBMIT`, `TICK`, `SCHEDULE?`, `SNAPSHOT`/`RESTORE`, …),
+//!   documented normatively in `docs/service_protocol.md`,
+//! * [`Client`] — a blocking client speaking that protocol,
+//! * [`loadgen`] — N concurrent connections submitting Poisson task
+//!   arrivals in virtual time, measuring submit-to-ack latency and
+//!   verifying the streamed session against a batch replay of its own
+//!   submission trace.
+//!
+//! Virtual time: the daemon never sleeps. A slot closes when a client says
+//! `TICK`; arrivals admitted into the slot are negotiated at that moment
+//! (rescheduling delay `τ` and switching delay `ρ` apply exactly as in the
+//! batch online solver). Because the engine is bit-deterministic, a daemon
+//! killed mid-run and restored from its last `SNAPSHOT` finishes with the
+//! same schedule and utility, bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod loadgen;
+pub mod proto;
+mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{serve, ServerConfig, ServerHandle};

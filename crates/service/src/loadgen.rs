@@ -1,0 +1,317 @@
+//! A load-generator harness for the daemon: N concurrent connections
+//! submitting Poisson task arrivals in **virtual time**, measuring
+//! submit-to-ack latency, and verifying the streamed session against a
+//! batch replay of its own submission trace.
+//!
+//! Arrival model: a homogeneous Poisson process conditioned on exactly `N`
+//! total arrivals over `S` slots is `N` i.i.d. uniform arrival times (the
+//! order-statistics property), so each submission independently draws a
+//! uniform slot. No wall-clock sleeping is involved — the generator drives
+//! the daemon's virtual clock itself: all connections submit their
+//! arrivals for the open slot, meet at a barrier, one `TICK` closes the
+//! slot, and the next slot begins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use haste_distributed::{OnlineEngine, TaskSpec};
+use haste_geometry::{Angle, Vec2};
+use haste_model::{Charger, ChargingParams, Scenario, TimeGrid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{serve, Client, ClientError, ServerConfig};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address to drive; `None` self-hosts a daemon in-process
+    /// (fresh engine, clean shutdown afterwards).
+    pub addr: Option<String>,
+    /// Concurrent client connections submitting tasks.
+    pub connections: usize,
+    /// Total task submissions across all connections.
+    pub submissions: usize,
+    /// Chargers in the generated base scenario (self-describing runs).
+    pub chargers: usize,
+    /// Side length of the square deployment field, meters.
+    pub field: f64,
+    /// Slots of the virtual-time grid (also the number of `TICK`s driven).
+    pub slots: usize,
+    /// Admission bound per slot for the self-hosted daemon.
+    pub max_pending: usize,
+    /// Seed for charger placement, arrival times and task parameters.
+    pub seed: u64,
+    /// After the run, pull a `SNAPSHOT`, replay the submission trace in
+    /// batch ([`haste_distributed::replay_trace`]) and check the utilities
+    /// match bit for bit.
+    pub verify_replay: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: None,
+            connections: 8,
+            submissions: 10_000,
+            chargers: 8,
+            field: 200.0,
+            slots: 64,
+            max_pending: 4096,
+            seed: 1,
+            verify_replay: true,
+        }
+    }
+}
+
+/// What a load-generator run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Submissions attempted.
+    pub submitted: usize,
+    /// Submissions acknowledged with a task id.
+    pub accepted: usize,
+    /// Submissions rejected by admission control (`ERR overload`).
+    pub rejected: usize,
+    /// Median submit-to-ack latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile submit-to-ack latency, microseconds.
+    pub p99_us: u64,
+    /// Worst submit-to-ack latency, microseconds.
+    pub max_us: u64,
+    /// Wall-clock duration of the submission phase, seconds.
+    pub elapsed_s: f64,
+    /// Acknowledged submissions per wall-clock second.
+    pub throughput: f64,
+    /// Final full-P1 utility reported by the daemon.
+    pub utility: f64,
+    /// Final relaxed (HASTE-R) value reported by the daemon.
+    pub relaxed: f64,
+    /// Utility of the batch replay of the submission trace (when
+    /// verification ran).
+    pub replay_utility: Option<f64>,
+    /// Whether daemon and replay utilities matched bit for bit.
+    pub replay_matches: Option<bool>,
+}
+
+impl std::fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted={} accepted={} rejected={} p50={}us p99={}us max={}us \
+             elapsed={:.3}s throughput={:.0}/s utility={:.6}",
+            self.submitted,
+            self.accepted,
+            self.rejected,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.elapsed_s,
+            self.throughput,
+            self.utility
+        )?;
+        if let Some(matches) = self.replay_matches {
+            write!(
+                f,
+                " replay_utility={:.6} replay_matches={matches}",
+                self.replay_utility.unwrap_or(f64::NAN)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One worker's pre-generated submission plan: per slot, the specs it
+/// submits while that slot is open.
+struct WorkerPlan {
+    per_slot: Vec<Vec<TaskSpec>>,
+}
+
+/// Runs the load generator. Returns an error on any transport or protocol
+/// failure (a malformed daemon response is an error, not a statistic —
+/// correctness is binary here).
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    let hosted = match &config.addr {
+        Some(_) => None,
+        None => Some(serve(ServerConfig {
+            // Workers + the control connection must all fit in the pool,
+            // or the barrier protocol deadlocks waiting on a queued
+            // connection.
+            worker_threads: config.connections + 2,
+            max_pending: config.max_pending,
+            ..ServerConfig::default()
+        })?),
+    };
+    let addr = match (&config.addr, &hosted) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(handle)) => handle.addr().to_string(),
+        (None, None) => unreachable!("self-hosted handle exists"),
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let scenario = base_scenario(config, &mut rng);
+    let mut control = Client::connect(&addr)?;
+    control.load(&scenario)?;
+
+    // Poisson arrivals: each submission draws a uniform slot; round-robin
+    // across connections keeps per-worker load balanced.
+    let mut plans: Vec<WorkerPlan> = (0..config.connections)
+        .map(|_| WorkerPlan {
+            per_slot: vec![Vec::new(); config.slots],
+        })
+        .collect();
+    for i in 0..config.submissions {
+        let slot = rng.gen_range(0..config.slots);
+        let duration = rng.gen_range(2..=8usize);
+        let spec = TaskSpec {
+            device_pos: Vec2::new(
+                rng.gen_range(0.0..config.field),
+                rng.gen_range(0.0..config.field),
+            ),
+            device_facing: Angle::from_radians(rng.gen_range(0.0..std::f64::consts::TAU)),
+            end_slot: (slot + duration).min(config.slots),
+            required_energy: rng.gen_range(500.0..3000.0),
+            weight: 1.0,
+        };
+        plans[i % config.connections].per_slot[slot].push(spec);
+    }
+
+    let barrier = Barrier::new(config.connections + 1);
+    let accepted = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(config.submissions);
+
+    std::thread::scope(|scope| -> Result<(), ClientError> {
+        let mut handles = Vec::with_capacity(config.connections);
+        for plan in &plans {
+            let barrier = &barrier;
+            let accepted = &accepted;
+            let rejected = &rejected;
+            let addr = addr.as_str();
+            let slots = config.slots;
+            handles.push(scope.spawn(move || -> Result<Vec<u64>, ClientError> {
+                let mut client = Client::connect(addr)?;
+                let mut latencies = Vec::new();
+                // A failed worker keeps meeting the barriers (without
+                // submitting) so the remaining participants never
+                // deadlock; the error surfaces at join time.
+                let mut failure: Option<ClientError> = None;
+                for slot in 0..slots {
+                    if failure.is_none() {
+                        for spec in &plan.per_slot[slot] {
+                            let sent = Instant::now();
+                            match client.submit(spec) {
+                                Ok(_) => {
+                                    latencies.push(sent.elapsed().as_micros() as u64);
+                                    accepted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) if e.code() == Some("overload") => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // All submissions for this slot are in; one TICK (from
+                    // the controller, between the two barriers) closes it.
+                    barrier.wait();
+                    barrier.wait();
+                }
+                if let Some(e) = failure {
+                    return Err(e);
+                }
+                client.bye()?;
+                Ok(latencies)
+            }));
+        }
+        // Controller: close each slot once every worker has drained it.
+        // Same rule: keep meeting the barriers even after an error.
+        let mut tick_failure: Option<ClientError> = None;
+        for _ in 0..config.slots {
+            barrier.wait();
+            if tick_failure.is_none() {
+                if let Err(e) = control.tick(1) {
+                    tick_failure = Some(e);
+                }
+            }
+            barrier.wait();
+        }
+        for handle in handles {
+            all_latencies.extend(handle.join().expect("loadgen worker panicked")?);
+        }
+        if let Some(e) = tick_failure {
+            return Err(e);
+        }
+        Ok(())
+    })?;
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let (utility, relaxed) = control.utility()?;
+    let (mut replay_utility, mut replay_matches) = (None, None);
+    if config.verify_replay {
+        let snapshot = control.snapshot()?;
+        let engine = OnlineEngine::restore(&snapshot)
+            .map_err(|e| ClientError::Protocol(format!("daemon snapshot unusable: {e}")))?;
+        let trace = engine.scenario().clone();
+        let replayed = haste_distributed::replay_trace(trace, engine.config().clone());
+        replay_utility = Some(replayed.report.total_utility);
+        replay_matches = Some(replayed.report.total_utility.to_bits() == utility.to_bits());
+    }
+    control.bye()?;
+    if let Some(handle) = hosted {
+        handle.shutdown();
+    }
+
+    all_latencies.sort_unstable();
+    let percentile = |p: usize| -> u64 {
+        if all_latencies.is_empty() {
+            0
+        } else {
+            all_latencies[(all_latencies.len() - 1) * p / 100]
+        }
+    };
+    let accepted = accepted.into_inner();
+    Ok(LoadgenReport {
+        submitted: config.submissions,
+        accepted,
+        rejected: rejected.into_inner(),
+        p50_us: percentile(50),
+        p99_us: percentile(99),
+        max_us: all_latencies.last().copied().unwrap_or(0),
+        elapsed_s,
+        throughput: accepted as f64 / elapsed_s.max(1e-9),
+        utility,
+        relaxed,
+        replay_utility,
+        replay_matches,
+    })
+}
+
+/// The generated base scenario: chargers only; tasks arrive over the wire.
+fn base_scenario(config: &LoadgenConfig, rng: &mut StdRng) -> Scenario {
+    let chargers = (0..config.chargers)
+        .map(|i| {
+            Charger::new(
+                i as u32,
+                Vec2::new(
+                    rng.gen_range(0.0..config.field),
+                    rng.gen_range(0.0..config.field),
+                ),
+            )
+        })
+        .collect();
+    Scenario::new(
+        ChargingParams::simulation_default(),
+        TimeGrid::new(60.0, config.slots),
+        chargers,
+        Vec::new(),
+        1.0 / 12.0,
+        1,
+    )
+    .expect("generated base scenario is valid")
+}

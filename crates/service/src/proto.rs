@@ -1,0 +1,277 @@
+//! The wire protocol: request parsing and reply formatting.
+//!
+//! The protocol is line-oriented UTF-8 (in practice ASCII), `\n`-terminated,
+//! with whitespace-separated fields — the same conventions as the
+//! `model::io` text formats, so scenario/schedule/snapshot documents embed
+//! verbatim. Multi-line payloads are length-prefixed by a line count
+//! (`LOAD <n>`, `DATA <n>`, `RESTORE <n>`); there are no sentinels to
+//! escape. `docs/service_protocol.md` is the normative spec.
+//!
+//! Every request gets exactly one reply:
+//!
+//! * `OK [key=value]...` — success, fields are informational,
+//! * `DATA <n>` followed by `n` payload lines — success with a document,
+//! * `ERR <code> <message>` — failure; `code` is one of [`ErrCode`] and is
+//!   stable, the message is free-form.
+
+/// Protocol version spoken by this crate (the `HELLO v1` handshake).
+pub const VERSION: &str = "v1";
+
+/// Stable machine-readable error codes of `ERR` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Malformed request line (unknown directive, bad field count/values).
+    BadRequest,
+    /// The submitted task is invalid (bad window, non-finite fields, …).
+    BadTask,
+    /// Admission control rejected the submission; retry after a `TICK`.
+    Overload,
+    /// No scenario loaded yet (`LOAD` or `RESTORE` first).
+    NoScenario,
+    /// A scenario is already loaded (`RESTORE` replaces, `LOAD` does not).
+    AlreadyLoaded,
+    /// The virtual clock has consumed every slot of the grid.
+    AtHorizon,
+    /// A `RESTORE` payload failed to parse.
+    BadSnapshot,
+    /// Unsupported protocol version in `HELLO`.
+    Version,
+}
+
+impl ErrCode {
+    /// The wire token of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::BadTask => "bad-task",
+            ErrCode::Overload => "overload",
+            ErrCode::NoScenario => "no-scenario",
+            ErrCode::AlreadyLoaded => "already-loaded",
+            ErrCode::AtHorizon => "at-horizon",
+            ErrCode::BadSnapshot => "bad-snapshot",
+            ErrCode::Version => "version",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A reply to one request, ready to serialize with [`Reply::serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `OK <text>`.
+    Ok(String),
+    /// `DATA <n>` + the payload (must be newline-terminated or empty).
+    Data(String),
+    /// `ERR <code> <message>`.
+    Err(ErrCode, String),
+}
+
+impl Reply {
+    /// Renders the reply as wire bytes (always newline-terminated).
+    pub fn serialize(&self) -> String {
+        match self {
+            Reply::Ok(text) if text.is_empty() => "OK\n".to_string(),
+            Reply::Ok(text) => format!("OK {text}\n"),
+            Reply::Data(payload) => {
+                debug_assert!(payload.is_empty() || payload.ends_with('\n'));
+                format!("DATA {}\n{payload}", payload.lines().count())
+            }
+            Reply::Err(code, message) => format!("ERR {code} {message}\n"),
+        }
+    }
+}
+
+/// A parsed request line. Multi-line payload sections (`LOAD`, `RESTORE`)
+/// carry their announced line count; the connection handler reads the
+/// payload lines after parsing the head line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `HELLO <version>` — handshake.
+    Hello(String),
+    /// `LOAD <n>` — load a scenario document of `n` lines.
+    Load(usize),
+    /// `SUBMIT <x> <y> <facing_rad> <end_slot> <energy> <weight>`.
+    Submit {
+        /// Device position x (meters).
+        x: f64,
+        /// Device position y (meters).
+        y: f64,
+        /// Receiving-sector orientation (radians).
+        facing: f64,
+        /// One past the last active slot (absolute).
+        end_slot: usize,
+        /// Required charging energy (joules).
+        energy: f64,
+        /// Weight in the overall utility.
+        weight: f64,
+    },
+    /// `TICK [n]` — close `n` slots (default 1).
+    Tick(usize),
+    /// `CLOCK?` — current open slot.
+    Clock,
+    /// `SCHEDULE?` — the schedule as planned/executed so far.
+    Schedule,
+    /// `UTILITY?` — full P1 utility and relaxed (HASTE-R) value.
+    Utility,
+    /// `METRICS?` — solver metrics and negotiation counters.
+    Metrics,
+    /// `SNAPSHOT` — serialize full engine state.
+    Snapshot,
+    /// `RESTORE <n>` — replace engine state from an `n`-line snapshot.
+    Restore(usize),
+    /// `BYE` — close the connection.
+    Bye,
+}
+
+impl Request {
+    /// Parses one request line (already stripped of its newline).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut fields = line.split_whitespace();
+        let directive = fields.next().ok_or("empty request")?;
+        let rest: Vec<&str> = fields.collect();
+        let arity = |n: usize| -> Result<(), String> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{directive} expects {n} fields, got {}",
+                    rest.len()
+                ))
+            }
+        };
+        let uint = |s: &str| -> Result<usize, String> {
+            s.parse().map_err(|_| format!("`{s}` is not a count"))
+        };
+        let num = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("`{s}` is not a number"))
+        };
+        match directive {
+            "HELLO" => {
+                arity(1)?;
+                Ok(Request::Hello(rest[0].to_string()))
+            }
+            "LOAD" => {
+                arity(1)?;
+                Ok(Request::Load(uint(rest[0])?))
+            }
+            "SUBMIT" => {
+                arity(6)?;
+                Ok(Request::Submit {
+                    x: num(rest[0])?,
+                    y: num(rest[1])?,
+                    facing: num(rest[2])?,
+                    end_slot: uint(rest[3])?,
+                    energy: num(rest[4])?,
+                    weight: num(rest[5])?,
+                })
+            }
+            "TICK" => match rest.as_slice() {
+                [] => Ok(Request::Tick(1)),
+                [n] => {
+                    let n = uint(n)?;
+                    if n == 0 {
+                        return Err("TICK of 0 slots".to_string());
+                    }
+                    Ok(Request::Tick(n))
+                }
+                _ => Err("TICK expects at most 1 field".to_string()),
+            },
+            "CLOCK?" => {
+                arity(0)?;
+                Ok(Request::Clock)
+            }
+            "SCHEDULE?" => {
+                arity(0)?;
+                Ok(Request::Schedule)
+            }
+            "UTILITY?" => {
+                arity(0)?;
+                Ok(Request::Utility)
+            }
+            "METRICS?" => {
+                arity(0)?;
+                Ok(Request::Metrics)
+            }
+            "SNAPSHOT" => {
+                arity(0)?;
+                Ok(Request::Snapshot)
+            }
+            "RESTORE" => {
+                arity(1)?;
+                Ok(Request::Restore(uint(rest[0])?))
+            }
+            "BYE" => {
+                arity(0)?;
+                Ok(Request::Bye)
+            }
+            other => Err(format!("unknown directive `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_directive() {
+        assert_eq!(
+            Request::parse("HELLO v1"),
+            Ok(Request::Hello("v1".to_string()))
+        );
+        assert_eq!(Request::parse("LOAD 12"), Ok(Request::Load(12)));
+        assert_eq!(
+            Request::parse("SUBMIT 1.5 -2 0.25 8 900 1"),
+            Ok(Request::Submit {
+                x: 1.5,
+                y: -2.0,
+                facing: 0.25,
+                end_slot: 8,
+                energy: 900.0,
+                weight: 1.0,
+            })
+        );
+        assert_eq!(Request::parse("TICK"), Ok(Request::Tick(1)));
+        assert_eq!(Request::parse("TICK 4"), Ok(Request::Tick(4)));
+        assert_eq!(Request::parse("CLOCK?"), Ok(Request::Clock));
+        assert_eq!(Request::parse("SCHEDULE?"), Ok(Request::Schedule));
+        assert_eq!(Request::parse("UTILITY?"), Ok(Request::Utility));
+        assert_eq!(Request::parse("METRICS?"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(Request::parse("RESTORE 40"), Ok(Request::Restore(40)));
+        assert_eq!(Request::parse("BYE"), Ok(Request::Bye));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("NOPE 1").is_err());
+        assert!(Request::parse("LOAD").is_err());
+        assert!(Request::parse("LOAD x").is_err());
+        assert!(Request::parse("SUBMIT 1 2 3").is_err());
+        assert!(Request::parse("SUBMIT 1 2 3 four 5 6").is_err());
+        assert!(Request::parse("TICK 0").is_err());
+        assert!(Request::parse("TICK 1 2").is_err());
+        assert!(Request::parse("CLOCK? now").is_err());
+    }
+
+    #[test]
+    fn reply_serialization() {
+        assert_eq!(Reply::Ok(String::new()).serialize(), "OK\n");
+        assert_eq!(Reply::Ok("slot=3".to_string()).serialize(), "OK slot=3\n");
+        assert_eq!(
+            Reply::Data("a\nb\n".to_string()).serialize(),
+            "DATA 2\na\nb\n"
+        );
+        assert_eq!(Reply::Data(String::new()).serialize(), "DATA 0\n");
+        assert_eq!(
+            Reply::Err(ErrCode::Overload, "queue full".to_string()).serialize(),
+            "ERR overload queue full\n"
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! The daemon: TCP accept loop, connection handlers, request dispatch.
+//!
+//! Plain `std::net` blocking sockets — no async runtime. The accept loop
+//! runs on one thread in non-blocking mode (polling a shutdown flag);
+//! each accepted connection is handled on a worker of a
+//! [`haste_parallel::ThreadPool`]. Handlers use short read timeouts so an
+//! idle connection notices shutdown promptly. All connections share one
+//! engine behind a mutex: requests are serialized, which matches the
+//! engine's semantics (submissions within a slot are ordered by admission,
+//! and that order *is* the determinism contract).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use haste_distributed::{AdmitError, OnlineConfig, OnlineEngine, TaskSpec};
+use haste_geometry::{Angle, Vec2};
+use haste_model::io as model_io;
+use haste_parallel::ThreadPool;
+use parking_lot::Mutex;
+
+use crate::proto::{ErrCode, Reply, Request, VERSION};
+
+/// How long a handler blocks on a read before re-checking the shutdown
+/// flag. Short enough for prompt shutdown, long enough to stay off the CPU.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Configuration of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 to let the OS pick (the bound address is
+    /// available on the returned handle).
+    pub addr: String,
+    /// Connection-handler threads. This is the connection cap: with `c`
+    /// workers, connection `c + 1` waits until one closes. Keep it at or
+    /// above the expected client count (barrier-coordinated load
+    /// generators deadlock below it).
+    pub worker_threads: usize,
+    /// Admission bound: submissions per open slot before `ERR overload`.
+    pub max_pending: usize,
+    /// Scheduling configuration for engines created by `LOAD`.
+    pub scheduling: OnlineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            worker_threads: 64,
+            max_pending: 4096,
+            scheduling: OnlineConfig::default(),
+        }
+    }
+}
+
+/// State shared by every connection of one daemon.
+struct Shared {
+    engine: Mutex<Option<OnlineEngine>>,
+    scheduling: OnlineConfig,
+    max_pending: usize,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down and joins
+/// its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept loop and all handlers. Open
+    /// connections are closed after their in-flight request completes.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Starts a daemon and returns its handle. The accept loop and handlers
+/// run on background threads; the call itself returns immediately after
+/// binding.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(None),
+        scheduling: config.scheduling.clone(),
+        max_pending: config.max_pending,
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let workers = config.worker_threads.max(1);
+    let accept_thread = std::thread::Builder::new()
+        .name("haste-service-accept".to_string())
+        .spawn(move || {
+            // The pool lives (and on exit drains + joins) inside the
+            // accept thread, so joining the accept thread joins everything.
+            let pool = ThreadPool::new(workers);
+            while !accept_shared.shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        pool.execute(move || {
+                            let _ = handle_connection(stream, &conn_shared);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Reads one `\n`-terminated line, polling the shutdown flag across read
+/// timeouts. Partial bytes accumulate in `buf` between polls, so a slow
+/// sender never loses data. Returns `None` on EOF or shutdown.
+fn read_line_polling(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    buf.clear();
+    loop {
+        match reader.read_until(b'\n', buf) {
+            Ok(0) => return Ok(None),
+            // A read without a trailing newline means EOF mid-line; the
+            // fragment is treated as a final line.
+            Ok(_) => {
+                let line = String::from_utf8_lossy(buf).trim_end().to_string();
+                return Ok(Some(line));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads `count` payload lines (a length-prefixed document).
+fn read_payload(
+    reader: &mut BufReader<TcpStream>,
+    count: usize,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    let mut payload = String::new();
+    let mut buf = Vec::new();
+    for _ in 0..count {
+        match read_line_polling(reader, &mut buf, shutdown)? {
+            Some(line) => {
+                payload.push_str(&line);
+                payload.push('\n');
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Serves one connection until EOF, `BYE`, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        let Some(line) = read_line_polling(&mut reader, &mut buf, &shared.shutdown)? else {
+            return Ok(());
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (reply, close) = dispatch(&line, &mut reader, shared)?;
+        writer.write_all(reply.serialize().as_bytes())?;
+        writer.flush()?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Parses and executes one request; returns the reply and whether the
+/// connection should close.
+fn dispatch(
+    line: &str,
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<(Reply, bool)> {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(reason) => return Ok((Reply::Err(ErrCode::BadRequest, reason), false)),
+    };
+    let reply = match request {
+        Request::Hello(version) => {
+            if version == VERSION {
+                Reply::Ok(format!("haste-service {VERSION}"))
+            } else {
+                Reply::Err(
+                    ErrCode::Version,
+                    format!("unsupported version `{version}` (this daemon speaks {VERSION})"),
+                )
+            }
+        }
+        Request::Load(count) => {
+            let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
+                return Ok((
+                    Reply::Err(ErrCode::BadRequest, "truncated LOAD payload".to_string()),
+                    true,
+                ));
+            };
+            let mut engine = shared.engine.lock();
+            if engine.is_some() {
+                Reply::Err(
+                    ErrCode::AlreadyLoaded,
+                    "a scenario is already loaded (RESTORE replaces state, LOAD does not)"
+                        .to_string(),
+                )
+            } else {
+                match model_io::read_scenario(&payload) {
+                    Ok(scenario) => {
+                        let new = OnlineEngine::new(
+                            scenario,
+                            shared.scheduling.clone(),
+                            shared.max_pending,
+                        );
+                        let reply = Reply::Ok(format!(
+                            "chargers={} staged={} slots={}",
+                            new.scenario().num_chargers(),
+                            new.staged_len() + new.scenario().num_tasks(),
+                            new.scenario().grid.num_slots
+                        ));
+                        *engine = Some(new);
+                        reply
+                    }
+                    Err(e) => Reply::Err(ErrCode::BadRequest, format!("bad scenario: {e}")),
+                }
+            }
+        }
+        Request::Submit {
+            x,
+            y,
+            facing,
+            end_slot,
+            energy,
+            weight,
+        } => {
+            if !(x.is_finite() && y.is_finite() && facing.is_finite()) {
+                Reply::Err(ErrCode::BadTask, "non-finite position/facing".to_string())
+            } else {
+                let mut engine = shared.engine.lock();
+                match engine.as_mut() {
+                    None => no_scenario(),
+                    Some(engine) => {
+                        let spec = TaskSpec {
+                            device_pos: Vec2::new(x, y),
+                            device_facing: Angle::from_radians(facing),
+                            end_slot,
+                            required_energy: energy,
+                            weight,
+                        };
+                        match engine.submit(spec) {
+                            Ok(id) => {
+                                Reply::Ok(format!("task={} release={}", id.0, engine.clock()))
+                            }
+                            Err(e @ AdmitError::Backpressure { .. }) => {
+                                Reply::Err(ErrCode::Overload, e.to_string())
+                            }
+                            Err(e @ AdmitError::Closed) => {
+                                Reply::Err(ErrCode::AtHorizon, e.to_string())
+                            }
+                            Err(e @ AdmitError::BadTask(_)) => {
+                                Reply::Err(ErrCode::BadTask, e.to_string())
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Request::Tick(n) => {
+            let mut engine = shared.engine.lock();
+            match engine.as_mut() {
+                None => no_scenario(),
+                Some(engine) => {
+                    if engine.is_closed() {
+                        Reply::Err(ErrCode::AtHorizon, "the time grid is exhausted".to_string())
+                    } else {
+                        for _ in 0..n {
+                            if engine.tick().is_none() {
+                                break;
+                            }
+                        }
+                        Reply::Ok(format!(
+                            "slot={} open={}",
+                            engine.clock(),
+                            u8::from(!engine.is_closed())
+                        ))
+                    }
+                }
+            }
+        }
+        Request::Clock => match shared.engine.lock().as_ref() {
+            None => no_scenario(),
+            Some(engine) => Reply::Ok(format!(
+                "slot={} open={}",
+                engine.clock(),
+                u8::from(!engine.is_closed())
+            )),
+        },
+        Request::Schedule => match shared.engine.lock().as_ref() {
+            None => no_scenario(),
+            Some(engine) => Reply::Data(model_io::write_schedule(engine.schedule())),
+        },
+        Request::Utility => {
+            let mut engine = shared.engine.lock();
+            match engine.as_mut() {
+                None => no_scenario(),
+                Some(engine) => {
+                    let report = engine.evaluate();
+                    let relaxed = engine.relaxed_value();
+                    Reply::Ok(format!(
+                        "utility={} relaxed={}",
+                        report.total_utility, relaxed
+                    ))
+                }
+            }
+        }
+        Request::Metrics => match shared.engine.lock().as_ref() {
+            None => no_scenario(),
+            Some(engine) => {
+                let metrics = engine.metrics();
+                let stats = engine.stats();
+                let (admitted, rejected, pending) = engine.counters();
+                let mut payload = String::new();
+                for (key, value) in [
+                    ("clock", engine.clock().to_string()),
+                    ("tasks", engine.scenario().num_tasks().to_string()),
+                    ("staged", engine.staged_len().to_string()),
+                    ("admitted", admitted.to_string()),
+                    ("rejected", rejected.to_string()),
+                    ("pending", pending.to_string()),
+                    ("threads", metrics.threads.to_string()),
+                    ("oracle_marginals", metrics.oracle_marginals.to_string()),
+                    ("oracle_commits", metrics.oracle_commits.to_string()),
+                    ("messages", stats.messages.to_string()),
+                    ("rounds", stats.rounds.to_string()),
+                    (
+                        "instance_build_us",
+                        metrics.instance_build.as_micros().to_string(),
+                    ),
+                    ("greedy_us", metrics.greedy.as_micros().to_string()),
+                    ("rounding_us", metrics.rounding.as_micros().to_string()),
+                    (
+                        "coverage_build_us",
+                        metrics.coverage_build.as_micros().to_string(),
+                    ),
+                ] {
+                    payload.push_str(key);
+                    payload.push(' ');
+                    payload.push_str(&value);
+                    payload.push('\n');
+                }
+                Reply::Data(payload)
+            }
+        },
+        Request::Snapshot => match shared.engine.lock().as_ref() {
+            None => no_scenario(),
+            Some(engine) => Reply::Data(engine.snapshot()),
+        },
+        Request::Restore(count) => {
+            let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
+                return Ok((
+                    Reply::Err(ErrCode::BadRequest, "truncated RESTORE payload".to_string()),
+                    true,
+                ));
+            };
+            match OnlineEngine::restore(&payload) {
+                Ok(new) => {
+                    let reply = Reply::Ok(format!(
+                        "slot={} open={}",
+                        new.clock(),
+                        u8::from(!new.is_closed())
+                    ));
+                    *shared.engine.lock() = Some(new);
+                    reply
+                }
+                Err(e) => Reply::Err(ErrCode::BadSnapshot, e.to_string()),
+            }
+        }
+        Request::Bye => return Ok((Reply::Ok("bye".to_string()), true)),
+    };
+    Ok((reply, false))
+}
+
+fn no_scenario() -> Reply {
+    Reply::Err(
+        ErrCode::NoScenario,
+        "no scenario loaded (LOAD or RESTORE first)".to_string(),
+    )
+}

@@ -24,8 +24,9 @@ pub struct GreedyOptions<'a> {
     /// zero-gain blocks stay unassigned so schedules stay parsimonious;
     /// the guarantee is unaffected because skipped gains are zero).
     pub min_gain: f64,
-    /// Worker threads for the per-candidate marginal scans (0 or 1 =
-    /// sequential). Results are bit-identical for every value.
+    /// Worker threads for the per-candidate marginal scans (1 = sequential,
+    /// 0 = auto-detect via [`haste_parallel::default_threads`]). Results are
+    /// bit-identical for every value.
     pub threads: usize,
 }
 
@@ -40,10 +41,12 @@ impl Default for GreedyOptions<'_> {
     }
 }
 
-/// Threads to actually use for a scan of `work` oracle calls: stays
-/// sequential below [`PAR_ARGMAX_MIN_WORK`] so thread setup cannot dominate
-/// tiny scans. Purely a performance gate — both paths agree bitwise.
+/// Threads to actually use for a scan of `work` oracle calls: `0` first
+/// resolves to the machine's parallelism, then stays sequential below
+/// [`PAR_ARGMAX_MIN_WORK`] so thread setup cannot dominate tiny scans.
+/// Purely a performance gate — both paths agree bitwise.
 pub(crate) fn effective_threads(threads: usize, work: usize) -> usize {
+    let threads = haste_parallel::resolve_threads(threads);
     if threads > 1 && work >= PAR_ARGMAX_MIN_WORK {
         threads
     } else {

@@ -45,8 +45,9 @@ pub struct TabularOptions {
     /// the threshold means the same thing regardless of how many samples
     /// happen to realize a color.
     pub min_gain: f64,
-    /// Worker threads for the per-candidate argmax scans (0 or 1 =
-    /// sequential). Results are bit-identical for every value.
+    /// Worker threads for the per-candidate argmax scans (1 = sequential,
+    /// 0 = auto-detect via `haste_parallel::default_threads`). Results are
+    /// bit-identical for every value.
     pub threads: usize,
 }
 
