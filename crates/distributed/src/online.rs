@@ -175,6 +175,7 @@ pub fn solve_online(
     }
     clear_dead(&mut schedule, &dead_from);
 
+    // haste-lint: allow(D2) — phase timing feeds SolverMetrics, not algorithm state
     let eval_start = Instant::now();
     let report = evaluate(scenario, coverage, &schedule, EvalOptions::default());
     let relaxed = evaluate_relaxed(scenario, coverage, &schedule);
@@ -319,6 +320,7 @@ pub(crate) fn replan_event(
             *total += add;
         }
     }
+    // haste-lint: allow(D2) — phase timing feeds SolverMetrics, not algorithm state
     let build_start = Instant::now();
     let instance = HasteRInstance::build_with(
         scenario,
@@ -336,12 +338,14 @@ pub(crate) fn replan_event(
         },
     );
     metrics.instance_build += build_start.elapsed();
+    // haste-lint: allow(D2) — phase timing feeds SolverMetrics, not algorithm state
     let negotiate_start = Instant::now();
     let (selection, run_stats): (Selection, NegotiationStats) = match config.engine {
         EngineKind::Rounds => negotiate_rounds(&instance, graph, &config.negotiation),
         EngineKind::Threaded => negotiate_threaded(&instance, graph, &config.negotiation),
     };
     metrics.greedy += negotiate_start.elapsed();
+    // haste-lint: allow(D2) — phase timing feeds SolverMetrics, not algorithm state
     let rounding_start = Instant::now();
     instance.materialize_into(&selection, schedule);
     metrics.rounding += rounding_start.elapsed();

@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn colors_vary_with_inputs() {
         let c = 8;
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for p in 0..64 {
             distinct.insert(color_of(1, 0, p, c));
         }

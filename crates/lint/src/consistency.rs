@@ -1,0 +1,528 @@
+//! Cross-file contract checks: C1 (ErrCode ↔ protocol doc), C2 (METRICS?
+//! keys ↔ protocol doc), C3 (vendored dependency allowlist).
+//!
+//! These rules take file *contents* (plus their workspace-relative paths
+//! for diagnostics), so fixture tests can drive them with synthetic
+//! documents; [`crate::run_check`] feeds them the real sources.
+
+use crate::Finding;
+
+// ----------------------------------------------------------------------
+// C1 — ErrCode variants vs the protocol doc's error-code table
+// ----------------------------------------------------------------------
+
+/// Cross-checks the `ErrCode` wire tokens of `proto_src` against the error
+/// code table of `doc`, both directions.
+pub fn check_errcode_docs(
+    proto_path: &str,
+    proto_src: &str,
+    doc_path: &str,
+    doc: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code_tokens = errcode_wire_tokens(proto_src);
+    let doc_tokens = doc_errcode_rows(doc);
+    if code_tokens.is_empty() {
+        findings.push(Finding {
+            file: proto_path.to_string(),
+            line: 0,
+            rule: "C1",
+            message: "found no `=> \"<token>\"` wire-token arms (ErrCode::as_str moved?)"
+                .to_string(),
+        });
+        return findings;
+    }
+    for (token, line) in &code_tokens {
+        if !doc_tokens.iter().any(|(t, _)| t == token) {
+            findings.push(Finding {
+                file: proto_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!(
+                    "ErrCode wire token `{token}` is not in the error-code table of {doc_path}"
+                ),
+            });
+        }
+    }
+    for (token, line) in &doc_tokens {
+        if !code_tokens.iter().any(|(t, _)| t == token) {
+            findings.push(Finding {
+                file: doc_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!(
+                    "documented error code `{token}` has no ErrCode variant in {proto_path}"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// `=> "token"` arms (the `ErrCode::as_str` body) with their 1-based lines.
+fn errcode_wire_tokens(src: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("=> \"") else {
+            continue;
+        };
+        let rest = &line[pos + 4..];
+        let Some(end) = rest.find('"') else {
+            continue;
+        };
+        let token = &rest[..end];
+        if is_wire_token(token) {
+            out.push((token.to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+/// Error-code table rows (`| \`token\` | ... |`) of the section introduced
+/// by a line containing "Error codes", up to the next `##` heading.
+fn doc_errcode_rows(doc: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if line.contains("Error codes") {
+            in_section = true;
+            continue;
+        }
+        if in_section && line.starts_with("##") {
+            break;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(token) = line.trim().strip_prefix("| `") {
+            if let Some(end) = token.find('`') {
+                let token = &token[..end];
+                if is_wire_token(token) {
+                    out.push((token.to_string(), idx + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Wire tokens are lowercase kebab-case (`bad-request`, `overload`).
+fn is_wire_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().next().is_some_and(|b| b.is_ascii_lowercase())
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+// ----------------------------------------------------------------------
+// C2 — METRICS? keys vs the protocol doc's METRICS? section
+// ----------------------------------------------------------------------
+
+/// Cross-checks the keys emitted by the `Request::Metrics` arm of
+/// `server_src` against the backticked keys of the doc's `METRICS?`
+/// section, both directions.
+pub fn check_metrics_docs(
+    server_path: &str,
+    server_src: &str,
+    doc_path: &str,
+    doc: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let emitted = emitted_metrics_keys(server_src);
+    if emitted.is_empty() {
+        findings.push(Finding {
+            file: server_path.to_string(),
+            line: 0,
+            rule: "C2",
+            message: "could not locate the Request::Metrics handler's key tuples".to_string(),
+        });
+        return findings;
+    }
+    let documented = doc_metrics_keys(doc);
+    for (key, line) in &emitted {
+        if !documented.iter().any(|(k, _)| k == key) {
+            findings.push(Finding {
+                file: server_path.to_string(),
+                line: *line,
+                rule: "C2",
+                message: format!(
+                    "METRICS? emits `{key}` but the METRICS? section of {doc_path} does not \
+                     document it"
+                ),
+            });
+        }
+    }
+    for (key, line) in &documented {
+        if !emitted.iter().any(|(k, _)| k == key) {
+            findings.push(Finding {
+                file: doc_path.to_string(),
+                line: *line,
+                rule: "C2",
+                message: format!("documented METRICS? key `{key}` is not emitted by {server_path}"),
+            });
+        }
+    }
+    findings
+}
+
+/// The key names of the `("key", <value>)` tuples between
+/// `Request::Metrics` and the `Reply::Data` that closes the arm: every
+/// string literal in the span whose content has metrics-key shape
+/// (rustfmt may put a tuple's key literal on its own line, so the scan is
+/// literal-based rather than anchored on `("`).
+fn emitted_metrics_keys(src: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_arm = false;
+    for (idx, line) in src.lines().enumerate() {
+        if line.contains("Request::Metrics") {
+            in_arm = true;
+            continue;
+        }
+        if !in_arm {
+            continue;
+        }
+        if line.contains("Reply::Data") {
+            break;
+        }
+        for (i, literal) in line.split('"').enumerate() {
+            if i % 2 == 1 && is_metrics_key(literal) {
+                out.push((literal.to_string(), idx + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Backticked snake_case tokens of the `### \`METRICS?\`` doc section.
+/// Generic placeholder words (`key`, `value`, `n`) are not keys.
+fn doc_metrics_keys(doc: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if line.starts_with("###") && line.contains("METRICS?") {
+            in_section = true;
+            continue;
+        }
+        if in_section && (line.starts_with("## ") || line.starts_with("### ")) {
+            break;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(pos) = rest.find('`') {
+            rest = &rest[pos + 1..];
+            let Some(end) = rest.find('`') else {
+                break;
+            };
+            let token = &rest[..end];
+            if is_metrics_key(token) && !matches!(token, "key" | "value" | "n") {
+                out.push((token.to_string(), idx + 1));
+            }
+            rest = &rest[end + 1..];
+        }
+    }
+    out
+}
+
+/// Metrics keys are lowercase snake_case (`oracle_marginals`, `greedy_us`).
+fn is_metrics_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().next().is_some_and(|b| b.is_ascii_lowercase())
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+// ----------------------------------------------------------------------
+// C3 — vendored dependency allowlist
+// ----------------------------------------------------------------------
+
+/// The manifest inventory [`check_vendor_allowlist`] audits: file contents
+/// keyed by workspace-relative path, plus the `vendor/` directory listing.
+pub struct ManifestSet {
+    /// `("Cargo.toml", <content>)` — the workspace root manifest.
+    pub root: (String, String),
+    /// Member manifests (`crates/*/Cargo.toml`, `vendor/*/Cargo.toml`).
+    pub members: Vec<(String, String)>,
+    /// Directory names under `vendor/`.
+    pub vendor_dirs: Vec<String>,
+}
+
+/// Enforces the offline-build contract over the manifest inventory:
+/// workspace dependencies must resolve to `crates/` or `vendor/` paths,
+/// member dependencies must be `workspace = true` or in-tree paths, and
+/// every `vendor/` directory must be referenced (from the workspace
+/// allowlist or by a sibling vendored crate).
+pub fn check_vendor_allowlist(set: &ManifestSet) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (root_path, root_src) = &set.root;
+
+    let mut allowlisted_vendor = Vec::new();
+    for entry in toml_dependency_entries(root_src, "workspace.dependencies") {
+        match entry.path_value() {
+            Some(path) if path.starts_with("crates/") => {}
+            Some(path) if path.starts_with("vendor/") => {
+                allowlisted_vendor.push(path["vendor/".len()..].to_string());
+            }
+            Some(path) => findings.push(Finding {
+                file: root_path.clone(),
+                line: entry.line,
+                rule: "C3",
+                message: format!(
+                    "workspace dependency `{}` points outside the tree (`{path}`)",
+                    entry.name
+                ),
+            }),
+            None => findings.push(Finding {
+                file: root_path.clone(),
+                line: entry.line,
+                rule: "C3",
+                message: format!(
+                    "workspace dependency `{}` has no in-tree `path` — it would resolve to \
+                     crates.io, which cannot build offline",
+                    entry.name
+                ),
+            }),
+        }
+    }
+
+    for (member_path, member_src) in &set.members {
+        for section in ["dependencies", "dev-dependencies", "build-dependencies"] {
+            for entry in toml_dependency_entries(member_src, section) {
+                let ok = entry.value.contains("workspace = true") || entry.path_value().is_some();
+                if !ok {
+                    findings.push(Finding {
+                        file: member_path.clone(),
+                        line: entry.line,
+                        rule: "C3",
+                        message: format!(
+                            "dependency `{}` is neither `workspace = true` nor an in-tree \
+                             path — it would resolve to crates.io, which cannot build \
+                             offline",
+                            entry.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    for dir in &set.vendor_dirs {
+        let referenced = allowlisted_vendor.contains(dir)
+            || set.members.iter().any(|(path, src)| {
+                path.starts_with("vendor/") && src.contains(&format!("path = \"../{dir}\""))
+            });
+        if !referenced {
+            findings.push(Finding {
+                file: format!("vendor/{dir}/Cargo.toml"),
+                line: 0,
+                rule: "C3",
+                message: format!(
+                    "vendored crate `{dir}` is not on the workspace dependency allowlist \
+                     of {root_path} and no vendored sibling depends on it"
+                ),
+            });
+        }
+    }
+
+    findings
+}
+
+/// One `name = <value>` entry of a dependency section.
+struct DepEntry {
+    name: String,
+    value: String,
+    line: usize,
+}
+
+impl DepEntry {
+    /// The `path = "..."` value, if the entry has one.
+    fn path_value(&self) -> Option<&str> {
+        let rest = self.value.split("path = \"").nth(1)?;
+        rest.split('"').next()
+    }
+}
+
+/// Entries of one `[section]` of a (simple, inline-table style) manifest.
+/// Dotted sub-tables (`[dependencies.foo]`) are not in this workspace's
+/// style and are not parsed.
+fn toml_dependency_entries(src: &str, section: &str) -> Vec<DepEntry> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_section = trimmed == format!("[{section}]");
+            continue;
+        }
+        if !in_section || trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = trimmed.split_once('=') else {
+            continue;
+        };
+        out.push(DepEntry {
+            name: name.trim().to_string(),
+            value: value.trim().to_string(),
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO: &str = r#"
+        impl ErrCode {
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    ErrCode::BadRequest => "bad-request",
+                    ErrCode::Overload => "overload",
+                }
+            }
+        }
+    "#;
+
+    const DOC: &str = "\
+# protocol
+
+Error codes:
+
+| Code | Meaning |
+|---|---|
+| `bad-request` | Malformed. |
+| `overload` | Full. |
+
+## Requests
+
+### `METRICS?`
+
+Keys: `clock`, `greedy_us`. Reply: `DATA <n>` + lines.
+
+### `BYE`
+";
+
+    #[test]
+    fn errcode_consistency_passes_on_matching_sets() {
+        assert!(check_errcode_docs("p.rs", PROTO, "d.md", DOC).is_empty());
+    }
+
+    #[test]
+    fn errcode_mismatches_fire_both_directions() {
+        let proto_extra = PROTO.replace(
+            "ErrCode::Overload => \"overload\",",
+            "ErrCode::Overload => \"overload\",\nErrCode::Oops => \"oops\",",
+        );
+        let f = check_errcode_docs("p.rs", &proto_extra, "d.md", DOC);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`oops`"), "{f:?}");
+        assert_eq!(f[0].file, "p.rs");
+
+        let doc_extra = DOC.replace(
+            "| `overload` | Full. |",
+            "| `overload` | Full. |\n| `ghost` | Gone. |",
+        );
+        let f = check_errcode_docs("p.rs", PROTO, "d.md", &doc_extra);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`ghost`"), "{f:?}");
+        assert_eq!(f[0].file, "d.md");
+    }
+
+    const SERVER: &str = r#"
+        Request::Metrics => match engine {
+            Some(engine) => {
+                for (key, value) in [
+                    ("clock", engine.clock().to_string()),
+                    ("greedy_us", metrics.greedy.to_string()),
+                ] {
+                }
+                Reply::Data(payload)
+            }
+        },
+    "#;
+
+    #[test]
+    fn metrics_consistency_passes_on_matching_sets() {
+        assert!(check_metrics_docs("s.rs", SERVER, "d.md", DOC).is_empty());
+    }
+
+    #[test]
+    fn metrics_mismatches_fire_both_directions() {
+        let server_extra = SERVER.replace(
+            "(\"clock\", engine.clock().to_string()),",
+            "(\"clock\", engine.clock().to_string()),\n(\"mystery\", x.to_string()),",
+        );
+        let f = check_metrics_docs("s.rs", &server_extra, "d.md", DOC);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`mystery`"), "{f:?}");
+
+        let doc_extra = DOC.replace("`greedy_us`", "`greedy_us`, `phantom`");
+        let f = check_metrics_docs("s.rs", SERVER, "d.md", &doc_extra);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`phantom`"), "{f:?}");
+    }
+
+    #[test]
+    fn metrics_doc_scan_stops_at_the_next_section() {
+        // `bye` would parse as a key if the section did not end at `### BYE`.
+        let doc = DOC.replace("### `BYE`\n", "### `BYE`\n\nSends `bye` back.\n");
+        assert!(check_metrics_docs("s.rs", SERVER, "d.md", &doc).is_empty());
+    }
+
+    fn base_set() -> ManifestSet {
+        ManifestSet {
+            root: (
+                "Cargo.toml".to_string(),
+                "[workspace.dependencies]\n\
+                 haste-model = { path = \"crates/model\" }\n\
+                 rand = { path = \"vendor/rand\", default-features = false }\n"
+                    .to_string(),
+            ),
+            members: vec![(
+                "crates/model/Cargo.toml".to_string(),
+                "[dependencies]\nrand = { workspace = true }\n".to_string(),
+            )],
+            vendor_dirs: vec!["rand".to_string()],
+        }
+    }
+
+    #[test]
+    fn vendor_allowlist_passes_on_clean_set() {
+        assert!(check_vendor_allowlist(&base_set()).is_empty());
+    }
+
+    #[test]
+    fn bare_version_workspace_dep_fires() {
+        let mut set = base_set();
+        set.root.1.push_str("serde_json = \"1.0\"\n");
+        let f = check_vendor_allowlist(&set);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`serde_json`"), "{f:?}");
+    }
+
+    #[test]
+    fn bare_version_member_dep_fires() {
+        let mut set = base_set();
+        set.members[0].1.push_str("regex = \"1\"\n");
+        let f = check_vendor_allowlist(&set);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`regex`"), "{f:?}");
+    }
+
+    #[test]
+    fn unreferenced_vendor_dir_fires_unless_a_sibling_uses_it() {
+        let mut set = base_set();
+        set.vendor_dirs.push("orphan".to_string());
+        let f = check_vendor_allowlist(&set);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`orphan`"), "{f:?}");
+
+        set.members.push((
+            "vendor/rand/Cargo.toml".to_string(),
+            "[dependencies]\norphan = { path = \"../orphan\" }\n".to_string(),
+        ));
+        assert!(check_vendor_allowlist(&set).is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! `haste-lint`: the workspace static-analysis pass.
+//!
+//! Zero external dependencies — the tree is walked with `std::fs` and every
+//! rule is line/token-level matching, so the pass runs in milliseconds and
+//! builds anywhere the workspace does (including fully offline). Run it as
+//!
+//! ```sh
+//! cargo run -p haste-lint -- check
+//! ```
+//!
+//! Rules (see `docs/lints.md` and `haste-lint -- --explain <rule>`):
+//!
+//! * **D1/D2/D3** — determinism: no std hash collections, no wall-clock
+//!   reads outside SolverMetrics timing, no non-shortest-roundtrip float
+//!   formatting in serialization paths.
+//! * **P1** — panic-safety: no panicking constructs in daemon
+//!   request-handling code.
+//! * **C1/C2/C3** — contract consistency: `ErrCode` ↔ protocol doc,
+//!   `METRICS?` keys ↔ protocol doc, vendored dependency allowlist.
+//! * **S0/S1** — suppression hygiene (malformed / unused
+//!   `// haste-lint: allow(...)` comments).
+//!
+//! The scanners live in [`source`] (per-file D/P/S rules) and
+//! [`consistency`] (cross-file C rules); [`run_check`] wires them to a real
+//! workspace tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod catalog;
+pub mod consistency;
+pub mod source;
+
+pub use consistency::{
+    check_errcode_docs, check_metrics_docs, check_vendor_allowlist, ManifestSet,
+};
+pub use source::scan_source;
+
+/// One diagnostic. Renders as `file:line rule message` (line 0 — a
+/// file/workspace-level finding — renders without the line).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// Stable rule id (`D1`).
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} {} {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{} {} {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Runs every rule against the workspace rooted at `root`. Findings come
+/// back sorted by `(file, line, rule)`; an empty vector means the tree is
+/// lint-clean. IO problems (unreadable contract files) surface as findings
+/// rather than errors so CI gets one uniform failure mode.
+pub fn run_check(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // D/P/S rules over every tracked source file under crates/.
+    for path in rust_sources(&root.join("crates")) {
+        let rel = relative(&path, root);
+        // The linter's own sources and fixtures spell the forbidden tokens.
+        if rel.starts_with("crates/lint/") {
+            continue;
+        }
+        match fs::read_to_string(&path) {
+            Ok(content) => findings.extend(source::scan_source(&rel, &content)),
+            Err(e) => findings.push(Finding {
+                file: rel,
+                line: 0,
+                rule: "S0",
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+
+    // C1/C2: the protocol contract files.
+    const PROTO: &str = "crates/service/src/proto.rs";
+    const SERVER: &str = "crates/service/src/server.rs";
+    const DOC: &str = "docs/service_protocol.md";
+    match (
+        read_rel(root, PROTO),
+        read_rel(root, SERVER),
+        read_rel(root, DOC),
+    ) {
+        (Ok(proto), Ok(server), Ok(doc)) => {
+            findings.extend(consistency::check_errcode_docs(PROTO, &proto, DOC, &doc));
+            findings.extend(consistency::check_metrics_docs(SERVER, &server, DOC, &doc));
+        }
+        (proto, server, doc) => {
+            for (rel, result) in [(PROTO, proto), (SERVER, server), (DOC, doc)] {
+                if let Err(e) = result {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: 0,
+                        rule: "C1",
+                        message: format!("contract file is unreadable: {e}"),
+                    });
+                }
+            }
+        }
+    }
+
+    // C3: the manifest inventory.
+    match read_rel(root, "Cargo.toml") {
+        Ok(root_manifest) => {
+            let mut members = Vec::new();
+            for base in ["crates", "vendor"] {
+                for dir in subdirectories(&root.join(base)) {
+                    let manifest = dir.join("Cargo.toml");
+                    if let Ok(content) = fs::read_to_string(&manifest) {
+                        members.push((relative(&manifest, root), content));
+                    }
+                }
+            }
+            let vendor_dirs = subdirectories(&root.join("vendor"))
+                .iter()
+                .filter_map(|d| d.file_name().map(|n| n.to_string_lossy().into_owned()))
+                .collect();
+            findings.extend(consistency::check_vendor_allowlist(&ManifestSet {
+                root: ("Cargo.toml".to_string(), root_manifest),
+                members,
+                vendor_dirs,
+            }));
+        }
+        Err(e) => findings.push(Finding {
+            file: "Cargo.toml".to_string(),
+            line: 0,
+            rule: "C3",
+            message: format!("workspace manifest is unreadable: {e}"),
+        }),
+    }
+
+    findings.sort();
+    findings
+}
+
+/// Walks upward from `start` to the enclosing workspace root (the first
+/// directory whose `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(content) = fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// All `.rs` files under `base`, recursively, in sorted order (the walk
+/// order must not depend on directory-entry order, which the filesystem
+/// does not define). `target/` subtrees are skipped.
+fn rust_sources(base: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![base.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Immediate subdirectories of `base`, sorted.
+fn subdirectories(base: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(base) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn read_rel(root: &Path, rel: &str) -> std::io::Result<String> {
+    fs::read_to_string(root.join(rel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_formats() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 12,
+            rule: "D1",
+            message: "msg".to_string(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:12 D1 msg");
+        let f = Finding { line: 0, ..f };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs D1 msg");
+    }
+}

@@ -1,0 +1,113 @@
+//! CLI entry point: `haste-lint check | list | --explain <rule>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use haste_lint::{catalog, find_workspace_root, run_check};
+
+const USAGE: &str = "\
+haste-lint — workspace static analysis for the HASTE determinism,
+panic-safety, and protocol/doc contracts.
+
+USAGE:
+    cargo run -p haste-lint -- check [--root <dir>]
+    cargo run -p haste-lint -- list
+    cargo run -p haste-lint -- --explain <rule>
+
+COMMANDS:
+    check            Scan the workspace; print `file:line rule message`
+                     diagnostics and exit 1 on any unsuppressed finding.
+    list             Print the rule catalog.
+    --explain <rule> Print a rule's rationale, scope, and suppression
+                     syntax (by id `D1` or slug `hash-collections`).
+
+Suppress a finding in place with
+    // haste-lint: allow(<rule>) — <reason>       (this line or the next)
+    // haste-lint: allow-file(<rule>) — <reason>  (whole file)
+See docs/lints.md for the full catalog.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("check") => {
+            let mut root: Option<PathBuf> = None;
+            loop {
+                match it.next() {
+                    Some("--root") => match it.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => return usage_error("--root needs a directory"),
+                    },
+                    Some(other) => return usage_error(&format!("unknown argument `{other}`")),
+                    None => break,
+                }
+            }
+            check(root)
+        }
+        Some("list") => {
+            for info in catalog::RULES {
+                println!("{:3} {:20} {}", info.id, info.name, info.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--explain") | Some("explain") => match it.next() {
+            Some(key) => match catalog::rule(key) {
+                Some(info) => {
+                    print!("{}", catalog::explain(info));
+                    ExitCode::SUCCESS
+                }
+                None => usage_error(&format!(
+                    "unknown rule `{key}` (try `list` for the catalog)"
+                )),
+            },
+            None => usage_error("--explain needs a rule id"),
+        },
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+        None => usage_error("missing command"),
+    }
+}
+
+fn check(root: Option<PathBuf>) -> ExitCode {
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                // Fall back to the compile-time workspace location, so the
+                // binary works when invoked from outside the tree.
+                None => {
+                    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                    match manifest.parent().and_then(|p| p.parent()) {
+                        Some(dir) => dir.to_path_buf(),
+                        None => return usage_error("cannot locate the workspace root"),
+                    }
+                }
+            }
+        }
+    };
+    let findings = run_check(&root);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("haste-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "haste-lint: {} finding(s) — `cargo run -p haste-lint -- --explain <rule>` \
+             explains a rule, `// haste-lint: allow(<rule>) — <reason>` suppresses a site",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("haste-lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

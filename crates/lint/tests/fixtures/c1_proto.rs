@@ -1,0 +1,17 @@
+// Fixture: an ErrCode::as_str with one wire token (`oops`) the doc fixture
+// does not document — must trigger exactly rule C1, pointing at this file.
+pub enum ErrCode {
+    BadRequest,
+    Overload,
+    Oops,
+}
+
+impl ErrCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::Overload => "overload",
+            ErrCode::Oops => "oops",
+        }
+    }
+}

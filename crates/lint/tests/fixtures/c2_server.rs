@@ -1,0 +1,20 @@
+// Fixture: a Request::Metrics arm emitting a key (`mystery`) the doc
+// fixture does not document — must trigger exactly rule C2, pointing here.
+fn metrics_reply(engine: &Engine) -> Reply {
+    match request {
+        Request::Metrics => {
+            let mut payload = String::new();
+            for (key, value) in [
+                ("clock", engine.clock().to_string()),
+                ("greedy_us", engine.greedy_us().to_string()),
+                ("mystery", engine.mystery().to_string()),
+            ] {
+                payload.push_str(key);
+                payload.push(' ');
+                payload.push_str(&value);
+                payload.push('\n');
+            }
+            Reply::Data(payload)
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: must trigger no rule at all, under any scanned path.
+use std::collections::BTreeMap;
+
+/// Mentions of HashMap, Instant::now, or .unwrap() in comments are fine.
+fn deterministic_index(keys: &[u32]) -> BTreeMap<u32, usize> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect()
+}
+
+fn format_float(x: f64) -> String {
+    format!("value {x}")
+}
+
+fn first_or_zero(fields: &[&str]) -> u32 {
+    match fields {
+        [first, ..] => first.parse().unwrap_or(0),
+        [] => 0,
+    }
+}

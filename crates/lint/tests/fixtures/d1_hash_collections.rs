@@ -1,0 +1,6 @@
+// Fixture: must trigger exactly rule D1 (scanned under a solver-crate path).
+use std::collections::HashMap;
+
+fn charger_index() -> HashMap<u32, usize> {
+    HashMap::new()
+}

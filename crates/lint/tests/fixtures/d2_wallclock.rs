@@ -1,0 +1,5 @@
+// Fixture: must trigger exactly rule D2 (scanned under a solver-crate path).
+fn decide_by_deadline() -> bool {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis() < 5
+}

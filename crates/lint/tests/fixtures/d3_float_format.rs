@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly rule D3 (scanned under a serialization path).
+fn snapshot_line(x: f64) -> String {
+    format!("charger {:?} {:.6}", x, x)
+}

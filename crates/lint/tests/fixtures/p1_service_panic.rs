@@ -1,0 +1,15 @@
+// Fixture: must trigger exactly rule P1 (scanned under a service-crate path).
+fn parse_fields(rest: &[&str]) -> (String, String) {
+    let first = rest[0].to_string();
+    let second = rest.get(1).copied().unwrap_or_default().parse().unwrap();
+    (first, second)
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in the test tail are exempt.
+    #[test]
+    fn fine_here() {
+        super::parse_fields(&["a", "b"]).0.parse::<u32>().unwrap();
+    }
+}

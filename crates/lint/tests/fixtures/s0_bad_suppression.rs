@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly rule S0 — the suppression below names no
+// reason, so it does not parse (and there is no violation for it to hide).
+fn noop() {}
+// haste-lint: allow(D2)

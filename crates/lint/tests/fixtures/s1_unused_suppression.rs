@@ -1,0 +1,4 @@
+// Fixture: must trigger exactly rule S1 — a well-formed suppression with
+// nothing left to suppress.
+// haste-lint: allow(D1) — the hash map this excused was removed long ago
+fn noop() {}

@@ -1,0 +1,11 @@
+// Fixture: violations fully covered by valid suppressions — no findings.
+fn timed_phase() -> std::time::Duration {
+    // haste-lint: allow(D2) — phase timing feeds SolverMetrics, not algorithm state
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+fn inline_form() -> std::time::Duration {
+    let t = std::time::Instant::now(); // haste-lint: allow(D2) — metrics timing site
+    t.elapsed()
+}

@@ -1,0 +1,50 @@
+//! The real tree must be lint-clean: `cargo test` enforces the same
+//! invariant CI's `cargo run -p haste-lint -- check` does, so a violation
+//! anywhere in the workspace fails tier-1 rather than only the lint job.
+
+use std::path::Path;
+
+use haste_lint::{find_workspace_root, run_check};
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/lint sits inside the workspace");
+    let findings = run_check(&root);
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn an_introduced_violation_is_detected_end_to_end() {
+    // Synthetic mini-workspace in a temp dir: run_check must walk it and
+    // surface the planted D1.
+    let dir = std::env::temp_dir().join(format!("haste-lint-selfcheck-{}", std::process::id()));
+    let src = dir.join("crates/model/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::collections::HashMap;\npub fn m() -> HashMap<u32, u32> { HashMap::new() }\n",
+    )
+    .unwrap();
+
+    // The contract files are absent, so C1 unreadable-file findings are
+    // expected alongside the planted D1s; count only the latter.
+    let findings = run_check(&dir);
+    let d1 = findings.iter().filter(|f| f.rule == "D1").count();
+    assert_eq!(d1, 2, "{findings:?}"); // the use line and the fn line
+
+    std::fs::remove_dir_all(&dir).ok();
+}

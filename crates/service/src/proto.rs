@@ -36,6 +36,10 @@ pub enum ErrCode {
     BadSnapshot,
     /// Unsupported protocol version in `HELLO`.
     Version,
+    /// The request handler panicked; the daemon caught it and kept the
+    /// connection. Engine state is unspecified — `RESTORE` (or `LOAD` on a
+    /// fresh daemon) to recover a known-good state.
+    Internal,
 }
 
 impl ErrCode {
@@ -50,6 +54,7 @@ impl ErrCode {
             ErrCode::AtHorizon => "at-horizon",
             ErrCode::BadSnapshot => "bad-snapshot",
             ErrCode::Version => "version",
+            ErrCode::Internal => "internal",
         }
     }
 }
@@ -130,86 +135,60 @@ pub enum Request {
 
 impl Request {
     /// Parses one request line (already stripped of its newline).
+    ///
+    /// Field access is by slice pattern throughout — no indexing, nothing
+    /// that can panic on a short line (lint rule P1 enforces this for all
+    /// request-handling code).
     pub fn parse(line: &str) -> Result<Request, String> {
         let mut fields = line.split_whitespace();
         let directive = fields.next().ok_or("empty request")?;
         let rest: Vec<&str> = fields.collect();
-        let arity = |n: usize| -> Result<(), String> {
-            if rest.len() == n {
-                Ok(())
-            } else {
-                Err(format!(
-                    "{directive} expects {n} fields, got {}",
-                    rest.len()
-                ))
-            }
-        };
+        let arity =
+            |n: usize| -> String { format!("{directive} expects {n} fields, got {}", rest.len()) };
         let uint = |s: &str| -> Result<usize, String> {
             s.parse().map_err(|_| format!("`{s}` is not a count"))
         };
         let num = |s: &str| -> Result<f64, String> {
             s.parse().map_err(|_| format!("`{s}` is not a number"))
         };
-        match directive {
-            "HELLO" => {
-                arity(1)?;
-                Ok(Request::Hello(rest[0].to_string()))
-            }
-            "LOAD" => {
-                arity(1)?;
-                Ok(Request::Load(uint(rest[0])?))
-            }
-            "SUBMIT" => {
-                arity(6)?;
-                Ok(Request::Submit {
-                    x: num(rest[0])?,
-                    y: num(rest[1])?,
-                    facing: num(rest[2])?,
-                    end_slot: uint(rest[3])?,
-                    energy: num(rest[4])?,
-                    weight: num(rest[5])?,
-                })
-            }
-            "TICK" => match rest.as_slice() {
-                [] => Ok(Request::Tick(1)),
-                [n] => {
-                    let n = uint(n)?;
-                    if n == 0 {
-                        return Err("TICK of 0 slots".to_string());
-                    }
-                    Ok(Request::Tick(n))
+        match (directive, rest.as_slice()) {
+            ("HELLO", [version]) => Ok(Request::Hello(version.to_string())),
+            ("HELLO", _) => Err(arity(1)),
+            ("LOAD", [count]) => Ok(Request::Load(uint(count)?)),
+            ("LOAD", _) => Err(arity(1)),
+            ("SUBMIT", [x, y, facing, end_slot, energy, weight]) => Ok(Request::Submit {
+                x: num(x)?,
+                y: num(y)?,
+                facing: num(facing)?,
+                end_slot: uint(end_slot)?,
+                energy: num(energy)?,
+                weight: num(weight)?,
+            }),
+            ("SUBMIT", _) => Err(arity(6)),
+            ("TICK", []) => Ok(Request::Tick(1)),
+            ("TICK", [n]) => {
+                let n = uint(n)?;
+                if n == 0 {
+                    return Err("TICK of 0 slots".to_string());
                 }
-                _ => Err("TICK expects at most 1 field".to_string()),
-            },
-            "CLOCK?" => {
-                arity(0)?;
-                Ok(Request::Clock)
+                Ok(Request::Tick(n))
             }
-            "SCHEDULE?" => {
-                arity(0)?;
-                Ok(Request::Schedule)
-            }
-            "UTILITY?" => {
-                arity(0)?;
-                Ok(Request::Utility)
-            }
-            "METRICS?" => {
-                arity(0)?;
-                Ok(Request::Metrics)
-            }
-            "SNAPSHOT" => {
-                arity(0)?;
-                Ok(Request::Snapshot)
-            }
-            "RESTORE" => {
-                arity(1)?;
-                Ok(Request::Restore(uint(rest[0])?))
-            }
-            "BYE" => {
-                arity(0)?;
-                Ok(Request::Bye)
-            }
-            other => Err(format!("unknown directive `{other}`")),
+            ("TICK", _) => Err("TICK expects at most 1 field".to_string()),
+            ("CLOCK?", []) => Ok(Request::Clock),
+            ("CLOCK?", _) => Err(arity(0)),
+            ("SCHEDULE?", []) => Ok(Request::Schedule),
+            ("SCHEDULE?", _) => Err(arity(0)),
+            ("UTILITY?", []) => Ok(Request::Utility),
+            ("UTILITY?", _) => Err(arity(0)),
+            ("METRICS?", []) => Ok(Request::Metrics),
+            ("METRICS?", _) => Err(arity(0)),
+            ("SNAPSHOT", []) => Ok(Request::Snapshot),
+            ("SNAPSHOT", _) => Err(arity(0)),
+            ("RESTORE", [count]) => Ok(Request::Restore(uint(count)?)),
+            ("RESTORE", _) => Err(arity(1)),
+            ("BYE", []) => Ok(Request::Bye),
+            ("BYE", _) => Err(arity(0)),
+            (other, _) => Err(format!("unknown directive `{other}`")),
         }
     }
 }

@@ -11,6 +11,7 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -142,9 +143,10 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
 /// Reads one `\n`-terminated line, polling the shutdown flag across read
 /// timeouts. Partial bytes accumulate in `buf` between polls, so a slow
-/// sender never loses data. Returns `None` on EOF or shutdown.
-fn read_line_polling(
-    reader: &mut BufReader<TcpStream>,
+/// sender never loses data. Returns `None` on EOF or shutdown. Generic
+/// over the reader so request handling is unit-testable off a socket.
+fn read_line_polling<R: BufRead>(
+    reader: &mut R,
     buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
 ) -> std::io::Result<Option<String>> {
@@ -173,8 +175,8 @@ fn read_line_polling(
 }
 
 /// Reads `count` payload lines (a length-prefixed document).
-fn read_payload(
-    reader: &mut BufReader<TcpStream>,
+fn read_payload<R: BufRead>(
+    reader: &mut R,
     count: usize,
     shutdown: &AtomicBool,
 ) -> std::io::Result<Option<String>> {
@@ -217,15 +219,60 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 
 /// Parses and executes one request; returns the reply and whether the
 /// connection should close.
-fn dispatch(
+///
+/// Execution runs under [`catching`]: a panic anywhere in a handler (or in
+/// the engine underneath it) becomes a structured `ERR internal` reply
+/// instead of killing the connection loop. That is a backstop, not a
+/// license — lint rule P1 keeps panicking constructs out of this file.
+fn dispatch<R: BufRead>(
     line: &str,
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut R,
     shared: &Shared,
 ) -> std::io::Result<(Reply, bool)> {
     let request = match Request::parse(line) {
         Ok(request) => request,
         Err(reason) => return Ok((Reply::Err(ErrCode::BadRequest, reason), false)),
     };
+    catching(AssertUnwindSafe(|| execute(request, reader, shared)))
+}
+
+/// Runs one request handler, converting a panic into an `ERR internal`
+/// reply carrying the panic message. The engine mutex (parking_lot, no
+/// poisoning) unlocks during unwind, so the daemon keeps serving; a panic
+/// mid-mutation can leave the engine in an unspecified (still
+/// memory-safe) state, which the reply tells the client to `RESTORE` away.
+fn catching<F>(f: F) -> std::io::Result<(Reply, bool)>
+where
+    F: FnOnce() -> std::io::Result<(Reply, bool)> + std::panic::UnwindSafe,
+{
+    match catch_unwind(f) {
+        Ok(result) => result,
+        Err(payload) => {
+            let context = if let Some(s) = payload.downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.as_str()
+            } else {
+                "non-string panic payload"
+            };
+            Ok((
+                Reply::Err(
+                    ErrCode::Internal,
+                    format!("request handler panicked: {context}"),
+                ),
+                false,
+            ))
+        }
+    }
+}
+
+/// Executes one parsed request; returns the reply and whether the
+/// connection should close.
+fn execute<R: BufRead>(
+    request: Request,
+    reader: &mut R,
+    shared: &Shared,
+) -> std::io::Result<(Reply, bool)> {
     let reply = match request {
         Request::Hello(version) => {
             if version == VERSION {
@@ -432,4 +479,65 @@ fn no_scenario() -> Reply {
         ErrCode::NoScenario,
         "no scenario loaded (LOAD or RESTORE first)".to_string(),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_shared() -> Shared {
+        Shared {
+            engine: Mutex::new(None),
+            scheduling: OnlineConfig::default(),
+            max_pending: 4,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    #[test]
+    fn a_panicking_handler_becomes_err_internal() {
+        let result = catching(AssertUnwindSafe(|| -> std::io::Result<(Reply, bool)> {
+            panic!("boom {}", 42)
+        }));
+        let (reply, close) = result.expect("catching never returns Err for a panic");
+        assert!(!close, "a caught panic must keep the connection open");
+        match reply {
+            Reply::Err(code, message) => {
+                assert_eq!(code, ErrCode::Internal);
+                assert!(message.contains("boom 42"), "lost panic context: {message}");
+            }
+            other => panic!("expected ERR internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_panic_payloads_keep_their_message() {
+        let result = catching(AssertUnwindSafe(|| -> std::io::Result<(Reply, bool)> {
+            panic!("static payload")
+        }));
+        let (reply, _) = result.expect("catching never returns Err for a panic");
+        match reply {
+            Reply::Err(ErrCode::Internal, message) => {
+                assert!(message.contains("static payload"), "{message}");
+            }
+            other => panic!("expected ERR internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_replies_structurally_off_a_socketless_reader() {
+        let shared = fresh_shared();
+        let mut reader = std::io::Cursor::new(Vec::<u8>::new());
+        let (reply, close) = dispatch("NOPE 1 2", &mut reader, &shared).unwrap();
+        assert!(matches!(reply, Reply::Err(ErrCode::BadRequest, _)));
+        assert!(!close);
+        let (reply, close) = dispatch("SNAPSHOT", &mut reader, &shared).unwrap();
+        assert!(matches!(reply, Reply::Err(ErrCode::NoScenario, _)));
+        assert!(!close);
+        // A truncated LOAD payload is the one bad-request that also closes
+        // the connection: the stream is desynchronized beyond recovery.
+        let (reply, close) = dispatch("LOAD 3", &mut reader, &shared).unwrap();
+        assert!(matches!(reply, Reply::Err(ErrCode::BadRequest, _)));
+        assert!(close);
+    }
 }

@@ -224,6 +224,105 @@ fn concurrent_sessions_share_one_engine() {
     server.shutdown();
 }
 
+/// Rule-P1 regression guard: every malformed-but-parseable request must
+/// produce a structured `ERR <code>` reply, and no sequence of them may
+/// kill the daemon's connection loop. Raw TCP (no `Client`) so the test
+/// controls the exact wire bytes, hostile values included.
+#[test]
+fn malformed_sequences_cannot_kill_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    /// Sends `payload` verbatim and reads back one reply line.
+    fn roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        payload: &str,
+    ) -> String {
+        write!(stream, "{payload}").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            !reply.is_empty(),
+            "connection died after request {payload:?}"
+        );
+        reply.trim_end().to_string()
+    }
+    fn code_of(reply: &str) -> String {
+        let mut fields = reply.split_whitespace();
+        assert_eq!(fields.next(), Some("ERR"), "expected ERR reply: {reply}");
+        fields.next().unwrap_or_default().to_string()
+    }
+
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |payload: String| roundtrip(&mut stream, &mut reader, &payload);
+
+    // A hostile sequence: every line parses (or fails to parse) without
+    // panicking, and each gets exactly one structured reply.
+    assert_eq!(code_of(&send("HELLO v9\n".into())), "version");
+    // `nan`/`inf` are valid f64 spellings — parseable, then rejected.
+    assert_eq!(
+        code_of(&send("SUBMIT nan nan nan 6 700 1\n".into())),
+        "bad-task"
+    );
+    assert_eq!(code_of(&send("TICK 0\n".into())), "bad-request");
+    assert_eq!(
+        code_of(&send("TICK 99999999999999999999999999\n".into())),
+        "bad-request"
+    );
+    assert_eq!(code_of(&send("CLOCK? noise\n".into())), "bad-request");
+    assert_eq!(code_of(&send("SCHEDULE?\n".into())), "no-scenario");
+
+    // LOAD with an unparsable one-line scenario document.
+    assert_eq!(
+        code_of(&send("LOAD 1\nnot a scenario\n".into())),
+        "bad-request"
+    );
+
+    // Load a real scenario over the same (still healthy) connection.
+    let scenario_text = haste_model::io::write_scenario(&base_scenario(11, 3, 8));
+    let load = format!("LOAD {}\n{scenario_text}", scenario_text.lines().count());
+    assert!(send(load).starts_with("OK "), "LOAD failed");
+
+    // Hostile submissions against the live engine.
+    assert_eq!(
+        code_of(&send("SUBMIT 5 5 0.5 6 nan 1\n".into())),
+        "bad-task"
+    );
+    assert_eq!(
+        code_of(&send("SUBMIT 5 5 0.5 6 -700 1\n".into())),
+        "bad-task"
+    );
+    assert_eq!(
+        code_of(&send("SUBMIT 5 5 0.5 6 700 nan\n".into())),
+        "bad-task"
+    );
+    assert_eq!(
+        code_of(&send("SUBMIT 5 5 0.5 999999 700 1\n".into())),
+        "bad-task"
+    );
+    assert_eq!(
+        code_of(&send("SUBMIT 5 5 inf 6 700 1\n".into())),
+        "bad-task"
+    );
+
+    // RESTORE with a garbage one-line snapshot.
+    assert_eq!(
+        code_of(&send("RESTORE 1\ngarbage\n".into())),
+        "bad-snapshot"
+    );
+
+    // The connection loop survived all of it: a normal session still works.
+    assert!(send("SUBMIT 5 5 0.5 6 900 1\n".into()).starts_with("OK task=0"));
+    assert!(send("TICK\n".into()).starts_with("OK slot=1"));
+    assert!(send("UTILITY?\n".into()).starts_with("OK utility="));
+    assert_eq!(send("BYE\n".into()), "OK bye");
+    server.shutdown();
+}
+
 #[test]
 fn loadgen_smoke_run_verifies_replay() {
     let report = loadgen::run(&loadgen::LoadgenConfig {
