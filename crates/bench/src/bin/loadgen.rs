@@ -7,8 +7,12 @@
 //! cargo run --release -p haste-bench --bin loadgen -- \
 //!     [--addr host:port] [--connections 8] [--submissions 10000] \
 //!     [--chargers 8] [--field 200] [--slots 64] [--seed 1] \
-//!     [--max-pending 4096] [--no-verify]
+//!     [--max-pending 4096] [--cells CXxCY] [--no-verify]
 //! ```
+//!
+//! With `--cells` the harness self-hosts the sharded router instead of a
+//! single daemon and the replay check becomes the sum of per-shard
+//! replays merged in arrival order.
 //!
 //! Exits non-zero on any transport/protocol error, on rejected
 //! submissions, or when the streamed session's utility does not match the
@@ -62,6 +66,10 @@ fn main() {
                 config.max_pending = parse(&value(&args, i, "--max-pending"));
                 i += 1;
             }
+            "--cells" => {
+                config.cells = Some(parse_cells(&value(&args, i, "--cells")));
+                i += 1;
+            }
             "--no-verify" => config.verify_replay = false,
             "--lenient" => strict = false,
             other => {
@@ -94,6 +102,19 @@ fn main() {
                 report.replay_utility.unwrap_or(f64::NAN)
             );
             std::process::exit(1);
+        }
+    }
+}
+
+fn parse_cells(s: &str) -> (usize, usize) {
+    let cells = s
+        .split_once('x')
+        .map(|(cx, cy)| (parse::<usize>(cx), parse::<usize>(cy)));
+    match cells {
+        Some((cx, cy)) if cx >= 1 && cy >= 1 => (cx, cy),
+        _ => {
+            eprintln!("bad --cells value `{s}`; expected CXxCY, e.g. 2x1");
+            std::process::exit(2);
         }
     }
 }

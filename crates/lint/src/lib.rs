@@ -89,21 +89,30 @@ pub fn run_check(root: &Path) -> Vec<Finding> {
         }
     }
 
-    // C1/C2: the protocol contract files.
+    // C1/C2: the protocol contract files. The router serves the same
+    // METRICS? block as the single daemon, so both are held to the doc.
     const PROTO: &str = "crates/service/src/proto.rs";
     const SERVER: &str = "crates/service/src/server.rs";
+    const ROUTER: &str = "crates/service/src/router.rs";
     const DOC: &str = "docs/service_protocol.md";
     match (
         read_rel(root, PROTO),
         read_rel(root, SERVER),
+        read_rel(root, ROUTER),
         read_rel(root, DOC),
     ) {
-        (Ok(proto), Ok(server), Ok(doc)) => {
+        (Ok(proto), Ok(server), Ok(router), Ok(doc)) => {
             findings.extend(consistency::check_errcode_docs(PROTO, &proto, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(SERVER, &server, DOC, &doc));
+            findings.extend(consistency::check_metrics_docs(ROUTER, &router, DOC, &doc));
         }
-        (proto, server, doc) => {
-            for (rel, result) in [(PROTO, proto), (SERVER, server), (DOC, doc)] {
+        (proto, server, router, doc) => {
+            for (rel, result) in [
+                (PROTO, proto),
+                (SERVER, server),
+                (ROUTER, router),
+                (DOC, doc),
+            ] {
                 if let Err(e) = result {
                     findings.push(Finding {
                         file: rel.to_string(),

@@ -144,6 +144,7 @@ const D3_FILES: &[&str] = &[
     "crates/distributed/src/engine.rs",
     "crates/service/src/proto.rs",
     "crates/service/src/server.rs",
+    "crates/service/src/router.rs",
 ];
 
 fn in_d3_scope(path: &str) -> bool {

@@ -28,6 +28,7 @@ mod coverage;
 mod error;
 mod eval;
 mod params;
+mod partition;
 mod scenario;
 mod schedule;
 mod task;
@@ -42,6 +43,7 @@ pub use coverage::{CandidateTask, CoverageMap};
 pub use error::ModelError;
 pub use eval::{evaluate, evaluate_relaxed, slot_energy, EvalOptions, EvalReport};
 pub use params::{ChargingParams, ReceiverGain};
+pub use partition::{CellAssignment, Partition, PartitionError};
 pub use scenario::{Scenario, UtilityModel};
 pub use schedule::{Orientation, Schedule};
 pub use task::{Charger, ChargerId, Task, TaskId};

@@ -1,0 +1,477 @@
+//! Geographic **partitioning** of a scenario into independent cells.
+//!
+//! The paper's distributed algorithm (Alg. 3) is local by construction:
+//! negotiation only ever happens between chargers that share a chargeable
+//! task. A field cut into cells therefore decomposes into fully
+//! independent scheduling problems **provided no task's reachable chargers
+//! span two cells**. [`Partition`] makes that precondition checkable and
+//! the decomposition mechanical:
+//!
+//! * [`Partition::cell_of`] deterministically maps any point — boundary
+//!   points and out-of-field points included — to exactly one cell,
+//! * [`Partition::validate_chargers`] checks the *charger-reach halo*: a
+//!   charger closer than the halo width `D` (the charging radius) to an
+//!   interior cell boundary could reach a device in the adjacent cell, so
+//!   its placement is rejected. A scenario that passes is safe for **any**
+//!   future task position,
+//! * [`Partition::split`] cuts a scenario into per-cell sub-scenarios
+//!   (ids renumbered, original order preserved), rejecting any task whose
+//!   chargeable chargers do not all lie in the task's own cell.
+//!
+//! The preserved relative order of chargers and tasks inside each cell is
+//! what keeps the per-cell sub-problems bit-compatible with the original:
+//! every scheduler in this workspace iterates chargers and tasks in id
+//! order, and renumbering that preserves relative order preserves every
+//! such iteration (and every floating-point summation order) within a
+//! cell.
+
+use haste_geometry::Vec2;
+
+use crate::{power, Scenario};
+
+/// A uniform grid partition of the deployment field with a charger-reach
+/// halo. Cells are indexed row-major: `cell = cy * cells_x + cx`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    origin: Vec2,
+    field_w: f64,
+    field_h: f64,
+    cells_x: usize,
+    cells_y: usize,
+    halo: f64,
+}
+
+/// Why a partition could not be built or applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// The grid geometry itself is unusable.
+    InvalidGeometry(&'static str),
+    /// A charger sits within the halo of an interior cell boundary: a task
+    /// just across that boundary could reach it, so per-cell independence
+    /// would not hold for arbitrary submissions.
+    ChargerInHalo {
+        /// Index of the offending charger.
+        charger: usize,
+        /// The cell the charger maps to.
+        cell: usize,
+        /// Distance to the nearest interior boundary of its cell, meters.
+        margin: f64,
+    },
+    /// A task's chargeable chargers are not all in the task's own cell —
+    /// the independence precondition Algorithm 3 needs is violated.
+    TaskSpansCells {
+        /// Index of the offending task.
+        task: usize,
+        /// The cell the task's device maps to.
+        task_cell: usize,
+        /// A chargeable charger outside that cell.
+        charger: usize,
+        /// The cell that charger maps to.
+        charger_cell: usize,
+    },
+    /// A sub-scenario failed model validation after the split.
+    Invalid(crate::ModelError),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InvalidGeometry(reason) => {
+                write!(f, "invalid partition geometry: {reason}")
+            }
+            PartitionError::ChargerInHalo {
+                charger,
+                cell,
+                margin,
+            } => write!(
+                f,
+                "charger {charger} in cell {cell} is {margin} m from an interior cell \
+                 boundary (inside the reach halo): a device across the boundary could \
+                 reach it"
+            ),
+            PartitionError::TaskSpansCells {
+                task,
+                task_cell,
+                charger,
+                charger_cell,
+            } => write!(
+                f,
+                "task {task} (cell {task_cell}) is chargeable by charger {charger} \
+                 (cell {charger_cell}): reachable chargers span cells"
+            ),
+            PartitionError::Invalid(e) => write!(f, "split produced an invalid scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Where every charger and task of a scenario lands under a partition:
+/// per-cell membership plus the renumbered local index of each. Relative
+/// order within a cell is the original order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAssignment {
+    /// `charger_cell[i]` — the cell charger `i` maps to.
+    pub charger_cell: Vec<usize>,
+    /// `charger_local[i]` — charger `i`'s id inside its cell's sub-scenario.
+    pub charger_local: Vec<usize>,
+    /// `task_cell[j]` — the cell task `j`'s device maps to.
+    pub task_cell: Vec<usize>,
+    /// `task_local[j]` — task `j`'s id inside its cell's sub-scenario.
+    pub task_local: Vec<usize>,
+}
+
+impl Partition {
+    /// Creates a uniform `cells_x × cells_y` grid over the axis-aligned
+    /// field rectangle at `origin` with extent `field_w × field_h`, using
+    /// halo width `halo` (normally the charging radius `D`).
+    pub fn grid(
+        origin: Vec2,
+        field_w: f64,
+        field_h: f64,
+        cells_x: usize,
+        cells_y: usize,
+        halo: f64,
+    ) -> Result<Partition, PartitionError> {
+        if !(origin.x.is_finite() && origin.y.is_finite()) {
+            return Err(PartitionError::InvalidGeometry("origin must be finite"));
+        }
+        if !(field_w.is_finite() && field_w > 0.0 && field_h.is_finite() && field_h > 0.0) {
+            return Err(PartitionError::InvalidGeometry(
+                "field extent must be finite and positive",
+            ));
+        }
+        if cells_x == 0 || cells_y == 0 {
+            return Err(PartitionError::InvalidGeometry(
+                "the grid needs at least one cell per axis",
+            ));
+        }
+        if !(halo.is_finite() && halo >= 0.0) {
+            return Err(PartitionError::InvalidGeometry(
+                "halo must be finite and non-negative",
+            ));
+        }
+        // A cell narrower than two halos has no interior a charger could
+        // legally occupy (both boundaries of an interior cell are within
+        // reach), which would make `validate_chargers` unsatisfiable.
+        if cells_x > 1 && field_w / cells_x as f64 <= 2.0 * halo {
+            return Err(PartitionError::InvalidGeometry(
+                "cells are narrower than two halo widths along x",
+            ));
+        }
+        if cells_y > 1 && field_h / cells_y as f64 <= 2.0 * halo {
+            return Err(PartitionError::InvalidGeometry(
+                "cells are shorter than two halo widths along y",
+            ));
+        }
+        Ok(Partition {
+            origin,
+            field_w,
+            field_h,
+            cells_x,
+            cells_y,
+            halo,
+        })
+    }
+
+    /// Cells along x.
+    #[inline]
+    pub fn cells_x(&self) -> usize {
+        self.cells_x
+    }
+
+    /// Cells along y.
+    #[inline]
+    pub fn cells_y(&self) -> usize {
+        self.cells_y
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells_x * self.cells_y
+    }
+
+    /// The halo width (charger reach) this partition was built with.
+    #[inline]
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// The field origin.
+    #[inline]
+    pub fn origin(&self) -> Vec2 {
+        self.origin
+    }
+
+    /// The field extent `(width, height)`.
+    #[inline]
+    pub fn field(&self) -> (f64, f64) {
+        (self.field_w, self.field_h)
+    }
+
+    /// Maps a coordinate to a cell index along one axis: floor division by
+    /// the cell extent, clamped into range. A point exactly on an interior
+    /// boundary belongs to the *higher* cell (floor of the exact ratio); a
+    /// point on or beyond the far field edge clamps to the last cell, and
+    /// one below the origin clamps to cell 0 — so every finite coordinate
+    /// maps to exactly one cell, deterministically.
+    #[inline]
+    fn axis_cell(coord: f64, origin: f64, extent: f64, cells: usize) -> usize {
+        let rel = (coord - origin) / (extent / cells as f64);
+        if rel.is_nan() || rel <= 0.0 {
+            return 0;
+        }
+        (rel.floor() as usize).min(cells - 1)
+    }
+
+    /// Deterministically maps any point to exactly one cell (row-major
+    /// index). See [`axis_cell`](Partition::axis_cell) for the boundary
+    /// convention.
+    #[inline]
+    pub fn cell_of(&self, p: Vec2) -> usize {
+        let cx = Self::axis_cell(p.x, self.origin.x, self.field_w, self.cells_x);
+        let cy = Self::axis_cell(p.y, self.origin.y, self.field_h, self.cells_y);
+        cy * self.cells_x + cx
+    }
+
+    /// Distance from a point to the nearest *interior* boundary of its own
+    /// cell (`f64::INFINITY` for a 1×1 grid). Outer field edges do not
+    /// count: a point beyond them still maps into the edge cell, so reach
+    /// across them never leaves the cell.
+    pub fn interior_margin(&self, p: Vec2) -> f64 {
+        let cell_w = self.field_w / self.cells_x as f64;
+        let cell_h = self.field_h / self.cells_y as f64;
+        let cx = Self::axis_cell(p.x, self.origin.x, self.field_w, self.cells_x);
+        let cy = Self::axis_cell(p.y, self.origin.y, self.field_h, self.cells_y);
+        let mut margin = f64::INFINITY;
+        if cx > 0 {
+            margin = margin.min(p.x - (self.origin.x + cx as f64 * cell_w));
+        }
+        if cx + 1 < self.cells_x {
+            margin = margin.min((self.origin.x + (cx + 1) as f64 * cell_w) - p.x);
+        }
+        if cy > 0 {
+            margin = margin.min(p.y - (self.origin.y + cy as f64 * cell_h));
+        }
+        if cy + 1 < self.cells_y {
+            margin = margin.min((self.origin.y + (cy + 1) as f64 * cell_h) - p.y);
+        }
+        margin
+    }
+
+    /// Checks the charger-reach halo: every charger must be at least the
+    /// halo width away from every interior boundary of its cell. A
+    /// scenario that passes stays per-cell independent for **any** task
+    /// position (a device a charger can reach is within `halo` of it, so
+    /// it cannot lie across an interior boundary). The epsilon matches the
+    /// range cutoff of [`power::chargeable`].
+    pub fn validate_chargers(&self, scenario: &Scenario) -> Result<(), PartitionError> {
+        for (i, charger) in scenario.chargers.iter().enumerate() {
+            let margin = self.interior_margin(charger.pos);
+            if margin <= self.halo + 1e-12 {
+                return Err(PartitionError::ChargerInHalo {
+                    charger: i,
+                    cell: self.cell_of(charger.pos),
+                    margin,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes where every charger and task lands, with renumbered local
+    /// indices (relative order within a cell preserved). Rejects a task
+    /// whose chargeable chargers do not all lie in the task's own cell —
+    /// the independence precondition.
+    pub fn assign(&self, scenario: &Scenario) -> Result<CellAssignment, PartitionError> {
+        let mut charger_count = vec![0usize; self.num_cells()];
+        let mut charger_cell = Vec::with_capacity(scenario.num_chargers());
+        let mut charger_local = Vec::with_capacity(scenario.num_chargers());
+        for charger in &scenario.chargers {
+            let cell = self.cell_of(charger.pos);
+            charger_cell.push(cell);
+            charger_local.push(charger_count[cell]);
+            charger_count[cell] += 1;
+        }
+        let mut task_count = vec![0usize; self.num_cells()];
+        let mut task_cell = Vec::with_capacity(scenario.num_tasks());
+        let mut task_local = Vec::with_capacity(scenario.num_tasks());
+        for (j, task) in scenario.tasks.iter().enumerate() {
+            let cell = self.cell_of(task.device_pos);
+            for (i, charger) in scenario.chargers.iter().enumerate() {
+                if charger_cell[i] != cell && power::chargeable(&scenario.params, charger, task) {
+                    return Err(PartitionError::TaskSpansCells {
+                        task: j,
+                        task_cell: cell,
+                        charger: i,
+                        charger_cell: charger_cell[i],
+                    });
+                }
+            }
+            task_cell.push(cell);
+            task_local.push(task_count[cell]);
+            task_count[cell] += 1;
+        }
+        Ok(CellAssignment {
+            charger_cell,
+            charger_local,
+            task_cell,
+            task_local,
+        })
+    }
+
+    /// Splits a scenario into one sub-scenario per cell. Chargers and
+    /// tasks are renumbered to their local indices (original order
+    /// preserved within each cell); params, grid, delays and the utility
+    /// model are shared verbatim. Fails if any task's chargeable chargers
+    /// span cells (see [`assign`](Partition::assign)).
+    pub fn split(&self, scenario: &Scenario) -> Result<Vec<Scenario>, PartitionError> {
+        let assignment = self.assign(scenario)?;
+        let mut cells: Vec<Scenario> = (0..self.num_cells())
+            .map(|_| Scenario {
+                params: scenario.params,
+                grid: scenario.grid,
+                chargers: Vec::new(),
+                tasks: Vec::new(),
+                rho: scenario.rho,
+                tau: scenario.tau,
+                utility: scenario.utility,
+            })
+            .collect();
+        for (i, charger) in scenario.chargers.iter().enumerate() {
+            let mut local = *charger;
+            local.id = crate::ChargerId(assignment.charger_local[i] as u32);
+            cells[assignment.charger_cell[i]].chargers.push(local);
+        }
+        for (j, task) in scenario.tasks.iter().enumerate() {
+            let mut local = *task;
+            local.id = crate::TaskId(assignment.task_local[j] as u32);
+            cells[assignment.task_cell[j]].tasks.push(local);
+        }
+        for cell in &cells {
+            cell.validate().map_err(PartitionError::Invalid)?;
+        }
+        Ok(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Charger, ChargingParams, Task, TimeGrid};
+    use haste_geometry::Angle;
+
+    fn two_cell_scenario() -> (Partition, Scenario) {
+        // 200 × 100 field, two 100-wide cells, halo 20 (the default D).
+        let partition = Partition::grid(Vec2::ZERO, 200.0, 100.0, 2, 1, 20.0).unwrap();
+        let scenario = Scenario::new(
+            ChargingParams::simulation_default(),
+            TimeGrid::minutes(8),
+            vec![
+                Charger::new(0, Vec2::new(40.0, 50.0)),
+                Charger::new(1, Vec2::new(160.0, 50.0)),
+                Charger::new(2, Vec2::new(60.0, 30.0)),
+            ],
+            vec![
+                Task::new(0, Vec2::new(50.0, 50.0), Angle::ZERO, 0, 8, 900.0, 1.0),
+                Task::new(1, Vec2::new(150.0, 50.0), Angle::ZERO, 1, 8, 900.0, 1.0),
+                Task::new(2, Vec2::new(55.0, 40.0), Angle::ZERO, 0, 6, 900.0, 1.0),
+            ],
+            1.0 / 12.0,
+            1,
+        )
+        .unwrap();
+        (partition, scenario)
+    }
+
+    #[test]
+    fn grid_rejects_bad_geometry() {
+        assert!(Partition::grid(Vec2::ZERO, 0.0, 10.0, 1, 1, 1.0).is_err());
+        assert!(Partition::grid(Vec2::ZERO, 10.0, 10.0, 0, 1, 1.0).is_err());
+        assert!(Partition::grid(Vec2::ZERO, 10.0, 10.0, 1, 1, f64::NAN).is_err());
+        // Two cells of width 5 cannot host a halo of 3 (2 * 3 > 5).
+        assert!(Partition::grid(Vec2::ZERO, 10.0, 10.0, 2, 1, 3.0).is_err());
+        // ...but a single cell can (no interior boundary).
+        assert!(Partition::grid(Vec2::ZERO, 10.0, 10.0, 1, 1, 3.0).is_ok());
+    }
+
+    #[test]
+    fn boundary_and_out_of_field_points_are_deterministic() {
+        let p = Partition::grid(Vec2::ZERO, 200.0, 100.0, 2, 2, 0.0).unwrap();
+        // Interior boundary point belongs to the higher cell.
+        assert_eq!(p.cell_of(Vec2::new(100.0, 0.0)), 1);
+        assert_eq!(p.cell_of(Vec2::new(99.999, 0.0)), 0);
+        // The far edges clamp into the last cell instead of falling off.
+        assert_eq!(p.cell_of(Vec2::new(200.0, 100.0)), 3);
+        assert_eq!(p.cell_of(Vec2::new(500.0, -3.0)), 1);
+        assert_eq!(p.cell_of(Vec2::new(-1.0, 250.0)), 2);
+    }
+
+    #[test]
+    fn halo_validation_accepts_and_rejects() {
+        let (partition, scenario) = two_cell_scenario();
+        partition.validate_chargers(&scenario).unwrap();
+        let mut bad = scenario.clone();
+        bad.chargers[0].pos = Vec2::new(95.0, 50.0); // 5 m from x = 100
+        match partition.validate_chargers(&bad) {
+            Err(PartitionError::ChargerInHalo { charger: 0, .. }) => {}
+            other => panic!("expected ChargerInHalo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_renumbers_and_preserves_order() {
+        let (partition, scenario) = two_cell_scenario();
+        let cells = partition.split(&scenario).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].num_chargers(), 2); // chargers 0, 2
+        assert_eq!(cells[1].num_chargers(), 1); // charger 1
+        assert_eq!(cells[0].num_tasks(), 2); // tasks 0, 2
+        assert_eq!(cells[1].num_tasks(), 1); // task 1
+        assert_eq!(cells[0].chargers[1].pos, scenario.chargers[2].pos);
+        assert_eq!(cells[0].tasks[1].device_pos, scenario.tasks[2].device_pos);
+        for cell in &cells {
+            cell.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn split_rejects_task_spanning_cells() {
+        let (partition, mut scenario) = two_cell_scenario();
+        // A device just across the boundary from a reachable charger: put
+        // the charger legally outside the halo but move the task next to
+        // it on the other side? That cannot reach (margin > halo). Instead
+        // violate the precondition directly: a task in cell 1 whose only
+        // reachable charger is in cell 0 requires an in-halo charger, so
+        // craft it with a charger that breaks the halo rule.
+        scenario.chargers[2].pos = Vec2::new(95.0, 50.0); // inside the halo
+        scenario.tasks[1] = Task::new(
+            1,
+            Vec2::new(105.0, 50.0), // cell 1, 10 m from charger 2
+            Angle::from_degrees(180.0),
+            1,
+            8,
+            900.0,
+            1.0,
+        );
+        match partition.split(&scenario) {
+            Err(PartitionError::TaskSpansCells {
+                task: 1,
+                charger: 2,
+                ..
+            }) => {}
+            other => panic!("expected TaskSpansCells, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_local_indices_are_dense_per_cell() {
+        let (partition, scenario) = two_cell_scenario();
+        let a = partition.assign(&scenario).unwrap();
+        assert_eq!(a.charger_cell, vec![0, 1, 0]);
+        assert_eq!(a.charger_local, vec![0, 0, 1]);
+        assert_eq!(a.task_cell, vec![0, 1, 0]);
+        assert_eq!(a.task_local, vec![0, 0, 1]);
+    }
+}

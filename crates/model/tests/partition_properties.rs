@@ -1,0 +1,169 @@
+//! Property tests for the geographic [`Partition`]: total deterministic
+//! cell assignment and multiset preservation under `split`.
+
+use haste_geometry::{Angle, Vec2};
+use haste_model::{Charger, ChargingParams, Partition, Scenario, Task, TimeGrid};
+use proptest::prelude::*;
+
+/// Sorts a list of `(x, y)` pairs into a canonical multiset key.
+fn multiset(points: impl Iterator<Item = Vec2>) -> Vec<(u64, u64)> {
+    let mut key: Vec<(u64, u64)> = points.map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+    key.sort_unstable();
+    key
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every in-field point maps to exactly one cell: the index is in
+    /// range, and re-evaluating is bit-stable (same input, same cell).
+    #[test]
+    fn every_in_field_point_maps_to_exactly_one_cell(
+        cells_x in 1usize..5,
+        cells_y in 1usize..5,
+        xs in proptest::collection::vec(0.0f64..200.0, 16),
+        ys in proptest::collection::vec(0.0f64..100.0, 16),
+    ) {
+        let p = Partition::grid(Vec2::ZERO, 200.0, 100.0, cells_x, cells_y, 0.0).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let cell = p.cell_of(Vec2::new(x, y));
+            prop_assert!(cell < p.num_cells());
+            prop_assert_eq!(cell, p.cell_of(Vec2::new(x, y)));
+        }
+    }
+
+    /// Boundary points are assigned deterministically: a point exactly on
+    /// an interior boundary belongs to the higher cell, and a nudge just
+    /// below lands in the lower cell. Far-edge and out-of-field points
+    /// clamp into the edge cells.
+    #[test]
+    fn boundary_points_are_assigned_deterministically(
+        cells_x in 2usize..5,
+        cells_y in 2usize..5,
+        bx in 1usize..4,
+        by in 1usize..4,
+        off_axis in 0.0f64..100.0,
+    ) {
+        let p = Partition::grid(Vec2::ZERO, 200.0, 100.0, cells_x, cells_y, 0.0).unwrap();
+        let bx = bx.min(cells_x - 1);
+        let by = by.min(cells_y - 1);
+        let x_edge = 200.0 * bx as f64 / cells_x as f64;
+        let y_edge = 100.0 * by as f64 / cells_y as f64;
+        let y_in = off_axis.min(99.0);
+
+        // On the vertical interior boundary: the higher column owns it.
+        let on = p.cell_of(Vec2::new(x_edge, y_in));
+        prop_assert_eq!(on % cells_x, bx);
+        // Just below it: the lower column.
+        let below = p.cell_of(Vec2::new(f64_prev(x_edge), y_in));
+        prop_assert_eq!(below % cells_x, bx - 1);
+
+        // Same along y.
+        let on_y = p.cell_of(Vec2::new(0.0, y_edge));
+        prop_assert_eq!(on_y / cells_x, by);
+        let below_y = p.cell_of(Vec2::new(0.0, f64_prev(y_edge)));
+        prop_assert_eq!(below_y / cells_x, by - 1);
+
+        // Out-of-field points clamp deterministically into edge cells.
+        prop_assert_eq!(p.cell_of(Vec2::new(-5.0, -5.0)), 0);
+        prop_assert_eq!(
+            p.cell_of(Vec2::new(1e6, 1e6)),
+            cells_x * cells_y - 1
+        );
+    }
+
+    /// `split` conserves matter: the charger and task position multisets
+    /// of the sub-scenarios equal the original's, and every sub-scenario
+    /// is valid (dense renumbered ids) with each element in its own cell.
+    #[test]
+    fn split_preserves_charger_and_task_multisets(
+        charger_seeds in proptest::collection::vec((0usize..4, 0.3f64..0.7, 0.3f64..0.7), 1..6),
+        task_seeds in proptest::collection::vec((0usize..4, 0.1f64..0.9, 0.1f64..0.9, 1usize..6), 1..8),
+    ) {
+        // 2×2 grid over a 200×200 field with halo 20: place chargers in
+        // the shrunk interior of their target cell (margin > 30 > halo)
+        // and tasks anywhere in their cell — the split precondition holds
+        // by construction because devices outside a charger's cell are
+        // > 30 m away laterally... not necessarily, a task at a cell edge
+        // can be within 20 m of a charger in the neighboring cell only if
+        // the charger is within halo of the boundary, which placement
+        // rules out. So `split` must succeed.
+        let p = Partition::grid(Vec2::ZERO, 200.0, 200.0, 2, 2, 20.0).unwrap();
+        let cell_origin = |cell: usize| {
+            Vec2::new(100.0 * (cell % 2) as f64, 100.0 * (cell / 2) as f64)
+        };
+        let chargers: Vec<Charger> = charger_seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(cell, fx, fy))| {
+                let o = cell_origin(cell);
+                Charger::new(i as u32, Vec2::new(o.x + 100.0 * fx, o.y + 100.0 * fy))
+            })
+            .collect();
+        let tasks: Vec<Task> = task_seeds
+            .iter()
+            .enumerate()
+            .map(|(j, &(cell, fx, fy, dur))| {
+                let o = cell_origin(cell);
+                Task::new(
+                    j as u32,
+                    Vec2::new(o.x + 100.0 * fx, o.y + 100.0 * fy),
+                    Angle::from_degrees(45.0 * j as f64),
+                    j % 3,
+                    j % 3 + dur,
+                    500.0 + j as f64,
+                    1.0,
+                )
+            })
+            .collect();
+        let scenario = Scenario::new(
+            ChargingParams::simulation_default(),
+            TimeGrid::minutes(16),
+            chargers,
+            tasks,
+            1.0 / 12.0,
+            1,
+        )
+        .unwrap();
+        p.validate_chargers(&scenario).unwrap();
+
+        let cells = p.split(&scenario).unwrap();
+        prop_assert_eq!(cells.len(), 4);
+        for (cell_idx, cell) in cells.iter().enumerate() {
+            cell.validate().unwrap();
+            for c in &cell.chargers {
+                prop_assert_eq!(p.cell_of(c.pos), cell_idx);
+            }
+            for t in &cell.tasks {
+                prop_assert_eq!(p.cell_of(t.device_pos), cell_idx);
+            }
+        }
+        prop_assert_eq!(
+            multiset(cells.iter().flat_map(|c| c.chargers.iter().map(|c| c.pos))),
+            multiset(scenario.chargers.iter().map(|c| c.pos))
+        );
+        prop_assert_eq!(
+            multiset(cells.iter().flat_map(|c| c.tasks.iter().map(|t| t.device_pos))),
+            multiset(scenario.tasks.iter().map(|t| t.device_pos))
+        );
+        // Beyond positions: the full task tuples survive (windows, energy).
+        let mut original: Vec<(u64, usize, usize)> = scenario
+            .tasks
+            .iter()
+            .map(|t| (t.required_energy.to_bits(), t.release_slot, t.end_slot))
+            .collect();
+        let mut split_up: Vec<(u64, usize, usize)> = cells
+            .iter()
+            .flat_map(|c| c.tasks.iter())
+            .map(|t| (t.required_energy.to_bits(), t.release_slot, t.end_slot))
+            .collect();
+        original.sort_unstable();
+        split_up.sort_unstable();
+        prop_assert_eq!(original, split_up);
+    }
+}
+
+/// The largest float strictly below `x` (for boundary-nudge tests).
+fn f64_prev(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() - 1)
+}

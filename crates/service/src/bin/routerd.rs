@@ -1,0 +1,98 @@
+//! `routerd` — the sharded scheduling router daemon.
+//!
+//! Owns one [`haste_service::Shard`] per partition cell in-process and
+//! serves protocol v2 on a TCP listener: `SUBMIT` routes by cell lookup,
+//! `TICK` advances every shard in lockstep, and `SNAPSHOT`/`RESTORE`
+//! operate on composite consistent-cut documents. See
+//! `docs/service_protocol.md`.
+//!
+//! ```text
+//! cargo run --release -p haste-service --bin routerd -- \
+//!     [--addr 127.0.0.1:7411] [--cells 2x1] [--field 200x100] \
+//!     [--origin 0,0] [--threads 4] [--max-pending 4096]
+//! ```
+
+use haste_service::{serve_router, RouterConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RouterConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args.get(i).map(String::as_str).unwrap_or("");
+        match flag {
+            "--addr" => config.addr = value(&args, i, flag),
+            "--cells" => config.cells = pair(&value(&args, i, flag), 'x', flag),
+            "--field" => {
+                let (w, h) = pair::<f64>(&value(&args, i, flag), 'x', flag);
+                config.field = (w, h);
+            }
+            "--origin" => {
+                let (x, y) = pair::<f64>(&value(&args, i, flag), ',', flag);
+                config.origin = (x, y);
+            }
+            "--threads" => config.worker_threads = single(&value(&args, i, flag), flag),
+            "--max-pending" => config.max_pending = single(&value(&args, i, flag), flag),
+            "--help" | "-h" => {
+                println!(
+                    "usage: routerd [--addr HOST:PORT] [--cells CXxCY] [--field WxH] \
+                     [--origin X,Y] [--threads N] [--max-pending N]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+
+    let (cx, cy) = config.cells;
+    if cx == 0 || cy == 0 {
+        fail("--cells needs at least 1 cell on each axis");
+    }
+
+    match serve_router(config) {
+        Ok(handle) => {
+            println!(
+                "routerd listening on {} ({} shards)",
+                handle.addr(),
+                handle.shards()
+            );
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("routerd failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The value following a flag, or usage-exit.
+fn value(args: &[String], i: usize, flag: &str) -> String {
+    match args.get(i + 1) {
+        Some(v) => v.clone(),
+        None => fail(&format!("{flag} needs a value")),
+    }
+}
+
+/// Parses one numeric value, or usage-exit.
+fn single<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    match s.parse() {
+        Ok(v) => v,
+        Err(_) => fail(&format!("{flag}: bad value `{s}`")),
+    }
+}
+
+/// Parses `AsepB` (e.g. `2x1` or `0,0`) into two values, or usage-exit.
+fn pair<T: std::str::FromStr>(s: &str, sep: char, flag: &str) -> (T, T) {
+    match s.split_once(sep) {
+        Some((a, b)) => (single(a, flag), single(b, flag)),
+        None => fail(&format!("{flag}: bad value `{s}`; expected A{sep}B")),
+    }
+}
+
+/// Prints a usage error and exits. Never returns.
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -2,11 +2,18 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use haste_distributed::TaskSpec;
 use haste_model::{io as model_io, Scenario, Schedule, TaskId};
 
-use crate::proto::VERSION;
+use crate::proto::{VERSION, VERSION_V2};
+
+/// Backoff schedule for transient `ECONNREFUSED` during connect: the
+/// daemon-startup race window. Three attempts total, deterministic delays
+/// (no jitter — reproducibility beats thundering-herd concerns at this
+/// scale).
+const CONNECT_RETRY_DELAYS: [Duration; 2] = [Duration::from_millis(10), Duration::from_millis(50)];
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -59,6 +66,40 @@ enum Payload {
     Document(String),
 }
 
+/// Shard topology advertised by a v2 `HELLO` greeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of shards behind the endpoint (1 for a plain daemon).
+    pub shards: usize,
+    /// The partition grid as `(cells_x, cells_y)` (`(1, 1)` for a plain
+    /// daemon).
+    pub cells: (usize, usize),
+}
+
+/// One line of a `SHARDS?` reply: a shard's cell, virtual clock, and
+/// admission counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Shard index (row-major cell index).
+    pub index: usize,
+    /// The shard's cell as `(cx, cy)`.
+    pub cell: (usize, usize),
+    /// The shard's current open slot.
+    pub slot: usize,
+    /// Whether the shard's grid still has open slots.
+    pub open: bool,
+    /// Tasks materialized into the shard's scenario.
+    pub tasks: usize,
+    /// Tasks staged for future release.
+    pub staged: usize,
+    /// Submissions admitted since load.
+    pub admitted: u64,
+    /// Submissions rejected since load.
+    pub rejected: u64,
+    /// Submissions waiting in the open slot.
+    pub pending: usize,
+}
+
 /// A connected protocol client. One request is in flight at a time
 /// (the protocol is strictly request/reply).
 pub struct Client {
@@ -67,16 +108,57 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and performs the `HELLO` handshake.
+    /// Connects and performs the v1 `HELLO` handshake.
+    ///
+    /// A refused connection is retried up to two more times with
+    /// deterministic backoff (10 ms, then 50 ms) — enough to cover the
+    /// window where a freshly spawned daemon has not bound its listener
+    /// yet. Any other transport error fails immediately.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let mut client = Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        };
+        let mut client = Self::connect_transport(addr)?;
         client.request_fields(&format!("HELLO {VERSION}"))?;
         Ok(client)
+    }
+
+    /// Connects with the v2 `HELLO` handshake; returns the client and the
+    /// shard topology the endpoint advertised. Works against both a
+    /// sharded router and a plain daemon (which reports one shard on a
+    /// 1×1 grid). Uses the same bounded connect retry as [`connect`](Client::connect).
+    pub fn connect_v2<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
+        let mut client = Self::connect_transport(addr)?;
+        let fields = client.request_fields(&format!("HELLO {VERSION_V2}"))?;
+        let shards = parse_field(&fields, "shards")?;
+        let cells_text = find_value(&fields, "cells")?;
+        let cells = cells_text
+            .split_once('x')
+            .and_then(|(cx, cy)| Some((cx.parse().ok()?, cy.parse().ok()?)))
+            .ok_or_else(|| {
+                ClientError::Protocol(format!("bad cells field `{cells_text}` in `{fields}`"))
+            })?;
+        Ok((client, Topology { shards, cells }))
+    }
+
+    /// Opens the TCP stream with bounded retry-with-backoff on
+    /// `ECONNREFUSED`; no handshake.
+    fn connect_transport<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let mut delays = CONNECT_RETRY_DELAYS.iter();
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    match delays.next() {
+                        Some(delay) => std::thread::sleep(*delay),
+                        None => return Err(ClientError::Io(e)),
+                    }
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        };
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
     }
 
     /// Sends one request line (plus an optional multi-line payload) and
@@ -217,6 +299,13 @@ impl Client {
             .collect()
     }
 
+    /// Per-shard slot/cell/admission counters (v2). A plain daemon
+    /// answers with itself as shard 0 on cell `(0, 0)`.
+    pub fn shards(&mut self) -> Result<Vec<ShardInfo>, ClientError> {
+        let document = self.request_document("SHARDS?")?;
+        document.lines().map(parse_shard_line).collect()
+    }
+
     /// The daemon's full engine state as snapshot text.
     pub fn snapshot(&mut self) -> Result<String, ClientError> {
         self.request_document("SNAPSHOT")
@@ -258,4 +347,104 @@ fn find_value<'a>(fields: &'a str, key: &str) -> Result<&'a str, ClientError> {
         .split_whitespace()
         .find_map(|field| field.strip_prefix(key)?.strip_prefix('='))
         .ok_or_else(|| ClientError::Protocol(format!("missing `{key}=` in `{fields}`")))
+}
+
+/// Parses one `SHARDS?` payload line.
+fn parse_shard_line(line: &str) -> Result<ShardInfo, ClientError> {
+    let cell_text = find_value(line, "cell")?;
+    let cell = cell_text
+        .split_once(',')
+        .and_then(|(cx, cy)| Some((cx.parse().ok()?, cy.parse().ok()?)))
+        .ok_or_else(|| {
+            ClientError::Protocol(format!("bad cell field `{cell_text}` in `{line}`"))
+        })?;
+    Ok(ShardInfo {
+        index: parse_field(line, "shard")?,
+        cell,
+        slot: parse_field(line, "slot")?,
+        open: parse_field(line, "open")? == 1,
+        tasks: parse_field(line, "tasks")?,
+        staged: parse_field(line, "staged")?,
+        admitted: parse_field(line, "admitted")? as u64,
+        rejected: parse_field(line, "rejected")? as u64,
+        pending: parse_field(line, "pending")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serve, ServerConfig};
+    use std::net::TcpListener;
+
+    /// Grab a free port by binding, note the address, and release it so a
+    /// daemon can bind it shortly after.
+    fn reserve_addr() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    #[test]
+    fn connect_retries_through_a_startup_race() {
+        let addr = reserve_addr();
+        // Nothing is listening yet; the daemon comes up 30 ms from now —
+        // after the client's first (immediate) and second (+10 ms)
+        // attempts, before its third (+60 ms).
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            serve(ServerConfig {
+                addr: addr.to_string(),
+                worker_threads: 2,
+                ..ServerConfig::default()
+            })
+            .expect("bind the reserved address")
+        });
+        let client = Client::connect(addr).expect("connect must survive the startup race");
+        client.bye().expect("polite shutdown");
+        server.join().expect("server thread").shutdown();
+    }
+
+    #[test]
+    fn connect_gives_up_after_three_refused_attempts() {
+        let addr = reserve_addr();
+        match Client::connect(addr) {
+            Err(ClientError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionRefused);
+            }
+            Err(other) => panic!("expected ConnectionRefused after retries, got {other}"),
+            Ok(_) => panic!("nothing listens on a reserved-then-released port"),
+        }
+    }
+
+    #[test]
+    fn shard_line_roundtrips_through_the_parser() {
+        let status = crate::shard::ShardStatus {
+            clock: 3,
+            open: true,
+            tasks: 7,
+            staged: 2,
+            admitted: 9,
+            rejected: 1,
+            pending: 4,
+            ..crate::shard::ShardStatus::default()
+        };
+        let line = crate::server::shard_line(5, (1, 2), &status);
+        let info = parse_shard_line(line.trim_end()).expect("well-formed line");
+        assert_eq!(
+            info,
+            ShardInfo {
+                index: 5,
+                cell: (1, 2),
+                slot: 3,
+                open: true,
+                tasks: 7,
+                staged: 2,
+                admitted: 9,
+                rejected: 1,
+                pending: 4,
+            }
+        );
+    }
 }

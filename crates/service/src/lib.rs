@@ -6,6 +6,11 @@
 //! * [`serve`] — starts the daemon: a `std::net` TCP listener whose
 //!   connections are handled on a [`haste_parallel::ThreadPool`] (no async
 //!   runtime; the workspace builds fully offline),
+//! * [`serve_router`] / the `routerd` binary — the sharded deployment:
+//!   one engine-owning [`Shard`] per cell of a
+//!   [`Partition`](haste_model::Partition), `SUBMIT` routed by cell,
+//!   lockstep `TICK`, and composite consistent-cut `SNAPSHOT`/`RESTORE`
+//!   (protocol v2),
 //! * [`proto`] — the versioned line-oriented wire protocol (`HELLO`,
 //!   `LOAD`, `SUBMIT`, `TICK`, `SCHEDULE?`, `SNAPSHOT`/`RESTORE`, …),
 //!   documented normatively in `docs/service_protocol.md`,
@@ -28,7 +33,11 @@
 mod client;
 pub mod loadgen;
 pub mod proto;
+mod router;
 mod server;
+pub mod shard;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ShardInfo, Topology};
+pub use router::{parse_composite, serve_router, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use shard::{LoadInfo, Shard, ShardError, ShardStatus, UtilityParts};

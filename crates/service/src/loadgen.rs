@@ -21,7 +21,9 @@ use haste_model::{Charger, ChargingParams, Scenario, TimeGrid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{serve, Client, ClientError, ServerConfig};
+use crate::{
+    parse_composite, serve, serve_router, Client, ClientError, RouterConfig, ServerConfig,
+};
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -45,8 +47,15 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// After the run, pull a `SNAPSHOT`, replay the submission trace in
     /// batch ([`haste_distributed::replay_trace`]) and check the utilities
-    /// match bit for bit.
+    /// match bit for bit. In sharded mode the composite snapshot is split
+    /// and every shard is replayed independently; the per-task terms are
+    /// re-merged in the recorded arrival order and compared bitwise.
     pub verify_replay: bool,
+    /// Drive a sharded router on this partition grid instead of a plain
+    /// daemon (`None` = single engine). Self-hosted runs start
+    /// [`serve_router`]; chargers are placed in cell interiors (outside
+    /// the reach halo) so the generated scenario always partitions.
+    pub cells: Option<(usize, usize)>,
 }
 
 impl Default for LoadgenConfig {
@@ -61,6 +70,7 @@ impl Default for LoadgenConfig {
             max_pending: 4096,
             seed: 1,
             verify_replay: true,
+            cells: None,
         }
     }
 }
@@ -89,21 +99,37 @@ pub struct LoadgenReport {
     /// Final relaxed (HASTE-R) value reported by the daemon.
     pub relaxed: f64,
     /// Utility of the batch replay of the submission trace (when
-    /// verification ran).
+    /// verification ran). In sharded mode this is the merge of the
+    /// independent per-shard replays.
     pub replay_utility: Option<f64>,
     /// Whether daemon and replay utilities matched bit for bit.
     pub replay_matches: Option<bool>,
+    /// Shards behind the driven endpoint (`None` for a plain daemon run).
+    pub shards: Option<usize>,
+}
+
+impl LoadgenReport {
+    /// Fraction of submissions bounced by admission control
+    /// (`ERR overload`): the saturation signal of a run.
+    pub fn overload_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.submitted as f64
+        }
+    }
 }
 
 impl std::fmt::Display for LoadgenReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "submitted={} accepted={} rejected={} p50={}us p99={}us max={}us \
-             elapsed={:.3}s throughput={:.0}/s utility={:.6}",
+            "submitted={} accepted={} rejected={} overload_rate={:.2}% p50={}us p99={}us \
+             max={}us elapsed={:.3}s throughput={:.0}/s utility={:.6}",
             self.submitted,
             self.accepted,
             self.rejected,
+            100.0 * self.overload_rate(),
             self.p50_us,
             self.p99_us,
             self.max_us,
@@ -111,6 +137,9 @@ impl std::fmt::Display for LoadgenReport {
             self.throughput,
             self.utility
         )?;
+        if let Some(shards) = self.shards {
+            write!(f, " shards={shards}")?;
+        }
         if let Some(matches) = self.replay_matches {
             write!(
                 f,
@@ -128,20 +157,49 @@ struct WorkerPlan {
     per_slot: Vec<Vec<TaskSpec>>,
 }
 
+/// A self-hosted endpoint: either a plain daemon or a sharded router.
+enum Hosted {
+    Daemon(crate::ServerHandle),
+    Router(crate::RouterHandle),
+}
+
+impl Hosted {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            Hosted::Daemon(handle) => handle.addr(),
+            Hosted::Router(handle) => handle.addr(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Hosted::Daemon(handle) => handle.shutdown(),
+            Hosted::Router(handle) => handle.shutdown(),
+        }
+    }
+}
+
 /// Runs the load generator. Returns an error on any transport or protocol
 /// failure (a malformed daemon response is an error, not a statistic —
 /// correctness is binary here).
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
-    let hosted = match &config.addr {
-        Some(_) => None,
-        None => Some(serve(ServerConfig {
-            // Workers + the control connection must all fit in the pool,
-            // or the barrier protocol deadlocks waiting on a queued
-            // connection.
+    let hosted = match (&config.addr, config.cells) {
+        (Some(_), _) => None,
+        // Workers + the control connection must all fit in the pool, or
+        // the barrier protocol deadlocks waiting on a queued connection.
+        (None, None) => Some(Hosted::Daemon(serve(ServerConfig {
             worker_threads: config.connections + 2,
             max_pending: config.max_pending,
             ..ServerConfig::default()
-        })?),
+        })?)),
+        (None, Some(cells)) => Some(Hosted::Router(serve_router(RouterConfig {
+            worker_threads: config.connections + 2,
+            max_pending: config.max_pending,
+            cells,
+            origin: (0.0, 0.0),
+            field: (config.field, config.field),
+            ..RouterConfig::default()
+        })?)),
     };
     let addr = match (&config.addr, &hosted) {
         (Some(addr), _) => addr.clone(),
@@ -255,12 +313,19 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let (mut replay_utility, mut replay_matches) = (None, None);
     if config.verify_replay {
         let snapshot = control.snapshot()?;
-        let engine = OnlineEngine::restore(&snapshot)
-            .map_err(|e| ClientError::Protocol(format!("daemon snapshot unusable: {e}")))?;
-        let trace = engine.scenario().clone();
-        let replayed = haste_distributed::replay_trace(trace, engine.config().clone());
-        replay_utility = Some(replayed.report.total_utility);
-        replay_matches = Some(replayed.report.total_utility.to_bits() == utility.to_bits());
+        let replayed = match config.cells {
+            None => {
+                let engine = OnlineEngine::restore(&snapshot)
+                    .map_err(|e| ClientError::Protocol(format!("daemon snapshot unusable: {e}")))?;
+                let trace = engine.scenario().clone();
+                haste_distributed::replay_trace(trace, engine.config().clone())
+                    .report
+                    .total_utility
+            }
+            Some(_) => merged_shard_replay(&snapshot)?,
+        };
+        replay_utility = Some(replayed);
+        replay_matches = Some(replayed.to_bits() == utility.to_bits());
     }
     control.bye()?;
     if let Some(handle) = hosted {
@@ -289,24 +354,87 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         relaxed,
         replay_utility,
         replay_matches,
+        shards: config.cells.map(|(cx, cy)| cx * cy),
     })
 }
 
+/// Independently replays every shard of a composite router snapshot from
+/// its own submission trace and re-merges the per-task utility terms in
+/// the recorded global arrival order — the sharded analogue of the
+/// single-engine replay check, bit-comparable to the streamed total.
+fn merged_shard_replay(composite_text: &str) -> Result<f64, ClientError> {
+    let composite = parse_composite(composite_text)
+        .map_err(|e| ClientError::Protocol(format!("router snapshot unusable: {e}")))?;
+    let mut parts: Vec<Vec<f64>> = Vec::with_capacity(composite.shards.len());
+    for snapshot in &composite.shards {
+        let engine = OnlineEngine::restore(snapshot)
+            .map_err(|e| ClientError::Protocol(format!("shard snapshot unusable: {e}")))?;
+        let trace = engine.scenario().clone();
+        let weights: Vec<f64> = trace.tasks.iter().map(|t| t.weight).collect();
+        let replayed = haste_distributed::replay_trace(trace, engine.config().clone());
+        parts.push(
+            weights
+                .iter()
+                .zip(&replayed.report.per_task_utility)
+                .map(|(w, u)| w * u)
+                .collect(),
+        );
+    }
+    let mut cursors = vec![0usize; parts.len()];
+    let mut total = 0.0f64;
+    for &owner in &composite.order {
+        let shard = owner as usize;
+        let term = cursors
+            .get_mut(shard)
+            .and_then(|cursor| {
+                let term = parts.get(shard)?.get(*cursor).copied();
+                *cursor += 1;
+                term
+            })
+            .ok_or_else(|| {
+                ClientError::Protocol("router snapshot order exceeds shard tasks".to_string())
+            })?;
+        total += term;
+    }
+    Ok(total)
+}
+
 /// The generated base scenario: chargers only; tasks arrive over the wire.
+///
+/// In sharded mode chargers are placed round-robin across cells, inside
+/// the cell interior shrunk by the reach halo — the placement invariant
+/// `Partition::validate_chargers` enforces at `LOAD`, guaranteed here by
+/// construction.
 fn base_scenario(config: &LoadgenConfig, rng: &mut StdRng) -> Scenario {
+    let params = ChargingParams::simulation_default();
     let chargers = (0..config.chargers)
         .map(|i| {
-            Charger::new(
-                i as u32,
-                Vec2::new(
+            let pos = match config.cells {
+                None => Vec2::new(
                     rng.gen_range(0.0..config.field),
                     rng.gen_range(0.0..config.field),
                 ),
-            )
+                Some((cells_x, cells_y)) => {
+                    let cell = i % (cells_x * cells_y);
+                    let (cw, ch) = (config.field / cells_x as f64, config.field / cells_y as f64);
+                    // 1 m of slack beyond the halo keeps the strict
+                    // `margin > halo + eps` check satisfied.
+                    let inset = params.radius + 1.0;
+                    assert!(
+                        2.0 * inset < cw.min(ch),
+                        "cells too small for halo-safe charger placement"
+                    );
+                    Vec2::new(
+                        (cell % cells_x) as f64 * cw + rng.gen_range(inset..cw - inset),
+                        (cell / cells_x) as f64 * ch + rng.gen_range(inset..ch - inset),
+                    )
+                }
+            };
+            Charger::new(i as u32, pos)
         })
         .collect();
     Scenario::new(
-        ChargingParams::simulation_default(),
+        params,
         TimeGrid::new(60.0, config.slots),
         chargers,
         Vec::new(),

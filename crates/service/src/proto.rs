@@ -17,6 +17,12 @@
 /// Protocol version spoken by this crate (the `HELLO v1` handshake).
 pub const VERSION: &str = "v1";
 
+/// The sharded protocol revision (the `HELLO v2` handshake): the greeting
+/// advertises shard topology, `SHARDS?` becomes available, and snapshots
+/// of a router are composite documents. Every v1 request keeps its exact
+/// v1 semantics.
+pub const VERSION_V2: &str = "v2";
+
 /// Stable machine-readable error codes of `ERR` replies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrCode {
@@ -34,6 +40,10 @@ pub enum ErrCode {
     AtHorizon,
     /// A `RESTORE` payload failed to parse.
     BadSnapshot,
+    /// The loaded scenario cannot be split across the configured shard
+    /// grid: a charger sits inside the reach halo of an interior cell
+    /// boundary, or a task's reachable chargers span two cells.
+    Unpartitionable,
     /// Unsupported protocol version in `HELLO`.
     Version,
     /// The request handler panicked; the daemon caught it and kept the
@@ -53,6 +63,7 @@ impl ErrCode {
             ErrCode::AlreadyLoaded => "already-loaded",
             ErrCode::AtHorizon => "at-horizon",
             ErrCode::BadSnapshot => "bad-snapshot",
+            ErrCode::Unpartitionable => "unpartitionable",
             ErrCode::Version => "version",
             ErrCode::Internal => "internal",
         }
@@ -125,6 +136,8 @@ pub enum Request {
     Utility,
     /// `METRICS?` — solver metrics and negotiation counters.
     Metrics,
+    /// `SHARDS?` — per-shard slot, cell, and admission counters (v2).
+    Shards,
     /// `SNAPSHOT` — serialize full engine state.
     Snapshot,
     /// `RESTORE <n>` — replace engine state from an `n`-line snapshot.
@@ -182,6 +195,8 @@ impl Request {
             ("UTILITY?", _) => Err(arity(0)),
             ("METRICS?", []) => Ok(Request::Metrics),
             ("METRICS?", _) => Err(arity(0)),
+            ("SHARDS?", []) => Ok(Request::Shards),
+            ("SHARDS?", _) => Err(arity(0)),
             ("SNAPSHOT", []) => Ok(Request::Snapshot),
             ("SNAPSHOT", _) => Err(arity(0)),
             ("RESTORE", [count]) => Ok(Request::Restore(uint(count)?)),
@@ -221,6 +236,7 @@ mod tests {
         assert_eq!(Request::parse("SCHEDULE?"), Ok(Request::Schedule));
         assert_eq!(Request::parse("UTILITY?"), Ok(Request::Utility));
         assert_eq!(Request::parse("METRICS?"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("SHARDS?"), Ok(Request::Shards));
         assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(Request::parse("RESTORE 40"), Ok(Request::Restore(40)));
         assert_eq!(Request::parse("BYE"), Ok(Request::Bye));

@@ -1,0 +1,927 @@
+//! The sharded router: N in-process [`Shard`]s behind one listener.
+//!
+//! The router owns one shard per cell of a [`Partition`] (uniform grid
+//! with a charger-reach halo). `LOAD` splits the scenario into per-cell
+//! sub-scenarios — rejecting unpartitionable inputs with
+//! `ERR unpartitionable` — and `SUBMIT` routes each task to the shard
+//! owning its device position. `TICK`, `UTILITY?`, `METRICS?` and
+//! `SHARDS?` fan out to every shard.
+//!
+//! **Bit-equivalence contract.** With localized replanning
+//! ([`OnlineConfig::localized`](haste_distributed::OnlineConfig)) the
+//! negotiation of Alg. 3 never crosses a partition boundary, so each
+//! shard's schedule is bitwise the restriction of the single-engine
+//! schedule. The router reconstructs the single engine's totals exactly:
+//! it records the **global arrival order** of tasks (initial release-0
+//! tasks, then staged releases and live submissions as slots open) and
+//! sums per-task `wⱼ·Uⱼ` terms in that order — the same addends in the
+//! same sequence as the single engine's evaluator, hence the same bits.
+//!
+//! **Consistent cut.** All request handling serializes on one router
+//! mutex and `TICK` advances every shard in lockstep inside it, so
+//! between requests all shards sit at the same virtual slot. `SNAPSHOT`
+//! (under that mutex) therefore captures a trivially consistent cut:
+//! submissions are quiesced and every shard snapshot carries the same
+//! clock. The composite document restores bit-identically.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use haste_distributed::{OnlineConfig, TaskSpec};
+use haste_geometry::{Angle, Vec2};
+use haste_model::{io as model_io, ChargerId, Partition, PartitionError, Schedule};
+use haste_parallel::ThreadPool;
+use parking_lot::Mutex;
+
+use crate::proto::{ErrCode, Reply, Request};
+use crate::server::{
+    catching, hello_reply, read_line_polling, read_payload, shard_err, shard_line, READ_POLL,
+};
+use crate::shard::{Shard, ShardStatus};
+
+/// Magic first line of a composite router snapshot.
+const COMPOSITE_MAGIC: &str = "# haste-router snapshot v2";
+
+/// Configuration of a router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Connection-handler threads (the connection cap, as for the plain
+    /// daemon).
+    pub worker_threads: usize,
+    /// Admission bound per shard: submissions per open slot before
+    /// `ERR overload`.
+    pub max_pending: usize,
+    /// Scheduling configuration for every shard's engine. Bit-equivalence
+    /// with a single-engine run requires `localized: true` here and on the
+    /// reference daemon.
+    pub scheduling: OnlineConfig,
+    /// Partition grid as `(cells_x, cells_y)`; one shard per cell.
+    pub cells: (usize, usize),
+    /// Field origin `(x, y)` in meters.
+    pub origin: (f64, f64),
+    /// Field extent `(width, height)` in meters.
+    pub field: (f64, f64),
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            worker_threads: 64,
+            max_pending: 4096,
+            scheduling: OnlineConfig::default(),
+            cells: (2, 1),
+            origin: (0.0, 0.0),
+            field: (200.0, 100.0),
+        }
+    }
+}
+
+/// Mutable router state: the shards plus the global bookkeeping that maps
+/// shard-local task ids back onto the single-engine arrival order.
+struct RouterCore {
+    shards: Vec<Shard>,
+    /// Built at `LOAD`/`RESTORE` (the halo is the scenario's radius).
+    partition: Option<Partition>,
+    /// `charger_shard[i]` — owning shard of original charger `i`.
+    /// Shard-local charger ids follow by per-shard counting.
+    charger_shard: Vec<u32>,
+    /// Owning shard of every materialized task, in global arrival order.
+    /// Shard-local task ids follow by per-shard counting.
+    order: Vec<u32>,
+    /// Staged tasks not yet released: `(release_slot, shard)` in the
+    /// single engine's injection order (stable by release slot).
+    plan: VecDeque<(usize, u32)>,
+    /// Time-grid length, for merging schedules.
+    slots: usize,
+}
+
+impl RouterCore {
+    /// Appends to `order` every planned staged release for slots up to and
+    /// including `clock` (the single engine injects staged tasks the
+    /// moment their slot opens, before any live submission of that slot).
+    fn drain_plan(&mut self, clock: usize) {
+        while let Some(&(slot, shard)) = self.plan.front() {
+            if slot > clock {
+                break;
+            }
+            self.order.push(shard);
+            self.plan.pop_front();
+        }
+    }
+
+    /// The common shard clock, or an internal error if the shards ever
+    /// drift out of lockstep (a bug, not an expected state).
+    fn common_clock(&self) -> Result<(usize, bool), Reply> {
+        let mut common: Option<(usize, bool)> = None;
+        for shard in &self.shards {
+            let (slot, open) = shard.clock().map_err(shard_err)?;
+            match common {
+                None => common = Some((slot, open)),
+                Some(seen) if seen == (slot, open) => {}
+                Some(seen) => {
+                    return Err(Reply::Err(
+                        ErrCode::Internal,
+                        format!(
+                            "shards out of lockstep: slot={} open={} vs slot={slot} open={open}",
+                            seen.0, seen.1
+                        ),
+                    ));
+                }
+            }
+        }
+        common.ok_or_else(|| Reply::Err(ErrCode::Internal, "router has no shards".to_string()))
+    }
+}
+
+/// State shared by every connection of one router.
+struct RouterShared {
+    core: Mutex<RouterCore>,
+    config: RouterConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running router. Dropping the handle shuts it down and joins its
+/// threads.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The number of shards this router owns.
+    pub fn shards(&self) -> usize {
+        self.shared.config.cells.0 * self.shared.config.cells.1
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, unless another
+    /// thread signals shutdown). For foreground daemon binaries.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Signals shutdown and joins the accept loop and all handlers.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Starts a router and returns its handle. Mirrors [`crate::serve`] but
+/// owns `cells_x × cells_y` shards instead of one engine.
+pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    if config.cells.0 == 0 || config.cells.1 == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "router needs at least one cell per axis",
+        ));
+    }
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let num_shards = config.cells.0 * config.cells.1;
+    let shards = (0..num_shards)
+        .map(|_| Shard::new(config.scheduling.clone(), config.max_pending))
+        .collect();
+    let shared = Arc::new(RouterShared {
+        core: Mutex::new(RouterCore {
+            shards,
+            partition: None,
+            charger_shard: Vec::new(),
+            order: Vec::new(),
+            plan: VecDeque::new(),
+            slots: 0,
+        }),
+        config: config.clone(),
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let workers = config.worker_threads.max(1);
+    let accept_thread = std::thread::Builder::new()
+        .name("haste-router-accept".to_string())
+        .spawn(move || {
+            let pool = ThreadPool::new(workers);
+            while !accept_shared.shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        pool.execute(move || {
+                            let _ = handle_connection(stream, &conn_shared);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Serves one connection until EOF, `BYE`, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        let Some(line) = read_line_polling(&mut reader, &mut buf, &shared.shutdown)? else {
+            return Ok(());
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (reply, close) = dispatch(&line, &mut reader, shared)?;
+        writer.write_all(reply.serialize().as_bytes())?;
+        writer.flush()?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Parses and executes one request under the panic backstop (see the
+/// single-engine daemon's `dispatch`).
+fn dispatch<R: BufRead>(
+    line: &str,
+    reader: &mut R,
+    shared: &RouterShared,
+) -> std::io::Result<(Reply, bool)> {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(reason) => return Ok((Reply::Err(ErrCode::BadRequest, reason), false)),
+    };
+    catching(AssertUnwindSafe(|| execute(request, reader, shared)))
+}
+
+/// Maps a partition failure onto the wire error space: geometry/split
+/// violations are the client's scenario-vs-topology mismatch.
+fn partition_err(e: PartitionError) -> Reply {
+    Reply::Err(ErrCode::Unpartitionable, e.to_string())
+}
+
+/// Executes one parsed request; returns the reply and whether the
+/// connection should close.
+fn execute<R: BufRead>(
+    request: Request,
+    reader: &mut R,
+    shared: &RouterShared,
+) -> std::io::Result<(Reply, bool)> {
+    let config = &shared.config;
+    let num_shards = config.cells.0 * config.cells.1;
+    let reply = match request {
+        Request::Hello(version) => hello_reply(&version, num_shards, config.cells),
+        Request::Load(count) => {
+            let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
+                return Ok((
+                    Reply::Err(ErrCode::BadRequest, "truncated LOAD payload".to_string()),
+                    true,
+                ));
+            };
+            let mut core = shared.core.lock();
+            load_scenario_text(&mut core, config, &payload)
+        }
+        Request::Submit {
+            x,
+            y,
+            facing,
+            end_slot,
+            energy,
+            weight,
+        } => {
+            if !(x.is_finite() && y.is_finite() && facing.is_finite()) {
+                Reply::Err(ErrCode::BadTask, "non-finite position/facing".to_string())
+            } else {
+                let mut core = shared.core.lock();
+                match core.partition.as_ref() {
+                    None => shard_err(crate::shard::ShardError::NoScenario),
+                    Some(partition) => {
+                        let cell = partition.cell_of(Vec2::new(x, y));
+                        let spec = TaskSpec {
+                            device_pos: Vec2::new(x, y),
+                            device_facing: Angle::from_radians(facing),
+                            end_slot,
+                            required_energy: energy,
+                            weight,
+                        };
+                        let outcome = core
+                            .shards
+                            .get(cell)
+                            .map(|shard| shard.submit(spec))
+                            .unwrap_or(Err(crate::shard::ShardError::NoScenario));
+                        match outcome {
+                            Ok((_local, release)) => {
+                                let global = core.order.len();
+                                core.order.push(cell as u32);
+                                Reply::Ok(format!("task={global} release={release} shard={cell}"))
+                            }
+                            Err(e) => shard_err(e),
+                        }
+                    }
+                }
+            }
+        }
+        Request::Tick(n) => {
+            let mut core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                match tick_lockstep(&mut core, n) {
+                    Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
+                    Err(reply) => reply,
+                }
+            }
+        }
+        Request::Clock => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                match core.common_clock() {
+                    Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
+                    Err(reply) => reply,
+                }
+            }
+        }
+        Request::Schedule => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                match merged_schedule(&core) {
+                    Ok(schedule) => Reply::Data(model_io::write_schedule(&schedule)),
+                    Err(reply) => reply,
+                }
+            }
+        }
+        Request::Utility => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                match merged_utility(&core) {
+                    Ok((utility, relaxed)) => {
+                        Reply::Ok(format!("utility={utility} relaxed={relaxed}"))
+                    }
+                    Err(reply) => reply,
+                }
+            }
+        }
+        Request::Metrics => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                let mut merged = ShardStatus::default();
+                let mut failure = None;
+                for shard in &core.shards {
+                    match shard.status() {
+                        Ok(status) => merged.absorb(&status),
+                        Err(e) => {
+                            failure = Some(shard_err(e));
+                            break;
+                        }
+                    }
+                }
+                match failure {
+                    Some(reply) => reply,
+                    None => {
+                        let status = merged;
+                        let mut payload = String::new();
+                        for (key, value) in [
+                            ("clock", status.clock.to_string()),
+                            ("tasks", status.tasks.to_string()),
+                            ("staged", status.staged.to_string()),
+                            ("admitted", status.admitted.to_string()),
+                            ("rejected", status.rejected.to_string()),
+                            ("pending", status.pending.to_string()),
+                            ("threads", status.threads.to_string()),
+                            ("oracle_marginals", status.oracle_marginals.to_string()),
+                            ("oracle_commits", status.oracle_commits.to_string()),
+                            ("messages", status.messages.to_string()),
+                            ("rounds", status.rounds.to_string()),
+                            ("instance_build_us", status.instance_build_us.to_string()),
+                            ("greedy_us", status.greedy_us.to_string()),
+                            ("rounding_us", status.rounding_us.to_string()),
+                            ("coverage_build_us", status.coverage_build_us.to_string()),
+                        ] {
+                            payload.push_str(key);
+                            payload.push(' ');
+                            payload.push_str(&value);
+                            payload.push('\n');
+                        }
+                        Reply::Data(payload)
+                    }
+                }
+            }
+        }
+        Request::Shards => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                let mut payload = String::new();
+                let mut failure = None;
+                for (index, shard) in core.shards.iter().enumerate() {
+                    match shard.status() {
+                        Ok(status) => {
+                            let cell = (index % config.cells.0, index / config.cells.0);
+                            payload.push_str(&shard_line(index, cell, &status));
+                        }
+                        Err(e) => {
+                            failure = Some(shard_err(e));
+                            break;
+                        }
+                    }
+                }
+                match failure {
+                    Some(reply) => reply,
+                    None => Reply::Data(payload),
+                }
+            }
+        }
+        Request::Snapshot => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                match composite_snapshot(&core, config) {
+                    Ok(text) => Reply::Data(text),
+                    Err(reply) => reply,
+                }
+            }
+        }
+        Request::Restore(count) => {
+            let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
+                return Ok((
+                    Reply::Err(ErrCode::BadRequest, "truncated RESTORE payload".to_string()),
+                    true,
+                ));
+            };
+            let mut core = shared.core.lock();
+            restore_composite(&mut core, config, &payload)
+        }
+        Request::Bye => return Ok((Reply::Ok("bye".to_string()), true)),
+    };
+    Ok((reply, false))
+}
+
+/// `LOAD` on the router: parse, partition, split, install per-cell
+/// engines, and record the global bookkeeping (charger owners, release-0
+/// arrival order, staged release plan).
+fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &str) -> Reply {
+    if core.partition.is_some() {
+        return shard_err(crate::shard::ShardError::AlreadyLoaded);
+    }
+    let scenario = match model_io::read_scenario(payload) {
+        Ok(scenario) => scenario,
+        Err(e) => return Reply::Err(ErrCode::BadRequest, format!("bad scenario: {e}")),
+    };
+    let partition = match Partition::grid(
+        Vec2::new(config.origin.0, config.origin.1),
+        config.field.0,
+        config.field.1,
+        config.cells.0,
+        config.cells.1,
+        scenario.params.radius,
+    ) {
+        Ok(partition) => partition,
+        Err(e) => return partition_err(e),
+    };
+    if let Err(e) = partition.validate_chargers(&scenario) {
+        return partition_err(e);
+    }
+    let cells = match partition.split(&scenario) {
+        Ok(cells) => cells,
+        Err(e) => return partition_err(e),
+    };
+    let mut total_chargers = 0;
+    let mut total_staged = 0;
+    for (shard, cell) in core.shards.iter().zip(cells) {
+        match shard.load_scenario(cell) {
+            Ok(info) => {
+                total_chargers += info.chargers;
+                total_staged += info.staged;
+            }
+            // `split` validated every sub-scenario, so a failure here is
+            // a router bug; surface it without half-initialized routing
+            // state (the shards already loaded stay, RESTORE recovers).
+            Err(e) => return shard_err(e),
+        }
+    }
+    core.charger_shard = scenario
+        .chargers
+        .iter()
+        .map(|c| partition.cell_of(c.pos) as u32)
+        .collect();
+    core.order = scenario
+        .tasks
+        .iter()
+        .filter(|t| t.release_slot == 0)
+        .map(|t| partition.cell_of(t.device_pos) as u32)
+        .collect();
+    let mut staged: Vec<(usize, u32)> = scenario
+        .tasks
+        .iter()
+        .filter(|t| t.release_slot > 0)
+        .map(|t| (t.release_slot, partition.cell_of(t.device_pos) as u32))
+        .collect();
+    // Stable by release slot — the exact injection order of the single
+    // engine's staging queue.
+    staged.sort_by_key(|&(slot, _)| slot);
+    core.plan = staged.into();
+    core.slots = scenario.grid.num_slots;
+    core.partition = Some(partition);
+    Reply::Ok(format!(
+        "chargers={total_chargers} staged={total_staged} slots={} shards={}",
+        core.slots,
+        core.shards.len()
+    ))
+}
+
+/// Advances every shard in lockstep, one slot at a time, releasing staged
+/// arrivals into the global order as their slots open.
+fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply> {
+    let mut latest = core.common_clock()?;
+    if !latest.1 {
+        return Err(shard_err(crate::shard::ShardError::AtHorizon));
+    }
+    for _ in 0..n {
+        if !latest.1 {
+            break;
+        }
+        for shard in &core.shards {
+            shard.tick(1).map_err(shard_err)?;
+        }
+        latest = core.common_clock()?;
+        core.drain_plan(latest.0);
+    }
+    Ok(latest)
+}
+
+/// Re-merges shard schedules into original charger numbering. Bitwise
+/// faithful: orientations are copied, never recomputed.
+fn merged_schedule(core: &RouterCore) -> Result<Schedule, Reply> {
+    let mut shard_schedules = Vec::with_capacity(core.shards.len());
+    for shard in &core.shards {
+        shard_schedules.push(shard.schedule().map_err(shard_err)?);
+    }
+    let mut merged = Schedule::empty(core.charger_shard.len(), core.slots);
+    let mut locals = vec![0u32; core.shards.len()];
+    for (i, &owner) in core.charger_shard.iter().enumerate() {
+        let shard = owner as usize;
+        let local = match locals.get_mut(shard) {
+            Some(counter) => {
+                let local = *counter;
+                *counter += 1;
+                local
+            }
+            None => return Err(internal("charger owner out of range")),
+        };
+        let Some(source) = shard_schedules.get(shard) else {
+            return Err(internal("charger owner out of range"));
+        };
+        for slot in 0..core.slots {
+            merged.set(
+                ChargerId(i as u32),
+                slot,
+                source.get(ChargerId(local), slot),
+            );
+        }
+    }
+    Ok(merged)
+}
+
+/// Merges per-shard `wⱼ·Uⱼ` terms in global arrival order — the exact
+/// addend sequence of a single engine's evaluator (see module docs).
+fn merged_utility(core: &RouterCore) -> Result<(f64, f64), Reply> {
+    let mut parts = Vec::with_capacity(core.shards.len());
+    for shard in &core.shards {
+        parts.push(shard.utility_parts().map_err(shard_err)?);
+    }
+    let mut cursors = vec![0usize; core.shards.len()];
+    let mut utility = 0.0f64;
+    let mut relaxed = 0.0f64;
+    for &owner in &core.order {
+        let shard = owner as usize;
+        let (Some(cursor), Some(part)) = (cursors.get_mut(shard), parts.get(shard)) else {
+            return Err(internal("task owner out of range"));
+        };
+        let (Some(full_term), Some(relaxed_term)) =
+            (part.full.get(*cursor), part.relaxed.get(*cursor))
+        else {
+            return Err(internal("arrival order longer than shard task lists"));
+        };
+        utility += *full_term;
+        relaxed += *relaxed_term;
+        *cursor += 1;
+    }
+    Ok((utility, relaxed))
+}
+
+fn internal(reason: &str) -> Reply {
+    Reply::Err(ErrCode::Internal, reason.to_string())
+}
+
+/// Serializes the router's consistent cut: topology, partition geometry,
+/// global bookkeeping, and every shard's embedded engine snapshot.
+fn composite_snapshot(core: &RouterCore, config: &RouterConfig) -> Result<String, Reply> {
+    let Some(partition) = core.partition.as_ref() else {
+        return Err(shard_err(crate::shard::ShardError::NoScenario));
+    };
+    // The cut is consistent by construction (one mutex, lockstep ticks);
+    // this re-checks the invariant so a corrupt snapshot can never be
+    // emitted silently.
+    core.common_clock()?;
+    let mut text = String::new();
+    text.push_str(COMPOSITE_MAGIC);
+    text.push('\n');
+    text.push_str(&format!("cells {} {}\n", config.cells.0, config.cells.1));
+    let origin = partition.origin();
+    let (field_w, field_h) = partition.field();
+    text.push_str(&format!(
+        "field {} {} {} {} {}\n",
+        origin.x,
+        origin.y,
+        field_w,
+        field_h,
+        partition.halo()
+    ));
+    text.push_str(&format!("chargers {}\n", core.charger_shard.len()));
+    for &owner in &core.charger_shard {
+        text.push_str(&format!("{owner}\n"));
+    }
+    text.push_str(&format!("order {}\n", core.order.len()));
+    for &owner in &core.order {
+        text.push_str(&format!("{owner}\n"));
+    }
+    text.push_str(&format!("plan {}\n", core.plan.len()));
+    for &(slot, owner) in &core.plan {
+        text.push_str(&format!("{slot} {owner}\n"));
+    }
+    for (index, shard) in core.shards.iter().enumerate() {
+        let snapshot = shard.snapshot().map_err(shard_err)?;
+        text.push_str(&format!("shard {index} {}\n", snapshot.lines().count()));
+        text.push_str(&snapshot);
+        if !snapshot.is_empty() && !snapshot.ends_with('\n') {
+            text.push('\n');
+        }
+    }
+    Ok(text)
+}
+
+/// A parsed composite router snapshot. [`parse_composite`] is public so
+/// out-of-process tooling (loadgen verification, operators) can split a
+/// composite document back into per-shard engine snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeSnapshot {
+    /// Partition grid `(cells_x, cells_y)`.
+    pub cells: (usize, usize),
+    /// Field origin `(x, y)`.
+    pub origin: (f64, f64),
+    /// Field extent `(width, height)`.
+    pub field: (f64, f64),
+    /// Charger-reach halo width.
+    pub halo: f64,
+    /// Owning shard of each original charger, in original order.
+    pub charger_shard: Vec<u32>,
+    /// Owning shard of each materialized task, in global arrival order.
+    pub order: Vec<u32>,
+    /// Staged `(release_slot, shard)` pairs not yet released.
+    pub plan: Vec<(usize, u32)>,
+    /// Each shard's embedded engine snapshot document.
+    pub shards: Vec<String>,
+}
+
+/// Parses a composite router snapshot document.
+pub fn parse_composite(text: &str) -> Result<CompositeSnapshot, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some(COMPOSITE_MAGIC) {
+        return Err(format!("missing magic line `{COMPOSITE_MAGIC}`"));
+    }
+    let cells_line = lines.next().ok_or("truncated before cells")?;
+    let cells = match cells_line.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["cells", cx, cy] => (
+            cx.parse::<usize>().map_err(|_| "bad cells_x".to_string())?,
+            cy.parse::<usize>().map_err(|_| "bad cells_y".to_string())?,
+        ),
+        _ => return Err(format!("bad cells line `{cells_line}`")),
+    };
+    if cells.0 == 0 || cells.1 == 0 {
+        return Err("cells must be positive".to_string());
+    }
+    let field_line = lines.next().ok_or("truncated before field")?;
+    let field_fields = field_line.split_whitespace().collect::<Vec<_>>();
+    let (origin, field, halo) = match field_fields.as_slice() {
+        ["field", ox, oy, w, h, halo] => {
+            let parse = |s: &str, what: &str| -> Result<f64, String> {
+                s.parse::<f64>().map_err(|_| format!("bad {what} `{s}`"))
+            };
+            (
+                (parse(ox, "origin x")?, parse(oy, "origin y")?),
+                (parse(w, "field width")?, parse(h, "field height")?),
+                parse(halo, "halo")?,
+            )
+        }
+        _ => return Err(format!("bad field line `{field_line}`")),
+    };
+    let counted_section =
+        |lines: &mut std::str::Lines<'_>, header: &str| -> Result<Vec<String>, String> {
+            let head = lines
+                .next()
+                .ok_or_else(|| format!("truncated before {header}"))?;
+            let count = match head.split_whitespace().collect::<Vec<_>>().as_slice() {
+                [h, count] if *h == header => count
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad {header} count `{count}`"))?,
+                _ => return Err(format!("bad {header} line `{head}`")),
+            };
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(
+                    lines
+                        .next()
+                        .ok_or_else(|| format!("truncated {header} section"))?
+                        .to_string(),
+                );
+            }
+            Ok(entries)
+        };
+    let charger_shard = counted_section(&mut lines, "chargers")?
+        .iter()
+        .map(|line| {
+            line.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad charger owner `{line}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let order = counted_section(&mut lines, "order")?
+        .iter()
+        .map(|line| {
+            line.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad task owner `{line}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let plan = counted_section(&mut lines, "plan")?
+        .iter()
+        .map(|line| -> Result<(usize, u32), String> {
+            match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+                [slot, owner] => Ok((
+                    slot.parse()
+                        .map_err(|_| format!("bad plan slot `{line}`"))?,
+                    owner
+                        .parse()
+                        .map_err(|_| format!("bad plan owner `{line}`"))?,
+                )),
+                _ => Err(format!("bad plan line `{line}`")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let num_shards = cells.0 * cells.1;
+    let mut shards = Vec::with_capacity(num_shards);
+    for expected in 0..num_shards {
+        let head = lines
+            .next()
+            .ok_or_else(|| format!("truncated before shard {expected}"))?;
+        let nlines = match head.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["shard", index, nlines] if index.parse() == Ok(expected) => nlines
+                .parse::<usize>()
+                .map_err(|_| format!("bad shard line count `{head}`"))?,
+            _ => {
+                return Err(format!(
+                    "bad shard header `{head}` (expected shard {expected})"
+                ))
+            }
+        };
+        let mut snapshot = String::new();
+        for _ in 0..nlines {
+            snapshot.push_str(
+                lines
+                    .next()
+                    .ok_or_else(|| format!("truncated shard {expected} snapshot"))?,
+            );
+            snapshot.push('\n');
+        }
+        shards.push(snapshot);
+    }
+    if lines.next().is_some() {
+        return Err("trailing lines after the last shard snapshot".to_string());
+    }
+    for (owner, what) in charger_shard
+        .iter()
+        .map(|o| (o, "charger"))
+        .chain(order.iter().map(|o| (o, "task")))
+        .chain(plan.iter().map(|(_, o)| (o, "plan")))
+    {
+        if *owner as usize >= num_shards {
+            return Err(format!(
+                "{what} owner {owner} out of range ({num_shards} shards)"
+            ));
+        }
+    }
+    Ok(CompositeSnapshot {
+        cells,
+        origin,
+        field,
+        halo,
+        charger_shard,
+        order,
+        plan,
+        shards,
+    })
+}
+
+/// `RESTORE` on the router: parse the composite document, restore every
+/// shard, verify the cut is consistent, and rebuild the routing state.
+fn restore_composite(core: &mut RouterCore, config: &RouterConfig, payload: &str) -> Reply {
+    let composite = match parse_composite(payload) {
+        Ok(composite) => composite,
+        Err(reason) => return Reply::Err(ErrCode::BadSnapshot, reason),
+    };
+    if composite.cells != config.cells {
+        return Reply::Err(
+            ErrCode::BadSnapshot,
+            format!(
+                "snapshot topology {}x{} does not match this router's {}x{}",
+                composite.cells.0, composite.cells.1, config.cells.0, config.cells.1
+            ),
+        );
+    }
+    let partition = match Partition::grid(
+        Vec2::new(composite.origin.0, composite.origin.1),
+        composite.field.0,
+        composite.field.1,
+        composite.cells.0,
+        composite.cells.1,
+        composite.halo,
+    ) {
+        Ok(partition) => partition,
+        Err(e) => return Reply::Err(ErrCode::BadSnapshot, e.to_string()),
+    };
+    let mut clock: Option<(usize, bool)> = None;
+    let mut slots = 0;
+    for (shard, snapshot) in core.shards.iter().zip(&composite.shards) {
+        match shard.restore_text(snapshot) {
+            Ok(info) => {
+                slots = slots.max(info.slots);
+                match clock {
+                    None => clock = Some((info.clock, info.open)),
+                    Some(seen) if seen == (info.clock, info.open) => {}
+                    Some(seen) => {
+                        return Reply::Err(
+                            ErrCode::BadSnapshot,
+                            format!(
+                                "inconsistent cut: shard clocks differ ({} vs {})",
+                                seen.0, info.clock
+                            ),
+                        );
+                    }
+                }
+            }
+            Err(e) => return shard_err(e),
+        }
+    }
+    let Some((slot, open)) = clock else {
+        return Reply::Err(ErrCode::BadSnapshot, "snapshot has no shards".to_string());
+    };
+    core.charger_shard = composite.charger_shard;
+    core.order = composite.order;
+    core.plan = composite.plan.into();
+    core.slots = slots;
+    core.partition = Some(partition);
+    Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
+}

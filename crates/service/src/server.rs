@@ -5,9 +5,14 @@
 //! each accepted connection is handled on a worker of a
 //! [`haste_parallel::ThreadPool`]. Handlers use short read timeouts so an
 //! idle connection notices shutdown promptly. All connections share one
-//! engine behind a mutex: requests are serialized, which matches the
-//! engine's semantics (submissions within a slot are ordered by admission,
-//! and that order *is* the determinism contract).
+//! [`Shard`] (engine + admission + metrics): requests are serialized by
+//! its mutex, which matches the engine's semantics (submissions within a
+//! slot are ordered by admission, and that order *is* the determinism
+//! contract).
+//!
+//! This file owns the wire formatting for the single-engine daemon; the
+//! engine state itself lives in [`crate::shard`], shared with the
+//! multi-shard router in [`crate::router`].
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -16,17 +21,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use haste_distributed::{AdmitError, OnlineConfig, OnlineEngine, TaskSpec};
+use haste_distributed::{AdmitError, OnlineConfig, TaskSpec};
 use haste_geometry::{Angle, Vec2};
-use haste_model::io as model_io;
 use haste_parallel::ThreadPool;
-use parking_lot::Mutex;
 
-use crate::proto::{ErrCode, Reply, Request, VERSION};
+use crate::proto::{ErrCode, Reply, Request, VERSION, VERSION_V2};
+use crate::shard::{Shard, ShardError};
 
 /// How long a handler blocks on a read before re-checking the shutdown
 /// flag. Short enough for prompt shutdown, long enough to stay off the CPU.
-const READ_POLL: Duration = Duration::from_millis(25);
+pub(crate) const READ_POLL: Duration = Duration::from_millis(25);
 
 /// Configuration of a daemon instance.
 #[derive(Debug, Clone)]
@@ -58,9 +62,7 @@ impl Default for ServerConfig {
 
 /// State shared by every connection of one daemon.
 struct Shared {
-    engine: Mutex<Option<OnlineEngine>>,
-    scheduling: OnlineConfig,
-    max_pending: usize,
+    shard: Shard,
     shutdown: AtomicBool,
 }
 
@@ -106,9 +108,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        engine: Mutex::new(None),
-        scheduling: config.scheduling.clone(),
-        max_pending: config.max_pending,
+        shard: Shard::new(config.scheduling.clone(), config.max_pending),
         shutdown: AtomicBool::new(false),
     });
     let accept_shared = Arc::clone(&shared);
@@ -145,7 +145,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 /// timeouts. Partial bytes accumulate in `buf` between polls, so a slow
 /// sender never loses data. Returns `None` on EOF or shutdown. Generic
 /// over the reader so request handling is unit-testable off a socket.
-fn read_line_polling<R: BufRead>(
+pub(crate) fn read_line_polling<R: BufRead>(
     reader: &mut R,
     buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
@@ -175,7 +175,7 @@ fn read_line_polling<R: BufRead>(
 }
 
 /// Reads `count` payload lines (a length-prefixed document).
-fn read_payload<R: BufRead>(
+pub(crate) fn read_payload<R: BufRead>(
     reader: &mut R,
     count: usize,
     shutdown: &AtomicBool,
@@ -241,7 +241,7 @@ fn dispatch<R: BufRead>(
 /// poisoning) unlocks during unwind, so the daemon keeps serving; a panic
 /// mid-mutation can leave the engine in an unspecified (still
 /// memory-safe) state, which the reply tells the client to `RESTORE` away.
-fn catching<F>(f: F) -> std::io::Result<(Reply, bool)>
+pub(crate) fn catching<F>(f: F) -> std::io::Result<(Reply, bool)>
 where
     F: FnOnce() -> std::io::Result<(Reply, bool)> + std::panic::UnwindSafe,
 {
@@ -266,6 +266,62 @@ where
     }
 }
 
+/// Maps a structured shard failure onto the wire error space.
+pub(crate) fn shard_err(e: ShardError) -> Reply {
+    let code = match &e {
+        ShardError::NoScenario => ErrCode::NoScenario,
+        ShardError::AlreadyLoaded => ErrCode::AlreadyLoaded,
+        ShardError::AtHorizon => ErrCode::AtHorizon,
+        ShardError::BadScenario(_) => ErrCode::BadRequest,
+        ShardError::BadSnapshot(_) => ErrCode::BadSnapshot,
+        ShardError::Admit(AdmitError::Backpressure { .. }) => ErrCode::Overload,
+        ShardError::Admit(AdmitError::Closed) => ErrCode::AtHorizon,
+        ShardError::Admit(AdmitError::BadTask(_)) => ErrCode::BadTask,
+    };
+    Reply::Err(code, e.to_string())
+}
+
+/// Formats the HELLO reply shared by the daemon and the router: version
+/// negotiation plus (for v2) the shard topology advertisement.
+pub(crate) fn hello_reply(version: &str, shards: usize, cells: (usize, usize)) -> Reply {
+    if version == VERSION {
+        Reply::Ok(format!("haste-service {VERSION}"))
+    } else if version == VERSION_V2 {
+        Reply::Ok(format!(
+            "haste-service {VERSION_V2} shards={shards} cells={}x{}",
+            cells.0, cells.1
+        ))
+    } else {
+        Reply::Err(
+            ErrCode::Version,
+            format!(
+                "unsupported version `{version}` (this daemon speaks {VERSION} and {VERSION_V2})"
+            ),
+        )
+    }
+}
+
+/// Formats one `SHARDS?` payload line. Shared with the router so both
+/// emitters stay field-compatible.
+pub(crate) fn shard_line(
+    index: usize,
+    cell: (usize, usize),
+    status: &crate::shard::ShardStatus,
+) -> String {
+    format!(
+        "shard={index} cell={},{} slot={} open={} tasks={} staged={} admitted={} rejected={} pending={}\n",
+        cell.0,
+        cell.1,
+        status.clock,
+        u8::from(status.open),
+        status.tasks,
+        status.staged,
+        status.admitted,
+        status.rejected,
+        status.pending
+    )
+}
+
 /// Executes one parsed request; returns the reply and whether the
 /// connection should close.
 fn execute<R: BufRead>(
@@ -274,16 +330,7 @@ fn execute<R: BufRead>(
     shared: &Shared,
 ) -> std::io::Result<(Reply, bool)> {
     let reply = match request {
-        Request::Hello(version) => {
-            if version == VERSION {
-                Reply::Ok(format!("haste-service {VERSION}"))
-            } else {
-                Reply::Err(
-                    ErrCode::Version,
-                    format!("unsupported version `{version}` (this daemon speaks {VERSION})"),
-                )
-            }
-        }
+        Request::Hello(version) => hello_reply(&version, 1, (1, 1)),
         Request::Load(count) => {
             let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
                 return Ok((
@@ -291,32 +338,12 @@ fn execute<R: BufRead>(
                     true,
                 ));
             };
-            let mut engine = shared.engine.lock();
-            if engine.is_some() {
-                Reply::Err(
-                    ErrCode::AlreadyLoaded,
-                    "a scenario is already loaded (RESTORE replaces state, LOAD does not)"
-                        .to_string(),
-                )
-            } else {
-                match model_io::read_scenario(&payload) {
-                    Ok(scenario) => {
-                        let new = OnlineEngine::new(
-                            scenario,
-                            shared.scheduling.clone(),
-                            shared.max_pending,
-                        );
-                        let reply = Reply::Ok(format!(
-                            "chargers={} staged={} slots={}",
-                            new.scenario().num_chargers(),
-                            new.staged_len() + new.scenario().num_tasks(),
-                            new.scenario().grid.num_slots
-                        ));
-                        *engine = Some(new);
-                        reply
-                    }
-                    Err(e) => Reply::Err(ErrCode::BadRequest, format!("bad scenario: {e}")),
-                }
+            match shared.shard.load_text(&payload) {
+                Ok(info) => Reply::Ok(format!(
+                    "chargers={} staged={} slots={}",
+                    info.chargers, info.staged, info.slots
+                )),
+                Err(e) => shard_err(e),
             }
         }
         Request::Submit {
@@ -330,112 +357,55 @@ fn execute<R: BufRead>(
             if !(x.is_finite() && y.is_finite() && facing.is_finite()) {
                 Reply::Err(ErrCode::BadTask, "non-finite position/facing".to_string())
             } else {
-                let mut engine = shared.engine.lock();
-                match engine.as_mut() {
-                    None => no_scenario(),
-                    Some(engine) => {
-                        let spec = TaskSpec {
-                            device_pos: Vec2::new(x, y),
-                            device_facing: Angle::from_radians(facing),
-                            end_slot,
-                            required_energy: energy,
-                            weight,
-                        };
-                        match engine.submit(spec) {
-                            Ok(id) => {
-                                Reply::Ok(format!("task={} release={}", id.0, engine.clock()))
-                            }
-                            Err(e @ AdmitError::Backpressure { .. }) => {
-                                Reply::Err(ErrCode::Overload, e.to_string())
-                            }
-                            Err(e @ AdmitError::Closed) => {
-                                Reply::Err(ErrCode::AtHorizon, e.to_string())
-                            }
-                            Err(e @ AdmitError::BadTask(_)) => {
-                                Reply::Err(ErrCode::BadTask, e.to_string())
-                            }
-                        }
-                    }
+                let spec = TaskSpec {
+                    device_pos: Vec2::new(x, y),
+                    device_facing: Angle::from_radians(facing),
+                    end_slot,
+                    required_energy: energy,
+                    weight,
+                };
+                match shared.shard.submit(spec) {
+                    Ok((id, release)) => Reply::Ok(format!("task={} release={release}", id.0)),
+                    Err(e) => shard_err(e),
                 }
             }
         }
-        Request::Tick(n) => {
-            let mut engine = shared.engine.lock();
-            match engine.as_mut() {
-                None => no_scenario(),
-                Some(engine) => {
-                    if engine.is_closed() {
-                        Reply::Err(ErrCode::AtHorizon, "the time grid is exhausted".to_string())
-                    } else {
-                        for _ in 0..n {
-                            if engine.tick().is_none() {
-                                break;
-                            }
-                        }
-                        Reply::Ok(format!(
-                            "slot={} open={}",
-                            engine.clock(),
-                            u8::from(!engine.is_closed())
-                        ))
-                    }
-                }
-            }
-        }
-        Request::Clock => match shared.engine.lock().as_ref() {
-            None => no_scenario(),
-            Some(engine) => Reply::Ok(format!(
-                "slot={} open={}",
-                engine.clock(),
-                u8::from(!engine.is_closed())
-            )),
+        Request::Tick(n) => match shared.shard.tick(n) {
+            Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
+            Err(e) => shard_err(e),
         },
-        Request::Schedule => match shared.engine.lock().as_ref() {
-            None => no_scenario(),
-            Some(engine) => Reply::Data(model_io::write_schedule(engine.schedule())),
+        Request::Clock => match shared.shard.clock() {
+            Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
+            Err(e) => shard_err(e),
         },
-        Request::Utility => {
-            let mut engine = shared.engine.lock();
-            match engine.as_mut() {
-                None => no_scenario(),
-                Some(engine) => {
-                    let report = engine.evaluate();
-                    let relaxed = engine.relaxed_value();
-                    Reply::Ok(format!(
-                        "utility={} relaxed={}",
-                        report.total_utility, relaxed
-                    ))
-                }
-            }
-        }
-        Request::Metrics => match shared.engine.lock().as_ref() {
-            None => no_scenario(),
-            Some(engine) => {
-                let metrics = engine.metrics();
-                let stats = engine.stats();
-                let (admitted, rejected, pending) = engine.counters();
+        Request::Schedule => match shared.shard.schedule_text() {
+            Ok(text) => Reply::Data(text),
+            Err(e) => shard_err(e),
+        },
+        Request::Utility => match shared.shard.utility() {
+            Ok((utility, relaxed)) => Reply::Ok(format!("utility={utility} relaxed={relaxed}")),
+            Err(e) => shard_err(e),
+        },
+        Request::Metrics => match shared.shard.status() {
+            Err(e) => shard_err(e),
+            Ok(status) => {
                 let mut payload = String::new();
                 for (key, value) in [
-                    ("clock", engine.clock().to_string()),
-                    ("tasks", engine.scenario().num_tasks().to_string()),
-                    ("staged", engine.staged_len().to_string()),
-                    ("admitted", admitted.to_string()),
-                    ("rejected", rejected.to_string()),
-                    ("pending", pending.to_string()),
-                    ("threads", metrics.threads.to_string()),
-                    ("oracle_marginals", metrics.oracle_marginals.to_string()),
-                    ("oracle_commits", metrics.oracle_commits.to_string()),
-                    ("messages", stats.messages.to_string()),
-                    ("rounds", stats.rounds.to_string()),
-                    (
-                        "instance_build_us",
-                        metrics.instance_build.as_micros().to_string(),
-                    ),
-                    ("greedy_us", metrics.greedy.as_micros().to_string()),
-                    ("rounding_us", metrics.rounding.as_micros().to_string()),
-                    (
-                        "coverage_build_us",
-                        metrics.coverage_build.as_micros().to_string(),
-                    ),
+                    ("clock", status.clock.to_string()),
+                    ("tasks", status.tasks.to_string()),
+                    ("staged", status.staged.to_string()),
+                    ("admitted", status.admitted.to_string()),
+                    ("rejected", status.rejected.to_string()),
+                    ("pending", status.pending.to_string()),
+                    ("threads", status.threads.to_string()),
+                    ("oracle_marginals", status.oracle_marginals.to_string()),
+                    ("oracle_commits", status.oracle_commits.to_string()),
+                    ("messages", status.messages.to_string()),
+                    ("rounds", status.rounds.to_string()),
+                    ("instance_build_us", status.instance_build_us.to_string()),
+                    ("greedy_us", status.greedy_us.to_string()),
+                    ("rounding_us", status.rounding_us.to_string()),
+                    ("coverage_build_us", status.coverage_build_us.to_string()),
                 ] {
                     payload.push_str(key);
                     payload.push(' ');
@@ -445,9 +415,14 @@ fn execute<R: BufRead>(
                 Reply::Data(payload)
             }
         },
-        Request::Snapshot => match shared.engine.lock().as_ref() {
-            None => no_scenario(),
-            Some(engine) => Reply::Data(engine.snapshot()),
+        Request::Shards => match shared.shard.status() {
+            Err(e) => shard_err(e),
+            // The single-engine daemon is its own one-shard topology.
+            Ok(status) => Reply::Data(shard_line(0, (0, 0), &status)),
+        },
+        Request::Snapshot => match shared.shard.snapshot() {
+            Ok(text) => Reply::Data(text),
+            Err(e) => shard_err(e),
         },
         Request::Restore(count) => {
             let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
@@ -456,29 +431,14 @@ fn execute<R: BufRead>(
                     true,
                 ));
             };
-            match OnlineEngine::restore(&payload) {
-                Ok(new) => {
-                    let reply = Reply::Ok(format!(
-                        "slot={} open={}",
-                        new.clock(),
-                        u8::from(!new.is_closed())
-                    ));
-                    *shared.engine.lock() = Some(new);
-                    reply
-                }
-                Err(e) => Reply::Err(ErrCode::BadSnapshot, e.to_string()),
+            match shared.shard.restore_text(&payload) {
+                Ok(info) => Reply::Ok(format!("slot={} open={}", info.clock, u8::from(info.open))),
+                Err(e) => shard_err(e),
             }
         }
         Request::Bye => return Ok((Reply::Ok("bye".to_string()), true)),
     };
     Ok((reply, false))
-}
-
-fn no_scenario() -> Reply {
-    Reply::Err(
-        ErrCode::NoScenario,
-        "no scenario loaded (LOAD or RESTORE first)".to_string(),
-    )
 }
 
 #[cfg(test)]
@@ -487,9 +447,7 @@ mod tests {
 
     fn fresh_shared() -> Shared {
         Shared {
-            engine: Mutex::new(None),
-            scheduling: OnlineConfig::default(),
-            max_pending: 4,
+            shard: Shard::new(OnlineConfig::default(), 4),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -539,5 +497,42 @@ mod tests {
         let (reply, close) = dispatch("LOAD 3", &mut reader, &shared).unwrap();
         assert!(matches!(reply, Reply::Err(ErrCode::BadRequest, _)));
         assert!(close);
+    }
+
+    #[test]
+    fn hello_negotiates_both_versions() {
+        match hello_reply("v1", 1, (1, 1)) {
+            Reply::Ok(message) => assert_eq!(message, "haste-service v1"),
+            other => panic!("expected OK, got {other:?}"),
+        }
+        match hello_reply("v2", 4, (2, 2)) {
+            Reply::Ok(message) => assert_eq!(message, "haste-service v2 shards=4 cells=2x2"),
+            other => panic!("expected OK, got {other:?}"),
+        }
+        assert!(matches!(
+            hello_reply("v3", 1, (1, 1)),
+            Reply::Err(ErrCode::Version, _)
+        ));
+    }
+
+    #[test]
+    fn shards_query_reports_the_single_engine_as_shard_zero() {
+        let shared = fresh_shared();
+        let mut reader = std::io::Cursor::new(Vec::<u8>::new());
+        let (reply, _) = dispatch("SHARDS?", &mut reader, &shared).unwrap();
+        assert!(matches!(reply, Reply::Err(ErrCode::NoScenario, _)));
+        let scenario = "params 10000 40 20 1 1\ngrid 60 6\ndelays 0.083333 1\n\
+                        charger 0 0 0\ntask 0 8 0 3.14159 0 6 500 1";
+        shared.shard.load_text(scenario).unwrap();
+        let (reply, _) = dispatch("SHARDS?", &mut reader, &shared).unwrap();
+        match reply {
+            Reply::Data(payload) => {
+                assert!(
+                    payload.starts_with("shard=0 cell=0,0 slot=0 open=1"),
+                    "{payload}"
+                );
+            }
+            other => panic!("expected DATA, got {other:?}"),
+        }
     }
 }
