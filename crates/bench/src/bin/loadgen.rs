@@ -7,18 +7,26 @@
 //! cargo run --release -p haste-bench --bin loadgen -- \
 //!     [--addr host:port] [--connections 8] [--submissions 10000] \
 //!     [--chargers 8] [--field 200] [--slots 64] [--seed 1] \
-//!     [--max-pending 4096] [--cells CXxCY] [--no-verify]
+//!     [--max-pending 4096] [--cells CXxCY] [--no-verify] \
+//!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
+//!     [--fault-plan FILE]
 //! ```
 //!
 //! With `--cells` the harness self-hosts the sharded router instead of a
 //! single daemon and the replay check becomes the sum of per-shard
-//! replays merged in arrival order.
+//! replays merged in arrival order. `--out-of-process` runs each shard as
+//! a supervised `haste-shardd` child process; `--fault-plan` additionally
+//! injects a deterministic fault schedule (chaos mode): the harness runs
+//! a no-fault reference session first and fails unless every cell the
+//! plan did not target finishes bit-identical to it, every targeted
+//! shard recovers, and at least one restart was actually exercised.
 //!
 //! Exits non-zero on any transport/protocol error, on rejected
 //! submissions, or when the streamed session's utility does not match the
 //! batch replay of its own submission trace bit for bit.
 
 use haste::service::loadgen::{self, LoadgenConfig};
+use haste::service::FaultPlan;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +78,31 @@ fn main() {
                 config.cells = Some(parse_cells(&value(&args, i, "--cells")));
                 i += 1;
             }
+            "--out-of-process" => config.out_of_process = true,
+            "--shardd" => {
+                config.shardd = Some(std::path::PathBuf::from(value(&args, i, "--shardd")));
+                i += 1;
+            }
+            "--deadline-ms" => {
+                config.deadline = Some(std::time::Duration::from_millis(parse(&value(
+                    &args,
+                    i,
+                    "--deadline-ms",
+                ))));
+                i += 1;
+            }
+            "--fault-plan" => {
+                let path = value(&args, i, "--fault-plan");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("--fault-plan: cannot read `{path}`: {e}");
+                    std::process::exit(2);
+                });
+                config.fault_plan = Some(FaultPlan::parse(&text).unwrap_or_else(|reason| {
+                    eprintln!("--fault-plan: {reason}");
+                    std::process::exit(2);
+                }));
+                i += 1;
+            }
             "--no-verify" => config.verify_replay = false,
             "--lenient" => strict = false,
             other => {
@@ -87,10 +120,13 @@ fn main() {
     println!("{report}");
 
     if strict {
-        if report.accepted != report.submitted {
+        // Under fault injection, submissions bounced by a down shard are
+        // expected degraded-mode behaviour and accounted separately.
+        let accounted = report.accepted + report.unavailable;
+        if accounted != report.submitted {
             eprintln!(
                 "FAIL: {} of {} submissions were not accepted",
-                report.submitted - report.accepted,
+                report.submitted - accounted,
                 report.submitted
             );
             std::process::exit(1);
@@ -102,6 +138,31 @@ fn main() {
                 report.replay_utility.unwrap_or(f64::NAN)
             );
             std::process::exit(1);
+        }
+        if let Some(chaos) = &report.chaos {
+            if !chaos.surviving_match {
+                eprintln!(
+                    "FAIL: a cell outside the fault plan (targets {:?}) diverged from the \
+                     no-fault reference run",
+                    chaos.fault_cells
+                );
+                std::process::exit(1);
+            }
+            if !chaos.recovered {
+                eprintln!(
+                    "FAIL: a shard was still restarting at the end of the run (targets {:?})",
+                    chaos.fault_cells
+                );
+                std::process::exit(1);
+            }
+            let expects_restarts = config
+                .fault_plan
+                .as_ref()
+                .is_some_and(FaultPlan::expects_restarts);
+            if expects_restarts && chaos.restarts == 0 {
+                eprintln!("FAIL: fault plan injected but no shard restart was observed");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -74,8 +74,11 @@ pub const RULES: &[RuleInfo] = &[
                     must not contain unwrap/expect/panic!/unreachable!/todo!/unimplemented! \
                     or literal slice indexing — use pattern matching and `?` instead. \
                     catch_unwind in the dispatcher is a backstop, not a license.",
-        scope: "crates/service/src/*.rs except loadgen.rs; everything from the first \
-                `#[cfg(test)]` line to end of file is exempt (test modules sit last)",
+        scope: "everything under crates/service/src/ except loadgen.rs — including the \
+                supervision paths (supervisor.rs, bin/shardd.rs, bin/routerd.rs): a panic \
+                in the supervisor takes the whole router down, not one connection; \
+                everything from the first `#[cfg(test)]` line to end of file is exempt \
+                (test modules sit last)",
         example: "// haste-lint: allow(P1) — index guarded by the arity check above",
     },
     RuleInfo {
@@ -101,7 +104,8 @@ pub const RULES: &[RuleInfo] = &[
                     not emit breaks consumers that trust the spec. The emitted key set in \
                     crates/service/src/server.rs and the backticked keys of the doc's \
                     `METRICS?` section must match.",
-        scope: "the `Request::Metrics` arm of crates/service/src/server.rs vs the \
+        scope: "the `Request::Metrics` arms of crates/service/src/server.rs and \
+                crates/service/src/router.rs (which adds the shard-health keys) vs the \
                 `### METRICS?` section of docs/service_protocol.md",
         example: "(not suppressible — fix the code or the doc)",
     },

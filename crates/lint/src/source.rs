@@ -503,6 +503,21 @@ mod tests {
     }
 
     #[test]
+    fn p1_covers_the_supervision_paths() {
+        // The out-of-process machinery is request-handling code too: a
+        // panic in the supervisor or the shard daemon takes a whole cell
+        // (or the router) down, so P1 must keep covering these files.
+        let src = "fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n";
+        for path in [
+            "crates/service/src/supervisor.rs",
+            "crates/service/src/bin/shardd.rs",
+            "crates/service/src/bin/routerd.rs",
+        ] {
+            assert_eq!(rules_of(&scan_source(path, src)), ["P1"], "for {path}");
+        }
+    }
+
+    #[test]
     fn out_of_scope_paths_are_ignored() {
         let src = "let t = Instant::now(); let m = HashMap::new(); x.unwrap();\n";
         assert!(scan_source("crates/bench/src/bin/fig01.rs", src).is_empty());

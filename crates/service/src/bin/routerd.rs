@@ -6,17 +6,27 @@
 //! operate on composite consistent-cut documents. See
 //! `docs/service_protocol.md`.
 //!
+//! With `--out-of-process`, each shard runs as a supervised
+//! `haste-shardd` child instead of in-process: crashed or hung children
+//! are restarted and replayed from their last snapshot baseline while
+//! the rest of the fleet keeps serving (see `docs/service_protocol.md`,
+//! "Shard health"). `--fault-plan FILE` loads a deterministic
+//! fault-injection schedule for chaos testing.
+//!
 //! ```text
 //! cargo run --release -p haste-service --bin routerd -- \
 //!     [--addr 127.0.0.1:7411] [--cells 2x1] [--field 200x100] \
-//!     [--origin 0,0] [--threads 4] [--max-pending 4096]
+//!     [--origin 0,0] [--threads 4] [--max-pending 4096] \
+//!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
+//!     [--fault-plan FILE]
 //! ```
 
-use haste_service::{serve_router, RouterConfig};
+use haste_service::{serve_router, FaultPlan, ProcessShardConfig, RouterConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = RouterConfig::default();
+    let mut process: Option<ProcessShardConfig> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -34,10 +44,45 @@ fn main() {
             }
             "--threads" => config.worker_threads = single(&value(&args, i, flag), flag),
             "--max-pending" => config.max_pending = single(&value(&args, i, flag), flag),
+            "--out-of-process" => {
+                // Unary flag: no value to skip.
+                process.get_or_insert_with(ProcessShardConfig::default);
+                i += 1;
+                continue;
+            }
+            "--shardd" => {
+                process
+                    .get_or_insert_with(ProcessShardConfig::default)
+                    .shardd = Some(std::path::PathBuf::from(value(&args, i, flag)));
+            }
+            "--deadline-ms" => {
+                process
+                    .get_or_insert_with(ProcessShardConfig::default)
+                    .deadline = Some(std::time::Duration::from_millis(single(
+                    &value(&args, i, flag),
+                    flag,
+                )));
+            }
+            "--fault-plan" => {
+                let path = value(&args, i, flag);
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    Err(e) => fail(&format!("--fault-plan: cannot read `{path}`: {e}")),
+                };
+                match FaultPlan::parse(&text) {
+                    Ok(plan) => {
+                        process
+                            .get_or_insert_with(ProcessShardConfig::default)
+                            .fault_plan = Some(plan);
+                    }
+                    Err(reason) => fail(&format!("--fault-plan: {reason}")),
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: routerd [--addr HOST:PORT] [--cells CXxCY] [--field WxH] \
-                     [--origin X,Y] [--threads N] [--max-pending N]"
+                     [--origin X,Y] [--threads N] [--max-pending N] [--out-of-process] \
+                     [--shardd PATH] [--deadline-ms N] [--fault-plan FILE]"
                 );
                 return;
             }
@@ -45,6 +90,7 @@ fn main() {
         }
         i += 2;
     }
+    config.process = process;
 
     let (cx, cy) = config.cells;
     if cx == 0 || cy == 0 {

@@ -9,10 +9,10 @@ use haste_model::{io as model_io, Scenario, Schedule, TaskId};
 
 use crate::proto::{VERSION, VERSION_V2};
 
-/// Backoff schedule for transient `ECONNREFUSED` during connect: the
-/// daemon-startup race window. Three attempts total, deterministic delays
-/// (no jitter — reproducibility beats thundering-herd concerns at this
-/// scale).
+/// Backoff schedule for transient connect/greeting failures: the
+/// daemon-startup and daemon-restart race windows. Three attempts total,
+/// deterministic delays (no jitter — reproducibility beats
+/// thundering-herd concerns at this scale).
 const CONNECT_RETRY_DELAYS: [Duration; 2] = [Duration::from_millis(10), Duration::from_millis(50)];
 
 /// Errors a client call can produce.
@@ -27,6 +27,9 @@ pub enum ClientError {
         /// Human-readable detail.
         message: String,
     },
+    /// A request-level deadline set with
+    /// [`Client::set_timeout`] expired before the reply arrived.
+    Timeout,
     /// The daemon's reply did not match the protocol.
     Protocol(String),
 }
@@ -36,6 +39,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Timeout => write!(f, "request deadline expired"),
             ClientError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
         }
     }
@@ -45,16 +49,47 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // A socket timeout surfaces as `TimedOut` on most platforms but
+        // `WouldBlock` on some (the BSD read(2) heritage); both mean the
+        // request deadline fired.
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ) {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
 impl ClientError {
-    /// The server error code, if this is a server-side rejection.
+    /// The stable error code: the server's for an `ERR` reply, the
+    /// protocol's `timeout` token for an expired request deadline (see
+    /// [`crate::proto::ErrCode`]).
     pub fn code(&self) -> Option<&str> {
         match self {
             ClientError::Server { code, .. } => Some(code),
+            ClientError::Timeout => Some("timeout"),
             _ => None,
+        }
+    }
+
+    /// Whether retrying the whole connect + `HELLO` exchange can succeed:
+    /// the listener is not up yet (`ECONNREFUSED`) or a restarting daemon
+    /// dropped the connection between accept and greeting
+    /// (`ECONNRESET`/`EPIPE`/abort/EOF mid-reply).
+    fn transient_for_connect(&self) -> bool {
+        match self {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+            ),
+            _ => false,
         }
     }
 }
@@ -76,8 +111,8 @@ pub struct Topology {
     pub cells: (usize, usize),
 }
 
-/// One line of a `SHARDS?` reply: a shard's cell, virtual clock, and
-/// admission counters.
+/// One line of a `SHARDS?` reply: a shard's cell, virtual clock,
+/// admission counters, and supervision state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardInfo {
     /// Shard index (row-major cell index).
@@ -98,6 +133,12 @@ pub struct ShardInfo {
     pub rejected: u64,
     /// Submissions waiting in the open slot.
     pub pending: usize,
+    /// Supervision state (in-process shards are always `up`).
+    pub health: crate::shard::ShardHealth,
+    /// Child-process restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Journaled operations replayed into restarted children.
+    pub replay: u64,
 }
 
 /// A connected protocol client. One request is in flight at a time
@@ -110,55 +151,91 @@ pub struct Client {
 impl Client {
     /// Connects and performs the v1 `HELLO` handshake.
     ///
-    /// A refused connection is retried up to two more times with
-    /// deterministic backoff (10 ms, then 50 ms) — enough to cover the
-    /// window where a freshly spawned daemon has not bound its listener
-    /// yet. Any other transport error fails immediately.
+    /// The whole connect + greeting exchange is retried up to two more
+    /// times with deterministic backoff (10 ms, then 50 ms) when the
+    /// failure is transient: `ECONNREFUSED` (listener not bound yet) or
+    /// `ECONNRESET`/`EPIPE`/EOF during `HELLO` (a daemon restarting
+    /// between accept and greeting). Any other error fails immediately.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let mut client = Self::connect_transport(addr)?;
-        client.request_fields(&format!("HELLO {VERSION}"))?;
-        Ok(client)
+        Self::connect_with_retry(&addr, |client| {
+            client.request_fields(&format!("HELLO {VERSION}"))?;
+            Ok(())
+        })
+        .map(|(client, ())| client)
     }
 
     /// Connects with the v2 `HELLO` handshake; returns the client and the
     /// shard topology the endpoint advertised. Works against both a
     /// sharded router and a plain daemon (which reports one shard on a
-    /// 1×1 grid). Uses the same bounded connect retry as [`connect`](Client::connect).
+    /// 1×1 grid). Uses the same bounded connect + greeting retry as
+    /// [`connect`](Client::connect).
     pub fn connect_v2<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
-        let mut client = Self::connect_transport(addr)?;
-        let fields = client.request_fields(&format!("HELLO {VERSION_V2}"))?;
-        let shards = parse_field(&fields, "shards")?;
-        let cells_text = find_value(&fields, "cells")?;
-        let cells = cells_text
-            .split_once('x')
-            .and_then(|(cx, cy)| Some((cx.parse().ok()?, cy.parse().ok()?)))
-            .ok_or_else(|| {
-                ClientError::Protocol(format!("bad cells field `{cells_text}` in `{fields}`"))
-            })?;
-        Ok((client, Topology { shards, cells }))
+        Self::connect_with_retry(&addr, |client| {
+            let fields = client.request_fields(&format!("HELLO {VERSION_V2}"))?;
+            let shards = parse_field(&fields, "shards")?;
+            let cells_text = find_value(&fields, "cells")?;
+            let cells = cells_text
+                .split_once('x')
+                .and_then(|(cx, cy)| Some((cx.parse().ok()?, cy.parse().ok()?)))
+                .ok_or_else(|| {
+                    ClientError::Protocol(format!("bad cells field `{cells_text}` in `{fields}`"))
+                })?;
+            Ok(Topology { shards, cells })
+        })
     }
 
-    /// Opens the TCP stream with bounded retry-with-backoff on
-    /// `ECONNREFUSED`; no handshake.
-    fn connect_transport<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+    /// Runs connect-then-greet attempts until one succeeds, a
+    /// non-transient error occurs, or the backoff schedule is exhausted.
+    /// Retrying the full exchange (not just the connect) covers a daemon
+    /// that accepts and then dies before greeting: the reset/EOF surfaces
+    /// while reading the `HELLO` reply, and the next attempt reaches its
+    /// restarted successor.
+    fn connect_with_retry<A: ToSocketAddrs, T>(
+        addr: &A,
+        hello: impl Fn(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<(Client, T), ClientError> {
         let mut delays = CONNECT_RETRY_DELAYS.iter();
-        let stream = loop {
-            match TcpStream::connect(&addr) {
-                Ok(stream) => break stream,
-                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
-                    match delays.next() {
-                        Some(delay) => std::thread::sleep(*delay),
-                        None => return Err(ClientError::Io(e)),
-                    }
-                }
-                Err(e) => return Err(ClientError::Io(e)),
+        loop {
+            let attempt = Self::connect_transport(addr).and_then(|mut client| {
+                let greeting = hello(&mut client)?;
+                Ok((client, greeting))
+            });
+            match attempt {
+                Ok(connected) => return Ok(connected),
+                Err(e) if e.transient_for_connect() => match delays.next() {
+                    Some(delay) => std::thread::sleep(*delay),
+                    None => return Err(e),
+                },
+                Err(e) => return Err(e),
             }
-        };
+        }
+    }
+
+    /// Opens the TCP stream; no handshake, no retry (the caller's retry
+    /// loop wraps connect and greeting together).
+    fn connect_transport<A: ToSocketAddrs>(addr: &A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// Sets (or clears) the per-request deadline: applied to every
+    /// subsequent socket read and write via
+    /// [`TcpStream::set_read_timeout`]/[`TcpStream::set_write_timeout`].
+    /// When a reply does not arrive within the deadline the request fails
+    /// with [`ClientError::Timeout`] (`code() == Some("timeout")`) instead
+    /// of blocking forever on a stalled daemon. After a timeout the stream
+    /// may hold a partial reply, so the session should be abandoned.
+    pub fn set_timeout(&mut self, deadline: Option<Duration>) -> Result<(), ClientError> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(deadline).map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(deadline)
+            .map_err(ClientError::Io)?;
+        Ok(())
     }
 
     /// Sends one request line (plus an optional multi-line payload) and
@@ -217,9 +294,13 @@ impl Client {
     fn read_line(&mut self) -> Result<String, ClientError> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
-            return Err(ClientError::Protocol(
-                "connection closed mid-reply".to_string(),
-            ));
+            // EOF mid-reply is a transport failure, not a protocol one:
+            // connect-time retry and the router's crash detection both
+            // classify on the io kind.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            )));
         }
         Ok(line.trim_end().to_string())
     }
@@ -284,6 +365,25 @@ impl Client {
             parse_f64_field(&fields, "utility")?,
             parse_f64_field(&fields, "relaxed")?,
         ))
+    }
+
+    /// Per-task weighted utility terms `(full, relaxed)` in task-id
+    /// (= arrival) order — the exact addends of [`utility`](Client::utility)'s
+    /// totals. v2; the router's supervisor uses this to merge shard
+    /// streams bit-identically.
+    pub fn parts(&mut self) -> Result<crate::shard::UtilityParts, ClientError> {
+        let document = self.request_document("PARTS?")?;
+        let mut full = Vec::new();
+        let mut relaxed = Vec::new();
+        for line in document.lines() {
+            let pair = line
+                .split_once(' ')
+                .and_then(|(f, r)| Some((f.parse::<f64>().ok()?, r.parse::<f64>().ok()?)))
+                .ok_or_else(|| ClientError::Protocol(format!("bad parts line `{line}`")))?;
+            full.push(pair.0);
+            relaxed.push(pair.1);
+        }
+        Ok(crate::shard::UtilityParts { full, relaxed })
     }
 
     /// Solver metrics and counters, as `(key, value)` pairs.
@@ -358,6 +458,10 @@ fn parse_shard_line(line: &str) -> Result<ShardInfo, ClientError> {
         .ok_or_else(|| {
             ClientError::Protocol(format!("bad cell field `{cell_text}` in `{line}`"))
         })?;
+    let health_text = find_value(line, "health")?;
+    let health = crate::shard::ShardHealth::parse(health_text).ok_or_else(|| {
+        ClientError::Protocol(format!("bad health field `{health_text}` in `{line}`"))
+    })?;
     Ok(ShardInfo {
         index: parse_field(line, "shard")?,
         cell,
@@ -368,6 +472,9 @@ fn parse_shard_line(line: &str) -> Result<ShardInfo, ClientError> {
         admitted: parse_field(line, "admitted")? as u64,
         rejected: parse_field(line, "rejected")? as u64,
         pending: parse_field(line, "pending")?,
+        health,
+        restarts: parse_field(line, "restarts")? as u64,
+        replay: parse_field(line, "replay")? as u64,
     })
 }
 
@@ -430,7 +537,14 @@ mod tests {
             pending: 4,
             ..crate::shard::ShardStatus::default()
         };
-        let line = crate::server::shard_line(5, (1, 2), &status);
+        let line = crate::server::shard_line(
+            5,
+            (1, 2),
+            &status,
+            crate::shard::ShardHealth::Degraded,
+            2,
+            6,
+        );
         let info = parse_shard_line(line.trim_end()).expect("well-formed line");
         assert_eq!(
             info,
@@ -444,7 +558,62 @@ mod tests {
                 admitted: 9,
                 rejected: 1,
                 pending: 4,
+                health: crate::shard::ShardHealth::Degraded,
+                restarts: 2,
+                replay: 6,
             }
         );
+    }
+
+    #[test]
+    fn connect_retries_through_a_dropped_greeting() {
+        // Attempt 1 is accepted and then dropped without a greeting (the
+        // daemon-restart race: reset/EOF surfaces mid-HELLO); the real
+        // daemon binds the same port before attempt 2 (+10 ms).
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let dropper = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("first connection attempt");
+            drop(stream); // slam the door mid-handshake
+            drop(listener); // free the port for the real daemon
+            serve(ServerConfig {
+                addr: addr.to_string(),
+                worker_threads: 2,
+                ..ServerConfig::default()
+            })
+            .expect("rebind the released address")
+        });
+        let client = Client::connect(addr).expect("connect must survive a dropped greeting");
+        client.bye().expect("polite shutdown");
+        dropper.join().expect("server thread").shutdown();
+    }
+
+    #[test]
+    fn a_stalled_daemon_times_out_instead_of_hanging() {
+        // A listener that accepts and never replies: without a deadline
+        // the request would block forever.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let stall = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("client connects");
+            // Greet properly, then go silent while holding the socket open.
+            let mut stream = stream;
+            std::io::Write::write_all(&mut stream, b"OK haste-service v1\n")
+                .expect("greeting write");
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+        let mut client = Client::connect(addr).expect("the stalling daemon greets fine");
+        client
+            .set_timeout(Some(Duration::from_millis(50)))
+            .expect("set the request deadline");
+        let err = client.clock().expect_err("no reply ever comes");
+        assert!(matches!(err, ClientError::Timeout), "got {err}");
+        assert_eq!(err.code(), Some("timeout"));
+        stall.join().expect("stall thread");
     }
 }

@@ -26,6 +26,14 @@
 //! batch online solver). Because the engine is bit-deterministic, a daemon
 //! killed mid-run and restored from its last `SNAPSHOT` finishes with the
 //! same schedule and utility, bit for bit.
+//!
+//! Fault tolerance: with [`RouterConfig::process`] set, the router runs
+//! each shard as a supervised `haste-shardd` child process
+//! ([`supervisor`]). Child crashes and hangs are detected by per-request
+//! deadlines; the affected cell degrades (`ERR unavailable` on its
+//! submissions) while the rest of the fleet keeps the lockstep, and the
+//! supervisor restarts the child and replays its snapshot baseline plus
+//! journaled operations — bit-identically, by the same determinism.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,8 +44,10 @@ pub mod proto;
 mod router;
 mod server;
 pub mod shard;
+pub mod supervisor;
 
 pub use client::{Client, ClientError, ShardInfo, Topology};
-pub use router::{parse_composite, serve_router, RouterConfig, RouterHandle};
+pub use router::{parse_composite, serve_router, CompositeSnapshot, RouterConfig, RouterHandle};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use shard::{LoadInfo, Shard, ShardError, ShardStatus, UtilityParts};
+pub use shard::{LoadInfo, Shard, ShardError, ShardHealth, ShardStatus, UtilityParts};
+pub use supervisor::{resolve_shardd, FaultPlan, ProcessShardConfig, DEFAULT_SHARD_DEADLINE};

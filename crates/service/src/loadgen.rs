@@ -10,6 +10,14 @@
 //! the daemon's virtual clock itself: all connections submit their
 //! arrivals for the open slot, meet at a barrier, one `TICK` closes the
 //! slot, and the next slot begins.
+//!
+//! Chaos mode: with [`LoadgenConfig::fault_plan`] set the harness runs a
+//! sharded router with out-of-process shards **twice** — once without
+//! faults (the reference) and once injecting the seeded fault schedule —
+//! and checks that every cell the plan did not target finishes with a
+//! final utility bit-identical to the reference run ([`ChaosReport`]).
+//! Submissions bounced while a shard is down (`ERR unavailable`) are
+//! counted, not fatal.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -21,8 +29,10 @@ use haste_model::{Charger, ChargingParams, Scenario, TimeGrid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::shard::ShardHealth;
 use crate::{
-    parse_composite, serve, serve_router, Client, ClientError, RouterConfig, ServerConfig,
+    parse_composite, serve, serve_router, Client, ClientError, FaultPlan, ProcessShardConfig,
+    RouterConfig, ServerConfig,
 };
 
 /// Load-generator parameters.
@@ -56,6 +66,26 @@ pub struct LoadgenConfig {
     /// [`serve_router`]; chargers are placed in cell interiors (outside
     /// the reach halo) so the generated scenario always partitions.
     pub cells: Option<(usize, usize)>,
+    /// Run the self-hosted router's shards as supervised `haste-shardd`
+    /// child processes instead of in-process engines. Needs [`cells`]
+    /// (sharded) and no [`addr`] (self-hosted).
+    ///
+    /// [`cells`]: LoadgenConfig::cells
+    /// [`addr`]: LoadgenConfig::addr
+    pub out_of_process: bool,
+    /// Explicit `haste-shardd` binary path for out-of-process runs
+    /// (`None` resolves next to the current executable; see
+    /// [`crate::resolve_shardd`]).
+    pub shardd: Option<std::path::PathBuf>,
+    /// Per-request supervisor deadline for out-of-process shards
+    /// (`None` = [`crate::DEFAULT_SHARD_DEADLINE`]).
+    pub deadline: Option<std::time::Duration>,
+    /// Deterministic fault schedule for chaos mode. Implies
+    /// out-of-process shards; the run is doubled (reference + fault) and
+    /// the report gains a [`ChaosReport`]. Every directive must mature
+    /// before the final slot so the targeted shard has a tick left in
+    /// which to rejoin.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for LoadgenConfig {
@@ -71,6 +101,10 @@ impl Default for LoadgenConfig {
             seed: 1,
             verify_replay: true,
             cells: None,
+            out_of_process: false,
+            shardd: None,
+            deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -84,6 +118,9 @@ pub struct LoadgenReport {
     pub accepted: usize,
     /// Submissions rejected by admission control (`ERR overload`).
     pub rejected: usize,
+    /// Submissions bounced because their cell's shard was down
+    /// (`ERR unavailable`; only non-zero under fault injection).
+    pub unavailable: usize,
     /// Median submit-to-ack latency, microseconds.
     pub p50_us: u64,
     /// 99th-percentile submit-to-ack latency, microseconds.
@@ -106,6 +143,30 @@ pub struct LoadgenReport {
     pub replay_matches: Option<bool>,
     /// Shards behind the driven endpoint (`None` for a plain daemon run).
     pub shards: Option<usize>,
+    /// Chaos verdict (`Some` only when a fault plan was injected).
+    pub chaos: Option<ChaosReport>,
+}
+
+/// What a fault-injected run proved against its no-fault reference run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Cells the fault plan targeted (sorted, deduplicated).
+    pub fault_cells: Vec<usize>,
+    /// Whether every cell the plan did **not** target finished with a
+    /// final utility bit-identical to the reference run — the blast
+    /// radius of the injected faults stayed inside the targeted cells.
+    pub surviving_match: bool,
+    /// Child-process restarts performed across the fleet.
+    pub restarts: u64,
+    /// Journaled operations replayed into restarted children.
+    pub replays: u64,
+    /// Submissions bounced with `ERR unavailable` while shards were down.
+    pub unavailable: usize,
+    /// Whether every shard finished the run serving (no shard was still
+    /// `restarting` at the end — the targeted cells rejoined).
+    pub recovered: bool,
+    /// Final utility of the no-fault reference run, for context.
+    pub reference_utility: f64,
 }
 
 impl LoadgenReport {
@@ -147,6 +208,20 @@ impl std::fmt::Display for LoadgenReport {
                 self.replay_utility.unwrap_or(f64::NAN)
             )?;
         }
+        if self.unavailable > 0 {
+            write!(f, " unavailable={}", self.unavailable)?;
+        }
+        if let Some(chaos) = &self.chaos {
+            write!(
+                f,
+                " chaos_cells={:?} surviving_match={} restarts={} replays={} recovered={}",
+                chaos.fault_cells,
+                chaos.surviving_match,
+                chaos.restarts,
+                chaos.replays,
+                chaos.recovered
+            )?;
+        }
         Ok(())
     }
 }
@@ -182,7 +257,100 @@ impl Hosted {
 /// Runs the load generator. Returns an error on any transport or protocol
 /// failure (a malformed daemon response is an error, not a statistic —
 /// correctness is binary here).
+///
+/// With a [`LoadgenConfig::fault_plan`] the run is doubled: a no-fault
+/// reference session, then the fault session; the returned report is the
+/// fault session's, with [`LoadgenReport::chaos`] carrying the verdict.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    let process_mode = config.out_of_process || config.fault_plan.is_some();
+    if process_mode && config.addr.is_some() {
+        return Err(ClientError::Protocol(
+            "out-of-process shards need a self-hosted router (drop the address)".to_string(),
+        ));
+    }
+    if process_mode && config.cells.is_none() {
+        return Err(ClientError::Protocol(
+            "out-of-process shards need a sharded router (set cells)".to_string(),
+        ));
+    }
+    let plan = match &config.fault_plan {
+        None => return run_session(config, None, false).map(|(report, _)| report),
+        Some(plan) => plan,
+    };
+    if plan.is_empty() {
+        return Err(ClientError::Protocol(
+            "fault plan has no directives".to_string(),
+        ));
+    }
+    if plan
+        .latest_slot()
+        .is_some_and(|slot| slot + 1 >= config.slots)
+    {
+        return Err(ClientError::Protocol(
+            "fault plan matures too late: every directive needs at least one tick left \
+             after it for the targeted shard to rejoin"
+                .to_string(),
+        ));
+    }
+
+    // Reference session: same seed, same out-of-process deployment, no
+    // faults. Its per-shard utilities are the bitwise yardstick for the
+    // cells the plan does not touch.
+    let (reference, reference_obs) = run_session(config, None, true)?;
+    let reference_obs = expect_observed(reference_obs)?;
+    let (mut report, obs) = run_session(config, Some(plan), true)?;
+    let obs = expect_observed(obs)?;
+
+    let fault_cells: Vec<usize> = plan.cells().into_iter().collect();
+    let surviving_match = reference_obs.per_shard_utility.len() == obs.per_shard_utility.len()
+        && reference_obs
+            .per_shard_utility
+            .iter()
+            .zip(&obs.per_shard_utility)
+            .enumerate()
+            .all(|(cell, (reference, faulted))| {
+                fault_cells.contains(&cell) || reference.to_bits() == faulted.to_bits()
+            });
+    report.chaos = Some(ChaosReport {
+        fault_cells,
+        surviving_match,
+        restarts: obs.restarts,
+        replays: obs.replays,
+        unavailable: report.unavailable,
+        recovered: obs.all_serving,
+        reference_utility: reference.utility,
+    });
+    Ok(report)
+}
+
+/// Post-run shard observations backing the chaos verdict: per-shard final
+/// utilities (from the composite snapshot) and supervision counters (from
+/// `SHARDS?`).
+struct ShardObservations {
+    per_shard_utility: Vec<f64>,
+    restarts: u64,
+    replays: u64,
+    all_serving: bool,
+}
+
+/// Unwraps the observations a chaos session was asked to collect.
+fn expect_observed(obs: Option<ShardObservations>) -> Result<ShardObservations, ClientError> {
+    obs.ok_or_else(|| {
+        ClientError::Protocol("chaos session produced no shard observations".to_string())
+    })
+}
+
+/// One load-generator session: hosts (or dials) the endpoint, drives the
+/// full submission plan, and tears the endpoint down. `fault` is the plan
+/// injected into **this** session (the chaos reference passes `None`);
+/// `observe` additionally collects [`ShardObservations`] from the final
+/// snapshot and `SHARDS?`.
+fn run_session(
+    config: &LoadgenConfig,
+    fault: Option<&FaultPlan>,
+    observe: bool,
+) -> Result<(LoadgenReport, Option<ShardObservations>), ClientError> {
+    let process_mode = config.out_of_process || config.fault_plan.is_some();
     let hosted = match (&config.addr, config.cells) {
         (Some(_), _) => None,
         // Workers + the control connection must all fit in the pool, or
@@ -192,14 +360,22 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
             max_pending: config.max_pending,
             ..ServerConfig::default()
         })?)),
-        (None, Some(cells)) => Some(Hosted::Router(serve_router(RouterConfig {
-            worker_threads: config.connections + 2,
-            max_pending: config.max_pending,
-            cells,
-            origin: (0.0, 0.0),
-            field: (config.field, config.field),
-            ..RouterConfig::default()
-        })?)),
+        (None, Some(cells)) => {
+            let process = process_mode.then(|| ProcessShardConfig {
+                shardd: config.shardd.clone(),
+                deadline: config.deadline,
+                fault_plan: fault.cloned(),
+            });
+            Some(Hosted::Router(serve_router(RouterConfig {
+                worker_threads: config.connections + 2,
+                max_pending: config.max_pending,
+                cells,
+                origin: (0.0, 0.0),
+                field: (config.field, config.field),
+                process,
+                ..RouterConfig::default()
+            })?))
+        }
     };
     let addr = match (&config.addr, &hosted) {
         (Some(addr), _) => addr.clone(),
@@ -238,6 +414,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let barrier = Barrier::new(config.connections + 1);
     let accepted = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
+    let unavailable = AtomicUsize::new(0);
     let start = Instant::now();
     let mut all_latencies: Vec<u64> = Vec::with_capacity(config.submissions);
 
@@ -247,6 +424,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
             let barrier = &barrier;
             let accepted = &accepted;
             let rejected = &rejected;
+            let unavailable = &unavailable;
             let addr = addr.as_str();
             let slots = config.slots;
             handles.push(scope.spawn(move || -> Result<Vec<u64>, ClientError> {
@@ -267,6 +445,12 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                                 }
                                 Err(e) if e.code() == Some("overload") => {
                                     rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // A down shard bounces the submission;
+                                // under fault injection that is expected
+                                // degraded-mode behaviour, not a failure.
+                                Err(e) if e.code() == Some("unavailable") => {
+                                    unavailable.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Err(e) => {
                                     failure = Some(e);
@@ -310,23 +494,40 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let elapsed_s = start.elapsed().as_secs_f64();
 
     let (utility, relaxed) = control.utility()?;
+    let snapshot = if config.verify_replay || observe {
+        Some(control.snapshot()?)
+    } else {
+        None
+    };
     let (mut replay_utility, mut replay_matches) = (None, None);
     if config.verify_replay {
-        let snapshot = control.snapshot()?;
+        let snapshot = snapshot.as_deref().unwrap_or_default();
         let replayed = match config.cells {
             None => {
-                let engine = OnlineEngine::restore(&snapshot)
+                let engine = OnlineEngine::restore(snapshot)
                     .map_err(|e| ClientError::Protocol(format!("daemon snapshot unusable: {e}")))?;
                 let trace = engine.scenario().clone();
                 haste_distributed::replay_trace(trace, engine.config().clone())
                     .report
                     .total_utility
             }
-            Some(_) => merged_shard_replay(&snapshot)?,
+            Some(_) => merged_shard_replay(snapshot)?,
         };
         replay_utility = Some(replayed);
         replay_matches = Some(replayed.to_bits() == utility.to_bits());
     }
+    let observations = if observe {
+        let composite = snapshot.as_deref().unwrap_or_default();
+        let shards = control.shards()?;
+        Some(ShardObservations {
+            per_shard_utility: per_shard_utilities(composite)?,
+            restarts: shards.iter().map(|s| s.restarts).sum(),
+            replays: shards.iter().map(|s| s.replay).sum(),
+            all_serving: shards.iter().all(|s| s.health != ShardHealth::Restarting),
+        })
+    } else {
+        None
+    };
     control.bye()?;
     if let Some(handle) = hosted {
         handle.shutdown();
@@ -341,10 +542,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         }
     };
     let accepted = accepted.into_inner();
-    Ok(LoadgenReport {
+    let report = LoadgenReport {
         submitted: config.submissions,
         accepted,
         rejected: rejected.into_inner(),
+        unavailable: unavailable.into_inner(),
         p50_us: percentile(50),
         p99_us: percentile(99),
         max_us: all_latencies.last().copied().unwrap_or(0),
@@ -355,7 +557,26 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         replay_utility,
         replay_matches,
         shards: config.cells.map(|(cx, cy)| cx * cy),
-    })
+        chaos: None,
+    };
+    Ok((report, observations))
+}
+
+/// Each shard's final utility, recomputed by restoring its section of the
+/// composite snapshot and evaluating the restored engine — a per-cell
+/// fingerprint that is bit-comparable across sessions.
+fn per_shard_utilities(composite_text: &str) -> Result<Vec<f64>, ClientError> {
+    let composite = parse_composite(composite_text)
+        .map_err(|e| ClientError::Protocol(format!("router snapshot unusable: {e}")))?;
+    composite
+        .shards
+        .iter()
+        .map(|snapshot| {
+            let mut engine = OnlineEngine::restore(snapshot)
+                .map_err(|e| ClientError::Protocol(format!("shard snapshot unusable: {e}")))?;
+            Ok(engine.evaluate().total_utility)
+        })
+        .collect()
 }
 
 /// Independently replays every shard of a composite router snapshot from

@@ -44,6 +44,15 @@ pub enum ErrCode {
     /// grid: a charger sits inside the reach halo of an interior cell
     /// boundary, or a task's reachable chargers span two cells.
     Unpartitionable,
+    /// The shard owning the request's cell is down or recovering; the
+    /// message starts with the cell index. Healthy cells keep serving —
+    /// retry after the shard rejoins (watch `SHARDS?`).
+    Unavailable,
+    /// A request-level deadline expired before the reply arrived. Never
+    /// sent by a daemon: clients and the router's shard supervisor
+    /// synthesize it when [`TcpStream::set_read_timeout`] fires, so the
+    /// code shares the protocol's error namespace.
+    Timeout,
     /// Unsupported protocol version in `HELLO`.
     Version,
     /// The request handler panicked; the daemon caught it and kept the
@@ -64,9 +73,32 @@ impl ErrCode {
             ErrCode::AtHorizon => "at-horizon",
             ErrCode::BadSnapshot => "bad-snapshot",
             ErrCode::Unpartitionable => "unpartitionable",
+            ErrCode::Unavailable => "unavailable",
+            ErrCode::Timeout => "timeout",
             ErrCode::Version => "version",
             ErrCode::Internal => "internal",
         }
+    }
+
+    /// The inverse of [`as_str`](ErrCode::as_str): parses a wire token
+    /// back into a code. Used by the router's shard supervisor to pass a
+    /// child daemon's structured `ERR` replies through unchanged.
+    pub fn parse(token: &str) -> Option<ErrCode> {
+        const ALL: [ErrCode; 12] = [
+            ErrCode::BadRequest,
+            ErrCode::BadTask,
+            ErrCode::Overload,
+            ErrCode::NoScenario,
+            ErrCode::AlreadyLoaded,
+            ErrCode::AtHorizon,
+            ErrCode::BadSnapshot,
+            ErrCode::Unpartitionable,
+            ErrCode::Unavailable,
+            ErrCode::Timeout,
+            ErrCode::Version,
+            ErrCode::Internal,
+        ];
+        ALL.into_iter().find(|code| code.as_str() == token)
     }
 }
 
@@ -134,6 +166,8 @@ pub enum Request {
     Schedule,
     /// `UTILITY?` — full P1 utility and relaxed (HASTE-R) value.
     Utility,
+    /// `PARTS?` — per-task weighted utility terms in arrival order (v2).
+    Parts,
     /// `METRICS?` — solver metrics and negotiation counters.
     Metrics,
     /// `SHARDS?` — per-shard slot, cell, and admission counters (v2).
@@ -193,6 +227,8 @@ impl Request {
             ("SCHEDULE?", _) => Err(arity(0)),
             ("UTILITY?", []) => Ok(Request::Utility),
             ("UTILITY?", _) => Err(arity(0)),
+            ("PARTS?", []) => Ok(Request::Parts),
+            ("PARTS?", _) => Err(arity(0)),
             ("METRICS?", []) => Ok(Request::Metrics),
             ("METRICS?", _) => Err(arity(0)),
             ("SHARDS?", []) => Ok(Request::Shards),
@@ -235,6 +271,7 @@ mod tests {
         assert_eq!(Request::parse("CLOCK?"), Ok(Request::Clock));
         assert_eq!(Request::parse("SCHEDULE?"), Ok(Request::Schedule));
         assert_eq!(Request::parse("UTILITY?"), Ok(Request::Utility));
+        assert_eq!(Request::parse("PARTS?"), Ok(Request::Parts));
         assert_eq!(Request::parse("METRICS?"), Ok(Request::Metrics));
         assert_eq!(Request::parse("SHARDS?"), Ok(Request::Shards));
         assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
@@ -253,6 +290,29 @@ mod tests {
         assert!(Request::parse("TICK 0").is_err());
         assert!(Request::parse("TICK 1 2").is_err());
         assert!(Request::parse("CLOCK? now").is_err());
+        assert!(Request::parse("PARTS? 1").is_err());
+    }
+
+    #[test]
+    fn errcode_parse_inverts_as_str() {
+        for token in [
+            "bad-request",
+            "bad-task",
+            "overload",
+            "no-scenario",
+            "already-loaded",
+            "at-horizon",
+            "bad-snapshot",
+            "unpartitionable",
+            "unavailable",
+            "timeout",
+            "version",
+            "internal",
+        ] {
+            let code = ErrCode::parse(token).unwrap_or_else(|| panic!("unknown token {token}"));
+            assert_eq!(code.as_str(), token);
+        }
+        assert_eq!(ErrCode::parse("nope"), None);
     }
 
     #[test]

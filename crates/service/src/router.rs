@@ -1,4 +1,5 @@
-//! The sharded router: N in-process [`Shard`]s behind one listener.
+//! The sharded router: N [`Shard`]s behind one listener, in-process or
+//! supervised child processes.
 //!
 //! The router owns one shard per cell of a [`Partition`] (uniform grid
 //! with a charger-reach halo). `LOAD` splits the scenario into per-cell
@@ -6,6 +7,26 @@
 //! `ERR unpartitionable` — and `SUBMIT` routes each task to the shard
 //! owning its device position. `TICK`, `UTILITY?`, `METRICS?` and
 //! `SHARDS?` fan out to every shard.
+//!
+//! **Deployment modes.** By default every shard is an in-process
+//! [`Shard`]. With [`RouterConfig::process`] set, each shard instead
+//! lives in a spawned `haste-shardd` child reached over localhost TCP
+//! (see [`crate::supervisor`]): same protocol, same bits — the wire
+//! round-trips floats losslessly — plus a real failure domain per cell.
+//!
+//! **Failure model (out-of-process).** A child crash, hang past the
+//! per-request deadline, or injected fault marks its shard *down*; the
+//! router keeps serving. Submissions routed to a down cell fail with
+//! `ERR unavailable <cell> ...`; `TICK` advances the healthy shards in
+//! lockstep and journals the slots a down shard misses. At the start of
+//! each tick step the supervisor restarts down children and replays
+//! their last baseline (the loaded sub-scenario or last committed
+//! `SNAPSHOT` section) plus the journal of acked operations — engine
+//! determinism makes the rebuilt state bit-identical, so a recovered
+//! cell rejoins the lockstep exactly where the router believes it is.
+//! `SHARDS?` reports each shard as `up`, `restarting`, or `degraded`
+//! (recovered after ≥1 restart); `METRICS?` totals restarts, replayed
+//! operations, and currently-down shards.
 //!
 //! **Bit-equivalence contract.** With localized replanning
 //! ([`OnlineConfig::localized`](haste_distributed::OnlineConfig)) the
@@ -19,10 +40,12 @@
 //!
 //! **Consistent cut.** All request handling serializes on one router
 //! mutex and `TICK` advances every shard in lockstep inside it, so
-//! between requests all shards sit at the same virtual slot. `SNAPSHOT`
-//! (under that mutex) therefore captures a trivially consistent cut:
-//! submissions are quiesced and every shard snapshot carries the same
-//! clock. The composite document restores bit-identically.
+//! between requests all healthy shards sit at the router's virtual slot.
+//! `SNAPSHOT` (under that mutex) therefore captures a trivially
+//! consistent cut; it requires every shard up (a down shard's state is
+//! mid-replay by definition) and, once the composite document is
+//! assembled, commits each section as its shard's new replay baseline.
+//! The composite document restores bit-identically.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -32,7 +55,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use haste_distributed::{OnlineConfig, TaskSpec};
+use haste_distributed::{OnlineConfig, OnlineEngine, TaskSpec};
 use haste_geometry::{Angle, Vec2};
 use haste_model::{io as model_io, ChargerId, Partition, PartitionError, Schedule};
 use haste_parallel::ThreadPool;
@@ -40,9 +63,13 @@ use parking_lot::Mutex;
 
 use crate::proto::{ErrCode, Reply, Request};
 use crate::server::{
-    catching, hello_reply, read_line_polling, read_payload, shard_err, shard_line, READ_POLL,
+    catching, hello_reply, parts_payload, read_line_polling, read_payload, shard_err, shard_line,
+    READ_POLL,
 };
-use crate::shard::{Shard, ShardStatus};
+use crate::shard::{Shard, ShardHealth, ShardStatus, UtilityParts};
+use crate::supervisor::{
+    resolve_shardd, Launcher, ProcessShardConfig, RemoteShard, ShardSlot, SlotError,
+};
 
 /// Magic first line of a composite router snapshot.
 const COMPOSITE_MAGIC: &str = "# haste-router snapshot v2";
@@ -68,6 +95,10 @@ pub struct RouterConfig {
     pub origin: (f64, f64),
     /// Field extent `(width, height)` in meters.
     pub field: (f64, f64),
+    /// `Some` runs every shard as a supervised `haste-shardd` child
+    /// process instead of in-process (see the module docs' failure
+    /// model); `None` is the original in-process mode.
+    pub process: Option<ProcessShardConfig>,
 }
 
 impl Default for RouterConfig {
@@ -80,6 +111,7 @@ impl Default for RouterConfig {
             cells: (2, 1),
             origin: (0.0, 0.0),
             field: (200.0, 100.0),
+            process: None,
         }
     }
 }
@@ -87,7 +119,7 @@ impl Default for RouterConfig {
 /// Mutable router state: the shards plus the global bookkeeping that maps
 /// shard-local task ids back onto the single-engine arrival order.
 struct RouterCore {
-    shards: Vec<Shard>,
+    shards: Vec<ShardSlot>,
     /// Built at `LOAD`/`RESTORE` (the halo is the scenario's radius).
     partition: Option<Partition>,
     /// `charger_shard[i]` — owning shard of original charger `i`.
@@ -101,6 +133,10 @@ struct RouterCore {
     plan: VecDeque<(usize, u32)>,
     /// Time-grid length, for merging schedules.
     slots: usize,
+    /// The router's virtual clock. This is the authority — healthy shards
+    /// follow it in lockstep, and a down shard rejoins *to it* by replay —
+    /// so it stays correct even while children are dead.
+    clock: usize,
 }
 
 impl RouterCore {
@@ -117,27 +153,9 @@ impl RouterCore {
         }
     }
 
-    /// The common shard clock, or an internal error if the shards ever
-    /// drift out of lockstep (a bug, not an expected state).
-    fn common_clock(&self) -> Result<(usize, bool), Reply> {
-        let mut common: Option<(usize, bool)> = None;
-        for shard in &self.shards {
-            let (slot, open) = shard.clock().map_err(shard_err)?;
-            match common {
-                None => common = Some((slot, open)),
-                Some(seen) if seen == (slot, open) => {}
-                Some(seen) => {
-                    return Err(Reply::Err(
-                        ErrCode::Internal,
-                        format!(
-                            "shards out of lockstep: slot={} open={} vs slot={slot} open={open}",
-                            seen.0, seen.1
-                        ),
-                    ));
-                }
-            }
-        }
-        common.ok_or_else(|| Reply::Err(ErrCode::Internal, "router has no shards".to_string()))
+    /// Whether the router's grid still has open slots.
+    fn open(&self) -> bool {
+        self.clock < self.slots
     }
 }
 
@@ -195,7 +213,10 @@ impl Drop for RouterHandle {
 }
 
 /// Starts a router and returns its handle. Mirrors [`crate::serve`] but
-/// owns `cells_x × cells_y` shards instead of one engine.
+/// owns `cells_x × cells_y` shards instead of one engine. With
+/// [`RouterConfig::process`] set this spawns one `haste-shardd` child per
+/// cell before binding; a launch failure aborts startup (there is no
+/// state to recover yet — supervision begins once the fleet is up).
 pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
     if config.cells.0 == 0 || config.cells.1 == 0 {
         return Err(std::io::Error::new(
@@ -203,13 +224,50 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
             "router needs at least one cell per axis",
         ));
     }
+    let num_shards = config.cells.0 * config.cells.1;
+    let shards: Vec<ShardSlot> = match &config.process {
+        None => (0..num_shards)
+            .map(|_| ShardSlot::Local(Shard::new(config.scheduling.clone(), config.max_pending)))
+            .collect(),
+        Some(process) => {
+            if !config.scheduling.failures.is_empty() {
+                // Charger-failure injection mutates engine internals the
+                // wire protocol does not carry; it stays in-process.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "charger failure injection is not supported with out-of-process shards",
+                ));
+            }
+            let plan = process.fault_plan.clone().unwrap_or_default();
+            if let Some(cell) = plan.cells().into_iter().find(|&cell| cell >= num_shards) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "fault plan targets cell {cell}, but the router has {num_shards} shards"
+                    ),
+                ));
+            }
+            let program = resolve_shardd(process.shardd.as_deref())?;
+            let launcher = Launcher::new(
+                program,
+                &config.scheduling,
+                config.max_pending,
+                process.effective_deadline(),
+            );
+            let mut shards = Vec::with_capacity(num_shards);
+            for cell in 0..num_shards {
+                shards.push(ShardSlot::Remote(RemoteShard::launch(
+                    cell,
+                    launcher.clone(),
+                    plan.for_cell(cell),
+                )?));
+            }
+            shards
+        }
+    };
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let num_shards = config.cells.0 * config.cells.1;
-    let shards = (0..num_shards)
-        .map(|_| Shard::new(config.scheduling.clone(), config.max_pending))
-        .collect();
     let shared = Arc::new(RouterShared {
         core: Mutex::new(RouterCore {
             shards,
@@ -218,6 +276,7 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
             order: Vec::new(),
             plan: VecDeque::new(),
             slots: 0,
+            clock: 0,
         }),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
@@ -293,6 +352,20 @@ fn partition_err(e: PartitionError) -> Reply {
     Reply::Err(ErrCode::Unpartitionable, e.to_string())
 }
 
+/// Maps a shard-slot failure onto the wire error space. Structured child
+/// errors pass through with their original code; a down shard becomes
+/// `ERR unavailable` with the cell index leading the message, so clients
+/// can tell *which* cell is degraded without a `SHARDS?` round trip.
+fn slot_err(e: SlotError) -> Reply {
+    match e {
+        SlotError::Shard(e) => shard_err(e),
+        SlotError::Remote { code, message } => Reply::Err(code, message),
+        SlotError::Unavailable { cell, detail } => {
+            Reply::Err(ErrCode::Unavailable, format!("{cell} shard down: {detail}"))
+        }
+    }
+}
+
 /// Executes one parsed request; returns the reply and whether the
 /// connection should close.
 fn execute<R: BufRead>(
@@ -337,18 +410,17 @@ fn execute<R: BufRead>(
                             required_energy: energy,
                             weight,
                         };
-                        let outcome = core
-                            .shards
-                            .get(cell)
-                            .map(|shard| shard.submit(spec))
-                            .unwrap_or(Err(crate::shard::ShardError::NoScenario));
+                        let outcome = match core.shards.get(cell) {
+                            Some(shard) => shard.submit(spec),
+                            None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
+                        };
                         match outcome {
                             Ok((_local, release)) => {
                                 let global = core.order.len();
                                 core.order.push(cell as u32);
                                 Reply::Ok(format!("task={global} release={release} shard={cell}"))
                             }
-                            Err(e) => shard_err(e),
+                            Err(e) => slot_err(e),
                         }
                     }
                 }
@@ -370,10 +442,14 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
-                match core.common_clock() {
-                    Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
-                    Err(reply) => reply,
-                }
+                // The router clock is authoritative (healthy shards track
+                // it in lockstep; down shards rejoin to it), so CLOCK?
+                // answers even while children are restarting.
+                Reply::Ok(format!(
+                    "slot={} open={}",
+                    core.clock,
+                    u8::from(core.open())
+                ))
             }
         }
         Request::Schedule => {
@@ -392,10 +468,25 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
-                match merged_utility(&core) {
-                    Ok((utility, relaxed)) => {
+                match merged_parts(&core) {
+                    Ok(parts) => {
+                        // Sequential left-to-right sums over the arrival
+                        // order: the single engine's exact addend sequence.
+                        let utility: f64 = parts.full.iter().sum();
+                        let relaxed: f64 = parts.relaxed.iter().sum();
                         Reply::Ok(format!("utility={utility} relaxed={relaxed}"))
                     }
+                    Err(reply) => reply,
+                }
+            }
+        }
+        Request::Parts => {
+            let core = shared.core.lock();
+            if core.partition.is_none() {
+                shard_err(crate::shard::ShardError::NoScenario)
+            } else {
+                match merged_parts(&core) {
+                    Ok(parts) => Reply::Data(parts_payload(&parts)),
                     Err(reply) => reply,
                 }
             }
@@ -406,12 +497,22 @@ fn execute<R: BufRead>(
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
                 let mut merged = ShardStatus::default();
+                let mut restarts_total = 0u64;
+                let mut replays_total = 0u64;
+                let mut down = 0u64;
                 let mut failure = None;
                 for shard in &core.shards {
-                    match shard.status() {
-                        Ok(status) => merged.absorb(&status),
+                    match shard.status_view() {
+                        Ok((status, health, restarts, replay)) => {
+                            merged.absorb(&status);
+                            restarts_total += restarts;
+                            replays_total += replay;
+                            if health == ShardHealth::Restarting {
+                                down += 1;
+                            }
+                        }
                         Err(e) => {
-                            failure = Some(shard_err(e));
+                            failure = Some(slot_err(e));
                             break;
                         }
                     }
@@ -437,6 +538,11 @@ fn execute<R: BufRead>(
                             ("greedy_us", status.greedy_us.to_string()),
                             ("rounding_us", status.rounding_us.to_string()),
                             ("coverage_build_us", status.coverage_build_us.to_string()),
+                            // Supervision totals across the shard fleet
+                            // (identically zero for in-process shards).
+                            ("shard_restarts", restarts_total.to_string()),
+                            ("shard_replays", replays_total.to_string()),
+                            ("shards_down", down.to_string()),
                         ] {
                             payload.push_str(key);
                             payload.push(' ');
@@ -456,13 +562,15 @@ fn execute<R: BufRead>(
                 let mut payload = String::new();
                 let mut failure = None;
                 for (index, shard) in core.shards.iter().enumerate() {
-                    match shard.status() {
-                        Ok(status) => {
+                    match shard.status_view() {
+                        Ok((status, health, restarts, replay)) => {
                             let cell = (index % config.cells.0, index / config.cells.0);
-                            payload.push_str(&shard_line(index, cell, &status));
+                            payload.push_str(&shard_line(
+                                index, cell, &status, health, restarts, replay,
+                            ));
                         }
                         Err(e) => {
-                            failure = Some(shard_err(e));
+                            failure = Some(slot_err(e));
                             break;
                         }
                     }
@@ -501,7 +609,10 @@ fn execute<R: BufRead>(
 
 /// `LOAD` on the router: parse, partition, split, install per-cell
 /// engines, and record the global bookkeeping (charger owners, release-0
-/// arrival order, staged release plan).
+/// arrival order, staged release plan). Totals come from the split itself
+/// (each charger and task belongs to exactly one cell), so the reply is
+/// correct even if a child shard is down — its baseline is recorded and
+/// the first tick's rejoin pass replays the load into a fresh child.
 fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &str) -> Reply {
     if core.partition.is_some() {
         return shard_err(crate::shard::ShardError::AlreadyLoaded);
@@ -531,15 +642,17 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
     let mut total_chargers = 0;
     let mut total_staged = 0;
     for (shard, cell) in core.shards.iter().zip(cells) {
+        total_chargers += cell.chargers.len();
+        total_staged += cell.tasks.len();
         match shard.load_scenario(cell) {
-            Ok(info) => {
-                total_chargers += info.chargers;
-                total_staged += info.staged;
-            }
-            // `split` validated every sub-scenario, so a failure here is
-            // a router bug; surface it without half-initialized routing
-            // state (the shards already loaded stay, RESTORE recovers).
-            Err(e) => return shard_err(e),
+            Ok(()) => {}
+            // A down child shard: the supervisor holds the sub-scenario
+            // as its baseline, so the rejoin replay loads it later.
+            Err(SlotError::Unavailable { .. }) => {}
+            // `split` validated every sub-scenario, so a structured
+            // failure here is a router bug; surface it without
+            // half-initialized routing state (RESTORE recovers).
+            Err(e) => return slot_err(e),
         }
     }
     core.charger_shard = scenario
@@ -564,7 +677,12 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
     staged.sort_by_key(|&(slot, _)| slot);
     core.plan = staged.into();
     core.slots = scenario.grid.num_slots;
+    core.clock = 0;
     core.partition = Some(partition);
+    // Slot-0 fault directives mature the moment the grid opens.
+    for shard in &core.shards {
+        shard.apply_slot_faults(0);
+    }
     Reply::Ok(format!(
         "chargers={total_chargers} staged={total_staged} slots={} shards={}",
         core.slots,
@@ -572,24 +690,44 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
     ))
 }
 
-/// Advances every shard in lockstep, one slot at a time, releasing staged
-/// arrivals into the global order as their slots open.
+/// Advances the lockstep one slot at a time, releasing staged arrivals
+/// into the global order as their slots open. Down shards do not stall
+/// the fleet: each step first gives them a rejoin (restart + replay to
+/// the router clock), then ticks every healthy shard; a shard that is
+/// still down has the missed slot journaled so its eventual replay
+/// catches up, and fault directives for the newly opened slot mature last.
 fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply> {
-    let mut latest = core.common_clock()?;
-    if !latest.1 {
+    if !core.open() {
         return Err(shard_err(crate::shard::ShardError::AtHorizon));
     }
     for _ in 0..n {
-        if !latest.1 {
+        if !core.open() {
             break;
         }
         for shard in &core.shards {
-            shard.tick(1).map_err(shard_err)?;
+            shard.rejoin(core.clock);
         }
-        latest = core.common_clock()?;
-        core.drain_plan(latest.0);
+        for shard in &core.shards {
+            match shard.tick1() {
+                Ok((slot, _open)) => {
+                    if slot != core.clock + 1 {
+                        return Err(internal(&format!(
+                            "lockstep broken: shard at slot {slot} after ticking from {}",
+                            core.clock
+                        )));
+                    }
+                }
+                Err(SlotError::Unavailable { .. }) => shard.note_missed_tick(),
+                Err(e) => return Err(slot_err(e)),
+            }
+        }
+        core.clock += 1;
+        core.drain_plan(core.clock);
+        for shard in &core.shards {
+            shard.apply_slot_faults(core.clock);
+        }
     }
-    Ok(latest)
+    Ok((core.clock, core.open()))
 }
 
 /// Re-merges shard schedules into original charger numbering. Bitwise
@@ -597,7 +735,7 @@ fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply
 fn merged_schedule(core: &RouterCore) -> Result<Schedule, Reply> {
     let mut shard_schedules = Vec::with_capacity(core.shards.len());
     for shard in &core.shards {
-        shard_schedules.push(shard.schedule().map_err(shard_err)?);
+        shard_schedules.push(shard.schedule().map_err(slot_err)?);
     }
     let mut merged = Schedule::empty(core.charger_shard.len(), core.slots);
     let mut locals = vec![0u32; core.shards.len()];
@@ -625,16 +763,17 @@ fn merged_schedule(core: &RouterCore) -> Result<Schedule, Reply> {
     Ok(merged)
 }
 
-/// Merges per-shard `wⱼ·Uⱼ` terms in global arrival order — the exact
-/// addend sequence of a single engine's evaluator (see module docs).
-fn merged_utility(core: &RouterCore) -> Result<(f64, f64), Reply> {
+/// Merges per-shard `wⱼ·Uⱼ` terms into the global arrival order — the
+/// exact addend sequence of a single engine's evaluator (see module
+/// docs). `UTILITY?` sums this; `PARTS?` serves it verbatim.
+fn merged_parts(core: &RouterCore) -> Result<UtilityParts, Reply> {
     let mut parts = Vec::with_capacity(core.shards.len());
     for shard in &core.shards {
-        parts.push(shard.utility_parts().map_err(shard_err)?);
+        parts.push(shard.utility_parts().map_err(slot_err)?);
     }
     let mut cursors = vec![0usize; core.shards.len()];
-    let mut utility = 0.0f64;
-    let mut relaxed = 0.0f64;
+    let mut full = Vec::with_capacity(core.order.len());
+    let mut relaxed = Vec::with_capacity(core.order.len());
     for &owner in &core.order {
         let shard = owner as usize;
         let (Some(cursor), Some(part)) = (cursors.get_mut(shard), parts.get(shard)) else {
@@ -645,11 +784,11 @@ fn merged_utility(core: &RouterCore) -> Result<(f64, f64), Reply> {
         else {
             return Err(internal("arrival order longer than shard task lists"));
         };
-        utility += *full_term;
-        relaxed += *relaxed_term;
+        full.push(*full_term);
+        relaxed.push(*relaxed_term);
         *cursor += 1;
     }
-    Ok((utility, relaxed))
+    Ok(UtilityParts { full, relaxed })
 }
 
 fn internal(reason: &str) -> Reply {
@@ -657,15 +796,30 @@ fn internal(reason: &str) -> Reply {
 }
 
 /// Serializes the router's consistent cut: topology, partition geometry,
-/// global bookkeeping, and every shard's embedded engine snapshot.
+/// global bookkeeping, and every shard's embedded engine snapshot. Every
+/// shard must be up and sitting on the router clock (a down shard's
+/// state is mid-replay by definition, so `SNAPSHOT` in degraded mode
+/// fails with `ERR unavailable`). Once the document is assembled, each
+/// section is committed as its shard's new replay baseline — never
+/// before, so a failed snapshot moves no baseline.
 fn composite_snapshot(core: &RouterCore, config: &RouterConfig) -> Result<String, Reply> {
     let Some(partition) = core.partition.as_ref() else {
         return Err(shard_err(crate::shard::ShardError::NoScenario));
     };
-    // The cut is consistent by construction (one mutex, lockstep ticks);
-    // this re-checks the invariant so a corrupt snapshot can never be
-    // emitted silently.
-    core.common_clock()?;
+    let mut sections = Vec::with_capacity(core.shards.len());
+    for shard in &core.shards {
+        // Lockstep is an invariant (one mutex, ticks inside it); this
+        // re-checks it so a corrupt snapshot can never be emitted
+        // silently, and surfaces `unavailable` for down shards.
+        let (slot, _open) = shard.clock().map_err(slot_err)?;
+        if slot != core.clock {
+            return Err(internal(&format!(
+                "shards out of lockstep: slot={slot} vs router clock {}",
+                core.clock
+            )));
+        }
+        sections.push(shard.snapshot().map_err(slot_err)?);
+    }
     let mut text = String::new();
     text.push_str(COMPOSITE_MAGIC);
     text.push('\n');
@@ -692,13 +846,17 @@ fn composite_snapshot(core: &RouterCore, config: &RouterConfig) -> Result<String
     for &(slot, owner) in &core.plan {
         text.push_str(&format!("{slot} {owner}\n"));
     }
-    for (index, shard) in core.shards.iter().enumerate() {
-        let snapshot = shard.snapshot().map_err(shard_err)?;
+    for (index, snapshot) in sections.iter().enumerate() {
         text.push_str(&format!("shard {index} {}\n", snapshot.lines().count()));
-        text.push_str(&snapshot);
+        text.push_str(snapshot);
         if !snapshot.is_empty() && !snapshot.ends_with('\n') {
             text.push('\n');
         }
+    }
+    // Commit: the cut is complete, so each section becomes its shard's
+    // replay baseline and the journals empty (bounding replay depth).
+    for (shard, section) in core.shards.iter().zip(sections) {
+        shard.checkpoint(&section);
     }
     Ok(text)
 }
@@ -865,8 +1023,15 @@ pub fn parse_composite(text: &str) -> Result<CompositeSnapshot, String> {
     })
 }
 
-/// `RESTORE` on the router: parse the composite document, restore every
-/// shard, verify the cut is consistent, and rebuild the routing state.
+/// `RESTORE` on the router, two-phase so no failure can leave a partial
+/// cut behind. Phase 1 parses the composite document and restores every
+/// embedded engine *off to the side*, validating the set as a whole (per
+/// section parse/validate, clock consistency across the cut); any failure
+/// returns a structured `ERR` with all live state untouched. Phase 2
+/// commits: every shard installs its restored engine (in-process) or
+/// receives the snapshot text as its new baseline (child process — a push
+/// failure there just marks the child down, and the rejoin replay
+/// rebuilds it from that same committed baseline).
 fn restore_composite(core: &mut RouterCore, config: &RouterConfig, payload: &str) -> Reply {
     let composite = match parse_composite(payload) {
         Ok(composite) => composite,
@@ -892,36 +1057,45 @@ fn restore_composite(core: &mut RouterCore, config: &RouterConfig, payload: &str
         Ok(partition) => partition,
         Err(e) => return Reply::Err(ErrCode::BadSnapshot, e.to_string()),
     };
+    // Phase 1: restore and validate every section without installing.
+    let mut engines = Vec::with_capacity(composite.shards.len());
     let mut clock: Option<(usize, bool)> = None;
     let mut slots = 0;
-    for (shard, snapshot) in core.shards.iter().zip(&composite.shards) {
-        match shard.restore_text(snapshot) {
-            Ok(info) => {
-                slots = slots.max(info.slots);
-                match clock {
-                    None => clock = Some((info.clock, info.open)),
-                    Some(seen) if seen == (info.clock, info.open) => {}
-                    Some(seen) => {
-                        return Reply::Err(
-                            ErrCode::BadSnapshot,
-                            format!(
-                                "inconsistent cut: shard clocks differ ({} vs {})",
-                                seen.0, info.clock
-                            ),
-                        );
-                    }
-                }
+    for (index, snapshot) in composite.shards.iter().enumerate() {
+        let engine = match OnlineEngine::restore(snapshot) {
+            Ok(engine) => engine,
+            Err(e) => return Reply::Err(ErrCode::BadSnapshot, format!("shard {index}: {e}")),
+        };
+        let seen = (engine.clock(), !engine.is_closed());
+        slots = slots.max(engine.scenario().grid.num_slots);
+        match clock {
+            None => clock = Some(seen),
+            Some(common) if common == seen => {}
+            Some(common) => {
+                return Reply::Err(
+                    ErrCode::BadSnapshot,
+                    format!(
+                        "inconsistent cut: shard clocks differ ({} vs {})",
+                        common.0, seen.0
+                    ),
+                );
             }
-            Err(e) => return shard_err(e),
         }
+        engines.push(engine);
     }
     let Some((slot, open)) = clock else {
         return Reply::Err(ErrCode::BadSnapshot, "snapshot has no shards".to_string());
     };
+    // Phase 2: the whole cut validated — commit it everywhere.
+    for ((shard, engine), snapshot) in core.shards.iter().zip(engines).zip(composite.shards.iter())
+    {
+        shard.install_restored(engine, snapshot);
+    }
     core.charger_shard = composite.charger_shard;
     core.order = composite.order;
     core.plan = composite.plan.into();
     core.slots = slots;
+    core.clock = slot;
     core.partition = Some(partition);
     Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
 }

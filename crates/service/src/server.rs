@@ -26,7 +26,7 @@ use haste_geometry::{Angle, Vec2};
 use haste_parallel::ThreadPool;
 
 use crate::proto::{ErrCode, Reply, Request, VERSION, VERSION_V2};
-use crate::shard::{Shard, ShardError};
+use crate::shard::{Shard, ShardError, ShardHealth};
 
 /// How long a handler blocks on a read before re-checking the shutdown
 /// flag. Short enough for prompt shutdown, long enough to stay off the CPU.
@@ -302,14 +302,18 @@ pub(crate) fn hello_reply(version: &str, shards: usize, cells: (usize, usize)) -
 }
 
 /// Formats one `SHARDS?` payload line. Shared with the router so both
-/// emitters stay field-compatible.
+/// emitters stay field-compatible. `health`/`restarts`/`replay` come from
+/// the out-of-process supervisor; in-process shards report `up 0 0`.
 pub(crate) fn shard_line(
     index: usize,
     cell: (usize, usize),
     status: &crate::shard::ShardStatus,
+    health: ShardHealth,
+    restarts: u64,
+    replay: u64,
 ) -> String {
     format!(
-        "shard={index} cell={},{} slot={} open={} tasks={} staged={} admitted={} rejected={} pending={}\n",
+        "shard={index} cell={},{} slot={} open={} tasks={} staged={} admitted={} rejected={} pending={} health={} restarts={restarts} replay={replay}\n",
         cell.0,
         cell.1,
         status.clock,
@@ -318,8 +322,20 @@ pub(crate) fn shard_line(
         status.staged,
         status.admitted,
         status.rejected,
-        status.pending
+        status.pending,
+        health.as_str()
     )
+}
+
+/// Formats a `PARTS?` payload: one `full relaxed` pair per task, in
+/// task-id (= arrival) order, shortest-roundtrip floats. Shared by the
+/// daemon and the router (which re-merges shard streams by arrival order).
+pub(crate) fn parts_payload(parts: &crate::shard::UtilityParts) -> String {
+    let mut payload = String::new();
+    for (full, relaxed) in parts.full.iter().zip(&parts.relaxed) {
+        payload.push_str(&format!("{full} {relaxed}\n"));
+    }
+    payload
 }
 
 /// Executes one parsed request; returns the reply and whether the
@@ -386,6 +402,10 @@ fn execute<R: BufRead>(
             Ok((utility, relaxed)) => Reply::Ok(format!("utility={utility} relaxed={relaxed}")),
             Err(e) => shard_err(e),
         },
+        Request::Parts => match shared.shard.utility_parts() {
+            Ok(parts) => Reply::Data(parts_payload(&parts)),
+            Err(e) => shard_err(e),
+        },
         Request::Metrics => match shared.shard.status() {
             Err(e) => shard_err(e),
             Ok(status) => {
@@ -406,6 +426,12 @@ fn execute<R: BufRead>(
                     ("greedy_us", status.greedy_us.to_string()),
                     ("rounding_us", status.rounding_us.to_string()),
                     ("coverage_build_us", status.coverage_build_us.to_string()),
+                    // Supervisor counters: the single-engine daemon has no
+                    // child processes, so these are identically zero; the
+                    // router reports live values under the same keys.
+                    ("shard_restarts", 0.to_string()),
+                    ("shard_replays", 0.to_string()),
+                    ("shards_down", 0.to_string()),
                 ] {
                     payload.push_str(key);
                     payload.push(' ');
@@ -418,7 +444,7 @@ fn execute<R: BufRead>(
         Request::Shards => match shared.shard.status() {
             Err(e) => shard_err(e),
             // The single-engine daemon is its own one-shard topology.
-            Ok(status) => Reply::Data(shard_line(0, (0, 0), &status)),
+            Ok(status) => Reply::Data(shard_line(0, (0, 0), &status, ShardHealth::Up, 0, 0)),
         },
         Request::Snapshot => match shared.shard.snapshot() {
             Ok(text) => Reply::Data(text),
@@ -529,6 +555,12 @@ mod tests {
             Reply::Data(payload) => {
                 assert!(
                     payload.starts_with("shard=0 cell=0,0 slot=0 open=1"),
+                    "{payload}"
+                );
+                assert!(
+                    payload
+                        .trim_end()
+                        .ends_with("health=up restarts=0 replay=0"),
                     "{payload}"
                 );
             }

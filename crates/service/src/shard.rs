@@ -33,6 +33,45 @@ pub struct LoadInfo {
     pub open: bool,
 }
 
+/// Liveness of one shard as reported by `SHARDS?`. In-process shards are
+/// always [`ShardHealth::Up`]; the out-of-process supervisor moves a shard
+/// through `restarting` (child dead or mid-replay, rejoin pending) and
+/// `degraded` (up again after at least one restart this session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardHealth {
+    /// Serving, never restarted.
+    #[default]
+    Up,
+    /// Child process down or replaying; SUBMITs to its cell fail with
+    /// `ERR unavailable` until it rejoins.
+    Restarting,
+    /// Serving after at least one restart (state rebuilt from
+    /// snapshot + journal replay).
+    Degraded,
+}
+
+impl ShardHealth {
+    /// The wire token (the `health=` field value of a `SHARDS?` line).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Up => "up",
+            ShardHealth::Restarting => "restarting",
+            ShardHealth::Degraded => "degraded",
+        }
+    }
+
+    /// Parses a wire token back into a health state.
+    pub fn parse(token: &str) -> Option<ShardHealth> {
+        [
+            ShardHealth::Up,
+            ShardHealth::Restarting,
+            ShardHealth::Degraded,
+        ]
+        .into_iter()
+        .find(|health| health.as_str() == token)
+    }
+}
+
 /// One shard's full METRICS? row — every counter the wire protocol
 /// reports, in engine-native numeric form so a router can aggregate
 /// before formatting.
@@ -341,19 +380,26 @@ impl Shard {
     /// (unlike `LOAD`, this overwrites existing state).
     pub fn restore_text(&self, payload: &str) -> Result<LoadInfo, ShardError> {
         match OnlineEngine::restore(payload) {
-            Ok(new) => {
-                let info = LoadInfo {
-                    chargers: new.scenario().num_chargers(),
-                    staged: new.staged_len() + new.scenario().num_tasks(),
-                    slots: new.scenario().grid.num_slots,
-                    clock: new.clock(),
-                    open: !new.is_closed(),
-                };
-                *self.engine.lock() = Some(new);
-                Ok(info)
-            }
+            Ok(new) => Ok(self.install(new)),
             Err(e) => Err(ShardError::BadSnapshot(e.to_string())),
         }
+    }
+
+    /// Installs an already-restored engine, overwriting existing state.
+    /// This is the commit half of a two-phase restore: callers holding
+    /// several shards (the router) restore every snapshot first, validate
+    /// the set as a whole, and only then install — so a corrupt section
+    /// can never leave a partial cut behind.
+    pub fn install(&self, engine: OnlineEngine) -> LoadInfo {
+        let info = LoadInfo {
+            chargers: engine.scenario().num_chargers(),
+            staged: engine.staged_len() + engine.scenario().num_tasks(),
+            slots: engine.scenario().grid.num_slots,
+            clock: engine.clock(),
+            open: !engine.is_closed(),
+        };
+        *self.engine.lock() = Some(engine);
+        info
     }
 }
 
