@@ -9,8 +9,15 @@
 //!     [--chargers 8] [--field 200] [--slots 64] [--seed 1] \
 //!     [--max-pending 4096] [--cells CXxCY] [--no-verify] \
 //!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
-//!     [--fault-plan FILE]
+//!     [--fault-plan FILE] [--binary] [--batch N] [--json FILE]
 //! ```
+//!
+//! `--binary` negotiates protocol v3 binary framing on the worker
+//! connections (the run fails if the endpoint only speaks text);
+//! `--batch N` submits N tasks per `OP_BATCH` frame (one vectored ack).
+//! `--json FILE` additionally writes the report as a JSON document — the
+//! shape committed as `BENCH_*.json` at the repo root, so before/after
+//! perf comparisons survive re-anchors.
 //!
 //! With `--cells` the harness self-hosts the sharded router instead of a
 //! single daemon and the replay check becomes the sum of per-shard
@@ -32,6 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = LoadgenConfig::default();
     let mut strict = true;
+    let mut json_path: Option<String> = None;
 
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -103,6 +111,15 @@ fn main() {
                 }));
                 i += 1;
             }
+            "--binary" => config.binary = true,
+            "--batch" => {
+                config.batch = parse(&value(&args, i, "--batch"));
+                i += 1;
+            }
+            "--json" => {
+                json_path = Some(value(&args, i, "--json"));
+                i += 1;
+            }
             "--no-verify" => config.verify_replay = false,
             "--lenient" => strict = false,
             other => {
@@ -118,6 +135,13 @@ fn main() {
         std::process::exit(1);
     });
     println!("{report}");
+    if let Some(path) = &json_path {
+        let doc = report_json(&config, &report);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("--json: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if strict {
         // Under fault injection, submissions bounced by a down shard are
@@ -165,6 +189,54 @@ fn main() {
             }
         }
     }
+}
+
+/// Renders the report as a flat JSON object — hand-rolled because the
+/// workspace builds fully offline (no serde). Floats use Rust's default
+/// shortest-roundtrip `Display`, so the document is bit-faithful to the
+/// run it records.
+fn report_json(config: &LoadgenConfig, report: &loadgen::LoadgenReport) -> String {
+    let wire = if config.binary { "binary" } else { "text" };
+    let cells = match config.cells {
+        Some((cx, cy)) => format!("\"{cx}x{cy}\""),
+        None => "null".to_string(),
+    };
+    let replay_utility = report
+        .replay_utility
+        .map_or("null".to_string(), |u| u.to_string());
+    let replay_matches = report
+        .replay_matches
+        .map_or("null".to_string(), |m| m.to_string());
+    let shards = report.shards.map_or("null".to_string(), |n| n.to_string());
+    let fields: Vec<String> = vec![
+        format!("\"wire\": \"{wire}\""),
+        format!("\"batch\": {}", config.batch.max(1)),
+        format!("\"connections\": {}", config.connections),
+        format!("\"submissions\": {}", config.submissions),
+        format!("\"chargers\": {}", config.chargers),
+        format!("\"field\": {}", config.field),
+        format!("\"slots\": {}", config.slots),
+        format!("\"seed\": {}", config.seed),
+        format!("\"cells\": {cells}"),
+        format!("\"out_of_process\": {}", config.out_of_process),
+        format!("\"submitted\": {}", report.submitted),
+        format!("\"accepted\": {}", report.accepted),
+        format!("\"rejected\": {}", report.rejected),
+        format!("\"unavailable\": {}", report.unavailable),
+        format!("\"p50_us\": {}", report.p50_us),
+        format!("\"p99_us\": {}", report.p99_us),
+        format!("\"max_us\": {}", report.max_us),
+        format!("\"elapsed_s\": {}", report.elapsed_s),
+        format!("\"throughput\": {}", report.throughput),
+        format!("\"submit_elapsed_s\": {}", report.submit_elapsed_s),
+        format!("\"submit_throughput\": {}", report.submit_throughput),
+        format!("\"utility\": {}", report.utility),
+        format!("\"relaxed\": {}", report.relaxed),
+        format!("\"replay_utility\": {replay_utility}"),
+        format!("\"replay_matches\": {replay_matches}"),
+        format!("\"shards\": {shards}"),
+    ];
+    format!("{{\n  {}\n}}\n", fields.join(",\n  "))
 }
 
 fn parse_cells(s: &str) -> (usize, usize) {

@@ -61,7 +61,9 @@ pub const RULES: &[RuleInfo] = &[
                     in a serialization path silently breaks restore bit-identity.",
         scope: "the serialization paths: crates/model/src/io.rs, \
                 crates/distributed/src/engine.rs (snapshot writer), \
-                crates/service/src/proto.rs, crates/service/src/server.rs",
+                crates/service/src/proto.rs, crates/service/src/server.rs, \
+                crates/service/src/router.rs, and crates/service/src/framing.rs \
+                (binary frames carry verbatim reply text)",
         example: "// haste-lint: allow(D3) — error-message formatting, never parsed back",
     },
     RuleInfo {
@@ -84,14 +86,17 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "C1",
         name: "errcode-docs",
-        summary: "ErrCode variants and the protocol doc's error-code table must match exactly",
-        rationale: "Clients dispatch on the stable wire tokens of `ERR <code>` replies. A \
-                    variant missing from docs/service_protocol.md is an undocumented API; \
-                    a documented code with no variant is a spec lie. The wire tokens in \
-                    crates/service/src/proto.rs and the error-code table rows in the doc \
-                    must be the same set.",
+        summary: "ErrCode variants and frame opcodes must match the protocol doc exactly",
+        rationale: "Clients dispatch on the stable wire tokens of `ERR <code>` replies and \
+                    on the opcode bytes of v3 frames. A variant or opcode missing from \
+                    docs/service_protocol.md is an undocumented API; a documented one with \
+                    no constant is a spec lie. The wire tokens in \
+                    crates/service/src/proto.rs (and the `OP_*` constants in \
+                    crates/service/src/framing.rs, numeric values included) must match the \
+                    doc's tables, both directions.",
         scope: "crates/service/src/proto.rs `ErrCode::as_str` arms vs the `Error codes` \
-                table of docs/service_protocol.md",
+                table of docs/service_protocol.md, and crates/service/src/framing.rs \
+                `const OP_*` declarations vs the doc's v3 opcode table",
         example: "(not suppressible — fix the code or the doc)",
     },
     RuleInfo {

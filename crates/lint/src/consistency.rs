@@ -1,5 +1,6 @@
-//! Cross-file contract checks: C1 (ErrCode ↔ protocol doc), C2 (METRICS?
-//! keys ↔ protocol doc), C3 (vendored dependency allowlist).
+//! Cross-file contract checks: C1 (ErrCode and frame opcodes ↔ protocol
+//! doc), C2 (METRICS? keys ↔ protocol doc), C3 (vendored dependency
+//! allowlist).
 //!
 //! These rules take file *contents* (plus their workspace-relative paths
 //! for diagnostics), so fixture tests can drive them with synthetic
@@ -112,6 +113,109 @@ fn is_wire_token(s: &str) -> bool {
         && s.bytes().next().is_some_and(|b| b.is_ascii_lowercase())
         && s.bytes()
             .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+// ----------------------------------------------------------------------
+// C1 — frame opcode constants vs the protocol doc's opcode table
+// ----------------------------------------------------------------------
+
+/// Cross-checks the `const OP_*` opcode constants of `framing_src` against
+/// the opcode table rows of `doc` (`| \`0xNN\` | \`OP_NAME\` | ...`), both
+/// directions, numeric values included — a client trusting the spec must
+/// put the byte the server actually dispatches on.
+pub fn check_opcode_docs(
+    framing_path: &str,
+    framing_src: &str,
+    doc_path: &str,
+    doc: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code = framing_opcodes(framing_src);
+    if code.is_empty() {
+        findings.push(Finding {
+            file: framing_path.to_string(),
+            line: 0,
+            rule: "C1",
+            message: "found no `const OP_<NAME>: u8 = 0x..;` opcode constants (framing \
+                      module moved?)"
+                .to_string(),
+        });
+        return findings;
+    }
+    let rows = doc_opcode_rows(doc);
+    for (name, value, line) in &code {
+        match rows.iter().find(|(n, _, _)| n == name) {
+            None => findings.push(Finding {
+                file: framing_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!("frame opcode `{name}` is not in the opcode table of {doc_path}"),
+            }),
+            Some((_, documented, _)) if documented != value => findings.push(Finding {
+                file: framing_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!(
+                    "frame opcode `{name}` is `{value}` in code but `{documented}` in {doc_path}"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, _, line) in &rows {
+        if !code.iter().any(|(n, _, _)| n == name) {
+            findings.push(Finding {
+                file: doc_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!("documented opcode `{name}` has no constant in {framing_path}"),
+            });
+        }
+    }
+    findings
+}
+
+/// `const OP_<NAME>: u8 = <value>;` declarations (any visibility) with
+/// their 1-based lines, as `(name, value, line)`.
+fn framing_opcodes(src: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("const OP_") else {
+            continue;
+        };
+        let rest = &line[pos + "const ".len()..];
+        let Some((name, after)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some((_, value)) = after.split_once('=') else {
+            continue;
+        };
+        let value = value.trim().trim_end_matches(';').trim();
+        if !value.is_empty() {
+            out.push((name.trim().to_string(), value.to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+/// Opcode table rows: `| \`0xNN\` | \`OP_NAME\` | ...` anywhere in the doc,
+/// as `(name, value, line)`.
+fn doc_opcode_rows(doc: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("| `0x") {
+            continue;
+        }
+        let mut ticked = trimmed.split('`');
+        let (value, name) = (ticked.nth(1), ticked.nth(1));
+        if let (Some(value), Some(name)) = (value, name) {
+            if name.starts_with("OP_") {
+                out.push((name.to_string(), value.to_string(), idx + 1));
+            }
+        }
+    }
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -428,6 +532,56 @@ Keys: `clock`, `greedy_us`. Reply: `DATA <n>` + lines.
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("`ghost`"), "{f:?}");
         assert_eq!(f[0].file, "d.md");
+    }
+
+    const FRAMING: &str = "\
+/// Client→server: a text request.
+pub(crate) const OP_TEXT: u8 = 0x01;
+/// Server→client: a text reply.
+pub(crate) const OP_REPLY: u8 = 0x81;
+";
+
+    const OPDOC: &str = "\
+# protocol
+
+## Protocol v3
+
+| Opcode | Name | Direction |
+|---|---|---|
+| `0x01` | `OP_TEXT` | client → server |
+| `0x81` | `OP_REPLY` | server → client |
+";
+
+    #[test]
+    fn opcode_consistency_passes_on_matching_sets() {
+        assert!(check_opcode_docs("f.rs", FRAMING, "d.md", OPDOC).is_empty());
+    }
+
+    #[test]
+    fn opcode_mismatches_fire_both_directions_and_on_values() {
+        let code_extra = format!("{FRAMING}pub(crate) const OP_PING: u8 = 0x03;\n");
+        let f = check_opcode_docs("f.rs", &code_extra, "d.md", OPDOC);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`OP_PING`"), "{f:?}");
+        assert_eq!(f[0].file, "f.rs");
+
+        let doc_extra = OPDOC.to_string() + "| `0x03` | `OP_GHOST` | client → server |\n";
+        let f = check_opcode_docs("f.rs", FRAMING, "d.md", &doc_extra);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`OP_GHOST`"), "{f:?}");
+        assert_eq!(f[0].file, "d.md");
+
+        let doc_wrong = OPDOC.replace("| `0x81` | `OP_REPLY` |", "| `0x82` | `OP_REPLY` |");
+        let f = check_opcode_docs("f.rs", FRAMING, "d.md", &doc_wrong);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`0x81` in code but `0x82`"), "{f:?}");
+    }
+
+    #[test]
+    fn missing_opcode_constants_are_a_finding_not_a_pass() {
+        let f = check_opcode_docs("f.rs", "// nothing here\n", "d.md", OPDOC);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("opcode constants"), "{f:?}");
     }
 
     const SERVER: &str = r#"

@@ -15,8 +15,9 @@
 //!   formatting in serialization paths.
 //! * **P1** — panic-safety: no panicking constructs in daemon
 //!   request-handling code.
-//! * **C1/C2/C3** — contract consistency: `ErrCode` ↔ protocol doc,
-//!   `METRICS?` keys ↔ protocol doc, vendored dependency allowlist.
+//! * **C1/C2/C3** — contract consistency: `ErrCode` and frame opcodes ↔
+//!   protocol doc, `METRICS?` keys ↔ protocol doc, vendored dependency
+//!   allowlist.
 //! * **S0/S1** — suppression hygiene (malformed / unused
 //!   `// haste-lint: allow(...)` comments).
 //!
@@ -32,7 +33,7 @@ pub mod consistency;
 pub mod source;
 
 pub use consistency::{
-    check_errcode_docs, check_metrics_docs, check_vendor_allowlist, ManifestSet,
+    check_errcode_docs, check_metrics_docs, check_opcode_docs, check_vendor_allowlist, ManifestSet,
 };
 pub use source::scan_source;
 
@@ -90,27 +91,33 @@ pub fn run_check(root: &Path) -> Vec<Finding> {
     }
 
     // C1/C2: the protocol contract files. The router serves the same
-    // METRICS? block as the single daemon, so both are held to the doc.
+    // METRICS? block as the single daemon, so both are held to the doc;
+    // the framing module's opcode constants are held to the doc's v3
+    // opcode table.
     const PROTO: &str = "crates/service/src/proto.rs";
     const SERVER: &str = "crates/service/src/server.rs";
     const ROUTER: &str = "crates/service/src/router.rs";
+    const FRAMING: &str = "crates/service/src/framing.rs";
     const DOC: &str = "docs/service_protocol.md";
     match (
         read_rel(root, PROTO),
         read_rel(root, SERVER),
         read_rel(root, ROUTER),
+        read_rel(root, FRAMING),
         read_rel(root, DOC),
     ) {
-        (Ok(proto), Ok(server), Ok(router), Ok(doc)) => {
+        (Ok(proto), Ok(server), Ok(router), Ok(framing), Ok(doc)) => {
             findings.extend(consistency::check_errcode_docs(PROTO, &proto, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(SERVER, &server, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(ROUTER, &router, DOC, &doc));
+            findings.extend(consistency::check_opcode_docs(FRAMING, &framing, DOC, &doc));
         }
-        (proto, server, router, doc) => {
+        (proto, server, router, framing, doc) => {
             for (rel, result) in [
                 (PROTO, proto),
                 (SERVER, server),
                 (ROUTER, router),
+                (FRAMING, framing),
                 (DOC, doc),
             ] {
                 if let Err(e) = result {

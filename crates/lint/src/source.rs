@@ -138,13 +138,17 @@ fn in_d_scope(path: &str) -> bool {
     path.starts_with("crates/") && path.ends_with(".rs") && !exempt(path)
 }
 
-/// The serialization paths whose float formatting is the determinism anchor.
+/// The serialization paths whose float formatting is the determinism
+/// anchor. `framing.rs` belongs here even though its floats cross as raw
+/// IEEE-754 bits: every *text* byte it emits (`OP_REPLY` bodies, batch-ack
+/// messages) must come from the same Display paths as the text protocol.
 const D3_FILES: &[&str] = &[
     "crates/model/src/io.rs",
     "crates/distributed/src/engine.rs",
     "crates/service/src/proto.rs",
     "crates/service/src/server.rs",
     "crates/service/src/router.rs",
+    "crates/service/src/framing.rs",
 ];
 
 fn in_d3_scope(path: &str) -> bool {
@@ -500,6 +504,18 @@ mod tests {
         );
         assert!(literal_indexes("v[i] + [0u8; 4] + #[cfg(test)]").is_empty());
         assert_eq!(literal_indexes("f(x)[3]"), ["3"]);
+    }
+
+    #[test]
+    fn d3_and_p1_cover_the_framing_module() {
+        // Binary framing emits reply text too — its formatting is as much
+        // a determinism anchor as the text protocol's, and it runs inside
+        // request handling, so both scopes must include it.
+        let src = "let s = format!(\"{:?}\", x).unwrap();\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/service/src/framing.rs", src)),
+            ["D3", "P1"]
+        );
     }
 
     #[test]

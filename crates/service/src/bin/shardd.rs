@@ -15,6 +15,14 @@
 //! for field: the supervisor forwards the router's configuration so a
 //! child engine is bit-identical to the in-process shard it replaces.
 //!
+//! Being a full [`haste_service::serve`] daemon, a child speaks every
+//! protocol revision, including v3 binary framing — but its supervisor
+//! deliberately stays on v1 text: one request per child is in flight at a
+//! time (the pipelined router tick is concurrency *across* children, not
+//! pipelining within one connection), so framing buys nothing on this
+//! hop, and text keeps child transcripts greppable during incident
+//! debugging.
+//!
 //! ```text
 //! haste-shardd [--addr 127.0.0.1:0] [--workers 4] [--max-pending 4096] \
 //!     [--colors C] [--samples S] [--seed SEED] [--engine rounds|threaded] \

@@ -7,7 +7,8 @@ use std::time::Duration;
 use haste_distributed::TaskSpec;
 use haste_model::{io as model_io, Scenario, Schedule, TaskId};
 
-use crate::proto::{VERSION, VERSION_V2};
+use crate::framing;
+use crate::proto::{VERSION, VERSION_V2, VERSION_V3};
 
 /// Backoff schedule for transient connect/greeting failures: the
 /// daemon-startup and daemon-restart race windows. Three attempts total,
@@ -141,11 +142,22 @@ pub struct ShardInfo {
     pub replay: u64,
 }
 
+/// How requests cross the wire after the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireMode {
+    /// Protocols v1/v2: newline-terminated text both ways.
+    Text,
+    /// Protocol v3: length-prefixed binary frames carrying the same text
+    /// requests/replies, plus batched submissions.
+    Framed,
+}
+
 /// A connected protocol client. One request is in flight at a time
 /// (the protocol is strictly request/reply).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    mode: WireMode,
 }
 
 impl Client {
@@ -172,16 +184,48 @@ impl Client {
     pub fn connect_v2<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
         Self::connect_with_retry(&addr, |client| {
             let fields = client.request_fields(&format!("HELLO {VERSION_V2}"))?;
-            let shards = parse_field(&fields, "shards")?;
-            let cells_text = find_value(&fields, "cells")?;
-            let cells = cells_text
-                .split_once('x')
-                .and_then(|(cx, cy)| Some((cx.parse().ok()?, cy.parse().ok()?)))
-                .ok_or_else(|| {
-                    ClientError::Protocol(format!("bad cells field `{cells_text}` in `{fields}`"))
-                })?;
-            Ok(Topology { shards, cells })
+            parse_topology(&fields)
         })
+    }
+
+    /// Connects with the v3 `HELLO` handshake — binary framing with
+    /// batched submissions — falling back *on the same connection* to v2
+    /// and then v1 when the daemon answers `ERR version`. The handshake
+    /// itself is plain text either way, so an old daemon's rejection can
+    /// never misframe the stream; against a v1-only daemon the topology
+    /// is the synthesized single-shard 1×1 grid. Check
+    /// [`is_binary`](Client::is_binary) for the negotiated mode. Uses the
+    /// same bounded connect + greeting retry as [`connect`](Client::connect).
+    pub fn connect_v3<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
+        Self::connect_with_retry(&addr, |client| {
+            match client.request_fields(&format!("HELLO {VERSION_V3}")) {
+                Ok(fields) => {
+                    let topology = parse_topology(&fields)?;
+                    // The daemon switches to frames right after its OK.
+                    client.mode = WireMode::Framed;
+                    Ok(topology)
+                }
+                Err(ClientError::Server { code, .. }) if code == "version" => {
+                    match client.request_fields(&format!("HELLO {VERSION_V2}")) {
+                        Ok(fields) => parse_topology(&fields),
+                        Err(ClientError::Server { code, .. }) if code == "version" => {
+                            client.request_fields(&format!("HELLO {VERSION}"))?;
+                            Ok(Topology {
+                                shards: 1,
+                                cells: (1, 1),
+                            })
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Whether the session negotiated protocol v3 binary framing.
+    pub fn is_binary(&self) -> bool {
+        self.mode == WireMode::Framed
     }
 
     /// Runs connect-then-greet attempts until one succeeds, a
@@ -219,6 +263,7 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            mode: WireMode::Text,
         })
     }
 
@@ -239,8 +284,13 @@ impl Client {
     }
 
     /// Sends one request line (plus an optional multi-line payload) and
-    /// reads the reply.
+    /// reads the reply — as text lines, or inside `OP_TEXT`/`OP_REPLY`
+    /// frames on a v3 session. Either way the request and reply bytes are
+    /// identical; only the envelope differs.
     fn request(&mut self, line: &str, payload: Option<&str>) -> Result<Payload, ClientError> {
+        if self.mode == WireMode::Framed {
+            return self.request_framed(line, payload);
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         if let Some(payload) = payload {
@@ -275,6 +325,46 @@ impl Client {
             }
             other => Err(ClientError::Protocol(format!("unknown reply `{other}`"))),
         }
+    }
+
+    /// The v3 envelope: the request line and any payload travel inside
+    /// one `OP_TEXT` frame; the reply (including a `DATA` document) comes
+    /// back whole inside one `OP_REPLY` frame.
+    fn request_framed(
+        &mut self,
+        line: &str,
+        payload: Option<&str>,
+    ) -> Result<Payload, ClientError> {
+        let mut body = Vec::with_capacity(line.len() + 2 + payload.map_or(0, str::len));
+        body.extend_from_slice(line.as_bytes());
+        body.push(b'\n');
+        if let Some(payload) = payload {
+            body.extend_from_slice(payload.as_bytes());
+            if !payload.is_empty() && !payload.ends_with('\n') {
+                body.push(b'\n');
+            }
+        }
+        framing::write_frame(&mut self.writer, framing::OP_TEXT, &body)?;
+        let frame = self.read_frame()?;
+        if frame.opcode != framing::OP_REPLY {
+            return Err(ClientError::Protocol(format!(
+                "expected a reply frame, got opcode {}",
+                frame.opcode
+            )));
+        }
+        parse_framed_reply(&frame.body)
+    }
+
+    /// Reads one frame, mapping a violated length prefix onto the
+    /// protocol error space (timeouts and EOF keep their io semantics).
+    fn read_frame(&mut self) -> Result<framing::Frame, ClientError> {
+        framing::read_frame(&mut self.reader).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                ClientError::Protocol(e.to_string())
+            } else {
+                ClientError::from(e)
+            }
+        })
     }
 
     fn request_fields(&mut self, line: &str) -> Result<String, ClientError> {
@@ -330,7 +420,86 @@ impl Client {
         let fields = self.request_fields(&line)?;
         let task = parse_field(&fields, "task")?;
         let release = parse_field(&fields, "release")?;
-        Ok((TaskId(task as u32), release))
+        // A checked narrowing: a daemon that hands out ids past the u32
+        // task-id space is broken, and truncating would silently alias
+        // some earlier task.
+        let task = u32::try_from(task).map_err(|_| {
+            ClientError::Protocol(format!("task id {task} overflows the u32 task-id space"))
+        })?;
+        Ok((TaskId(task), release))
+    }
+
+    /// Submits many tasks in one exchange; returns one outcome per spec,
+    /// in order. On a v3 session the whole batch crosses the wire as a
+    /// single `OP_BATCH` frame answered by one vectored ack; on a text
+    /// session it degrades to sequential [`submit`](Client::submit)s.
+    /// Per-record rejections (overload, a down cell, …) come back as
+    /// inner `Err`s; the outer `Err` is reserved for transport/protocol
+    /// failures that abort the whole exchange.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_batch(
+        &mut self,
+        specs: &[TaskSpec],
+    ) -> Result<Vec<Result<(TaskId, usize), ClientError>>, ClientError> {
+        if self.mode == WireMode::Text {
+            let mut outcomes = Vec::with_capacity(specs.len());
+            for spec in specs {
+                match self.submit(spec) {
+                    Ok(ok) => outcomes.push(Ok(ok)),
+                    Err(e @ ClientError::Server { .. }) => outcomes.push(Err(e)),
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(outcomes);
+        }
+        framing::write_frame(
+            &mut self.writer,
+            framing::OP_BATCH,
+            &framing::encode_batch(specs),
+        )?;
+        let frame = self.read_frame()?;
+        if frame.opcode == framing::OP_REPLY {
+            // A whole-batch failure: the daemon answered with a text
+            // reply (e.g. `ERR bad-request` for a malformed frame).
+            return Err(match parse_framed_reply(&frame.body) {
+                Err(e) => e,
+                Ok(_) => {
+                    ClientError::Protocol("expected a batch ack, got a success reply".to_string())
+                }
+            });
+        }
+        if frame.opcode != framing::OP_BATCH_ACK {
+            return Err(ClientError::Protocol(format!(
+                "expected a batch ack frame, got opcode {}",
+                frame.opcode
+            )));
+        }
+        let acks = framing::decode_batch_ack(&frame.body).map_err(ClientError::Protocol)?;
+        if acks.len() != specs.len() {
+            return Err(ClientError::Protocol(format!(
+                "batch of {} submissions acknowledged {} records",
+                specs.len(),
+                acks.len()
+            )));
+        }
+        acks.into_iter()
+            .map(|ack| match ack {
+                framing::BatchAck::Ok { task, release } => {
+                    let task = u32::try_from(task).map_err(|_| {
+                        ClientError::Protocol(format!(
+                            "task id {task} overflows the u32 task-id space"
+                        ))
+                    })?;
+                    let release = usize::try_from(release).map_err(|_| {
+                        ClientError::Protocol(format!("release slot {release} overflows usize"))
+                    })?;
+                    Ok(Ok((TaskId(task), release)))
+                }
+                framing::BatchAck::Err { code, message } => {
+                    Ok(Err(ClientError::Server { code, message }))
+                }
+            })
+            .collect()
     }
 
     /// Closes `n` slots; returns `(clock, still_open)`.
@@ -425,6 +594,61 @@ impl Client {
     pub fn bye(mut self) -> Result<(), ClientError> {
         self.request_fields("BYE")?;
         Ok(())
+    }
+}
+
+/// Parses the shard topology fields of a v2/v3 `HELLO` greeting.
+fn parse_topology(fields: &str) -> Result<Topology, ClientError> {
+    let shards = parse_field(fields, "shards")?;
+    let cells_text = find_value(fields, "cells")?;
+    let cells = cells_text
+        .split_once('x')
+        .and_then(|(cx, cy)| Some((cx.parse().ok()?, cy.parse().ok()?)))
+        .ok_or_else(|| {
+            ClientError::Protocol(format!("bad cells field `{cells_text}` in `{fields}`"))
+        })?;
+    Ok(Topology { shards, cells })
+}
+
+/// Parses an `OP_REPLY` frame body: the exact text reply the v1/v2
+/// protocol would have sent, with any `DATA` document riding in the same
+/// frame after the head line.
+fn parse_framed_reply(body: &[u8]) -> Result<Payload, ClientError> {
+    let text = String::from_utf8_lossy(body);
+    let (head, rest) = text.split_once('\n').unwrap_or((text.as_ref(), ""));
+    let (kind, args) = head.split_once(' ').unwrap_or((head, ""));
+    match kind {
+        "OK" => Ok(Payload::Fields(args.trim_end().to_string())),
+        "DATA" => {
+            let count: usize = args
+                .trim()
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad DATA count `{args}`")))?;
+            let mut document = String::new();
+            let mut lines = rest.lines();
+            for _ in 0..count {
+                match lines.next() {
+                    Some(line) => {
+                        document.push_str(line);
+                        document.push('\n');
+                    }
+                    None => {
+                        return Err(ClientError::Protocol(
+                            "DATA frame shorter than its line count".to_string(),
+                        ))
+                    }
+                }
+            }
+            Ok(Payload::Document(document))
+        }
+        "ERR" => {
+            let (code, message) = args.split_once(' ').unwrap_or((args, ""));
+            Err(ClientError::Server {
+                code: code.to_string(),
+                message: message.trim_end().to_string(),
+            })
+        }
+        other => Err(ClientError::Protocol(format!("unknown reply `{other}`"))),
     }
 }
 
@@ -588,6 +812,171 @@ mod tests {
         let client = Client::connect(addr).expect("connect must survive a dropped greeting");
         client.bye().expect("polite shutdown");
         dropper.join().expect("server thread").shutdown();
+    }
+
+    #[test]
+    fn task_ids_past_u32_are_rejected_structurally() {
+        // A (broken or future) daemon handing out ids past the u32 task-id
+        // space: the old cast truncated 2^32 to task 0, silently aliasing
+        // the first task. The client must refuse instead.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let fake = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("client connects");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("HELLO");
+            std::io::Write::write_all(&mut stream, b"OK haste-service v1\n").expect("greet");
+            line.clear();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("SUBMIT");
+            std::io::Write::write_all(&mut stream, b"OK task=4294967296 release=0\n")
+                .expect("oversized id reply");
+        });
+        let mut client = Client::connect(addr).expect("handshake");
+        let spec = TaskSpec {
+            device_pos: haste_geometry::Vec2::new(1.0, 2.0),
+            device_facing: haste_geometry::Angle::from_radians(0.0),
+            end_slot: 5,
+            required_energy: 100.0,
+            weight: 1.0,
+        };
+        let err = client.submit(&spec).expect_err("id overflows u32");
+        match err {
+            ClientError::Protocol(reason) => {
+                assert!(reason.contains("4294967296"), "{reason}");
+            }
+            other => panic!("expected a protocol error, got {other}"),
+        }
+        fake.join().expect("fake daemon thread");
+    }
+
+    /// A scripted text-protocol daemon: answers each `HELLO` from the
+    /// given script, then serves `BYE`. Stands in for older daemons in
+    /// the negotiation tests.
+    fn scripted_hello_daemon(
+        listener: TcpListener,
+        script: Vec<(&'static str, &'static str)>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("client connects");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            for (expect, reply) in script {
+                let mut line = String::new();
+                std::io::BufRead::read_line(&mut reader, &mut line).expect("request line");
+                assert_eq!(line.trim_end(), expect, "negotiation went off-script");
+                std::io::Write::write_all(&mut stream, reply.as_bytes()).expect("reply");
+            }
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("BYE");
+            assert_eq!(line.trim_end(), "BYE");
+            std::io::Write::write_all(&mut stream, b"OK bye\n").expect("bye reply");
+        })
+    }
+
+    #[test]
+    fn v3_falls_back_to_v2_on_the_same_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let daemon = scripted_hello_daemon(
+            listener,
+            vec![
+                ("HELLO v3", "ERR version unsupported version `v3`\n"),
+                ("HELLO v2", "OK haste-service v2 shards=4 cells=2x2\n"),
+            ],
+        );
+        let (client, topology) = Client::connect_v3(addr).expect("fall back to v2");
+        assert!(!client.is_binary(), "a v2 fallback must stay in text mode");
+        assert_eq!(
+            topology,
+            Topology {
+                shards: 4,
+                cells: (2, 2)
+            }
+        );
+        client.bye().expect("polite shutdown");
+        daemon.join().expect("fake daemon thread");
+    }
+
+    #[test]
+    fn v3_falls_back_to_v1_against_a_v1_only_daemon() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let daemon = scripted_hello_daemon(
+            listener,
+            vec![
+                ("HELLO v3", "ERR version unsupported version `v3`\n"),
+                ("HELLO v2", "ERR version unsupported version `v2`\n"),
+                ("HELLO v1", "OK haste-service v1\n"),
+            ],
+        );
+        let (client, topology) = Client::connect_v3(addr).expect("fall back to v1");
+        assert!(!client.is_binary());
+        assert_eq!(
+            topology,
+            Topology {
+                shards: 1,
+                cells: (1, 1)
+            }
+        );
+        client.bye().expect("polite shutdown");
+        daemon.join().expect("fake daemon thread");
+    }
+
+    #[test]
+    fn a_non_version_hello_failure_is_not_swallowed_by_fallback() {
+        // Only `ERR version` triggers the downgrade; any other structured
+        // failure surfaces as-is so real errors are never masked.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let fake = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("client connects");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("HELLO");
+            std::io::Write::write_all(&mut stream, b"ERR internal handler panicked\n")
+                .expect("reply");
+        });
+        match Client::connect_v3(addr) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, "internal"),
+            Err(other) => panic!("expected the internal error through, got {other}"),
+            Ok(_) => panic!("the handshake cannot succeed"),
+        }
+        fake.join().expect("fake daemon thread");
+    }
+
+    #[test]
+    fn v3_negotiates_binary_framing_against_a_live_daemon() {
+        let server = serve(ServerConfig {
+            worker_threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("start daemon");
+        let (mut client, topology) = Client::connect_v3(server.addr()).expect("v3 handshake");
+        assert!(client.is_binary(), "a live daemon speaks v3");
+        assert_eq!(
+            topology,
+            Topology {
+                shards: 1,
+                cells: (1, 1)
+            }
+        );
+        // A framed request round-trips and fails structurally (no
+        // scenario loaded) instead of hanging or misframing.
+        let err = client.clock().expect_err("no scenario loaded");
+        assert_eq!(err.code(), Some("no-scenario"));
+        client.bye().expect("polite framed shutdown");
+        server.shutdown();
     }
 
     #[test]

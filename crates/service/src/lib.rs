@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod client;
+mod framing;
 pub mod loadgen;
 pub mod proto;
 mod router;

@@ -86,6 +86,17 @@ pub struct LoadgenConfig {
     /// before the final slot so the targeted shard has a tick left in
     /// which to rejoin.
     pub fault_plan: Option<FaultPlan>,
+    /// Negotiate protocol v3 binary framing on the worker connections
+    /// ([`Client::connect_v3`]). The run fails with a structured error if
+    /// the endpoint only speaks text — a silent fallback would invalidate
+    /// any binary-vs-text comparison. The control connection stays on v1
+    /// text either way.
+    pub binary: bool,
+    /// Submissions per `submit_batch` call (clamped to at least 1). Over
+    /// binary framing a chunk rides in one `OP_BATCH` frame with one
+    /// vectored ack; over text it degrades to sequential `SUBMIT`s. Every
+    /// record in a chunk is attributed the chunk's round-trip latency.
+    pub batch: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -105,6 +116,8 @@ impl Default for LoadgenConfig {
             shardd: None,
             deadline: None,
             fault_plan: None,
+            binary: false,
+            batch: 1,
         }
     }
 }
@@ -127,10 +140,22 @@ pub struct LoadgenReport {
     pub p99_us: u64,
     /// Worst submit-to-ack latency, microseconds.
     pub max_us: u64,
-    /// Wall-clock duration of the submission phase, seconds.
+    /// Wall-clock duration of the whole session, seconds: connecting,
+    /// `LOAD`, the submission phase, and the post-run utility/snapshot/
+    /// verification queries. The honest denominator for submission
+    /// throughput is [`submit_elapsed_s`](LoadgenReport::submit_elapsed_s).
     pub elapsed_s: f64,
-    /// Acknowledged submissions per wall-clock second.
+    /// Acknowledged submissions per wall-clock second of the **whole
+    /// session** — a utilization figure, not the submission rate; that is
+    /// [`submit_throughput`](LoadgenReport::submit_throughput).
     pub throughput: f64,
+    /// Wall-clock duration of the submit loop alone, seconds: from the
+    /// instant every worker connection is established to the final slot's
+    /// closing `TICK`.
+    pub submit_elapsed_s: f64,
+    /// Acknowledged submissions per wall-clock second of the submit loop
+    /// alone.
+    pub submit_throughput: f64,
     /// Final full-P1 utility reported by the daemon.
     pub utility: f64,
     /// Final relaxed (HASTE-R) value reported by the daemon.
@@ -186,7 +211,8 @@ impl std::fmt::Display for LoadgenReport {
         write!(
             f,
             "submitted={} accepted={} rejected={} overload_rate={:.2}% p50={}us p99={}us \
-             max={}us elapsed={:.3}s throughput={:.0}/s utility={:.6}",
+             max={}us elapsed={:.3}s throughput={:.0}/s submit_elapsed={:.3}s \
+             submit_throughput={:.0}/s utility={:.6}",
             self.submitted,
             self.accepted,
             self.rejected,
@@ -196,6 +222,8 @@ impl std::fmt::Display for LoadgenReport {
             self.max_us,
             self.elapsed_s,
             self.throughput,
+            self.submit_elapsed_s,
+            self.submit_throughput,
             self.utility
         )?;
         if let Some(shards) = self.shards {
@@ -383,6 +411,7 @@ fn run_session(
         (None, None) => unreachable!("self-hosted handle exists"),
     };
 
+    let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let scenario = base_scenario(config, &mut rng);
     let mut control = Client::connect(&addr)?;
@@ -415,8 +444,8 @@ fn run_session(
     let accepted = AtomicUsize::new(0);
     let rejected = AtomicUsize::new(0);
     let unavailable = AtomicUsize::new(0);
-    let start = Instant::now();
     let mut all_latencies: Vec<u64> = Vec::with_capacity(config.submissions);
+    let mut submit_elapsed_s = 0.0f64;
 
     std::thread::scope(|scope| -> Result<(), ClientError> {
         let mut handles = Vec::with_capacity(config.connections);
@@ -427,34 +456,57 @@ fn run_session(
             let unavailable = &unavailable;
             let addr = addr.as_str();
             let slots = config.slots;
+            let binary = config.binary;
+            let batch = config.batch.max(1);
             handles.push(scope.spawn(move || -> Result<Vec<u64>, ClientError> {
-                let mut client = Client::connect(addr)?;
-                let mut latencies = Vec::new();
                 // A failed worker keeps meeting the barriers (without
                 // submitting) so the remaining participants never
-                // deadlock; the error surfaces at join time.
+                // deadlock; the error surfaces at join time. That covers
+                // a failed *connect* too — the ready barrier below is
+                // met either way.
                 let mut failure: Option<ClientError> = None;
+                let mut client = match worker_connect(addr, binary) {
+                    Ok(client) => Some(client),
+                    Err(e) => {
+                        failure = Some(e);
+                        None
+                    }
+                };
+                let mut latencies = Vec::new();
+                // Ready barrier: every worker is connected (or has
+                // recorded why not). The submit-phase clock starts here.
+                barrier.wait();
                 for slot in 0..slots {
-                    if failure.is_none() {
-                        for spec in &plan.per_slot[slot] {
+                    if let (Some(client), None) = (client.as_mut(), failure.as_ref()) {
+                        'chunks: for chunk in plan.per_slot[slot].chunks(batch) {
                             let sent = Instant::now();
-                            match client.submit(spec) {
-                                Ok(_) => {
-                                    latencies.push(sent.elapsed().as_micros() as u64);
-                                    accepted.fetch_add(1, Ordering::Relaxed);
-                                }
-                                Err(e) if e.code() == Some("overload") => {
-                                    rejected.fetch_add(1, Ordering::Relaxed);
-                                }
-                                // A down shard bounces the submission;
-                                // under fault injection that is expected
-                                // degraded-mode behaviour, not a failure.
-                                Err(e) if e.code() == Some("unavailable") => {
-                                    unavailable.fetch_add(1, Ordering::Relaxed);
-                                }
+                            let acks = match client.submit_batch(chunk) {
+                                Ok(acks) => acks,
                                 Err(e) => {
                                     failure = Some(e);
-                                    break;
+                                    break 'chunks;
+                                }
+                            };
+                            let rtt = sent.elapsed().as_micros() as u64;
+                            for ack in acks {
+                                match ack {
+                                    Ok(_) => {
+                                        latencies.push(rtt);
+                                        accepted.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) if e.code() == Some("overload") => {
+                                        rejected.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    // A down shard bounces the submission;
+                                    // under fault injection that is expected
+                                    // degraded-mode behaviour, not a failure.
+                                    Err(e) if e.code() == Some("unavailable") => {
+                                        unavailable.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) => {
+                                        failure = Some(e);
+                                        break 'chunks;
+                                    }
                                 }
                             }
                         }
@@ -467,12 +519,16 @@ fn run_session(
                 if let Some(e) = failure {
                     return Err(e);
                 }
-                client.bye()?;
+                client
+                    .expect("a connected worker reaches the epilogue")
+                    .bye()?;
                 Ok(latencies)
             }));
         }
         // Controller: close each slot once every worker has drained it.
         // Same rule: keep meeting the barriers even after an error.
+        barrier.wait();
+        let submit_start = Instant::now();
         let mut tick_failure: Option<ClientError> = None;
         for _ in 0..config.slots {
             barrier.wait();
@@ -483,6 +539,7 @@ fn run_session(
             }
             barrier.wait();
         }
+        submit_elapsed_s = submit_start.elapsed().as_secs_f64();
         for handle in handles {
             all_latencies.extend(handle.join().expect("loadgen worker panicked")?);
         }
@@ -491,7 +548,6 @@ fn run_session(
         }
         Ok(())
     })?;
-    let elapsed_s = start.elapsed().as_secs_f64();
 
     let (utility, relaxed) = control.utility()?;
     let snapshot = if config.verify_replay || observe {
@@ -529,29 +585,25 @@ fn run_session(
         None
     };
     control.bye()?;
+    let elapsed_s = start.elapsed().as_secs_f64();
     if let Some(handle) = hosted {
         handle.shutdown();
     }
 
     all_latencies.sort_unstable();
-    let percentile = |p: usize| -> u64 {
-        if all_latencies.is_empty() {
-            0
-        } else {
-            all_latencies[(all_latencies.len() - 1) * p / 100]
-        }
-    };
     let accepted = accepted.into_inner();
     let report = LoadgenReport {
         submitted: config.submissions,
         accepted,
         rejected: rejected.into_inner(),
         unavailable: unavailable.into_inner(),
-        p50_us: percentile(50),
-        p99_us: percentile(99),
+        p50_us: nearest_rank(&all_latencies, 50),
+        p99_us: nearest_rank(&all_latencies, 99),
         max_us: all_latencies.last().copied().unwrap_or(0),
         elapsed_s,
         throughput: accepted as f64 / elapsed_s.max(1e-9),
+        submit_elapsed_s,
+        submit_throughput: accepted as f64 / submit_elapsed_s.max(1e-9),
         utility,
         relaxed,
         replay_utility,
@@ -560,6 +612,38 @@ fn run_session(
         chaos: None,
     };
     Ok((report, observations))
+}
+
+/// Dials one worker connection: plain v1 text, or the protocol v3
+/// binary-framing handshake when [`LoadgenConfig::binary`] is set. A v3
+/// request that falls back to a text protocol is an error here — the run
+/// was asked to measure the binary path, and silently measuring text
+/// instead would poison the comparison.
+fn worker_connect(addr: &str, binary: bool) -> Result<Client, ClientError> {
+    if !binary {
+        return Client::connect(addr);
+    }
+    let (client, _topology) = Client::connect_v3(addr)?;
+    if !client.is_binary() {
+        return Err(ClientError::Protocol(
+            "endpoint does not speak the v3 binary framing (binary run refused to \
+             fall back to text)"
+                .to_string(),
+        ));
+    }
+    Ok(client)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// 1-based rank `ceil(p/100 · len)`. Unlike floor-indexing
+/// (`sorted[(len - 1) * p / 100]`), small samples surface their tail —
+/// the p99 of ten samples is the maximum, not the eighth value.
+fn nearest_rank(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
 }
 
 /// Each shard's final utility, recomputed by restoring its section of the
@@ -663,4 +747,33 @@ fn base_scenario(config: &LoadgenConfig, rng: &mut StdRng) -> Scenario {
         1,
     )
     .expect("generated base scenario is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::nearest_rank;
+
+    /// Pins the nearest-rank convention on the small samples where the
+    /// old floor-indexing (`sorted[(len - 1) * p / 100]`) under-reported
+    /// the tail.
+    #[test]
+    fn nearest_rank_surfaces_the_tail_on_small_samples() {
+        let ten: Vec<u64> = (1..=10).collect();
+        // Floor-indexing reported 9 here — the p99 of ten samples must
+        // be the maximum.
+        assert_eq!(nearest_rank(&ten, 99), 10);
+        assert_eq!(nearest_rank(&ten, 50), 5);
+        assert_eq!(nearest_rank(&ten, 100), 10);
+
+        // A single sample is every percentile.
+        assert_eq!(nearest_rank(&[42], 50), 42);
+        assert_eq!(nearest_rank(&[42], 99), 42);
+
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&hundred, 99), 99);
+        assert_eq!(nearest_rank(&hundred, 50), 50);
+        assert_eq!(nearest_rank(&hundred, 1), 1);
+
+        assert_eq!(nearest_rank(&[], 99), 0);
+    }
 }

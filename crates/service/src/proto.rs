@@ -23,6 +23,16 @@ pub const VERSION: &str = "v1";
 /// v1 semantics.
 pub const VERSION_V2: &str = "v2";
 
+/// The binary-framing revision (the `HELLO v3` handshake): after the
+/// (text) `OK` greeting the connection switches to length-prefixed binary
+/// frames — text requests and replies ride inside `OP_TEXT`/`OP_REPLY`
+/// frames with unchanged semantics and byte-exact reply text, and batched
+/// `SUBMIT`s (`OP_BATCH`, one vectored ack) become available. Snapshot and
+/// schedule documents stay text: shortest-roundtrip f64 text is the
+/// determinism anchor. Frame layout: the `framing` module and the
+/// "Protocol v3" section of `docs/service_protocol.md`.
+pub const VERSION_V3: &str = "v3";
+
 /// Stable machine-readable error codes of `ERR` replies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrCode {

@@ -39,9 +39,13 @@
 //! same sequence as the single engine's evaluator, hence the same bits.
 //!
 //! **Consistent cut.** All request handling serializes on one router
-//! mutex and `TICK` advances every shard in lockstep inside it, so
-//! between requests all healthy shards sit at the router's virtual slot.
-//! `SNAPSHOT` (under that mutex) therefore captures a trivially
+//! mutex and `TICK` advances every shard in lockstep inside it — the
+//! per-shard replans of one slot run *concurrently* (scoped
+//! `haste-parallel` threads in-process; concurrently-issued child
+//! requests out-of-process), but the router joins them all before its
+//! clock moves, so between requests all healthy shards still sit at the
+//! router's virtual slot and the pipelining is invisible to every other
+//! request. `SNAPSHOT` (under that mutex) therefore captures a trivially
 //! consistent cut; it requires every shard up (a down shard's state is
 //! mid-replay by definition) and, once the composite document is
 //! assembled, commits each section as its shard's new replay baseline.
@@ -61,10 +65,11 @@ use haste_model::{io as model_io, ChargerId, Partition, PartitionError, Schedule
 use haste_parallel::ThreadPool;
 use parking_lot::Mutex;
 
+use crate::framing::{self, BatchAck};
 use crate::proto::{ErrCode, Reply, Request};
 use crate::server::{
-    catching, hello_reply, parts_payload, read_line_polling, read_payload, shard_err, shard_line,
-    READ_POLL,
+    batch_backstop, catching, hello_reply, parts_payload, read_line_polling, read_payload,
+    shard_err, shard_err_parts, shard_line, READ_POLL,
 };
 use crate::shard::{Shard, ShardHealth, ShardStatus, UtilityParts};
 use crate::supervisor::{
@@ -324,12 +329,97 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Resul
             continue;
         }
         let (reply, close) = dispatch(&line, &mut reader, shared)?;
+        let upgrade = framing::upgrades_to_v3(&line, &reply);
         writer.write_all(reply.serialize().as_bytes())?;
         writer.flush()?;
         if close {
             return Ok(());
         }
+        if upgrade {
+            // Same switch as the single-engine daemon: the accepted
+            // `HELLO v3` greeting is the last text exchange.
+            return serve_framed(&mut reader, &mut writer, shared);
+        }
     }
+}
+
+/// The router's framed (protocol v3) connection loop: identical dispatch
+/// semantics, plus the batched-submit path — many records per `OP_BATCH`
+/// frame, routed and acknowledged under one acquisition of the router
+/// mutex.
+fn serve_framed<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    shared: &RouterShared,
+) -> std::io::Result<()> {
+    framing::serve_frames(
+        reader,
+        writer,
+        &shared.shutdown,
+        |head, payload| {
+            let mut embedded = std::io::Cursor::new(payload);
+            dispatch(head, &mut embedded, shared)
+        },
+        |specs| batch_backstop(specs, || execute_batch(specs, shared)),
+    )
+}
+
+/// Executes a batched submission on the router: one lock acquisition,
+/// then per record the exact `SUBMIT` path — finiteness check, cell
+/// routing, shard admission, and a push onto the global arrival order.
+/// Holding the lock across the whole frame means the batch occupies a
+/// contiguous run of the arrival order, but any interleaving with other
+/// connections' submissions would be equally valid: within a slot the
+/// recorded order *is* the determinism contract, exactly as for text
+/// submits racing on separate connections.
+fn execute_batch(specs: &[TaskSpec], shared: &RouterShared) -> Vec<BatchAck> {
+    let mut core = shared.core.lock();
+    let core = &mut *core;
+    specs
+        .iter()
+        .map(|spec| {
+            if !(spec.device_pos.x.is_finite()
+                && spec.device_pos.y.is_finite()
+                && spec.device_facing.radians().is_finite())
+            {
+                BatchAck::rejected(ErrCode::BadTask, "non-finite position/facing")
+            } else {
+                match core.partition.as_ref() {
+                    None => {
+                        let (code, message) = shard_err_parts(crate::shard::ShardError::NoScenario);
+                        BatchAck::Err {
+                            code: code.as_str().to_string(),
+                            message,
+                        }
+                    }
+                    Some(partition) => {
+                        let cell = partition.cell_of(spec.device_pos);
+                        let outcome = match core.shards.get(cell) {
+                            Some(shard) => shard.submit(*spec),
+                            None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
+                        };
+                        match outcome {
+                            Ok((_local, release)) => {
+                                let global = core.order.len();
+                                core.order.push(cell as u32);
+                                BatchAck::Ok {
+                                    task: global as u64,
+                                    release: release as u64,
+                                }
+                            }
+                            Err(e) => {
+                                let (code, message) = slot_err_parts(e);
+                                BatchAck::Err {
+                                    code: code.as_str().to_string(),
+                                    message,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .collect()
 }
 
 /// Parses and executes one request under the panic backstop (see the
@@ -357,11 +447,17 @@ fn partition_err(e: PartitionError) -> Reply {
 /// `ERR unavailable` with the cell index leading the message, so clients
 /// can tell *which* cell is degraded without a `SHARDS?` round trip.
 fn slot_err(e: SlotError) -> Reply {
+    let (code, message) = slot_err_parts(e);
+    Reply::Err(code, message)
+}
+
+/// The code/message pair of [`slot_err`], for the batch-ack path.
+fn slot_err_parts(e: SlotError) -> (ErrCode, String) {
     match e {
-        SlotError::Shard(e) => shard_err(e),
-        SlotError::Remote { code, message } => Reply::Err(code, message),
+        SlotError::Shard(e) => shard_err_parts(e),
+        SlotError::Remote { code, message } => (code, message),
         SlotError::Unavailable { cell, detail } => {
-            Reply::Err(ErrCode::Unavailable, format!("{cell} shard down: {detail}"))
+            (ErrCode::Unavailable, format!("{cell} shard down: {detail}"))
         }
     }
 }
@@ -693,9 +789,23 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
 /// Advances the lockstep one slot at a time, releasing staged arrivals
 /// into the global order as their slots open. Down shards do not stall
 /// the fleet: each step first gives them a rejoin (restart + replay to
-/// the router clock), then ticks every healthy shard; a shard that is
-/// still down has the missed slot journaled so its eventual replay
+/// the router clock), then ticks every shard, *pipelined*; a shard that
+/// is still down has the missed slot journaled so its eventual replay
 /// catches up, and fault directives for the newly opened slot mature last.
+///
+/// **Pipelined negotiation.** The per-shard `tick1` calls of one step run
+/// concurrently on scoped `haste-parallel` threads: every [`ShardSlot`]
+/// ticks through `&self` behind its own interior lock (an in-process
+/// shard's engine mutex; an out-of-process shard's connection state, so a
+/// remote step is a concurrently-issued child request under the usual
+/// per-request deadline). The join below is the consistent-cut barrier —
+/// the router clock, the staged-release plan, and slot faults advance
+/// only after *every* shard has finished (or missed) the slot, so between
+/// requests all healthy shards still sit at the router's virtual slot.
+/// Replanning is per-shard-deterministic and shards share no state, so
+/// thread interleaving cannot reach any output bits; tick outcomes are
+/// processed sequentially in shard order, keeping error reporting
+/// deterministic too (DESIGN.md §11 has the full argument).
 fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply> {
     if !core.open() {
         return Err(shard_err(crate::shard::ShardError::AtHorizon));
@@ -707,8 +817,10 @@ fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply
         for shard in &core.shards {
             shard.rejoin(core.clock);
         }
-        for shard in &core.shards {
-            match shard.tick1() {
+        let outcomes =
+            haste_parallel::par_map(&core.shards, core.shards.len(), |_, shard| shard.tick1());
+        for (shard, outcome) in core.shards.iter().zip(outcomes) {
+            match outcome {
                 Ok((slot, _open)) => {
                     if slot != core.clock + 1 {
                         return Err(internal(&format!(

@@ -25,7 +25,8 @@ use haste_distributed::{AdmitError, OnlineConfig, TaskSpec};
 use haste_geometry::{Angle, Vec2};
 use haste_parallel::ThreadPool;
 
-use crate::proto::{ErrCode, Reply, Request, VERSION, VERSION_V2};
+use crate::framing::{self, BatchAck};
+use crate::proto::{ErrCode, Reply, Request, VERSION, VERSION_V2, VERSION_V3};
 use crate::shard::{Shard, ShardError, ShardHealth};
 
 /// How long a handler blocks on a read before re-checking the shutdown
@@ -209,12 +210,88 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             continue;
         }
         let (reply, close) = dispatch(&line, &mut reader, shared)?;
+        let upgrade = framing::upgrades_to_v3(&line, &reply);
         writer.write_all(reply.serialize().as_bytes())?;
         writer.flush()?;
         if close {
             return Ok(());
         }
+        if upgrade {
+            // The accepted `HELLO v3` greeting is the last text exchange;
+            // everything after it is length-prefixed binary frames.
+            return serve_framed(&mut reader, &mut writer, shared);
+        }
     }
+}
+
+/// Serves a connection that negotiated protocol v3: the framed loop over
+/// the same dispatch path. Text requests arrive with their payload
+/// embedded in the frame, so the payload reader is a cursor over those
+/// bytes — `read_payload` and every handler behave exactly as over TCP
+/// lines, including the truncated-payload close.
+fn serve_framed<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    framing::serve_frames(
+        reader,
+        writer,
+        &shared.shutdown,
+        |head, payload| {
+            let mut embedded = std::io::Cursor::new(payload);
+            dispatch(head, &mut embedded, shared)
+        },
+        |specs| batch_backstop(specs, || execute_batch(specs, shared)),
+    )
+}
+
+/// The batch-mode panic backstop: like [`catching`], but vectored — a
+/// panic mid-batch yields an `ERR internal` ack for every record (which
+/// records applied is unknowable past a panic; the engine state is
+/// unspecified either way, and the acks tell the client to recover).
+pub(crate) fn batch_backstop<F>(specs: &[TaskSpec], f: F) -> Vec<BatchAck>
+where
+    F: FnOnce() -> Vec<BatchAck>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(acks) => acks,
+        Err(_) => specs
+            .iter()
+            .map(|_| BatchAck::rejected(ErrCode::Internal, "request handler panicked"))
+            .collect(),
+    }
+}
+
+/// Executes a batched submission: per-record admission, one vectored ack.
+/// Records are admitted in frame order under the shard's own serialization
+/// — the same order contract as the equivalent sequence of text `SUBMIT`s.
+fn execute_batch(specs: &[TaskSpec], shared: &Shared) -> Vec<BatchAck> {
+    specs
+        .iter()
+        .map(|spec| {
+            if !(spec.device_pos.x.is_finite()
+                && spec.device_pos.y.is_finite()
+                && spec.device_facing.radians().is_finite())
+            {
+                BatchAck::rejected(ErrCode::BadTask, "non-finite position/facing")
+            } else {
+                match shared.shard.submit(*spec) {
+                    Ok((id, release)) => BatchAck::Ok {
+                        task: u64::from(id.0),
+                        release: release as u64,
+                    },
+                    Err(e) => {
+                        let (code, message) = shard_err_parts(e);
+                        BatchAck::Err {
+                            code: code.as_str().to_string(),
+                            message,
+                        }
+                    }
+                }
+            }
+        })
+        .collect()
 }
 
 /// Parses and executes one request; returns the reply and whether the
@@ -268,6 +345,13 @@ where
 
 /// Maps a structured shard failure onto the wire error space.
 pub(crate) fn shard_err(e: ShardError) -> Reply {
+    let (code, message) = shard_err_parts(e);
+    Reply::Err(code, message)
+}
+
+/// The code/message pair of [`shard_err`], for emitters that frame the
+/// error themselves (the batch-submit ack path).
+pub(crate) fn shard_err_parts(e: ShardError) -> (ErrCode, String) {
     let code = match &e {
         ShardError::NoScenario => ErrCode::NoScenario,
         ShardError::AlreadyLoaded => ErrCode::AlreadyLoaded,
@@ -278,7 +362,7 @@ pub(crate) fn shard_err(e: ShardError) -> Reply {
         ShardError::Admit(AdmitError::Closed) => ErrCode::AtHorizon,
         ShardError::Admit(AdmitError::BadTask(_)) => ErrCode::BadTask,
     };
-    Reply::Err(code, e.to_string())
+    (code, e.to_string())
 }
 
 /// Formats the HELLO reply shared by the daemon and the router: version
@@ -286,16 +370,18 @@ pub(crate) fn shard_err(e: ShardError) -> Reply {
 pub(crate) fn hello_reply(version: &str, shards: usize, cells: (usize, usize)) -> Reply {
     if version == VERSION {
         Reply::Ok(format!("haste-service {VERSION}"))
-    } else if version == VERSION_V2 {
+    } else if version == VERSION_V2 || version == VERSION_V3 {
+        // v3 advertises the same topology; the caller switches the
+        // connection to binary frames after writing this (text) greeting.
         Reply::Ok(format!(
-            "haste-service {VERSION_V2} shards={shards} cells={}x{}",
+            "haste-service {version} shards={shards} cells={}x{}",
             cells.0, cells.1
         ))
     } else {
         Reply::Err(
             ErrCode::Version,
             format!(
-                "unsupported version `{version}` (this daemon speaks {VERSION} and {VERSION_V2})"
+                "unsupported version `{version}` (this daemon speaks {VERSION}, {VERSION_V2} and {VERSION_V3})"
             ),
         )
     }
@@ -526,7 +612,7 @@ mod tests {
     }
 
     #[test]
-    fn hello_negotiates_both_versions() {
+    fn hello_negotiates_every_version() {
         match hello_reply("v1", 1, (1, 1)) {
             Reply::Ok(message) => assert_eq!(message, "haste-service v1"),
             other => panic!("expected OK, got {other:?}"),
@@ -535,8 +621,12 @@ mod tests {
             Reply::Ok(message) => assert_eq!(message, "haste-service v2 shards=4 cells=2x2"),
             other => panic!("expected OK, got {other:?}"),
         }
+        match hello_reply("v3", 4, (2, 2)) {
+            Reply::Ok(message) => assert_eq!(message, "haste-service v3 shards=4 cells=2x2"),
+            other => panic!("expected OK, got {other:?}"),
+        }
         assert!(matches!(
-            hello_reply("v3", 1, (1, 1)),
+            hello_reply("v4", 1, (1, 1)),
             Reply::Err(ErrCode::Version, _)
         ));
     }

@@ -29,6 +29,16 @@
 //! reconstructs exactly the state the router believes the shard has — the
 //! in-flight request that triggered the failure is not in the journal, so
 //! it is dropped on both sides, and its submitter saw an error.
+//!
+//! **Concurrency.** Every [`RemoteShard`] method takes `&self` and
+//! serializes through the shard's own mutex, so the router's pipelined
+//! lockstep (protocol v3) may issue `tick1` to *different* children
+//! concurrently: each request still runs under its own per-request
+//! deadline, and nothing is shared across children but the launcher
+//! configuration. The consistent-cut argument lives at the call site
+//! ([`crate::serve_router`]'s tick) — the supervisor's only contract here
+//! is that a shard's journal and connection are never touched by two
+//! requests at once.
 
 use std::collections::BTreeSet;
 use std::io::BufRead;
@@ -562,6 +572,11 @@ impl RemoteShard {
     }
 
     /// Closes one slot on the child; journals the tick on success.
+    ///
+    /// The pipelined lockstep calls this concurrently across *different*
+    /// shards (one in-flight request per child, each under its own
+    /// deadline); the per-shard mutex below is what keeps any single
+    /// child's request/journal sequence serial.
     pub(crate) fn tick1(&self) -> Result<(usize, bool), SlotError> {
         let mut locked = self.inner.lock();
         let inner = &mut *locked;

@@ -148,6 +148,69 @@ fn router_with_two_shards_matches_single_engine_bit_for_bit() {
     assert_eq!(relaxed.to_bits(), ref_relaxed.to_bits());
 }
 
+/// Drives a session like [`drive`], but over one v3 binary-framed
+/// connection with `batch`-sized `OP_BATCH` submissions. One client means
+/// the global arrival order is the trace order — the precondition for
+/// comparing utilities bit for bit across wire formats.
+fn drive_batched(
+    client: &mut Client,
+    trace: &[(usize, TaskSpec)],
+    batch: usize,
+) -> (haste_model::Schedule, f64, f64) {
+    let mut next = 0;
+    for slot in 0..SLOTS {
+        let mut specs = Vec::new();
+        while next < trace.len() && trace[next].0 == slot {
+            specs.push(trace[next].1);
+            next += 1;
+        }
+        for chunk in specs.chunks(batch) {
+            for ack in client.submit_batch(chunk).unwrap() {
+                ack.unwrap();
+            }
+        }
+        client.tick(1).unwrap();
+    }
+    assert_eq!(next, trace.len());
+    let schedule = client.schedule().unwrap();
+    let (utility, relaxed) = client.utility().unwrap();
+    (schedule, utility, relaxed)
+}
+
+#[test]
+fn binary_batched_router_matches_single_engine_bit_for_bit() {
+    let scenario = partitionable_scenario(21);
+    let trace = submission_trace(22, 24);
+
+    // Reference: one engine, plain v1 text, serial SUBMITs.
+    let single = serve(ServerConfig {
+        scheduling: localized(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut ref_client = Client::connect(single.addr()).unwrap();
+    ref_client.load(&scenario).unwrap();
+    let (ref_schedule, ref_utility, ref_relaxed) = drive(&mut ref_client, &trace, 0);
+    ref_client.bye().unwrap();
+    single.shutdown();
+
+    // Same scenario and trace through the 2-shard router over protocol v3
+    // binary framing, 5 submissions per OP_BATCH frame (a size that
+    // leaves a ragged final chunk), with the pipelined lockstep tick.
+    let router = serve_router(router_config()).unwrap();
+    let (mut client, topology) = Client::connect_v3(router.addr()).unwrap();
+    assert!(client.is_binary());
+    assert_eq!(topology.shards, 2);
+    client.load(&scenario).unwrap();
+    let (schedule, utility, relaxed) = drive_batched(&mut client, &trace, 5);
+    client.bye().unwrap();
+    router.shutdown();
+
+    assert_eq!(schedule, ref_schedule);
+    assert_eq!(utility.to_bits(), ref_utility.to_bits());
+    assert_eq!(relaxed.to_bits(), ref_relaxed.to_bits());
+}
+
 #[test]
 fn router_session_survives_kill_and_restore_bit_identically() {
     let scenario = partitionable_scenario(31);
@@ -285,4 +348,37 @@ fn loadgen_router_mode_verifies_merged_shard_replay() {
     assert_eq!(report.accepted + report.rejected, 200);
     assert_eq!(report.replay_matches, Some(true));
     assert!(report.utility.is_finite());
+}
+
+#[test]
+fn loadgen_binary_batched_matches_the_text_run_bit_for_bit() {
+    // One connection pins the global arrival order to the generated plan,
+    // so the streamed utility is comparable across wire formats bit for
+    // bit; both runs also self-verify against the merged shard replay.
+    let config = loadgen::LoadgenConfig {
+        connections: 1,
+        submissions: 150,
+        chargers: 6,
+        field: 200.0,
+        slots: 16,
+        seed: 13,
+        verify_replay: true,
+        cells: Some((2, 1)),
+        ..loadgen::LoadgenConfig::default()
+    };
+    let text = loadgen::run(&config).unwrap();
+    let binary = loadgen::run(&loadgen::LoadgenConfig {
+        binary: true,
+        batch: 8,
+        ..config
+    })
+    .unwrap();
+
+    assert_eq!(text.replay_matches, Some(true));
+    assert_eq!(binary.replay_matches, Some(true));
+    assert_eq!(binary.accepted, text.accepted);
+    assert_eq!(binary.utility.to_bits(), text.utility.to_bits());
+    assert_eq!(binary.relaxed.to_bits(), text.relaxed.to_bits());
+    assert!(binary.submit_elapsed_s > 0.0);
+    assert!(binary.submit_elapsed_s <= binary.elapsed_s);
 }
