@@ -9,7 +9,9 @@
 //!     [--chargers 8] [--field 200] [--slots 64] [--seed 1] \
 //!     [--max-pending 4096] [--cells CXxCY] [--no-verify] \
 //!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
-//!     [--fault-plan FILE] [--binary] [--batch N] [--json FILE]
+//!     [--fault-plan FILE] [--binary] [--batch N] [--json FILE] \
+//!     [--profile uniform|diurnal[:PERIOD]] [--open-loop RATE] \
+//!     [--metrics-addr HOST:PORT] [--check-export]
 //! ```
 //!
 //! `--binary` negotiates protocol v3 binary framing on the worker
@@ -18,6 +20,20 @@
 //! `--json FILE` additionally writes the report as a JSON document — the
 //! shape committed as `BENCH_*.json` at the repo root, so before/after
 //! perf comparisons survive re-anchors.
+//!
+//! `--profile diurnal[:PERIOD]` draws arrival slots from the seeded
+//! double-peaked diurnal curve (PERIOD slots per synthetic day, default
+//! the whole run) and reports peak-band vs trough-band rejection rates.
+//! `--open-loop RATE` paces raw submissions at RATE/s without waiting
+//! for acks; latency percentiles then come from the server-side
+//! `EXPORT?` histogram, rejections are the saturation signal rather
+//! than a failure, and the flag is refused without `--json` (the
+//! machine-readable report is the whole point of an open-loop run).
+//! `--metrics-addr` gives the self-hosted router a plain-HTTP scrape
+//! listener; `--check-export` fetches the exposition after the run
+//! (over that listener when set, else `EXPORT?`), checks it parses, and
+//! fails unless the `SUBMIT` latency-histogram count equals the
+//! session's accepted + rejected + unavailable submissions.
 //!
 //! With `--cells` the harness self-hosts the sharded router instead of a
 //! single daemon and the replay check becomes the sum of per-shard
@@ -32,7 +48,7 @@
 //! submissions, or when the streamed session's utility does not match the
 //! batch replay of its own submission trace bit for bit.
 
-use haste::service::loadgen::{self, LoadgenConfig};
+use haste::service::loadgen::{self, ArrivalProfile, LoadgenConfig};
 use haste::service::FaultPlan;
 
 fn main() {
@@ -40,6 +56,9 @@ fn main() {
     let mut config = LoadgenConfig::default();
     let mut strict = true;
     let mut json_path: Option<String> = None;
+    // Resolved after the loop: a bare `diurnal` defaults its period to
+    // the final --slots value regardless of flag order.
+    let mut profile_arg: Option<String> = None;
 
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -116,6 +135,19 @@ fn main() {
                 config.batch = parse(&value(&args, i, "--batch"));
                 i += 1;
             }
+            "--profile" => {
+                profile_arg = Some(value(&args, i, "--profile"));
+                i += 1;
+            }
+            "--open-loop" => {
+                config.open_loop = Some(parse(&value(&args, i, "--open-loop")));
+                i += 1;
+            }
+            "--metrics-addr" => {
+                config.metrics_addr = Some(value(&args, i, "--metrics-addr"));
+                i += 1;
+            }
+            "--check-export" => config.check_export = true,
             "--json" => {
                 json_path = Some(value(&args, i, "--json"));
                 i += 1;
@@ -128,6 +160,17 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(text) = &profile_arg {
+        config.profile = parse_profile(text, config.slots);
+    }
+    if config.open_loop.is_some() && json_path.is_none() {
+        eprintln!(
+            "--open-loop needs --json: the machine-readable report is what an open-loop \
+             run produces"
+        );
+        std::process::exit(2);
     }
 
     let report = loadgen::run(&config).unwrap_or_else(|e| {
@@ -145,9 +188,11 @@ fn main() {
 
     if strict {
         // Under fault injection, submissions bounced by a down shard are
-        // expected degraded-mode behaviour and accounted separately.
+        // expected degraded-mode behaviour and accounted separately. An
+        // open-loop run saturates admission on purpose, so rejections
+        // are its measurement, not a failure.
         let accounted = report.accepted + report.unavailable;
-        if accounted != report.submitted {
+        if config.open_loop.is_none() && accounted != report.submitted {
             eprintln!(
                 "FAIL: {} of {} submissions were not accepted",
                 report.submitted - accounted,
@@ -208,8 +253,32 @@ fn report_json(config: &LoadgenConfig, report: &loadgen::LoadgenReport) -> Strin
         .replay_matches
         .map_or("null".to_string(), |m| m.to_string());
     let shards = report.shards.map_or("null".to_string(), |n| n.to_string());
+    let profile = match config.profile {
+        ArrivalProfile::Uniform => "\"uniform\"".to_string(),
+        ArrivalProfile::Diurnal { period } => format!("\"diurnal:{period}\""),
+    };
+    let open_loop = config
+        .open_loop
+        .map_or("null".to_string(), |rate| rate.to_string());
+    let peak = report
+        .peak_overload_rate
+        .map_or("null".to_string(), |r| r.to_string());
+    let trough = report
+        .trough_overload_rate
+        .map_or("null".to_string(), |r| r.to_string());
+    let export_consistent = report
+        .export_consistent
+        .map_or("null".to_string(), |ok| ok.to_string());
+    let latency_source = if report.server_side_latency {
+        "\"server\""
+    } else {
+        "\"client\""
+    };
     let fields: Vec<String> = vec![
         format!("\"wire\": \"{wire}\""),
+        format!("\"profile\": {profile}"),
+        format!("\"open_loop\": {open_loop}"),
+        format!("\"latency_source\": {latency_source}"),
         format!("\"batch\": {}", config.batch.max(1)),
         format!("\"connections\": {}", config.connections),
         format!("\"submissions\": {}", config.submissions),
@@ -235,8 +304,27 @@ fn report_json(config: &LoadgenConfig, report: &loadgen::LoadgenReport) -> Strin
         format!("\"replay_utility\": {replay_utility}"),
         format!("\"replay_matches\": {replay_matches}"),
         format!("\"shards\": {shards}"),
+        format!("\"peak_overload_rate\": {peak}"),
+        format!("\"trough_overload_rate\": {trough}"),
+        format!("\"export_consistent\": {export_consistent}"),
     ];
     format!("{{\n  {}\n}}\n", fields.join(",\n  "))
+}
+
+/// Parses `--profile uniform` / `--profile diurnal[:PERIOD]`; a bare
+/// `diurnal` spans the whole run (`period = slots`).
+fn parse_profile(s: &str, slots: usize) -> ArrivalProfile {
+    match s {
+        "uniform" => ArrivalProfile::Uniform,
+        "diurnal" => ArrivalProfile::Diurnal { period: slots },
+        _ => match s.strip_prefix("diurnal:").map(parse::<usize>) {
+            Some(period) if period >= 1 => ArrivalProfile::Diurnal { period },
+            _ => {
+                eprintln!("bad --profile value `{s}`; expected uniform or diurnal[:PERIOD]");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn parse_cells(s: &str) -> (usize, usize) {

@@ -1,6 +1,6 @@
 //! Cross-file contract checks: C1 (ErrCode and frame opcodes ↔ protocol
-//! doc), C2 (METRICS? keys ↔ protocol doc), C3 (vendored dependency
-//! allowlist).
+//! doc), C2 (METRICS? keys and the typed metric catalog ↔ protocol doc),
+//! C3 (vendored dependency allowlist).
 //!
 //! These rules take file *contents* (plus their workspace-relative paths
 //! for diagnostics), so fixture tests can drive them with synthetic
@@ -338,6 +338,281 @@ fn is_metrics_key(s: &str) -> bool {
 }
 
 // ----------------------------------------------------------------------
+// C2 — metric catalog vs the protocol doc's Metrics schema table
+// ----------------------------------------------------------------------
+
+/// One metric family as declared on either side of the schema contract:
+/// name, kind, label key, and legacy `METRICS?` alias (empty = none).
+struct SchemaEntry {
+    name: String,
+    kind: String,
+    label: String,
+    alias: String,
+    line: usize,
+}
+
+/// Cross-checks the `CATALOG` of `crates/metrics/src/catalog.rs` against
+/// the `## Metrics schema` table of the protocol doc: every family must be
+/// documented with the same kind, label, and legacy alias (and vice
+/// versa); names must follow the unit-suffix rules; labels must come from
+/// the schema vocabulary; and the legacy aliases must be exactly the
+/// documented `METRICS?` keys, each claimed once.
+pub fn check_metrics_schema(
+    catalog_path: &str,
+    catalog_src: &str,
+    doc_path: &str,
+    doc: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code = catalog_entries(catalog_src);
+    if code.is_empty() {
+        findings.push(Finding {
+            file: catalog_path.to_string(),
+            line: 0,
+            rule: "C2",
+            message: "found no counter(/gauge(/gauge_max(/histogram( entries (CATALOG moved?)"
+                .to_string(),
+        });
+        return findings;
+    }
+    let rows = doc_schema_rows(doc);
+    if rows.is_empty() {
+        findings.push(Finding {
+            file: doc_path.to_string(),
+            line: 0,
+            rule: "C2",
+            message: "found no `| `haste_...` |` rows under a `## Metrics schema` heading"
+                .to_string(),
+        });
+        return findings;
+    }
+
+    for entry in &code {
+        findings.extend(schema_shape_findings(catalog_path, entry));
+        match rows.iter().find(|row| row.name == entry.name) {
+            None => findings.push(Finding {
+                file: catalog_path.to_string(),
+                line: entry.line,
+                rule: "C2",
+                message: format!(
+                    "metric `{}` is not in the Metrics schema table of {doc_path}",
+                    entry.name
+                ),
+            }),
+            Some(row) => {
+                for (field, ours, documented) in [
+                    ("kind", &entry.kind, &row.kind),
+                    ("label", &entry.label, &row.label),
+                    ("legacy alias", &entry.alias, &row.alias),
+                ] {
+                    if ours != documented {
+                        findings.push(Finding {
+                            file: catalog_path.to_string(),
+                            line: entry.line,
+                            rule: "C2",
+                            message: format!(
+                                "metric `{}` has {field} `{ours}` in the catalog but \
+                                 `{documented}` in {doc_path}",
+                                entry.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for row in &rows {
+        if !code.iter().any(|entry| entry.name == row.name) {
+            findings.push(Finding {
+                file: doc_path.to_string(),
+                line: row.line,
+                rule: "C2",
+                message: format!(
+                    "documented metric `{}` has no CATALOG entry in {catalog_path}",
+                    row.name
+                ),
+            });
+        }
+    }
+
+    // Legacy aliases must be exactly the documented METRICS? keys: every
+    // alias a real key, every key claimed, no key claimed twice.
+    let legacy = doc_metrics_keys(doc);
+    let mut claimed: Vec<&str> = Vec::new();
+    for entry in &code {
+        if entry.alias.is_empty() {
+            continue;
+        }
+        if claimed.contains(&entry.alias.as_str()) {
+            findings.push(Finding {
+                file: catalog_path.to_string(),
+                line: entry.line,
+                rule: "C2",
+                message: format!(
+                    "legacy alias `{}` is claimed by more than one metric",
+                    entry.alias
+                ),
+            });
+        }
+        claimed.push(&entry.alias);
+        if !legacy.is_empty() && !legacy.iter().any(|(key, _)| *key == entry.alias) {
+            findings.push(Finding {
+                file: catalog_path.to_string(),
+                line: entry.line,
+                rule: "C2",
+                message: format!(
+                    "legacy alias `{}` of metric `{}` is not a documented METRICS? key",
+                    entry.alias, entry.name
+                ),
+            });
+        }
+    }
+    for (key, line) in &legacy {
+        if !claimed.contains(&key.as_str()) {
+            findings.push(Finding {
+                file: doc_path.to_string(),
+                line: *line,
+                rule: "C2",
+                message: format!(
+                    "legacy METRICS? key `{key}` has no aliased metric in {catalog_path}"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// The naming rules of the schema: `haste_`-prefixed snake_case, counters
+/// end `_total`, histograms carry a unit suffix (`_us`/`_records`), gauges
+/// name the unit they count, labels come from the fixed vocabulary.
+fn schema_shape_findings(catalog_path: &str, entry: &SchemaEntry) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut flag = |message: String| {
+        findings.push(Finding {
+            file: catalog_path.to_string(),
+            line: entry.line,
+            rule: "C2",
+            message,
+        })
+    };
+    if !entry.name.starts_with("haste_") || !is_metrics_key(&entry.name) {
+        flag(format!(
+            "metric `{}` does not match the `haste_<subsystem>_<name>_<unit>` naming schema",
+            entry.name
+        ));
+    }
+    let suffix_ok = match entry.kind.as_str() {
+        "counter" => entry.name.ends_with("_total"),
+        "histogram" => entry.name.ends_with("_us") || entry.name.ends_with("_records"),
+        "gauge" => ["_slots", "_tasks", "_threads", "_shards"]
+            .iter()
+            .any(|suffix| entry.name.ends_with(suffix)),
+        _ => true, // unknown kinds surface as a kind mismatch against the doc
+    };
+    if !suffix_ok {
+        flag(format!(
+            "metric `{}` violates the {} unit-suffix rule of the naming schema",
+            entry.name, entry.kind
+        ));
+    }
+    if !matches!(entry.label.as_str(), "" | "cell" | "opcode" | "err_code") {
+        flag(format!(
+            "metric `{}` uses label `{}` outside the schema vocabulary (cell, opcode, err_code)",
+            entry.name, entry.label
+        ));
+    }
+    findings
+}
+
+/// The `counter(`/`gauge(`/`gauge_max(`/`histogram(` entries of the
+/// catalog source, one per line (the CATALOG is formatted that way on
+/// purpose). Arguments are positional string literals: name, label, then
+/// — for counters and gauges — the legacy alias; histograms have none.
+fn catalog_entries(src: &str) -> Vec<SchemaEntry> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let kind = if trimmed.starts_with("counter(\"") {
+            "counter"
+        } else if trimmed.starts_with("gauge(\"") || trimmed.starts_with("gauge_max(\"") {
+            "gauge"
+        } else if trimmed.starts_with("histogram(\"") {
+            "histogram"
+        } else {
+            continue;
+        };
+        let literals: Vec<&str> = trimmed
+            .split('"')
+            .enumerate()
+            .filter_map(|(i, part)| (i % 2 == 1).then_some(part))
+            .collect();
+        // name, label, [alias,] help — the trailing help text is not schema.
+        if literals.len() < 3 {
+            continue;
+        }
+        out.push(SchemaEntry {
+            name: literals[0].to_string(),
+            label: literals[1].to_string(),
+            alias: if kind == "histogram" {
+                String::new()
+            } else {
+                literals[2].to_string()
+            },
+            kind: kind.to_string(),
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+/// Rows of the `## Metrics schema` table, up to the next `## ` heading:
+/// `| \`name\` | kind | \`label\` | \`alias\` | help |` with `—` for an
+/// absent label or alias.
+fn doc_schema_rows(doc: &str) -> Vec<SchemaEntry> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if line.starts_with("## ") && line.contains("Metrics schema") {
+            in_section = true;
+            continue;
+        }
+        if in_section && line.starts_with("## ") {
+            break;
+        }
+        if !in_section {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !trimmed.starts_with("| `haste_") {
+            continue;
+        }
+        let cells: Vec<String> = trimmed
+            .trim_matches('|')
+            .split('|')
+            .map(|cell| cell.trim().trim_matches('`').to_string())
+            .collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let blank_if_dash = |cell: &str| {
+            if cell == "—" {
+                String::new()
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push(SchemaEntry {
+            name: cells[0].clone(),
+            kind: cells[1].clone(),
+            label: blank_if_dash(&cells[2]),
+            alias: blank_if_dash(&cells[3]),
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
 // C3 — vendored dependency allowlist
 // ----------------------------------------------------------------------
 
@@ -623,6 +898,152 @@ pub(crate) const OP_REPLY: u8 = 0x81;
         // `bye` would parse as a key if the section did not end at `### BYE`.
         let doc = DOC.replace("### `BYE`\n", "### `BYE`\n\nSends `bye` back.\n");
         assert!(check_metrics_docs("s.rs", SERVER, "d.md", &doc).is_empty());
+    }
+
+    const CATALOG: &str = r#"
+pub const CATALOG: &[MetricSpec] = &[
+    counter("haste_service_requests_total", "opcode", "", "Requests."),
+    histogram("haste_service_request_duration_us", "opcode", "Latency."),
+    gauge_max("haste_engine_clock_slots", "", "clock", "Clock."),
+    counter("haste_engine_greedy_us_total", "", "greedy_us", "Greedy time."),
+];
+"#;
+
+    /// The fixture protocol doc plus a matching `## Metrics schema` table.
+    fn schema_doc() -> String {
+        DOC.to_string()
+            + "\n## Metrics schema\n\n\
+               | Family | Kind | Label | Legacy key | Meaning |\n\
+               |---|---|---|---|---|\n\
+               | `haste_service_requests_total` | counter | `opcode` | — | Requests. |\n\
+               | `haste_service_request_duration_us` | histogram | `opcode` | — | Latency. |\n\
+               | `haste_engine_clock_slots` | gauge | — | `clock` | Clock. |\n\
+               | `haste_engine_greedy_us_total` | counter | — | `greedy_us` | Greedy time. |\n"
+    }
+
+    #[test]
+    fn metrics_schema_passes_on_matching_sets() {
+        let doc = schema_doc();
+        let f = check_metrics_schema("c.rs", CATALOG, "d.md", &doc);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn metrics_schema_mismatches_fire_both_directions() {
+        let extra = CATALOG.replace(
+            "counter(\"haste_service_requests_total\", \"opcode\", \"\", \"Requests.\"),",
+            "counter(\"haste_service_requests_total\", \"opcode\", \"\", \"Requests.\"),\n    \
+             counter(\"haste_service_drops_total\", \"\", \"\", \"Drops.\"),",
+        );
+        let doc = schema_doc();
+        let f = check_metrics_schema("c.rs", &extra, "d.md", &doc);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("`haste_service_drops_total`"),
+            "{f:?}"
+        );
+        assert_eq!(f[0].file, "c.rs");
+
+        let doc_extra = doc + "| `haste_router_ghost_total` | counter | — | — | Ghost. |\n";
+        let f = check_metrics_schema("c.rs", CATALOG, "d.md", &doc_extra);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`haste_router_ghost_total`"), "{f:?}");
+        assert_eq!(f[0].file, "d.md");
+    }
+
+    #[test]
+    fn metrics_schema_field_mismatches_fire() {
+        let doc = schema_doc().replace(
+            "| `haste_service_request_duration_us` | histogram | `opcode` |",
+            "| `haste_service_request_duration_us` | histogram | `cell` |",
+        );
+        let f = check_metrics_schema("c.rs", CATALOG, "d.md", &doc);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message
+                .contains("label `opcode` in the catalog but `cell`"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_schema_unit_suffix_and_label_rules_fire() {
+        let bad = CATALOG.replace(
+            "histogram(\"haste_service_request_duration_us\", \"opcode\", \"Latency.\"),",
+            "histogram(\"haste_service_request_duration\", \"shard\", \"Latency.\"),",
+        );
+        let doc = schema_doc().replace(
+            "| `haste_service_request_duration_us` | histogram | `opcode` |",
+            "| `haste_service_request_duration` | histogram | `shard` |",
+        );
+        let f = check_metrics_schema("c.rs", &bad, "d.md", &doc);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.message.contains("unit-suffix")), "{f:?}");
+        assert!(
+            f.iter().any(|f| f.message.contains("schema vocabulary")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_schema_alias_contract_fires() {
+        // Renaming the alias on both sides breaks the legacy-key mapping
+        // twice over: `tick` is not a METRICS? key, `clock` goes unclaimed.
+        let bad = CATALOG.replace(
+            "gauge_max(\"haste_engine_clock_slots\", \"\", \"clock\", \"Clock.\"),",
+            "gauge_max(\"haste_engine_clock_slots\", \"\", \"tick\", \"Clock.\"),",
+        );
+        let doc = schema_doc().replace(
+            "| `haste_engine_clock_slots` | gauge | — | `clock` |",
+            "| `haste_engine_clock_slots` | gauge | — | `tick` |",
+        );
+        let f = check_metrics_schema("c.rs", &bad, "d.md", &doc);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("not a documented METRICS? key")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("has no aliased metric")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_legacy_alias_fires() {
+        let bad = CATALOG.replace(
+            "counter(\"haste_engine_greedy_us_total\", \"\", \"greedy_us\", \"Greedy time.\"),",
+            "counter(\"haste_engine_greedy_us_total\", \"\", \"greedy_us\", \"Greedy time.\"),\n    \
+             counter(\"haste_engine_rushed_us_total\", \"\", \"greedy_us\", \"Rushed time.\"),",
+        );
+        let doc = schema_doc().replace(
+            "| `haste_engine_greedy_us_total` | counter | — | `greedy_us` | Greedy time. |\n",
+            "| `haste_engine_greedy_us_total` | counter | — | `greedy_us` | Greedy time. |\n\
+             | `haste_engine_rushed_us_total` | counter | — | `greedy_us` | Rushed time. |\n",
+        );
+        let f = check_metrics_schema("c.rs", &bad, "d.md", &doc);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("claimed by more than one metric"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn missing_catalog_entries_are_a_finding_not_a_pass() {
+        let f = check_metrics_schema("c.rs", "// nothing here\n", "d.md", &schema_doc());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("CATALOG"), "{f:?}");
+    }
+
+    #[test]
+    fn missing_schema_table_is_a_finding_not_a_pass() {
+        let f = check_metrics_schema("c.rs", CATALOG, "d.md", DOC);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Metrics schema"), "{f:?}");
+        assert_eq!(f[0].file, "d.md");
     }
 
     fn base_set() -> ManifestSet {

@@ -16,8 +16,8 @@
 //! * **P1** — panic-safety: no panicking constructs in daemon
 //!   request-handling code.
 //! * **C1/C2/C3** — contract consistency: `ErrCode` and frame opcodes ↔
-//!   protocol doc, `METRICS?` keys ↔ protocol doc, vendored dependency
-//!   allowlist.
+//!   protocol doc, `METRICS?` keys and the typed metric catalog ↔ the
+//!   protocol doc's `Metrics schema` table, vendored dependency allowlist.
 //! * **S0/S1** — suppression hygiene (malformed / unused
 //!   `// haste-lint: allow(...)` comments).
 //!
@@ -33,7 +33,8 @@ pub mod consistency;
 pub mod source;
 
 pub use consistency::{
-    check_errcode_docs, check_metrics_docs, check_opcode_docs, check_vendor_allowlist, ManifestSet,
+    check_errcode_docs, check_metrics_docs, check_metrics_schema, check_opcode_docs,
+    check_vendor_allowlist, ManifestSet,
 };
 pub use source::scan_source;
 
@@ -98,26 +99,35 @@ pub fn run_check(root: &Path) -> Vec<Finding> {
     const SERVER: &str = "crates/service/src/server.rs";
     const ROUTER: &str = "crates/service/src/router.rs";
     const FRAMING: &str = "crates/service/src/framing.rs";
+    const METRICS_CATALOG: &str = "crates/metrics/src/catalog.rs";
     const DOC: &str = "docs/service_protocol.md";
     match (
         read_rel(root, PROTO),
         read_rel(root, SERVER),
         read_rel(root, ROUTER),
         read_rel(root, FRAMING),
+        read_rel(root, METRICS_CATALOG),
         read_rel(root, DOC),
     ) {
-        (Ok(proto), Ok(server), Ok(router), Ok(framing), Ok(doc)) => {
+        (Ok(proto), Ok(server), Ok(router), Ok(framing), Ok(catalog), Ok(doc)) => {
             findings.extend(consistency::check_errcode_docs(PROTO, &proto, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(SERVER, &server, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(ROUTER, &router, DOC, &doc));
             findings.extend(consistency::check_opcode_docs(FRAMING, &framing, DOC, &doc));
+            findings.extend(consistency::check_metrics_schema(
+                METRICS_CATALOG,
+                &catalog,
+                DOC,
+                &doc,
+            ));
         }
-        (proto, server, router, framing, doc) => {
+        (proto, server, router, framing, catalog, doc) => {
             for (rel, result) in [
                 (PROTO, proto),
                 (SERVER, server),
                 (ROUTER, router),
                 (FRAMING, framing),
+                (METRICS_CATALOG, catalog),
                 (DOC, doc),
             ] {
                 if let Err(e) = result {

@@ -4,8 +4,8 @@
 //! here rather than silently passing dirty trees in CI.
 
 use haste_lint::{
-    check_errcode_docs, check_metrics_docs, check_vendor_allowlist, scan_source, Finding,
-    ManifestSet,
+    check_errcode_docs, check_metrics_docs, check_metrics_schema, check_vendor_allowlist,
+    scan_source, Finding, ManifestSet,
 };
 
 /// Loads a fixture by file name.
@@ -153,6 +153,31 @@ fn c2_fixture_triggers_exactly_c2() {
     assert_only_rule(&findings, "C2");
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert!(findings[0].message.contains("`mystery`"));
+}
+
+#[test]
+fn c2_schema_fixtures_trigger_exactly_c2() {
+    let findings = check_metrics_schema(
+        "crates/metrics/src/catalog.rs",
+        fixture!("c2_schema_catalog.rs"),
+        "docs/service_protocol.md",
+        fixture!("c2_schema_doc.md"),
+    );
+    assert_only_rule(&findings, "C2");
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    // `haste_engine_mystery_total` is in the catalog but not the table.
+    assert!(findings
+        .iter()
+        .any(|f| f.file.ends_with("catalog.rs")
+            && f.message.contains("`haste_engine_mystery_total`")));
+    // The duration histogram is documented with the wrong label.
+    assert!(findings.iter().any(|f| f
+        .message
+        .contains("label `opcode` in the catalog but `cell`")));
+    // `haste_router_ghost_total` is documented but has no entry.
+    assert!(findings
+        .iter()
+        .any(|f| f.file.ends_with(".md") && f.message.contains("`haste_router_ghost_total`")));
 }
 
 #[test]

@@ -1,0 +1,217 @@
+//! The normative metric catalog: every series name the service stack may
+//! emit, its kind, label key, legacy `METRICS?` alias, and help text.
+//!
+//! This table and the schema table in `docs/service_protocol.md` are
+//! cross-checked both ways by `haste-lint` rule C2, which parses this
+//! file **textually**: keep each entry on a single line, built by one of
+//! the `counter(` / `gauge(` / `gauge_max(` / `histogram(` helpers, with
+//! the name first, the label key second, and (for counters and gauges)
+//! the legacy alias third. Empty strings mean "no label" / "no alias".
+//!
+//! Naming schema (normative): `haste_<subsystem>_<name>_<unit>`, ASCII
+//! snake case. Counters end in `_total`; histograms end in `_us` or
+//! `_records`; gauges end in `_slots`, `_tasks`, `_threads`, or
+//! `_shards`. Labels are drawn from `cell`, `opcode`, `err_code`.
+
+use crate::{GaugeMerge, Kind};
+
+/// One catalog row.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Series family name, `haste_<subsystem>_<name>_<unit>`.
+    pub name: &'static str,
+    /// Instrument kind.
+    pub kind: Kind,
+    /// Label key (`""` for unlabeled families).
+    pub label: &'static str,
+    /// Legacy `METRICS?` key this family aliases (`""` for none).
+    pub alias: &'static str,
+    /// Cross-shard merge semantics (meaningful for gauges).
+    pub merge: GaugeMerge,
+    /// Exposition `# HELP` text.
+    pub help: &'static str,
+}
+
+const fn counter(
+    name: &'static str,
+    label: &'static str,
+    alias: &'static str,
+    help: &'static str,
+) -> MetricSpec {
+    MetricSpec {
+        name,
+        kind: Kind::Counter,
+        label,
+        alias,
+        merge: GaugeMerge::Sum,
+        help,
+    }
+}
+
+const fn gauge(
+    name: &'static str,
+    label: &'static str,
+    alias: &'static str,
+    help: &'static str,
+) -> MetricSpec {
+    MetricSpec {
+        name,
+        kind: Kind::Gauge,
+        label,
+        alias,
+        merge: GaugeMerge::Sum,
+        help,
+    }
+}
+
+const fn gauge_max(
+    name: &'static str,
+    label: &'static str,
+    alias: &'static str,
+    help: &'static str,
+) -> MetricSpec {
+    MetricSpec {
+        name,
+        kind: Kind::Gauge,
+        label,
+        alias,
+        merge: GaugeMerge::Max,
+        help,
+    }
+}
+
+const fn histogram(name: &'static str, label: &'static str, help: &'static str) -> MetricSpec {
+    MetricSpec {
+        name,
+        kind: Kind::Histogram,
+        label,
+        alias: "",
+        merge: GaugeMerge::Sum,
+        help,
+    }
+}
+
+/// Every metric family the stack emits. One entry per line — C2 parses
+/// this list textually and cross-checks it against the schema table in
+/// `docs/service_protocol.md` (hence the rustfmt skip).
+#[rustfmt::skip]
+pub const CATALOG: &[MetricSpec] = &[
+    counter("haste_service_requests_total", "opcode", "", "Requests handled at this endpoint, by wire opcode."),
+    counter("haste_service_errors_total", "err_code", "", "Error replies sent at this endpoint, by stable error code."),
+    histogram("haste_service_request_duration_us", "opcode", "Request handling latency at this endpoint in microseconds, by wire opcode."),
+    histogram("haste_service_batch_size_records", "", "Records carried per OP_BATCH submission frame."),
+    histogram("haste_service_batch_rejected_records", "", "Records rejected per OP_BATCH submission frame."),
+    counter("haste_shard_requests_total", "opcode", "", "Requests handled by out-of-process shard children, merged across shards."),
+    counter("haste_shard_errors_total", "err_code", "", "Error replies sent by shard children, merged across shards."),
+    histogram("haste_shard_request_duration_us", "opcode", "Supervisor-to-child request latency in microseconds, merged bucket-wise across shards."),
+    histogram("haste_shard_batch_size_records", "", "Records per batch frame at shard children, merged across shards."),
+    histogram("haste_shard_batch_rejected_records", "", "Records rejected per batch frame at shard children, merged across shards."),
+    histogram("haste_router_tick_replan_duration_us", "cell", "Per-shard TICK replan duration in microseconds, by cell index."),
+    histogram("haste_router_join_wait_duration_us", "cell", "Time a finished shard waits at the consistent-cut TICK barrier, by cell index."),
+    counter("haste_supervisor_restarts_total", "cell", "shard_restarts", "Shard child restarts performed by the supervisor, by cell index."),
+    counter("haste_supervisor_replays_total", "cell", "shard_replays", "Journaled operations replayed into restarted shard children, by cell index."),
+    counter("haste_supervisor_deadline_expired_total", "cell", "", "Supervisor requests that hit the per-request deadline, by cell index."),
+    gauge("haste_supervisor_down_shards", "", "shards_down", "Shards currently down or restarting."),
+    gauge_max("haste_engine_clock_slots", "", "clock", "Engine virtual clock: the open slot index (max across shards)."),
+    gauge("haste_engine_active_tasks", "", "tasks", "Tasks materialized into the engine scenario."),
+    gauge("haste_engine_staged_tasks", "", "staged", "Tasks staged for future release slots."),
+    counter("haste_engine_admitted_total", "", "admitted", "Submissions admitted since load."),
+    counter("haste_engine_rejected_total", "", "rejected", "Submissions rejected by admission control since load."),
+    gauge("haste_engine_pending_tasks", "", "pending", "Submissions waiting in the open slot."),
+    gauge_max("haste_engine_worker_threads", "", "threads", "Engine worker threads (max across shards)."),
+    counter("haste_engine_oracle_marginals_total", "", "oracle_marginals", "Marginal-gain oracle evaluations."),
+    counter("haste_engine_oracle_commits_total", "", "oracle_commits", "Oracle commit operations."),
+    counter("haste_engine_negotiation_messages_total", "", "messages", "Negotiation messages exchanged between chargers."),
+    counter("haste_engine_negotiation_rounds_total", "", "rounds", "Negotiation rounds executed."),
+    counter("haste_engine_instance_build_us_total", "", "instance_build_us", "Cumulative microseconds building slot instances."),
+    counter("haste_engine_greedy_us_total", "", "greedy_us", "Cumulative microseconds in the greedy solve phase."),
+    counter("haste_engine_rounding_us_total", "", "rounding_us", "Cumulative microseconds in the rounding phase."),
+    counter("haste_engine_coverage_build_us_total", "", "coverage_build_us", "Cumulative microseconds building coverage structures."),
+];
+
+/// Looks up a family by name.
+pub fn spec(name: &str) -> Option<&'static MetricSpec> {
+    CATALOG.iter().find(|spec| spec.name == name)
+}
+
+/// The merge semantics for a gauge family; uncataloged names sum.
+pub fn gauge_merge(name: &str) -> GaugeMerge {
+    match spec(name) {
+        Some(spec) => spec.merge,
+        None => GaugeMerge::Sum,
+    }
+}
+
+/// The schema family aliasing one legacy `METRICS?` key, if any.
+pub fn schema_for_alias(alias: &str) -> Option<&'static MetricSpec> {
+    if alias.is_empty() {
+        return None;
+    }
+    CATALOG.iter().find(|spec| spec.alias == alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_schema_shaped() {
+        for (index, spec) in CATALOG.iter().enumerate() {
+            assert!(
+                spec.name.starts_with("haste_"),
+                "`{}` must start with haste_",
+                spec.name
+            );
+            assert!(
+                crate::Snapshot::parse(&format!("# TYPE {} counter\n{} 0\n", spec.name, spec.name))
+                    .is_ok(),
+                "`{}` must be a valid exposition name",
+                spec.name
+            );
+            for other in &CATALOG[index + 1..] {
+                assert_ne!(spec.name, other.name, "duplicate catalog name");
+            }
+        }
+    }
+
+    #[test]
+    fn aliases_are_unique() {
+        for (index, spec) in CATALOG.iter().enumerate() {
+            if spec.alias.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                schema_for_alias(spec.alias).map(|s| s.name),
+                Some(spec.name)
+            );
+            for other in &CATALOG[index + 1..] {
+                assert_ne!(spec.alias, other.alias, "duplicate legacy alias");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_suffixes_follow_the_schema() {
+        for spec in CATALOG {
+            match spec.kind {
+                Kind::Counter => assert!(
+                    spec.name.ends_with("_total"),
+                    "counter `{}` must end in _total",
+                    spec.name
+                ),
+                Kind::Histogram => assert!(
+                    spec.name.ends_with("_us") || spec.name.ends_with("_records"),
+                    "histogram `{}` must end in _us or _records",
+                    spec.name
+                ),
+                Kind::Gauge => assert!(
+                    ["_slots", "_tasks", "_threads", "_shards"]
+                        .iter()
+                        .any(|unit| spec.name.ends_with(unit)),
+                    "gauge `{}` must end in a sanctioned unit",
+                    spec.name
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the histogram bucket map and snapshot merge:
+//! bucket assignment is total and deterministic over all `f64`, and
+//! merge order never changes the rendered exposition bit-for-bit.
+
+use haste_metrics::{
+    bucket_index, quantile_upper_bound_us, Snapshot, BUCKET_BOUNDS_US, BUCKET_COUNT,
+};
+use proptest::prelude::*;
+
+/// Builds a small snapshot from raw draws: one counter, one max-merge
+/// gauge, one sum-merge gauge, and one histogram over the shared bounds.
+fn snapshot_from(seedbits: u64, counts: &[u64]) -> Snapshot {
+    let mut snap = Snapshot::new();
+    snap.set_counter(
+        "haste_engine_admitted_total",
+        &[],
+        u128::from(seedbits & 0xffff),
+    );
+    snap.set_gauge("haste_engine_clock_slots", &[], u128::from(seedbits >> 48));
+    snap.set_gauge(
+        "haste_engine_pending_tasks",
+        &[],
+        u128::from((seedbits >> 16) & 0xff),
+    );
+    let mut buckets = vec![0u64; BUCKET_COUNT];
+    for (index, &count) in counts.iter().enumerate() {
+        buckets[index % BUCKET_COUNT] = buckets[index % BUCKET_COUNT].wrapping_add(count & 0xffff);
+    }
+    let sum: u64 = buckets.iter().fold(0, |acc, &b| acc.wrapping_add(b));
+    snap.set_histogram(
+        "haste_service_request_duration_us",
+        &[("opcode", "SUBMIT")],
+        buckets,
+        u128::from(sum),
+    );
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every `f64` bit pattern — including NaN, infinities, subnormals,
+    /// and negatives — maps to exactly one in-range bucket, and the
+    /// mapping respects the bucket boundaries.
+    #[test]
+    fn every_f64_maps_to_exactly_one_bucket(bits in 0u64..=u64::MAX) {
+        let value = f64::from_bits(bits);
+        let index = bucket_index(value);
+        prop_assert!(index < BUCKET_COUNT);
+        if value.is_nan() {
+            prop_assert_eq!(index, BUCKET_BOUNDS_US.len());
+        } else {
+            if index < BUCKET_BOUNDS_US.len() {
+                prop_assert!(value <= BUCKET_BOUNDS_US[index] as f64);
+            } else {
+                prop_assert!(value > *BUCKET_BOUNDS_US.last().unwrap() as f64);
+            }
+            if index > 0 {
+                prop_assert!(value > BUCKET_BOUNDS_US[index - 1] as f64);
+            }
+        }
+    }
+
+    /// Merging snapshots is associative and commutative: any merge order
+    /// renders to byte-identical exposition text.
+    #[test]
+    fn merge_order_never_changes_rendered_output(
+        seed_a in 0u64..=u64::MAX,
+        seed_b in 0u64..=u64::MAX,
+        seed_c in 0u64..=u64::MAX,
+        counts_a in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        counts_b in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        counts_c in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+    ) {
+        let a = snapshot_from(seed_a, &counts_a);
+        let b = snapshot_from(seed_b, &counts_b);
+        let c = snapshot_from(seed_c, &counts_c);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c.clone());
+        let mut right = a.clone();
+        right.merge(bc);
+        // c ⊕ b ⊕ a
+        let mut reversed = c;
+        reversed.merge(b);
+        reversed.merge(a);
+
+        let rendered = left.render();
+        prop_assert_eq!(&rendered, &right.render());
+        prop_assert_eq!(&rendered, &reversed.render());
+        // And the rendered text survives a parse round-trip.
+        let parsed = Snapshot::parse(&rendered);
+        prop_assert!(parsed.is_ok());
+        prop_assert_eq!(parsed.unwrap_or_default().render(), rendered);
+    }
+
+    /// The quantile estimator always answers with a bucket upper bound
+    /// (or the overflow sentinel) for non-empty histograms.
+    #[test]
+    fn quantile_lands_on_a_bucket_bound(
+        counts in proptest::collection::vec(0u64..=1_000_000, BUCKET_COUNT),
+        q in 0.0f64..=1.0,
+    ) {
+        match quantile_upper_bound_us(&counts, q) {
+            None => prop_assert!(counts.iter().all(|&c| c == 0)),
+            Some(bound) => {
+                prop_assert!(bound == u64::MAX || BUCKET_BOUNDS_US.contains(&bound));
+            }
+        }
+    }
+}

@@ -13,12 +13,16 @@
 //! "Shard health"). `--fault-plan FILE` loads a deterministic
 //! fault-injection schedule for chaos testing.
 //!
+//! `--metrics-addr HOST:PORT` additionally serves the typed metric
+//! registry as Prometheus-style exposition over plain HTTP (any `GET`);
+//! the same document is always available in-protocol via `EXPORT?`.
+//!
 //! ```text
 //! cargo run --release -p haste-service --bin routerd -- \
 //!     [--addr 127.0.0.1:7411] [--cells 2x1] [--field 200x100] \
 //!     [--origin 0,0] [--threads 4] [--max-pending 4096] \
 //!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
-//!     [--fault-plan FILE]
+//!     [--fault-plan FILE] [--metrics-addr HOST:PORT]
 //! ```
 
 use haste_service::{serve_router, FaultPlan, ProcessShardConfig, RouterConfig};
@@ -44,6 +48,7 @@ fn main() {
             }
             "--threads" => config.worker_threads = single(&value(&args, i, flag), flag),
             "--max-pending" => config.max_pending = single(&value(&args, i, flag), flag),
+            "--metrics-addr" => config.metrics_addr = Some(value(&args, i, flag)),
             "--out-of-process" => {
                 // Unary flag: no value to skip.
                 process.get_or_insert_with(ProcessShardConfig::default);
@@ -82,7 +87,8 @@ fn main() {
                 println!(
                     "usage: routerd [--addr HOST:PORT] [--cells CXxCY] [--field WxH] \
                      [--origin X,Y] [--threads N] [--max-pending N] [--out-of-process] \
-                     [--shardd PATH] [--deadline-ms N] [--fault-plan FILE]"
+                     [--shardd PATH] [--deadline-ms N] [--fault-plan FILE] \
+                     [--metrics-addr HOST:PORT]"
                 );
                 return;
             }

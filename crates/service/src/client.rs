@@ -568,6 +568,12 @@ impl Client {
             .collect()
     }
 
+    /// The typed metric registry as Prometheus-style exposition text
+    /// (`EXPORT?`). Parse with [`haste_metrics::Snapshot::parse`].
+    pub fn export(&mut self) -> Result<String, ClientError> {
+        self.request_document("EXPORT?")
+    }
+
     /// Per-shard slot/cell/admission counters (v2). A plain daemon
     /// answers with itself as shard 0 on cell `(0, 0)`.
     pub fn shards(&mut self) -> Result<Vec<ShardInfo>, ClientError> {

@@ -46,6 +46,7 @@ mod router;
 mod server;
 pub mod shard;
 pub mod supervisor;
+mod telemetry;
 
 pub use client::{Client, ClientError, ShardInfo, Topology};
 pub use router::{parse_composite, serve_router, CompositeSnapshot, RouterConfig, RouterHandle};

@@ -18,10 +18,23 @@
 //! final utility bit-identical to the reference run ([`ChaosReport`]).
 //! Submissions bounced while a shard is down (`ERR unavailable`) are
 //! counted, not fatal.
+//!
+//! Arrival shaping: [`LoadgenConfig::profile`] switches the slot draw
+//! from uniform to a seeded diurnal rate curve (double-peaked, 288
+//! canonical steps, piecewise-linear), and the report then splits the
+//! admission-rejection rate into peak and trough slot bands.
+//!
+//! Open-loop mode: [`LoadgenConfig::open_loop`] paces raw `SUBMIT` lines
+//! at a fixed aggregate rate without waiting for acks (a drain thread
+//! reads replies concurrently), so client back-pressure never throttles
+//! the offered load. Latency percentiles then come from the server-side
+//! `EXPORT?` histogram instead of client round-trips.
 
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use haste_distributed::{OnlineEngine, TaskSpec};
 use haste_geometry::{Angle, Vec2};
@@ -29,11 +42,53 @@ use haste_model::{Charger, ChargingParams, Scenario, TimeGrid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use haste_metrics::{quantile_upper_bound_us, Value as MetricValue};
+
 use crate::shard::ShardHealth;
 use crate::{
     parse_composite, serve, serve_router, Client, ClientError, FaultPlan, ProcessShardConfig,
     RouterConfig, ServerConfig,
 };
+
+/// Steps in one canonical diurnal day. 288 matches the classic
+/// five-minute telemetry resolution of a 24-hour trace; a run's slots
+/// are mapped onto the curve by integer interpolation so any
+/// slot-count/period combination stays deterministic.
+pub const DIURNAL_STEPS: usize = 288;
+
+/// Control points `(step, weight)` of the canonical diurnal rate curve:
+/// a pre-dawn trough, a late-morning peak, a midday shoulder, and a
+/// taller evening peak. Weights are relative Poisson intensities;
+/// between control points the curve is piecewise linear in integer
+/// arithmetic, so every platform derives bit-identical weights.
+const DIURNAL_CURVE: [(usize, u64); 9] = [
+    (0, 35),
+    (48, 12),
+    (84, 60),
+    (108, 100),
+    (132, 72),
+    (168, 58),
+    (204, 96),
+    (252, 40),
+    (288, 35),
+];
+
+/// How submissions distribute their arrival slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProfile {
+    /// Homogeneous Poisson: every slot is equally likely (the
+    /// order-statistics draw the module doc describes).
+    Uniform,
+    /// Inhomogeneous Poisson on the [`DIURNAL_CURVE`]: slot `s` takes
+    /// the curve weight at step `(s % period) · 288 / period`, so
+    /// `period` slots span one synthetic day (runs longer than one
+    /// period wrap around). The report gains peak-band and trough-band
+    /// rejection rates.
+    Diurnal {
+        /// Slots per synthetic day.
+        period: usize,
+    },
+}
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -97,6 +152,29 @@ pub struct LoadgenConfig {
     /// vectored ack; over text it degrades to sequential `SUBMIT`s. Every
     /// record in a chunk is attributed the chunk's round-trip latency.
     pub batch: usize,
+    /// Arrival-slot distribution (see [`ArrivalProfile`]).
+    pub profile: ArrivalProfile,
+    /// Open-loop mode: pace raw `SUBMIT` lines at this aggregate rate
+    /// (submissions per second across all connections) without waiting
+    /// for acks. No `TICK`s are driven, so the open slot's admission
+    /// bound is what saturates; latency percentiles come from the
+    /// server-side `EXPORT?` histogram. Incompatible with
+    /// [`binary`](LoadgenConfig::binary) (open loop is raw text) and
+    /// [`fault_plan`](LoadgenConfig::fault_plan); replay verification is
+    /// skipped (nothing is ever scheduled).
+    pub open_loop: Option<f64>,
+    /// Serve the self-hosted router's metric registry over plain HTTP
+    /// on this address (forwarded to [`RouterConfig::metrics_addr`]).
+    /// Needs a sharded self-hosted run; with
+    /// [`check_export`](LoadgenConfig::check_export) the post-run
+    /// exposition is fetched through this scrape endpoint instead of
+    /// in-protocol `EXPORT?`.
+    pub metrics_addr: Option<String>,
+    /// After the run, fetch the metric exposition, parse it, and check
+    /// the endpoint's `SUBMIT` latency-histogram count equals this
+    /// session's accepted + rejected + unavailable submissions. A
+    /// mismatch is an error, not a statistic.
+    pub check_export: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -118,6 +196,10 @@ impl Default for LoadgenConfig {
             fault_plan: None,
             binary: false,
             batch: 1,
+            profile: ArrivalProfile::Uniform,
+            open_loop: None,
+            metrics_addr: None,
+            check_export: false,
         }
     }
 }
@@ -170,6 +252,21 @@ pub struct LoadgenReport {
     pub shards: Option<usize>,
     /// Chaos verdict (`Some` only when a fault plan was injected).
     pub chaos: Option<ChaosReport>,
+    /// Admission-rejection rate over the peak slot band (slots whose
+    /// diurnal weight is at or above the 75th percentile). `Some` only
+    /// under [`ArrivalProfile::Diurnal`].
+    pub peak_overload_rate: Option<f64>,
+    /// Admission-rejection rate over the trough slot band (slots whose
+    /// diurnal weight is at or below the 25th percentile). `Some` only
+    /// under [`ArrivalProfile::Diurnal`].
+    pub trough_overload_rate: Option<f64>,
+    /// Whether the post-run exposition self-check ran and passed
+    /// ([`LoadgenConfig::check_export`]; a failed check is an error, so
+    /// this is only ever `Some(true)` in a returned report).
+    pub export_consistent: Option<bool>,
+    /// Whether latency percentiles were measured server-side (open-loop
+    /// mode) rather than as client round-trips.
+    pub server_side_latency: bool,
 }
 
 /// What a fault-injected run proved against its no-fault reference run.
@@ -228,6 +325,20 @@ impl std::fmt::Display for LoadgenReport {
         )?;
         if let Some(shards) = self.shards {
             write!(f, " shards={shards}")?;
+        }
+        if let (Some(peak), Some(trough)) = (self.peak_overload_rate, self.trough_overload_rate) {
+            write!(
+                f,
+                " peak_overload={:.2}% trough_overload={:.2}%",
+                100.0 * peak,
+                100.0 * trough
+            )?;
+        }
+        if self.server_side_latency {
+            write!(f, " latency_source=server")?;
+        }
+        if self.export_consistent == Some(true) {
+            write!(f, " export_consistent=true")?;
         }
         if let Some(matches) = self.replay_matches {
             write!(
@@ -299,6 +410,41 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     if process_mode && config.cells.is_none() {
         return Err(ClientError::Protocol(
             "out-of-process shards need a sharded router (set cells)".to_string(),
+        ));
+    }
+    if let ArrivalProfile::Diurnal { period: 0 } = config.profile {
+        return Err(ClientError::Protocol(
+            "diurnal profile needs a period of at least 1 slot".to_string(),
+        ));
+    }
+    if let Some(rate) = config.open_loop {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ClientError::Protocol(format!(
+                "open-loop rate must be a positive number of submissions per second, got {rate}"
+            )));
+        }
+        if config.binary {
+            return Err(ClientError::Protocol(
+                "open-loop mode paces raw text submissions; drop the binary framing flag"
+                    .to_string(),
+            ));
+        }
+        if config.fault_plan.is_some() {
+            return Err(ClientError::Protocol(
+                "open-loop mode drives no TICKs, so a fault plan could never mature; \
+                 use the closed-loop harness for chaos runs"
+                    .to_string(),
+            ));
+        }
+    }
+    if config.metrics_addr.is_some() && config.addr.is_some() {
+        return Err(ClientError::Protocol(
+            "the scrape listener belongs to the self-hosted router (drop the address)".to_string(),
+        ));
+    }
+    if config.metrics_addr.is_some() && config.cells.is_none() {
+        return Err(ClientError::Protocol(
+            "the scrape listener needs a sharded router (set cells)".to_string(),
         ));
     }
     let plan = match &config.fault_plan {
@@ -401,6 +547,7 @@ fn run_session(
                 origin: (0.0, 0.0),
                 field: (config.field, config.field),
                 process,
+                metrics_addr: config.metrics_addr.clone(),
                 ..RouterConfig::default()
             })?))
         }
@@ -417,15 +564,19 @@ fn run_session(
     let mut control = Client::connect(&addr)?;
     control.load(&scenario)?;
 
-    // Poisson arrivals: each submission draws a uniform slot; round-robin
-    // across connections keeps per-worker load balanced.
-    let mut plans: Vec<WorkerPlan> = (0..config.connections)
-        .map(|_| WorkerPlan {
-            per_slot: vec![Vec::new(); config.slots],
-        })
-        .collect();
-    for i in 0..config.submissions {
-        let slot = rng.gen_range(0..config.slots);
+    // Poisson arrivals: each submission draws its slot — uniformly, or
+    // weighted by the diurnal curve — and round-robin across connections
+    // keeps per-worker load balanced.
+    let weights = slot_weights(config.profile, config.slots);
+    let sampler = SlotSampler::new(&weights);
+    let mut arrivals: Vec<(usize, TaskSpec)> = Vec::with_capacity(config.submissions);
+    for _ in 0..config.submissions {
+        let slot = match config.profile {
+            // The uniform draw keeps the literal pre-profile expression so
+            // existing seeds reproduce their traces bit for bit.
+            ArrivalProfile::Uniform => rng.gen_range(0..config.slots),
+            ArrivalProfile::Diurnal { .. } => sampler.draw(&mut rng),
+        };
         let duration = rng.gen_range(2..=8usize);
         let spec = TaskSpec {
             device_pos: Vec2::new(
@@ -437,126 +588,150 @@ fn run_session(
             required_energy: rng.gen_range(500.0..3000.0),
             weight: 1.0,
         };
-        plans[i % config.connections].per_slot[slot].push(spec);
+        arrivals.push((slot, spec));
     }
 
     let barrier = Barrier::new(config.connections + 1);
-    let accepted = AtomicUsize::new(0);
-    let rejected = AtomicUsize::new(0);
+    let slot_accepted: Vec<AtomicUsize> = (0..config.slots).map(|_| AtomicUsize::new(0)).collect();
+    let slot_rejected: Vec<AtomicUsize> = (0..config.slots).map(|_| AtomicUsize::new(0)).collect();
     let unavailable = AtomicUsize::new(0);
     let mut all_latencies: Vec<u64> = Vec::with_capacity(config.submissions);
     let mut submit_elapsed_s = 0.0f64;
 
-    std::thread::scope(|scope| -> Result<(), ClientError> {
-        let mut handles = Vec::with_capacity(config.connections);
-        for plan in &plans {
-            let barrier = &barrier;
-            let accepted = &accepted;
-            let rejected = &rejected;
-            let unavailable = &unavailable;
-            let addr = addr.as_str();
-            let slots = config.slots;
-            let binary = config.binary;
-            let batch = config.batch.max(1);
-            handles.push(scope.spawn(move || -> Result<Vec<u64>, ClientError> {
-                // A failed worker keeps meeting the barriers (without
-                // submitting) so the remaining participants never
-                // deadlock; the error surfaces at join time. That covers
-                // a failed *connect* too — the ready barrier below is
-                // met either way.
-                let mut failure: Option<ClientError> = None;
-                let mut client = match worker_connect(addr, binary) {
-                    Ok(client) => Some(client),
-                    Err(e) => {
-                        failure = Some(e);
-                        None
-                    }
-                };
-                let mut latencies = Vec::new();
-                // Ready barrier: every worker is connected (or has
-                // recorded why not). The submit-phase clock starts here.
-                barrier.wait();
-                for slot in 0..slots {
-                    if let (Some(client), None) = (client.as_mut(), failure.as_ref()) {
-                        'chunks: for chunk in plan.per_slot[slot].chunks(batch) {
-                            let sent = Instant::now();
-                            let acks = match client.submit_batch(chunk) {
-                                Ok(acks) => acks,
-                                Err(e) => {
-                                    failure = Some(e);
-                                    break 'chunks;
-                                }
-                            };
-                            let rtt = sent.elapsed().as_micros() as u64;
-                            for ack in acks {
-                                match ack {
-                                    Ok(_) => {
-                                        latencies.push(rtt);
-                                        accepted.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(e) if e.code() == Some("overload") => {
-                                        rejected.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    // A down shard bounces the submission;
-                                    // under fault injection that is expected
-                                    // degraded-mode behaviour, not a failure.
-                                    Err(e) if e.code() == Some("unavailable") => {
-                                        unavailable.fetch_add(1, Ordering::Relaxed);
-                                    }
+    if let Some(rate) = config.open_loop {
+        submit_elapsed_s = open_loop_phase(
+            config,
+            &addr,
+            arrivals,
+            rate,
+            &slot_accepted,
+            &slot_rejected,
+            &unavailable,
+        )?;
+    } else {
+        let mut plans: Vec<WorkerPlan> = (0..config.connections)
+            .map(|_| WorkerPlan {
+                per_slot: vec![Vec::new(); config.slots],
+            })
+            .collect();
+        for (i, (slot, spec)) in arrivals.into_iter().enumerate() {
+            plans[i % config.connections].per_slot[slot].push(spec);
+        }
+
+        std::thread::scope(|scope| -> Result<(), ClientError> {
+            let mut handles = Vec::with_capacity(config.connections);
+            for plan in &plans {
+                let barrier = &barrier;
+                let slot_accepted = slot_accepted.as_slice();
+                let slot_rejected = slot_rejected.as_slice();
+                let unavailable = &unavailable;
+                let addr = addr.as_str();
+                let slots = config.slots;
+                let binary = config.binary;
+                let batch = config.batch.max(1);
+                handles.push(scope.spawn(move || -> Result<Vec<u64>, ClientError> {
+                    // A failed worker keeps meeting the barriers (without
+                    // submitting) so the remaining participants never
+                    // deadlock; the error surfaces at join time. That covers
+                    // a failed *connect* too — the ready barrier below is
+                    // met either way.
+                    let mut failure: Option<ClientError> = None;
+                    let mut client = match worker_connect(addr, binary) {
+                        Ok(client) => Some(client),
+                        Err(e) => {
+                            failure = Some(e);
+                            None
+                        }
+                    };
+                    let mut latencies = Vec::new();
+                    // Ready barrier: every worker is connected (or has
+                    // recorded why not). The submit-phase clock starts here.
+                    barrier.wait();
+                    for slot in 0..slots {
+                        if let (Some(client), None) = (client.as_mut(), failure.as_ref()) {
+                            'chunks: for chunk in plan.per_slot[slot].chunks(batch) {
+                                let sent = Instant::now();
+                                let acks = match client.submit_batch(chunk) {
+                                    Ok(acks) => acks,
                                     Err(e) => {
                                         failure = Some(e);
                                         break 'chunks;
                                     }
+                                };
+                                let rtt = sent.elapsed().as_micros() as u64;
+                                for ack in acks {
+                                    match ack {
+                                        Ok(_) => {
+                                            latencies.push(rtt);
+                                            slot_accepted[slot].fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        Err(e) if e.code() == Some("overload") => {
+                                            slot_rejected[slot].fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        // A down shard bounces the submission;
+                                        // under fault injection that is expected
+                                        // degraded-mode behaviour, not a failure.
+                                        Err(e) if e.code() == Some("unavailable") => {
+                                            unavailable.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        Err(e) => {
+                                            failure = Some(e);
+                                            break 'chunks;
+                                        }
+                                    }
                                 }
                             }
                         }
+                        // All submissions for this slot are in; one TICK (from
+                        // the controller, between the two barriers) closes it.
+                        barrier.wait();
+                        barrier.wait();
                     }
-                    // All submissions for this slot are in; one TICK (from
-                    // the controller, between the two barriers) closes it.
-                    barrier.wait();
-                    barrier.wait();
-                }
-                if let Some(e) = failure {
-                    return Err(e);
-                }
-                client
-                    .expect("a connected worker reaches the epilogue")
-                    .bye()?;
-                Ok(latencies)
-            }));
-        }
-        // Controller: close each slot once every worker has drained it.
-        // Same rule: keep meeting the barriers even after an error.
-        barrier.wait();
-        let submit_start = Instant::now();
-        let mut tick_failure: Option<ClientError> = None;
-        for _ in 0..config.slots {
-            barrier.wait();
-            if tick_failure.is_none() {
-                if let Err(e) = control.tick(1) {
-                    tick_failure = Some(e);
-                }
+                    if let Some(e) = failure {
+                        return Err(e);
+                    }
+                    client
+                        .expect("a connected worker reaches the epilogue")
+                        .bye()?;
+                    Ok(latencies)
+                }));
             }
+            // Controller: close each slot once every worker has drained it.
+            // Same rule: keep meeting the barriers even after an error.
             barrier.wait();
-        }
-        submit_elapsed_s = submit_start.elapsed().as_secs_f64();
-        for handle in handles {
-            all_latencies.extend(handle.join().expect("loadgen worker panicked")?);
-        }
-        if let Some(e) = tick_failure {
-            return Err(e);
-        }
-        Ok(())
-    })?;
+            let submit_start = Instant::now();
+            let mut tick_failure: Option<ClientError> = None;
+            for _ in 0..config.slots {
+                barrier.wait();
+                if tick_failure.is_none() {
+                    if let Err(e) = control.tick(1) {
+                        tick_failure = Some(e);
+                    }
+                }
+                barrier.wait();
+            }
+            submit_elapsed_s = submit_start.elapsed().as_secs_f64();
+            for handle in handles {
+                all_latencies.extend(handle.join().expect("loadgen worker panicked")?);
+            }
+            if let Some(e) = tick_failure {
+                return Err(e);
+            }
+            Ok(())
+        })?;
+    }
 
     let (utility, relaxed) = control.utility()?;
-    let snapshot = if config.verify_replay || observe {
+    // Open-loop runs never TICK, so nothing is ever scheduled: a batch
+    // replay would compare two empty schedules. Skip it.
+    let verify_replay = config.verify_replay && config.open_loop.is_none();
+    let snapshot = if verify_replay || observe {
         Some(control.snapshot()?)
     } else {
         None
     };
     let (mut replay_utility, mut replay_matches) = (None, None);
-    if config.verify_replay {
+    if verify_replay {
         let snapshot = snapshot.as_deref().unwrap_or_default();
         let replayed = match config.cells {
             None => {
@@ -584,6 +759,58 @@ fn run_session(
     } else {
         None
     };
+
+    let accepted_per_slot: Vec<usize> = slot_accepted
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    let rejected_per_slot: Vec<usize> = slot_rejected
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    let accepted: usize = accepted_per_slot.iter().sum();
+    let rejected: usize = rejected_per_slot.iter().sum();
+    let unavailable = unavailable.into_inner();
+
+    // Exposition pass: open-loop runs need the server-side SUBMIT
+    // latency histogram; `check_export` additionally cross-checks its
+    // count against the session's own ledger. Scrape over HTTP when the
+    // self-hosted router has a listener, else ask in-protocol.
+    let mut export_consistent = None;
+    let mut server_latency: Option<(u64, u64, u64)> = None;
+    if config.check_export || config.open_loop.is_some() {
+        let document = match &config.metrics_addr {
+            Some(scrape) => http_scrape(scrape)?,
+            None => control.export()?,
+        };
+        let exposition = haste_metrics::Snapshot::parse(&document)
+            .map_err(|e| ClientError::Protocol(format!("exposition does not parse: {e}")))?;
+        let buckets =
+            match exposition.get("haste_service_request_duration_us", &[("opcode", "SUBMIT")]) {
+                Some(MetricValue::Histogram { buckets, .. }) => buckets.clone(),
+                _ => vec![0; haste_metrics::BUCKET_COUNT],
+            };
+        if config.check_export {
+            let counted: u64 = buckets.iter().sum();
+            let expected = (accepted + rejected + unavailable) as u64;
+            if counted != expected {
+                return Err(ClientError::Protocol(format!(
+                    "exposition SUBMIT histogram counted {counted} submissions, the session \
+                     observed {expected} (accepted {accepted} + rejected {rejected} + \
+                     unavailable {unavailable})"
+                )));
+            }
+            export_consistent = Some(true);
+        }
+        if config.open_loop.is_some() {
+            server_latency = Some((
+                quantile_upper_bound_us(&buckets, 0.50).unwrap_or(0),
+                quantile_upper_bound_us(&buckets, 0.99).unwrap_or(0),
+                quantile_upper_bound_us(&buckets, 1.0).unwrap_or(0),
+            ));
+        }
+    }
+
     control.bye()?;
     let elapsed_s = start.elapsed().as_secs_f64();
     if let Some(handle) = hosted {
@@ -591,15 +818,30 @@ fn run_session(
     }
 
     all_latencies.sort_unstable();
-    let accepted = accepted.into_inner();
+    let (p50_us, p99_us, max_us) = match server_latency {
+        Some(server) => server,
+        None => (
+            nearest_rank(&all_latencies, 50),
+            nearest_rank(&all_latencies, 99),
+            all_latencies.last().copied().unwrap_or(0),
+        ),
+    };
+    let (peak_overload_rate, trough_overload_rate) = match config.profile {
+        ArrivalProfile::Uniform => (None, None),
+        ArrivalProfile::Diurnal { .. } => {
+            let (peak, trough) =
+                band_overload_rates(&weights, &accepted_per_slot, &rejected_per_slot);
+            (Some(peak), Some(trough))
+        }
+    };
     let report = LoadgenReport {
         submitted: config.submissions,
         accepted,
-        rejected: rejected.into_inner(),
-        unavailable: unavailable.into_inner(),
-        p50_us: nearest_rank(&all_latencies, 50),
-        p99_us: nearest_rank(&all_latencies, 99),
-        max_us: all_latencies.last().copied().unwrap_or(0),
+        rejected,
+        unavailable,
+        p50_us,
+        p99_us,
+        max_us,
         elapsed_s,
         throughput: accepted as f64 / elapsed_s.max(1e-9),
         submit_elapsed_s,
@@ -610,6 +852,10 @@ fn run_session(
         replay_matches,
         shards: config.cells.map(|(cx, cy)| cx * cy),
         chaos: None,
+        peak_overload_rate,
+        trough_overload_rate,
+        export_consistent,
+        server_side_latency: config.open_loop.is_some(),
     };
     Ok((report, observations))
 }
@@ -632,6 +878,283 @@ fn worker_connect(addr: &str, binary: bool) -> Result<Client, ClientError> {
         ));
     }
     Ok(client)
+}
+
+/// Per-slot arrival weights for a profile over `slots` slots: all-ones
+/// for uniform, the canonical curve sampled at integer steps for
+/// diurnal.
+fn slot_weights(profile: ArrivalProfile, slots: usize) -> Vec<u64> {
+    match profile {
+        ArrivalProfile::Uniform => vec![1; slots],
+        ArrivalProfile::Diurnal { period } => (0..slots)
+            .map(|slot| diurnal_weight((slot % period) * DIURNAL_STEPS / period))
+            .collect(),
+    }
+}
+
+/// The curve weight at one canonical step: integer piecewise-linear
+/// interpolation between the [`DIURNAL_CURVE`] control points. Every
+/// control weight is positive, so every slot keeps a positive arrival
+/// probability.
+fn diurnal_weight(step: usize) -> u64 {
+    let step = step % DIURNAL_STEPS;
+    for pair in DIURNAL_CURVE.windows(2) {
+        let ((x0, w0), (x1, w1)) = (pair[0], pair[1]);
+        if step >= x0 && step < x1 {
+            let run = (x1 - x0) as i64;
+            let rise = w1 as i64 - w0 as i64;
+            let offset = (step - x0) as i64;
+            return (w0 as i64 + rise * offset / run) as u64;
+        }
+    }
+    DIURNAL_CURVE[DIURNAL_CURVE.len() - 1].1
+}
+
+/// Draws arrival slots proportionally to a weight vector: cumulative
+/// sums plus one uniform integer draw per sample, so a seed always
+/// reproduces the same arrival trace.
+struct SlotSampler {
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl SlotSampler {
+    fn new(weights: &[u64]) -> SlotSampler {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0u64;
+        for &weight in weights {
+            total += weight;
+            cumulative.push(total);
+        }
+        SlotSampler { cumulative, total }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        let r = rng.gen_range(0..self.total);
+        self.cumulative.partition_point(|&c| c <= r)
+    }
+}
+
+/// Peak-band and trough-band rejection rates. The bands are the slots
+/// whose weight sits at or above the 75th / at or below the 25th
+/// percentile of the weight vector (nearest-rank), and each band's rate
+/// is its pooled rejected / (accepted + rejected).
+fn band_overload_rates(weights: &[u64], accepted: &[usize], rejected: &[usize]) -> (f64, f64) {
+    let mut sorted = weights.to_vec();
+    sorted.sort_unstable();
+    let p75 = nearest_rank(&sorted, 75);
+    let p25 = nearest_rank(&sorted, 25);
+    (
+        band_rate(weights, accepted, rejected, |w| w >= p75),
+        band_rate(weights, accepted, rejected, |w| w <= p25),
+    )
+}
+
+/// The pooled rejection rate over the slots `member` selects.
+fn band_rate(
+    weights: &[u64],
+    accepted: &[usize],
+    rejected: &[usize],
+    member: impl Fn(u64) -> bool,
+) -> f64 {
+    let (mut acc, mut rej) = (0usize, 0usize);
+    for (slot, &weight) in weights.iter().enumerate() {
+        if member(weight) {
+            acc += accepted[slot];
+            rej += rejected[slot];
+        }
+    }
+    if acc + rej == 0 {
+        0.0
+    } else {
+        rej as f64 / (acc + rej) as f64
+    }
+}
+
+/// The open-loop submit phase: splits the arrival list round-robin
+/// across raw text connections, paces each worker at `rate /
+/// connections` submissions per second, and returns the wall-clock
+/// duration of the phase. Outcome counters are shared with the caller.
+fn open_loop_phase(
+    config: &LoadgenConfig,
+    addr: &str,
+    arrivals: Vec<(usize, TaskSpec)>,
+    rate: f64,
+    slot_accepted: &[AtomicUsize],
+    slot_rejected: &[AtomicUsize],
+    unavailable: &AtomicUsize,
+) -> Result<f64, ClientError> {
+    let connections = config.connections.max(1);
+    let mut shares: Vec<Vec<(usize, TaskSpec)>> = (0..connections).map(|_| Vec::new()).collect();
+    for (i, arrival) in arrivals.into_iter().enumerate() {
+        shares[i % connections].push(arrival);
+    }
+    let pace = Duration::from_secs_f64(connections as f64 / rate);
+    let phase_start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), ClientError> {
+        let mut handles = Vec::with_capacity(connections);
+        for share in &shares {
+            handles.push(scope.spawn(move || {
+                open_loop_worker(addr, share, pace, slot_accepted, slot_rejected, unavailable)
+            }));
+        }
+        let mut first_failure: Option<ClientError> = None;
+        for handle in handles {
+            if let Err(e) = handle.join().expect("open-loop worker panicked") {
+                first_failure.get_or_insert(e);
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+    Ok(phase_start.elapsed().as_secs_f64())
+}
+
+/// One open-loop connection: handshakes v1 text, then paces raw
+/// `SUBMIT` lines on schedule while a drain thread consumes the acks —
+/// writes never wait on replies, so an overloaded endpoint slows its
+/// own ack stream without throttling the offered load. The protocol's
+/// strict per-connection request/reply ordering means the `i`-th reply
+/// acknowledges the `i`-th submission, which is how acks are attributed
+/// to arrival slots.
+fn open_loop_worker(
+    addr: &str,
+    arrivals: &[(usize, TaskSpec)],
+    pace: Duration,
+    slot_accepted: &[AtomicUsize],
+    slot_rejected: &[AtomicUsize],
+    unavailable: &AtomicUsize,
+) -> Result<(), ClientError> {
+    let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"HELLO v1\n")?;
+    writer.flush()?;
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting)?;
+    if !greeting.starts_with("OK") {
+        return Err(ClientError::Protocol(format!(
+            "unexpected greeting `{}`",
+            greeting.trim_end()
+        )));
+    }
+    let mut reader = std::thread::scope(|scope| -> Result<BufReader<TcpStream>, ClientError> {
+        let drain = scope
+            .spawn(move || drain_acks(reader, arrivals, slot_accepted, slot_rejected, unavailable));
+        let start = Instant::now();
+        let mut write_failure: Option<ClientError> = None;
+        for (i, (_, spec)) in arrivals.iter().enumerate() {
+            if let Some(ahead) = pace.mul_f64(i as f64).checked_sub(start.elapsed()) {
+                if !ahead.is_zero() {
+                    std::thread::sleep(ahead);
+                }
+            }
+            let outcome = writer
+                .write_all(submit_line(spec).as_bytes())
+                .and_then(|()| writer.flush());
+            if let Err(e) = outcome {
+                // A broken connection also surfaces in the drain thread
+                // as EOF; stop pacing and let the join sort out blame.
+                write_failure = Some(ClientError::from(e));
+                break;
+            }
+        }
+        let (reader, drained) = drain.join().expect("open-loop drain thread panicked");
+        if let Some(e) = write_failure {
+            return Err(e);
+        }
+        drained?;
+        Ok(reader)
+    })?;
+    writer.write_all(b"BYE\n")?;
+    writer.flush()?;
+    let mut farewell = String::new();
+    reader.read_line(&mut farewell)?;
+    Ok(())
+}
+
+/// Reads exactly one ack line per planned arrival, attributing each to
+/// its slot. Classification failures are recorded but draining
+/// continues — stopping early would let the unread ack stream
+/// back-pressure the writer into a deadlock. Transport failures abort:
+/// the writer is failing on the same socket anyway.
+#[allow(clippy::type_complexity)]
+fn drain_acks(
+    mut reader: BufReader<TcpStream>,
+    arrivals: &[(usize, TaskSpec)],
+    slot_accepted: &[AtomicUsize],
+    slot_rejected: &[AtomicUsize],
+    unavailable: &AtomicUsize,
+) -> (BufReader<TcpStream>, Result<(), ClientError>) {
+    let mut failure: Option<ClientError> = None;
+    for &(slot, _) in arrivals {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                failure.get_or_insert(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-run",
+                )));
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                failure.get_or_insert(ClientError::from(e));
+                break;
+            }
+        }
+        let line = line.trim_end();
+        if line.starts_with("OK") {
+            slot_accepted[slot].fetch_add(1, Ordering::Relaxed);
+        } else if line.starts_with("ERR overload") {
+            slot_rejected[slot].fetch_add(1, Ordering::Relaxed);
+        } else if line.starts_with("ERR unavailable") {
+            unavailable.fetch_add(1, Ordering::Relaxed);
+        } else {
+            failure.get_or_insert(ClientError::Protocol(format!(
+                "unexpected submit ack `{line}`"
+            )));
+        }
+    }
+    match failure {
+        Some(e) => (reader, Err(e)),
+        None => (reader, Ok(())),
+    }
+}
+
+/// The wire line for one raw `SUBMIT` — the same formatting
+/// [`Client::submit`] puts on the socket.
+fn submit_line(spec: &TaskSpec) -> String {
+    format!(
+        "SUBMIT {} {} {} {} {} {}\n",
+        spec.device_pos.x,
+        spec.device_pos.y,
+        spec.device_facing.radians(),
+        spec.end_slot,
+        spec.required_energy,
+        spec.weight
+    )
+}
+
+/// Fetches the exposition over the plain-HTTP scrape listener: one
+/// `GET /metrics` with `Connection: close`, body read to EOF.
+fn http_scrape(addr: &str) -> Result<String, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        ClientError::Protocol("scrape response has no header/body boundary".to_string())
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(ClientError::Protocol(format!("scrape returned `{status}`")));
+    }
+    Ok(body.to_string())
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample: the value at
@@ -751,7 +1274,85 @@ fn base_scenario(config: &LoadgenConfig, rng: &mut StdRng) -> Scenario {
 
 #[cfg(test)]
 mod tests {
-    use super::nearest_rank;
+    use super::{
+        band_overload_rates, diurnal_weight, nearest_rank, slot_weights, ArrivalProfile,
+        SlotSampler, DIURNAL_CURVE, DIURNAL_STEPS,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The curve interpolates its control points exactly, stays positive
+    /// everywhere, and keeps its double-peak shape: the evening peak
+    /// (step 204) and morning peak (step 108) both tower over the
+    /// pre-dawn trough (step 48).
+    #[test]
+    fn diurnal_curve_is_positive_and_double_peaked() {
+        for &(step, weight) in &DIURNAL_CURVE {
+            if step < DIURNAL_STEPS {
+                assert_eq!(diurnal_weight(step), weight, "control point at {step}");
+            }
+        }
+        for step in 0..DIURNAL_STEPS {
+            assert!(diurnal_weight(step) > 0, "weight vanished at step {step}");
+        }
+        let trough = diurnal_weight(48);
+        assert!(diurnal_weight(108) > 3 * trough);
+        assert!(diurnal_weight(204) > 3 * trough);
+        // Wrap-around: step 288 is step 0 again.
+        assert_eq!(diurnal_weight(DIURNAL_STEPS), diurnal_weight(0));
+    }
+
+    /// Slot weights map any slot count onto the full curve: a 288-slot
+    /// period is the curve itself, and a coarser grid still sees both
+    /// peaks and the trough.
+    #[test]
+    fn slot_weights_cover_uniform_and_diurnal() {
+        assert_eq!(slot_weights(ArrivalProfile::Uniform, 5), vec![1; 5]);
+        let full = slot_weights(ArrivalProfile::Diurnal { period: 288 }, 288);
+        let direct: Vec<u64> = (0..288).map(diurnal_weight).collect();
+        assert_eq!(full, direct);
+        // 64 slots over a 64-slot period: min and max spread like the curve.
+        let coarse = slot_weights(ArrivalProfile::Diurnal { period: 64 }, 64);
+        let min = *coarse.iter().min().expect("nonempty");
+        let max = *coarse.iter().max().expect("nonempty");
+        assert!(min >= 12 && max == 100, "got min={min} max={max}");
+        // Runs longer than one period wrap deterministically.
+        let wrapped = slot_weights(ArrivalProfile::Diurnal { period: 32 }, 64);
+        assert_eq!(wrapped[..32], wrapped[32..]);
+    }
+
+    /// The weighted sampler is seed-deterministic and visits heavy slots
+    /// more often than light ones.
+    #[test]
+    fn slot_sampler_is_seeded_and_weighted() {
+        let weights = [1u64, 1, 98];
+        let sampler = SlotSampler::new(&weights);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| sampler.draw(&mut rng)).collect()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same trace");
+        let counts = draw(7).iter().fold([0usize; 3], |mut acc, &slot| {
+            acc[slot] += 1;
+            acc
+        });
+        assert!(
+            counts[2] > counts[0] + counts[1],
+            "heavy slot under-drawn: {counts:?}"
+        );
+    }
+
+    /// Band rates pool the right slots: the heavy band rejects, the
+    /// light band does not.
+    #[test]
+    fn band_rates_split_peak_and_trough() {
+        let weights = [100u64, 100, 10, 10];
+        let accepted = [50usize, 50, 100, 100];
+        let rejected = [50usize, 50, 0, 0];
+        let (peak, trough) = band_overload_rates(&weights, &accepted, &rejected);
+        assert!((peak - 0.5).abs() < 1e-12, "peak={peak}");
+        assert_eq!(trough, 0.0);
+    }
 
     /// Pins the nearest-rank convention on the small samples where the
     /// old floor-indexing (`sorted[(len - 1) * p / 100]`) under-reported

@@ -180,6 +180,11 @@ pub enum Request {
     Parts,
     /// `METRICS?` — solver metrics and negotiation counters.
     Metrics,
+    /// `EXPORT?` — Prometheus-style text exposition of the typed metric
+    /// registry (`# TYPE`/`# HELP` comments plus cumulative histogram
+    /// bucket lines). The legacy `METRICS?` keys survive as aliased
+    /// families; `docs/service_protocol.md` has the normative schema.
+    Export,
     /// `SHARDS?` — per-shard slot, cell, and admission counters (v2).
     Shards,
     /// `SNAPSHOT` — serialize full engine state.
@@ -191,6 +196,27 @@ pub enum Request {
 }
 
 impl Request {
+    /// The wire directive of this request, for metric `opcode` labels.
+    /// Stable tokens: exactly the directives of the protocol spec.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            Request::Hello(_) => "HELLO",
+            Request::Load(_) => "LOAD",
+            Request::Submit { .. } => "SUBMIT",
+            Request::Tick(_) => "TICK",
+            Request::Clock => "CLOCK?",
+            Request::Schedule => "SCHEDULE?",
+            Request::Utility => "UTILITY?",
+            Request::Parts => "PARTS?",
+            Request::Metrics => "METRICS?",
+            Request::Export => "EXPORT?",
+            Request::Shards => "SHARDS?",
+            Request::Snapshot => "SNAPSHOT",
+            Request::Restore(_) => "RESTORE",
+            Request::Bye => "BYE",
+        }
+    }
+
     /// Parses one request line (already stripped of its newline).
     ///
     /// Field access is by slice pattern throughout — no indexing, nothing
@@ -241,6 +267,8 @@ impl Request {
             ("PARTS?", _) => Err(arity(0)),
             ("METRICS?", []) => Ok(Request::Metrics),
             ("METRICS?", _) => Err(arity(0)),
+            ("EXPORT?", []) => Ok(Request::Export),
+            ("EXPORT?", _) => Err(arity(0)),
             ("SHARDS?", []) => Ok(Request::Shards),
             ("SHARDS?", _) => Err(arity(0)),
             ("SNAPSHOT", []) => Ok(Request::Snapshot),
@@ -283,6 +311,7 @@ mod tests {
         assert_eq!(Request::parse("UTILITY?"), Ok(Request::Utility));
         assert_eq!(Request::parse("PARTS?"), Ok(Request::Parts));
         assert_eq!(Request::parse("METRICS?"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("EXPORT?"), Ok(Request::Export));
         assert_eq!(Request::parse("SHARDS?"), Ok(Request::Shards));
         assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(Request::parse("RESTORE 40"), Ok(Request::Restore(40)));
@@ -301,6 +330,31 @@ mod tests {
         assert!(Request::parse("TICK 1 2").is_err());
         assert!(Request::parse("CLOCK? now").is_err());
         assert!(Request::parse("PARTS? 1").is_err());
+        assert!(Request::parse("EXPORT? all").is_err());
+    }
+
+    #[test]
+    fn opcode_round_trips_through_parse() {
+        for line in [
+            "HELLO v1",
+            "LOAD 3",
+            "SUBMIT 1 2 0.5 8 900 1",
+            "TICK",
+            "CLOCK?",
+            "SCHEDULE?",
+            "UTILITY?",
+            "PARTS?",
+            "METRICS?",
+            "EXPORT?",
+            "SHARDS?",
+            "SNAPSHOT",
+            "RESTORE 4",
+            "BYE",
+        ] {
+            let request = Request::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            let directive = line.split_whitespace().next().unwrap_or_default();
+            assert_eq!(request.opcode(), directive);
+        }
     }
 
     #[test]

@@ -65,6 +65,7 @@ use haste_model::{io as model_io, ChargerId, Partition, PartitionError, Schedule
 use haste_parallel::ThreadPool;
 use parking_lot::Mutex;
 
+use crate::client::Client;
 use crate::framing::{self, BatchAck};
 use crate::proto::{ErrCode, Reply, Request};
 use crate::server::{
@@ -75,6 +76,7 @@ use crate::shard::{Shard, ShardHealth, ShardStatus, UtilityParts};
 use crate::supervisor::{
     resolve_shardd, Launcher, ProcessShardConfig, RemoteShard, ShardSlot, SlotError,
 };
+use crate::telemetry::{self, SupervisorCounters, Telemetry};
 
 /// Magic first line of a composite router snapshot.
 const COMPOSITE_MAGIC: &str = "# haste-router snapshot v2";
@@ -104,6 +106,11 @@ pub struct RouterConfig {
     /// process instead of in-process (see the module docs' failure
     /// model); `None` is the original in-process mode.
     pub process: Option<ProcessShardConfig>,
+    /// `Some(addr)` additionally binds a plain-HTTP scrape listener that
+    /// answers any `GET` with the router's `EXPORT?` exposition text
+    /// (Prometheus-style). `None` disables it; `EXPORT?` on the wire
+    /// protocol is always available.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -117,6 +124,7 @@ impl Default for RouterConfig {
             origin: (0.0, 0.0),
             field: (200.0, 100.0),
             process: None,
+            metrics_addr: None,
         }
     }
 }
@@ -169,6 +177,7 @@ struct RouterShared {
     core: Mutex<RouterCore>,
     config: RouterConfig,
     shutdown: AtomicBool,
+    telemetry: Telemetry,
 }
 
 /// A running router. Dropping the handle shuts it down and joins its
@@ -177,6 +186,7 @@ pub struct RouterHandle {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    metrics_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl RouterHandle {
@@ -208,6 +218,9 @@ impl RouterHandle {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.metrics_thread.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -230,6 +243,7 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
         ));
     }
     let num_shards = config.cells.0 * config.cells.1;
+    let router_telemetry = Telemetry::new();
     let shards: Vec<ShardSlot> = match &config.process {
         None => (0..num_shards)
             .map(|_| ShardSlot::Local(Shard::new(config.scheduling.clone(), config.max_pending)))
@@ -265,6 +279,7 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
                     cell,
                     launcher.clone(),
                     plan.for_cell(cell),
+                    SupervisorCounters::for_cell(router_telemetry.registry(), cell),
                 )?));
             }
             shards
@@ -273,6 +288,16 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    // Bind the scrape listener before spawning anything, so a bad
+    // `metrics_addr` aborts startup instead of failing silently later.
+    let metrics_listener = match &config.metrics_addr {
+        Some(scrape_addr) => {
+            let listener = TcpListener::bind(scrape_addr)?;
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        }
+        None => None,
+    };
     let shared = Arc::new(RouterShared {
         core: Mutex::new(RouterCore {
             shards,
@@ -285,6 +310,7 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
         }),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
+        telemetry: router_telemetry,
     });
     let accept_shared = Arc::clone(&shared);
     let workers = config.worker_threads.max(1);
@@ -307,11 +333,89 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
                 }
             }
         })?;
+    let metrics_thread = match metrics_listener {
+        Some(listener) => {
+            let scrape_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("haste-router-metrics".to_string())
+                    .spawn(move || {
+                        while !scrape_shared.shutdown.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((stream, _peer)) => {
+                                    let _ = serve_scrape(stream, addr);
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })?,
+            )
+        }
+        None => None,
+    };
     Ok(RouterHandle {
         addr,
         shared,
         accept_thread: Some(accept_thread),
+        metrics_thread,
     })
+}
+
+/// Answers one HTTP scrape: any `GET` gets the router's `EXPORT?`
+/// exposition as `200 text/plain`. The handler dials the router's own
+/// protocol port as an ordinary client, so the scrape sees exactly the
+/// document wire clients see (merged child registries included) and the
+/// HTTP layer stays a dozen lines: request head + headers in, one
+/// `Content-Length`-framed response out, connection closed.
+fn serve_scrape(stream: TcpStream, router: SocketAddr) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut head = String::new();
+    reader.read_line(&mut head)?;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut writer = BufWriter::new(stream);
+    if !head.starts_with("GET ") {
+        writer.write_all(
+            b"HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )?;
+        return writer.flush();
+    }
+    let body = Client::connect(router).and_then(|mut conn| conn.export());
+    match body {
+        Ok(body) => {
+            writer.write_all(
+                format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            )?;
+            writer.write_all(body.as_bytes())?;
+        }
+        Err(e) => {
+            let detail = format!("scrape failed: {e}\n");
+            writer.write_all(
+                format!(
+                    "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n",
+                    detail.len()
+                )
+                .as_bytes(),
+            )?;
+            writer.write_all(detail.as_bytes())?;
+        }
+    }
+    writer.flush()
 }
 
 /// Serves one connection until EOF, `BYE`, or shutdown.
@@ -373,9 +477,10 @@ fn serve_framed<R: BufRead, W: Write>(
 /// recorded order *is* the determinism contract, exactly as for text
 /// submits racing on separate connections.
 fn execute_batch(specs: &[TaskSpec], shared: &RouterShared) -> Vec<BatchAck> {
+    let start = telemetry::clock_start();
     let mut core = shared.core.lock();
     let core = &mut *core;
-    specs
+    let acks: Vec<BatchAck> = specs
         .iter()
         .map(|spec| {
             if !(spec.device_pos.x.is_finite()
@@ -419,7 +524,15 @@ fn execute_batch(specs: &[TaskSpec], shared: &RouterShared) -> Vec<BatchAck> {
                 }
             }
         })
-        .collect()
+        .collect();
+    let rejected = acks
+        .iter()
+        .filter(|ack| matches!(ack, BatchAck::Err { .. }))
+        .count();
+    shared
+        .telemetry
+        .observe_batch(specs.len(), rejected, telemetry::elapsed_us(start));
+    acks
 }
 
 /// Parses and executes one request under the panic backstop (see the
@@ -431,9 +544,20 @@ fn dispatch<R: BufRead>(
 ) -> std::io::Result<(Reply, bool)> {
     let request = match Request::parse(line) {
         Ok(request) => request,
-        Err(reason) => return Ok((Reply::Err(ErrCode::BadRequest, reason), false)),
+        Err(reason) => {
+            shared.telemetry.count_error(ErrCode::BadRequest);
+            return Ok((Reply::Err(ErrCode::BadRequest, reason), false));
+        }
     };
-    catching(AssertUnwindSafe(|| execute(request, reader, shared)))
+    let opcode = request.opcode();
+    let start = telemetry::clock_start();
+    let result = catching(AssertUnwindSafe(|| execute(request, reader, shared)));
+    if let Ok((reply, _)) = &result {
+        shared
+            .telemetry
+            .observe_request(opcode, telemetry::elapsed_us(start), reply);
+    }
+    result
 }
 
 /// Maps a partition failure onto the wire error space: geometry/split
@@ -527,7 +651,7 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
-                match tick_lockstep(&mut core, n) {
+                match tick_lockstep(&mut core, n, &shared.telemetry) {
                     Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
                     Err(reply) => reply,
                 }
@@ -586,6 +710,44 @@ fn execute<R: BufRead>(
                     Err(reply) => reply,
                 }
             }
+        }
+        Request::Export => {
+            let core = shared.core.lock();
+            let mut snap = shared.telemetry.registry().snapshot();
+            // Engine aliases and the down gauge come from the status view,
+            // uniformly across deployment modes; the router renders them
+            // itself so child engine series are never double-counted.
+            let mut merged = ShardStatus::default();
+            let mut down = 0u64;
+            let mut saw_status = false;
+            for shard in &core.shards {
+                if let Ok((status, health, _restarts, _replay)) = shard.status_view() {
+                    merged.absorb(&status);
+                    saw_status = true;
+                    if health == ShardHealth::Restarting {
+                        down += 1;
+                    }
+                }
+            }
+            if saw_status {
+                telemetry::engine_alias_snapshot(&merged, &mut snap);
+            }
+            snap.set_gauge("haste_supervisor_down_shards", &[], u128::from(down));
+            // Out-of-process children carry their own registries: fetch
+            // each child's exposition, keep only its service-side request
+            // series, rename them into the shard-scoped families, and
+            // merge bucket-wise. A down or unparsable child contributes
+            // nothing this scrape; counters resume after its rejoin.
+            for shard in &core.shards {
+                if let Some(Ok(document)) = shard.export_document() {
+                    if let Ok(mut child) = haste_metrics::Snapshot::parse(&document) {
+                        child.retain_prefix("haste_service_");
+                        child.rename_prefix("haste_service_", "haste_shard_");
+                        snap.merge(child);
+                    }
+                }
+            }
+            Reply::Data(snap.render())
         }
         Request::Metrics => {
             let core = shared.core.lock();
@@ -806,7 +968,11 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
 /// thread interleaving cannot reach any output bits; tick outcomes are
 /// processed sequentially in shard order, keeping error reporting
 /// deterministic too (DESIGN.md §11 has the full argument).
-fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply> {
+fn tick_lockstep(
+    core: &mut RouterCore,
+    n: usize,
+    router_telemetry: &Telemetry,
+) -> Result<(usize, bool), Reply> {
     if !core.open() {
         return Err(shard_err(crate::shard::ShardError::AtHorizon));
     }
@@ -817,9 +983,24 @@ fn tick_lockstep(core: &mut RouterCore, n: usize) -> Result<(usize, bool), Reply
         for shard in &core.shards {
             shard.rejoin(core.clock);
         }
-        let outcomes =
-            haste_parallel::par_map(&core.shards, core.shards.len(), |_, shard| shard.tick1());
-        for (shard, outcome) in core.shards.iter().zip(outcomes) {
+        let step_start = telemetry::clock_start();
+        let outcomes = haste_parallel::par_map(&core.shards, core.shards.len(), |_, shard| {
+            let replan_start = telemetry::clock_start();
+            let outcome = shard.tick1();
+            (outcome, telemetry::elapsed_us(replan_start))
+        });
+        // The join above is the consistent-cut barrier: a shard's wait is
+        // the gap between its own replan finishing and the whole step.
+        let step_us = telemetry::elapsed_us(step_start);
+        for (index, (shard, (outcome, replan_us))) in core.shards.iter().zip(outcomes).enumerate() {
+            let cell_label = index.to_string();
+            let registry = router_telemetry.registry();
+            registry
+                .histogram_with("haste_router_tick_replan_duration_us", "cell", &cell_label)
+                .observe(replan_us);
+            registry
+                .histogram_with("haste_router_join_wait_duration_us", "cell", &cell_label)
+                .observe((step_us - replan_us).max(0.0));
             match outcome {
                 Ok((slot, _open)) => {
                     if slot != core.clock + 1 {

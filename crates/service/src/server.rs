@@ -28,6 +28,7 @@ use haste_parallel::ThreadPool;
 use crate::framing::{self, BatchAck};
 use crate::proto::{ErrCode, Reply, Request, VERSION, VERSION_V2, VERSION_V3};
 use crate::shard::{Shard, ShardError, ShardHealth};
+use crate::telemetry::{self, Telemetry};
 
 /// How long a handler blocks on a read before re-checking the shutdown
 /// flag. Short enough for prompt shutdown, long enough to stay off the CPU.
@@ -65,6 +66,7 @@ impl Default for ServerConfig {
 struct Shared {
     shard: Shard,
     shutdown: AtomicBool,
+    telemetry: Telemetry,
 }
 
 /// A running daemon. Dropping the handle shuts the daemon down and joins
@@ -111,6 +113,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         shard: Shard::new(config.scheduling.clone(), config.max_pending),
         shutdown: AtomicBool::new(false),
+        telemetry: Telemetry::new(),
     });
     let accept_shared = Arc::clone(&shared);
     let workers = config.worker_threads.max(1);
@@ -267,7 +270,8 @@ where
 /// Records are admitted in frame order under the shard's own serialization
 /// — the same order contract as the equivalent sequence of text `SUBMIT`s.
 fn execute_batch(specs: &[TaskSpec], shared: &Shared) -> Vec<BatchAck> {
-    specs
+    let start = telemetry::clock_start();
+    let acks: Vec<BatchAck> = specs
         .iter()
         .map(|spec| {
             if !(spec.device_pos.x.is_finite()
@@ -291,7 +295,15 @@ fn execute_batch(specs: &[TaskSpec], shared: &Shared) -> Vec<BatchAck> {
                 }
             }
         })
-        .collect()
+        .collect();
+    let rejected = acks
+        .iter()
+        .filter(|ack| matches!(ack, BatchAck::Err { .. }))
+        .count();
+    shared
+        .telemetry
+        .observe_batch(specs.len(), rejected, telemetry::elapsed_us(start));
+    acks
 }
 
 /// Parses and executes one request; returns the reply and whether the
@@ -308,9 +320,20 @@ fn dispatch<R: BufRead>(
 ) -> std::io::Result<(Reply, bool)> {
     let request = match Request::parse(line) {
         Ok(request) => request,
-        Err(reason) => return Ok((Reply::Err(ErrCode::BadRequest, reason), false)),
+        Err(reason) => {
+            shared.telemetry.count_error(ErrCode::BadRequest);
+            return Ok((Reply::Err(ErrCode::BadRequest, reason), false));
+        }
     };
-    catching(AssertUnwindSafe(|| execute(request, reader, shared)))
+    let opcode = request.opcode();
+    let start = telemetry::clock_start();
+    let result = catching(AssertUnwindSafe(|| execute(request, reader, shared)));
+    if let Ok((reply, _)) = &result {
+        shared
+            .telemetry
+            .observe_request(opcode, telemetry::elapsed_us(start), reply);
+    }
+    result
 }
 
 /// Runs one request handler, converting a panic into an `ERR internal`
@@ -492,6 +515,13 @@ fn execute<R: BufRead>(
             Ok(parts) => Reply::Data(parts_payload(&parts)),
             Err(e) => shard_err(e),
         },
+        Request::Export => {
+            // The typed registry plus the engine-alias projection of the
+            // current status (absent before `LOAD` — a fresh daemon still
+            // exposes its request metrics).
+            let snap = shared.telemetry.export(shared.shard.status().ok().as_ref());
+            Reply::Data(snap.render())
+        }
         Request::Metrics => match shared.shard.status() {
             Err(e) => shard_err(e),
             Ok(status) => {
@@ -561,6 +591,7 @@ mod tests {
         Shared {
             shard: Shard::new(OnlineConfig::default(), 4),
             shutdown: AtomicBool::new(false),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -629,6 +660,29 @@ mod tests {
             hello_reply("v4", 1, (1, 1)),
             Reply::Err(ErrCode::Version, _)
         ));
+    }
+
+    #[test]
+    fn export_renders_parseable_exposition_with_request_counts() {
+        let shared = fresh_shared();
+        let mut reader = std::io::Cursor::new(Vec::<u8>::new());
+        let (reply, _) = dispatch("CLOCK?", &mut reader, &shared).unwrap();
+        assert!(matches!(reply, Reply::Err(ErrCode::NoScenario, _)));
+        let (reply, _) = dispatch("EXPORT?", &mut reader, &shared).unwrap();
+        let payload = match reply {
+            Reply::Data(payload) => payload,
+            other => panic!("expected DATA, got {other:?}"),
+        };
+        let snap = haste_metrics::Snapshot::parse(&payload)
+            .unwrap_or_else(|e| panic!("exposition must parse: {e}"));
+        match snap.get("haste_service_requests_total", &[("opcode", "CLOCK?")]) {
+            Some(haste_metrics::Value::Counter(n)) => assert_eq!(*n, 1),
+            other => panic!("expected CLOCK? counter, got {other:?}"),
+        }
+        match snap.get("haste_service_errors_total", &[("err_code", "no-scenario")]) {
+            Some(haste_metrics::Value::Counter(n)) => assert_eq!(*n, 1),
+            other => panic!("expected no-scenario counter, got {other:?}"),
+        }
     }
 
     #[test]

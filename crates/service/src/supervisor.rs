@@ -54,6 +54,7 @@ use parking_lot::Mutex;
 use crate::client::{Client, ClientError};
 use crate::proto::ErrCode;
 use crate::shard::{Shard, ShardError, ShardHealth, ShardStatus, UtilityParts};
+use crate::telemetry::SupervisorCounters;
 
 /// Default per-request deadline on supervisor → child calls. Generous —
 /// a negotiation round on a loaded cell can be slow — but finite, so a
@@ -485,6 +486,8 @@ struct RemoteInner {
     journal: Vec<JournalOp>,
     /// Last observed status, served while the shard is down.
     cached: ShardStatus,
+    /// Per-cell fault counters in the router's metric registry.
+    counters: SupervisorCounters,
 }
 
 /// One out-of-process shard: a supervised child daemon plus the baseline
@@ -502,6 +505,7 @@ impl RemoteShard {
         cell: usize,
         launcher: Launcher,
         faults: Vec<Directive>,
+        counters: SupervisorCounters,
     ) -> std::io::Result<RemoteShard> {
         match launcher.spawn() {
             Ok((child, conn)) => Ok(RemoteShard {
@@ -519,6 +523,7 @@ impl RemoteShard {
                     baseline: None,
                     journal: Vec::new(),
                     cached: ShardStatus::default(),
+                    counters,
                 }),
             }),
             Err(reason) => Err(std::io::Error::other(format!("shard {cell}: {reason}"))),
@@ -567,7 +572,7 @@ impl RemoteShard {
                 inner.journal.push(JournalOp::Submit(spec));
                 Err(remote_err(&code, message))
             }
-            Err(e) => Err(self.fail(inner, format!("SUBMIT: {e}"))),
+            Err(e) => Err(self.crash(inner, "SUBMIT", &e)),
         }
     }
 
@@ -592,7 +597,7 @@ impl RemoteShard {
                 Ok(ok)
             }
             Err(ClientError::Server { code, message }) => Err(remote_err(&code, message)),
-            Err(e) => Err(self.fail(inner, format!("TICK: {e}"))),
+            Err(e) => Err(self.crash(inner, "TICK", &e)),
         }
     }
 
@@ -622,6 +627,12 @@ impl RemoteShard {
         self.call("SNAPSHOT", |conn| conn.snapshot())
     }
 
+    /// The child's metric exposition text (`EXPORT?`), for the router's
+    /// bucket-wise cross-shard merge.
+    pub(crate) fn export_document(&self) -> Result<String, SlotError> {
+        self.call("EXPORT?", |conn| conn.export())
+    }
+
     /// Sets the load baseline and pushes the sub-scenario to the child.
     /// A transport failure leaves the shard down with the baseline in
     /// place: the first `TICK`'s rejoin pass loads it into a fresh child.
@@ -639,7 +650,7 @@ impl RemoteShard {
         match outcome {
             Ok(()) => Ok(()),
             Err(ClientError::Server { code, message }) => Err(remote_err(&code, message)),
-            Err(e) => Err(self.fail(inner, format!("LOAD: {e}"))),
+            Err(e) => Err(self.crash(inner, "LOAD", &e)),
         }
     }
 
@@ -663,7 +674,7 @@ impl RemoteShard {
             }
         };
         if let Err(e) = outcome {
-            let _ = self.fail(inner, format!("RESTORE: {e}"));
+            let _ = self.crash(inner, "RESTORE", &e);
         }
     }
 
@@ -705,6 +716,8 @@ impl RemoteShard {
             Ok(()) => {
                 inner.restarts += 1;
                 inner.replayed += inner.journal.len() as u64;
+                inner.counters.restarts.inc();
+                inner.counters.replays.add(inner.journal.len() as u64);
                 inner.child = Some(child);
                 inner.conn = Some(conn);
                 inner.down = None;
@@ -734,7 +747,7 @@ impl RemoteShard {
                 // a transport failure is a crash like any other.
                 Err(ClientError::Server { .. }) => {}
                 Err(e) => {
-                    let _ = self.fail(inner, format!("METRICS?: {e}"));
+                    let _ = self.crash(inner, "METRICS?", &e);
                 }
             }
         }
@@ -758,6 +771,9 @@ impl RemoteShard {
         }
         if inner.stall_budget > 0 {
             inner.stall_budget -= 1;
+            // An injected stall simulates an expired request deadline, so
+            // it counts as one.
+            inner.counters.deadlines.inc();
             return Err(self.fail(
                 inner,
                 "injected stall: request deadline expired".to_string(),
@@ -792,6 +808,16 @@ impl RemoteShard {
         }
     }
 
+    /// Classifies a transport failure and declares the child dead. An
+    /// expired per-request deadline (the timeout kind) is the
+    /// supervisor's hang-detection signal and gets its own counter.
+    fn crash(&self, inner: &mut RemoteInner, what: &str, e: &ClientError) -> SlotError {
+        if matches!(e, ClientError::Timeout) {
+            inner.counters.deadlines.inc();
+        }
+        self.fail(inner, format!("{what}: {e}"))
+    }
+
     /// Declares the child dead: kills the process, drops the connection,
     /// and marks the shard down until a rejoin succeeds.
     fn fail(&self, inner: &mut RemoteInner, reason: String) -> SlotError {
@@ -821,7 +847,7 @@ impl RemoteShard {
         match outcome {
             Ok(value) => Ok(value),
             Err(ClientError::Server { code, message }) => Err(remote_err(&code, message)),
-            Err(e) => Err(self.fail(inner, format!("{what}: {e}"))),
+            Err(e) => Err(self.crash(inner, what, &e)),
         }
     }
 }
@@ -1000,6 +1026,16 @@ impl ShardSlot {
                 .map(|status| (status, ShardHealth::Up, 0, 0))
                 .map_err(SlotError::Shard),
             ShardSlot::Remote(shard) => Ok(shard.status_view()),
+        }
+    }
+
+    /// The shard's metric exposition: a child's `EXPORT?` document, or
+    /// `None` for in-process shards (their series live in the router's
+    /// own registry already).
+    pub(crate) fn export_document(&self) -> Option<Result<String, SlotError>> {
+        match self {
+            ShardSlot::Local(_) => None,
+            ShardSlot::Remote(shard) => Some(shard.export_document()),
         }
     }
 
