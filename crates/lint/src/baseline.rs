@@ -1,0 +1,154 @@
+//! Finding baselines: accept today's findings, gate only on new ones.
+//!
+//! A baseline file holds one fingerprint per accepted finding. The
+//! fingerprint is FNV-1a (64-bit) over `file|rule|message` — deliberately
+//! *not* over the line number, so unrelated edits that shift a finding up
+//! or down the file do not resurrect it. The file format is line-oriented
+//! and diff-friendly:
+//!
+//! ```text
+//! # haste-lint baseline — `cargo run -p haste-lint -- baseline --out <file>`
+//! 9c4f0a2b8d1e6f37 crates/service/src/router.rs L2
+//! ```
+//!
+//! The trailing `<file> <rule>` columns are commentary for reviewers; only
+//! the fingerprint is consulted when filtering. CI keeps the committed
+//! baseline empty — the mechanism exists for bootstrapping new rules on a
+//! dirty tree, not as a permanent dumping ground.
+
+use std::collections::BTreeSet;
+
+use crate::Finding;
+
+const HEADER: &str =
+    "# haste-lint baseline — regenerate with `cargo run -p haste-lint -- baseline --out <file>`";
+
+/// FNV-1a 64-bit over `file|rule|message`.
+pub fn fingerprint(finding: &Finding) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in finding
+        .file
+        .bytes()
+        .chain([b'|'])
+        .chain(finding.rule.bytes())
+        .chain([b'|'])
+        .chain(finding.message.bytes())
+    {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders a baseline accepting every finding in `findings`.
+pub fn render(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{:016x} {} {}", fingerprint(f), f.file, f.rule))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a baseline file into its fingerprint set. Blank lines and `#`
+/// comments are ignored; anything else must start with a 16-hex-digit
+/// fingerprint.
+pub fn parse(text: &str) -> Result<BTreeSet<u64>, String> {
+    let mut set = BTreeSet::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let token = line.split_whitespace().next().unwrap_or("");
+        if token.len() != 16 {
+            return Err(format!(
+                "baseline line {}: expected a 16-hex fingerprint, got `{token}`",
+                index + 1
+            ));
+        }
+        match u64::from_str_radix(token, 16) {
+            Ok(value) => {
+                set.insert(value);
+            }
+            Err(_) => {
+                return Err(format!(
+                    "baseline line {}: `{token}` is not hexadecimal",
+                    index + 1
+                ))
+            }
+        }
+    }
+    Ok(set)
+}
+
+/// Splits findings into `(surviving, accepted-by-baseline)`.
+pub fn split(findings: Vec<Finding>, baseline: &BTreeSet<u64>) -> (Vec<Finding>, Vec<Finding>) {
+    findings
+        .into_iter()
+        .partition(|f| !baseline.contains(&fingerprint(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, rule: &'static str, message: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_number() {
+        let a = finding("f.rs", 10, "L2", "m");
+        let b = finding("f.rs", 99, "L2", "m");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = finding("f.rs", 10, "L3", "m");
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let findings = vec![
+            finding("b.rs", 2, "L3", "no deadline"),
+            finding("a.rs", 1, "L2", "blocking"),
+            finding("a.rs", 5, "L2", "blocking"), // same fingerprint as above
+        ];
+        let text = render(&findings);
+        assert!(text.starts_with("# haste-lint baseline"));
+        assert_eq!(text.lines().count(), 3); // header + 2 unique fingerprints
+        let set = parse(&text).expect("round trip parses");
+        assert_eq!(set.len(), 2);
+        let (live, accepted) = split(findings, &set);
+        assert!(live.is_empty());
+        assert_eq!(accepted.len(), 3);
+    }
+
+    #[test]
+    fn split_keeps_unknown_findings() {
+        let known = finding("a.rs", 1, "L2", "old");
+        let set = parse(&render(std::slice::from_ref(&known))).unwrap();
+        let fresh = finding("a.rs", 1, "L2", "new");
+        let (live, accepted) = split(vec![known, fresh.clone()], &set);
+        assert_eq!(live, vec![fresh]);
+        assert_eq!(accepted.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("# ok\n\n").unwrap().is_empty());
+        assert!(parse("deadbeef a.rs L2").is_err()); // 8 digits, not 16
+        assert!(parse("zzzzzzzzzzzzzzzz a.rs L2").is_err());
+    }
+}

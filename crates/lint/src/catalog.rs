@@ -137,6 +137,58 @@ pub const RULES: &[RuleInfo] = &[
         example: "(not suppressible — vendor the crate or drop the dependency)",
     },
     RuleInfo {
+        id: "L1",
+        name: "lock-order",
+        summary: "the static lock-order graph must be acyclic",
+        rationale: "Two threads acquiring the same locks in different orders can deadlock. \
+                    The analyzer extracts every Mutex/RwLock acquisition (lock identity = \
+                    field or static name), follows calls made while a guard is live, and \
+                    fails on any cycle in the resulting acquisition-order graph — printing \
+                    the offending chain with a file:line witness per edge. A self-edge \
+                    (re-acquiring a lock already held, directly or through a callee) is a \
+                    one-node cycle: with std's non-reentrant Mutex that is a guaranteed \
+                    self-deadlock.",
+        scope: "crates/service/src/ and crates/parallel/src/ (loadgen.rs and test modules \
+                exempt); locks on different instances that share a field name share one \
+                graph node (conservative)",
+        example: "// haste-lint: allow(L1) — instances are disjoint: each cell has its own `inner`",
+    },
+    RuleInfo {
+        id: "L2",
+        name: "blocking-under-lock",
+        summary: "no blocking call while a lock guard is live",
+        rationale: "A blocking call under a lock stalls every thread that needs that lock \
+                    for as long as the call takes — unbounded, if it is an undeadlined \
+                    socket read or a `Child::wait`. The analyzer tracks live guards \
+                    through each function body (let-bound guards until drop/scope end, \
+                    temporaries until the statement ends) and flags socket/pipe I/O, \
+                    `.wait()`, `.recv(..)`, `.output(..)`, and `sleep` — directly or \
+                    through a resolved call chain. `Condvar::wait(&guard)` is exempt: \
+                    releasing the lock while parked is its contract.",
+        scope: "crates/service/src/ and crates/parallel/src/ (loadgen.rs and test modules \
+                exempt); the router's lockstep-TICK sites and the supervisor's \
+                per-cell-mutex request sites carry audited suppressions naming the \
+                deadline that bounds the block",
+        example: "// haste-lint: allow(L2) — per-request deadline bounds the block; \
+                  serializing requests per cell is this mutex's purpose",
+    },
+    RuleInfo {
+        id: "L3",
+        name: "deadline-coverage",
+        summary: "TCP streams must be acquired within sight of a read+write deadline",
+        rationale: "A stream with no deadline turns a stuck peer into a stuck service: one \
+                    wedged scrape or child daemon blocks its handler thread forever. Every \
+                    function that acquires a stream (`TcpStream::connect`, \
+                    `listener.accept()`) must call `set_read_timeout` and \
+                    `set_write_timeout` (or `set_timeout`) itself or in a directly-called \
+                    function. Coverage is depth-1 on purpose: a deadline set three calls \
+                    away is an accident waiting for a refactor, not a policy.",
+        scope: "crates/service/src/ and crates/parallel/src/ (loadgen.rs and test modules \
+                exempt)",
+        example: "// haste-lint: allow(L3) — deliberately undeadlined: replication stream \
+                  blocks until the peer recovers",
+    },
+    RuleInfo {
         id: "S0",
         name: "bad-suppression",
         summary: "a haste-lint comment that does not parse",

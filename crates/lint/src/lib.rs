@@ -18,25 +18,35 @@
 //! * **C1/C2/C3** — contract consistency: `ErrCode` and frame opcodes ↔
 //!   protocol doc, `METRICS?` keys and the typed metric catalog ↔ the
 //!   protocol doc's `Metrics schema` table, vendored dependency allowlist.
+//! * **L1/L2/L3** — concurrency safety over `crates/service` +
+//!   `crates/parallel`: acyclic lock-order graph, no blocking call while
+//!   a mutex guard is live, every socket acquisition covered by a
+//!   deadline.
 //! * **S0/S1** — suppression hygiene (malformed / unused
 //!   `// haste-lint: allow(...)` comments).
 //!
-//! The scanners live in [`source`] (per-file D/P/S rules) and
-//! [`consistency`] (cross-file C rules); [`run_check`] wires them to a real
-//! workspace tree.
+//! The scanners live in [`source`] (per-file D/P/S rules), [`concurrency`]
+//! (the token-level L rules, on [`parse`]), and [`consistency`]
+//! (cross-file C rules); [`run_check`] wires them to a real workspace
+//! tree. [`sarif`] renders a [`CheckReport`] as SARIF 2.1.0; [`baseline`]
+//! implements the finding-fingerprint accept list.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
 pub mod catalog;
+pub mod concurrency;
 pub mod consistency;
+pub mod parse;
+pub mod sarif;
 pub mod source;
 
 pub use consistency::{
     check_errcode_docs, check_metrics_docs, check_metrics_schema, check_opcode_docs,
     check_vendor_allowlist, ManifestSet,
 };
-pub use source::scan_source;
+pub use source::{scan_source, scan_source_extra, scan_source_report, SuppressedFinding};
 
 /// One diagnostic. Renders as `file:line rule message` (line 0 — a
 /// file/workspace-level finding — renders without the line).
@@ -66,14 +76,51 @@ impl std::fmt::Display for Finding {
     }
 }
 
+/// A full check run: surviving findings plus the suppressed ones (SARIF
+/// output reports both, marking the latter `suppressed`).
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<SuppressedFinding>,
+}
+
 /// Runs every rule against the workspace rooted at `root`. Findings come
 /// back sorted by `(file, line, rule)`; an empty vector means the tree is
 /// lint-clean. IO problems (unreadable contract files) surface as findings
 /// rather than errors so CI gets one uniform failure mode.
 pub fn run_check(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
+    run_check_report(root).findings
+}
 
-    // D/P/S rules over every tracked source file under crates/.
+/// Runs only the concurrency rules (plus the shared suppression
+/// machinery) over in-memory `(path, content)` pairs — the entry point
+/// for fixture tests. D/P findings the fixture source would also trigger
+/// are filtered out, so each planted violation exercises exactly its
+/// rule.
+pub fn check_concurrency(files: &[(String, String)]) -> Vec<Finding> {
+    let extra = concurrency::analyze(files);
+    let mut findings = Vec::new();
+    for (path, content) in files {
+        let hits: Vec<Finding> = extra.iter().filter(|f| &f.file == path).cloned().collect();
+        findings.extend(
+            source::scan_source_extra(path, content, &hits)
+                .into_iter()
+                .filter(|f| matches!(f.rule, "L1" | "L2" | "L3" | "S0" | "S1")),
+        );
+    }
+    findings.sort();
+    findings
+}
+
+/// [`run_check`], but also reporting what the suppressions absorbed.
+pub fn run_check_report(root: &Path) -> CheckReport {
+    let mut report = CheckReport::default();
+    let findings = &mut report.findings;
+
+    // Phase 1: read every tracked source file under crates/ once — the
+    // concurrency rules resolve calls across files, so they need the
+    // whole set before any per-file scan.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in rust_sources(&root.join("crates")) {
         let rel = relative(&path, root);
         // The linter's own sources and fixtures spell the forbidden tokens.
@@ -81,7 +128,7 @@ pub fn run_check(root: &Path) -> Vec<Finding> {
             continue;
         }
         match fs::read_to_string(&path) {
-            Ok(content) => findings.extend(source::scan_source(&rel, &content)),
+            Ok(content) => sources.push((rel, content)),
             Err(e) => findings.push(Finding {
                 file: rel,
                 line: 0,
@@ -90,6 +137,22 @@ pub fn run_check(root: &Path) -> Vec<Finding> {
             }),
         }
     }
+    let concurrency_hits = concurrency::analyze(&sources);
+
+    // Phase 2: per-file D/P/S scan, with that file's concurrency hits
+    // merged in before suppression absorption (one `allow(L2)` both
+    // silences the hit and counts as used for S1).
+    for (rel, content) in &sources {
+        let extra: Vec<Finding> = concurrency_hits
+            .iter()
+            .filter(|f| &f.file == rel)
+            .cloned()
+            .collect();
+        let file_report = source::scan_source_report(rel, content, &extra);
+        findings.extend(file_report.findings);
+        report.suppressed.extend(file_report.suppressed);
+    }
+    let findings = &mut report.findings;
 
     // C1/C2: the protocol contract files. The router serves the same
     // METRICS? block as the single daemon, so both are held to the doc;
@@ -173,7 +236,8 @@ pub fn run_check(root: &Path) -> Vec<Finding> {
     }
 
     findings.sort();
-    findings
+    report.suppressed.sort();
+    report
 }
 
 /// Walks upward from `start` to the enclosing workspace root (the first

@@ -1,22 +1,31 @@
-//! CLI entry point: `haste-lint check | list | --explain <rule>`.
+//! CLI entry point: `haste-lint check | baseline | list | --explain <rule>`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use haste_lint::{catalog, find_workspace_root, run_check};
+use haste_lint::{baseline, catalog, find_workspace_root, run_check_report, sarif};
 
 const USAGE: &str = "\
 haste-lint — workspace static analysis for the HASTE determinism,
-panic-safety, and protocol/doc contracts.
+panic-safety, concurrency-safety, and protocol/doc contracts.
 
 USAGE:
-    cargo run -p haste-lint -- check [--root <dir>]
+    cargo run -p haste-lint -- check [--root <dir>] [--format human|sarif]
+                                     [--out <file>] [--baseline <file>]
+    cargo run -p haste-lint -- baseline [--root <dir>] --out <file>
     cargo run -p haste-lint -- list
     cargo run -p haste-lint -- --explain <rule>
 
 COMMANDS:
     check            Scan the workspace; print `file:line rule message`
                      diagnostics and exit 1 on any unsuppressed finding.
+                     `--format sarif` emits a SARIF 2.1.0 document instead
+                     (suppressed findings included, marked suppressed);
+                     `--out` writes it to a file; `--baseline` filters
+                     findings fingerprinted in the given baseline file.
+    baseline         Scan and write a baseline accepting every current
+                     finding to --out (for bootstrapping a new rule on a
+                     dirty tree; CI keeps the committed baseline empty).
     list             Print the rule catalog.
     --explain <rule> Print a rule's rationale, scope, and suppression
                      syntax (by id `D1` or slug `hash-collections`).
@@ -32,17 +41,60 @@ fn main() -> ExitCode {
     match it.next() {
         Some("check") => {
             let mut root: Option<PathBuf> = None;
+            let mut format = Format::Human;
+            let mut out: Option<PathBuf> = None;
+            let mut baseline_path: Option<PathBuf> = None;
             loop {
                 match it.next() {
                     Some("--root") => match it.next() {
                         Some(dir) => root = Some(PathBuf::from(dir)),
                         None => return usage_error("--root needs a directory"),
                     },
+                    Some("--format") => match it.next() {
+                        Some("human") => format = Format::Human,
+                        Some("sarif") => format = Format::Sarif,
+                        Some(other) => {
+                            return usage_error(&format!(
+                                "unknown format `{other}` (human | sarif)"
+                            ))
+                        }
+                        None => return usage_error("--format needs a value (human | sarif)"),
+                    },
+                    Some("--out") => match it.next() {
+                        Some(file) => out = Some(PathBuf::from(file)),
+                        None => return usage_error("--out needs a file"),
+                    },
+                    Some("--baseline") => match it.next() {
+                        Some(file) => baseline_path = Some(PathBuf::from(file)),
+                        None => return usage_error("--baseline needs a file"),
+                    },
                     Some(other) => return usage_error(&format!("unknown argument `{other}`")),
                     None => break,
                 }
             }
-            check(root)
+            check(root, format, out, baseline_path)
+        }
+        Some("baseline") => {
+            let mut root: Option<PathBuf> = None;
+            let mut out: Option<PathBuf> = None;
+            loop {
+                match it.next() {
+                    Some("--root") => match it.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => return usage_error("--root needs a directory"),
+                    },
+                    Some("--out") => match it.next() {
+                        Some(file) => out = Some(PathBuf::from(file)),
+                        None => return usage_error("--out needs a file"),
+                    },
+                    Some(other) => return usage_error(&format!("unknown argument `{other}`")),
+                    None => break,
+                }
+            }
+            let Some(out) = out else {
+                return usage_error("baseline needs --out <file>");
+            };
+            write_baseline(root, out)
         }
         Some("list") => {
             for info in catalog::RULES {
@@ -71,39 +123,119 @@ fn main() -> ExitCode {
     }
 }
 
-fn check(root: Option<PathBuf>) -> ExitCode {
-    let root = match root {
-        Some(dir) => dir,
-        None => {
-            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-            match find_workspace_root(&cwd) {
-                Some(dir) => dir,
-                // Fall back to the compile-time workspace location, so the
-                // binary works when invoked from outside the tree.
-                None => {
-                    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-                    match manifest.parent().and_then(|p| p.parent()) {
-                        Some(dir) => dir.to_path_buf(),
-                        None => return usage_error("cannot locate the workspace root"),
-                    }
-                }
+enum Format {
+    Human,
+    Sarif,
+}
+
+fn check(
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+) -> ExitCode {
+    let Some(root) = resolve_root(root) else {
+        return usage_error("cannot locate the workspace root");
+    };
+    let mut report = run_check_report(&root);
+
+    let mut baselined = Vec::new();
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("haste-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let accepted = match baseline::parse(&text) {
+            Ok(set) => set,
+            Err(e) => {
+                eprintln!("haste-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (live, matched) = baseline::split(std::mem::take(&mut report.findings), &accepted);
+        report.findings = live;
+        baselined = matched;
+    }
+
+    match format {
+        Format::Human => {
+            for finding in &report.findings {
+                println!("{finding}");
             }
         }
-    };
-    let findings = run_check(&root);
-    for finding in &findings {
-        println!("{finding}");
+        Format::Sarif => {
+            let document = sarif::render(&report, &baselined);
+            match &out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &document) {
+                        eprintln!("haste-lint: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                None => print!("{document}"),
+            }
+        }
     }
-    if findings.is_empty() {
-        eprintln!("haste-lint: clean");
+
+    if report.findings.is_empty() {
+        if baselined.is_empty() {
+            eprintln!("haste-lint: clean");
+        } else {
+            eprintln!(
+                "haste-lint: clean ({} finding(s) accepted by baseline)",
+                baselined.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "haste-lint: {} finding(s) — `cargo run -p haste-lint -- --explain <rule>` \
              explains a rule, `// haste-lint: allow(<rule>) — <reason>` suppresses a site",
-            findings.len()
+            report.findings.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+fn write_baseline(root: Option<PathBuf>, out: PathBuf) -> ExitCode {
+    let Some(root) = resolve_root(root) else {
+        return usage_error("cannot locate the workspace root");
+    };
+    let report = run_check_report(&root);
+    let text = baseline::render(&report.findings);
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("haste-lint: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "haste-lint: baseline with {} fingerprint(s) written to {}",
+        report.findings.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn resolve_root(root: Option<PathBuf>) -> Option<PathBuf> {
+    match root {
+        Some(dir) => Some(dir),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(dir) => Some(dir),
+                // Fall back to the compile-time workspace location, so the
+                // binary works when invoked from outside the tree.
+                None => {
+                    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                    manifest
+                        .parent()
+                        .and_then(|p| p.parent())
+                        .map(|dir| dir.to_path_buf())
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,948 @@
+//! A small token-level Rust parser for the concurrency rules (L1–L3).
+//!
+//! Two layers, both deliberately far short of a real Rust front end:
+//!
+//! * [`tokenize`] — a comment/string-aware lexer producing a flat token
+//!   stream with byte offsets (`&src[tok.start..tok.end]` is always the
+//!   token text; a property test asserts the round trip).
+//! * [`FileIndex::build`] — a structural pass over the token stream that
+//!   brace-matches item bodies and records what the concurrency analysis
+//!   needs: struct fields (for lock identity and receiver typing), enum
+//!   tuple variants (for `Variant(binding) =>` patterns), impl blocks
+//!   (for `self` typing), and function declarations with parameter types
+//!   and body token ranges.
+//!
+//! Like `source.rs`, this is heuristic by design: anything it cannot
+//! resolve is simply not analyzed further, and every rule built on top
+//! carries the standard suppression escape hatch.
+
+use std::ops::Range;
+
+/// Token classes the analysis distinguishes. Keywords are plain `Ident`s;
+/// multi-character operators arrive as consecutive one-character `Punct`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `submit`, `Mutex`, ...).
+    Ident,
+    /// Numeric literal (integer or float, suffix included).
+    Number,
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One lexed token. `start..end` are byte offsets into the source; `line`
+/// is 1-based.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    pub fn is(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `src`, skipping whitespace and comments (line, and nested block
+/// comments). Never fails: bytes that fit no class become one-character
+/// `Punct` tokens.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `//`, `///`, `//!`).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#"..."#, b", br#"..."#, b'x'.
+        if (b == b'r' || b == b'b') && !is_ident_byte(prev_byte(bytes, i)) {
+            if let Some(tok) = lex_prefixed_literal(src, i, line) {
+                line = tok.1;
+                i = tok.0.end;
+                tokens.push(tok.0);
+                continue;
+            }
+        }
+        if b == b'"' {
+            let (tok, new_line) = lex_string(src, i, line);
+            line = new_line;
+            i = tok.end;
+            tokens.push(tok);
+            continue;
+        }
+        if b == b'\'' {
+            let tok = lex_char_or_lifetime(src, i, line);
+            i = tok.end;
+            tokens.push(tok);
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            tokens.push(token(TokenKind::Ident, src, start, i, line));
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            // A `.` continues the number only when a digit follows —
+            // `1.5` is one token, `1.to_string()` and `0..n` are not.
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                i += 1;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+            }
+            tokens.push(token(TokenKind::Number, src, start, i, line));
+            continue;
+        }
+        // One punctuation scalar (multi-byte characters kept whole).
+        let len = utf8_len(b);
+        tokens.push(token(TokenKind::Punct, src, i, i + len, line));
+        i += len;
+    }
+    tokens
+}
+
+fn token(kind: TokenKind, src: &str, start: usize, end: usize, line: usize) -> Token {
+    Token {
+        kind,
+        text: src[start..end].to_string(),
+        start,
+        end,
+        line,
+    }
+}
+
+fn prev_byte(bytes: &[u8], i: usize) -> u8 {
+    if i == 0 {
+        b' '
+    } else {
+        bytes[i - 1]
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Lexes a literal starting with an `r`/`b` prefix at `i`, or returns
+/// `None` when the prefix turns out to start a plain identifier. Returns
+/// the token and the line number after it.
+fn lex_prefixed_literal(src: &str, i: usize, line: usize) -> Option<(Token, usize)> {
+    let bytes = src.as_bytes();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(&b'"') => {
+            if raw {
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                let mut closer = String::from('"');
+                closer.push_str(&"#".repeat(hashes));
+                let body_start = j + 1;
+                let rel = src[body_start..].find(&closer)?;
+                let end = body_start + rel + closer.len();
+                let new_line = line + src[i..end].matches('\n').count();
+                Some((token(TokenKind::Str, src, i, end, line), new_line))
+            } else {
+                // `b"..."` — plain string rules from the quote.
+                let (tok, new_line) = lex_string(src, j, line);
+                Some((token(TokenKind::Str, src, i, tok.end, line), new_line))
+            }
+        }
+        Some(&b'\'') if !raw && j == i + 1 => {
+            // `b'x'` byte literal.
+            let tok = lex_char_or_lifetime(src, j, line);
+            Some((token(TokenKind::Char, src, i, tok.end, line), line))
+        }
+        _ => None,
+    }
+}
+
+/// Lexes a plain `"..."` string (escapes honored, newlines allowed)
+/// starting at the opening quote. Returns the token and the line after it.
+fn lex_string(src: &str, i: usize, line: usize) -> (Token, usize) {
+    let bytes = src.as_bytes();
+    let mut j = i + 1;
+    let mut lines = 0usize;
+    while j < bytes.len() {
+        match bytes[j] {
+            // An escaped newline (string continuation) still ends a line.
+            b'\\' => {
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    lines += 1;
+                }
+                j += 2;
+            }
+            b'"' => {
+                j += 1;
+                break;
+            }
+            b'\n' => {
+                lines += 1;
+                j += 1;
+            }
+            b => j += utf8_len(b),
+        }
+    }
+    let j = j.min(bytes.len());
+    (token(TokenKind::Str, src, i, j, line), line + lines)
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` (char literal) at a `'`.
+fn lex_char_or_lifetime(src: &str, i: usize, line: usize) -> Token {
+    let bytes = src.as_bytes();
+    let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+    let after = bytes.get(i + 2).copied().unwrap_or(b' ');
+    if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+        // Lifetime: `'` + identifier.
+        let mut j = i + 1;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        return token(TokenKind::Lifetime, src, i, j, line);
+    }
+    // Char literal: `'`, optional escape, one scalar, closing `'`.
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 2;
+        // `\u{...}` escapes run to the closing brace.
+        if bytes.get(j - 1) == Some(&b'{') || bytes.get(j) == Some(&b'{') {
+            while j < bytes.len() && bytes[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        }
+    } else if j < bytes.len() {
+        j += utf8_len(bytes[j]);
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        j += 1;
+    }
+    token(TokenKind::Char, src, i, j.min(bytes.len()), line)
+}
+
+// ----------------------------------------------------------------------
+// Structural pass
+// ----------------------------------------------------------------------
+
+/// One struct declaration: field names with the identifier set of their
+/// declared type (`conn: Option<Client>` records `["Option", "Client"]`).
+#[derive(Debug)]
+pub struct StructDecl {
+    pub name: String,
+    pub fields: Vec<(String, Vec<String>)>,
+}
+
+/// One enum declaration: tuple variants with a *single* payload field,
+/// recorded as the identifier set of the payload type. Multi-field and
+/// struct variants are recorded with an empty set (never resolved).
+#[derive(Debug)]
+pub struct EnumDecl {
+    pub name: String,
+    pub variants: Vec<(String, Vec<String>)>,
+}
+
+/// One `fn` item: name, enclosing impl type (if any), typed parameters,
+/// and the token range of the body (exclusive of the braces).
+#[derive(Debug)]
+pub struct FnDecl {
+    pub name: String,
+    pub self_ty: Option<String>,
+    pub line: usize,
+    /// `(pattern name, type identifier set)`; `self` appears as a
+    /// parameter named `self` with the impl type.
+    pub params: Vec<(String, Vec<String>)>,
+    pub body: Range<usize>,
+}
+
+/// The structural index of one file's token stream.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    pub tokens: Vec<Token>,
+    pub structs: Vec<StructDecl>,
+    pub enums: Vec<EnumDecl>,
+    /// `static NAME: Type = ...` items: name + type identifier set + line.
+    pub statics: Vec<(String, Vec<String>, usize)>,
+    pub functions: Vec<FnDecl>,
+    /// First line of `#[cfg(test)]` (the workspace keeps test modules at
+    /// end of file, matching the P1 exemption), or `usize::MAX`.
+    pub test_tail: usize,
+}
+
+impl FileIndex {
+    /// Tokenizes `src` and collects the structural index. Items at or
+    /// after the first `#[cfg(test)]` line are not collected.
+    pub fn build(src: &str) -> FileIndex {
+        let tokens = tokenize(src);
+        let mut index = FileIndex {
+            test_tail: usize::MAX,
+            ..FileIndex::default()
+        };
+        // The impl stack: (self type, end token index of the impl body).
+        let mut impls: Vec<(String, usize)> = Vec::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if is_cfg_test(&tokens, i) {
+                index.test_tail = tokens[i].line;
+                break;
+            }
+            let tok = &tokens[i];
+            if tok.is("struct") {
+                i = collect_struct(&tokens, i, &mut index.structs);
+                continue;
+            }
+            if tok.is("enum") {
+                i = collect_enum(&tokens, i, &mut index.enums);
+                continue;
+            }
+            if tok.is("static") {
+                i = collect_static(&tokens, i, &mut index.statics);
+                continue;
+            }
+            if tok.is("impl") {
+                if let Some((ty, body_end)) = impl_header(&tokens, i) {
+                    impls.push((ty, body_end));
+                }
+                // Fall through: walk into the impl body token by token.
+                i += 1;
+                continue;
+            }
+            if tok.is("fn") {
+                let self_ty = impls
+                    .iter()
+                    .rev()
+                    .find(|(_, end)| i < *end)
+                    .map(|(ty, _)| ty.clone());
+                if let Some((decl, next)) = collect_fn(&tokens, i, self_ty) {
+                    index.functions.push(decl);
+                    // Continue *inside* the body so nested items (and the
+                    // next sibling) are still discovered.
+                    i = next;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        index.tokens = tokens;
+        index
+    }
+}
+
+/// Matches `#` `[` `cfg` `(` `test` `)` `]` starting at `i`.
+fn is_cfg_test(tokens: &[Token], i: usize) -> bool {
+    let words = ["#", "[", "cfg", "(", "test", ")", "]"];
+    tokens.len() >= i + words.len()
+        && words
+            .iter()
+            .enumerate()
+            .all(|(k, w)| tokens[i + k].text == *w)
+}
+
+/// Returns the token index just past the group opened at `open`
+/// (`(`/`[`/`{`), i.e. one past the matching closer.
+pub fn skip_group(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct(o) {
+            depth += 1;
+        } else if tokens[i].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Skips a `<...>` generics group at `i` (if present), tolerating nested
+/// angle brackets. Only called in type/declaration positions, where `<`
+/// cannot be a comparison.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if i >= tokens.len() || !tokens[i].is_punct('<') {
+        return i;
+    }
+    let mut depth = 0isize;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct('<') {
+            depth += 1;
+        } else if tokens[j].is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// All identifier texts in `tokens[range]` — the "type identifier set" of
+/// a type expression.
+fn idents_in(tokens: &[Token], range: Range<usize>) -> Vec<String> {
+    tokens[range]
+        .iter()
+        .filter(|t| {
+            t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "dyn" | "impl")
+        })
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Parses `struct Name { fields }` at `i` (`tokens[i]` is `struct`);
+/// returns the index to resume from. Tuple and unit structs record no
+/// fields.
+fn collect_struct(tokens: &[Token], i: usize, out: &mut Vec<StructDecl>) -> usize {
+    let Some(name_tok) = tokens.get(i + 1) else {
+        return i + 1;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return i + 1;
+    }
+    let name = name_tok.text.clone();
+    let mut j = skip_generics(tokens, i + 2);
+    // Skip a `where` clause up to the body / terminator.
+    while j < tokens.len()
+        && !tokens[j].is_punct('{')
+        && !tokens[j].is_punct(';')
+        && !tokens[j].is_punct('(')
+    {
+        j += 1;
+    }
+    if j >= tokens.len() || !tokens[j].is_punct('{') {
+        out.push(StructDecl {
+            name,
+            fields: Vec::new(),
+        });
+        return if j < tokens.len() && tokens[j].is_punct('(') {
+            skip_group(tokens, j)
+        } else {
+            j + 1
+        };
+    }
+    let end = skip_group(tokens, j) - 1; // index of the closing `}`
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < end {
+        // Skip attributes and visibility.
+        if tokens[k].is_punct('#') {
+            k += 1;
+            if k < end && tokens[k].is_punct('[') {
+                k = skip_group(tokens, k);
+            }
+            continue;
+        }
+        if tokens[k].is("pub") {
+            k += 1;
+            if k < end && tokens[k].is_punct('(') {
+                k = skip_group(tokens, k);
+            }
+            continue;
+        }
+        // `name : Type ,`
+        if tokens[k].kind == TokenKind::Ident && k + 1 < end && tokens[k + 1].is_punct(':') {
+            let field = tokens[k].text.clone();
+            let ty_start = k + 2;
+            let mut t = ty_start;
+            let mut depth = 0isize;
+            while t < end {
+                match tokens[t].text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                t += 1;
+            }
+            fields.push((field, idents_in(tokens, ty_start..t)));
+            k = t + 1;
+            continue;
+        }
+        k += 1;
+    }
+    out.push(StructDecl { name, fields });
+    end + 1
+}
+
+/// Parses `enum Name { variants }` at `i`; returns the resume index.
+fn collect_enum(tokens: &[Token], i: usize, out: &mut Vec<EnumDecl>) -> usize {
+    let Some(name_tok) = tokens.get(i + 1) else {
+        return i + 1;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return i + 1;
+    }
+    let name = name_tok.text.clone();
+    let mut j = skip_generics(tokens, i + 2);
+    while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+        j += 1;
+    }
+    if j >= tokens.len() || !tokens[j].is_punct('{') {
+        return j + 1;
+    }
+    let end = skip_group(tokens, j) - 1;
+    let mut variants = Vec::new();
+    let mut k = j + 1;
+    while k < end {
+        if tokens[k].is_punct('#') {
+            k += 1;
+            if k < end && tokens[k].is_punct('[') {
+                k = skip_group(tokens, k);
+            }
+            continue;
+        }
+        if tokens[k].kind == TokenKind::Ident {
+            let variant = tokens[k].text.clone();
+            let mut payload = Vec::new();
+            let mut next = k + 1;
+            if next < end && tokens[next].is_punct('(') {
+                let close = skip_group(tokens, next) - 1;
+                // Single-payload tuple variant only: a depth-1 comma means
+                // multiple fields, which the pattern heuristic never types.
+                let mut depth = 0isize;
+                let mut multi = false;
+                for tok in &tokens[next + 1..close] {
+                    match tok.text.as_str() {
+                        "<" | "(" | "[" => depth += 1,
+                        ">" | ")" | "]" => depth -= 1,
+                        "," if depth <= 0 => multi = true,
+                        _ => {}
+                    }
+                }
+                if !multi {
+                    payload = idents_in(tokens, next + 1..close);
+                }
+                next = close + 1;
+            } else if next < end && tokens[next].is_punct('{') {
+                next = skip_group(tokens, next);
+            }
+            variants.push((variant, payload));
+            // Skip discriminant / to the comma.
+            while next < end && !tokens[next].is_punct(',') {
+                next += 1;
+            }
+            k = next + 1;
+            continue;
+        }
+        k += 1;
+    }
+    out.push(EnumDecl { name, variants });
+    end + 1
+}
+
+/// Parses `static NAME: Type = ...;` at `i`; returns the resume index.
+fn collect_static(
+    tokens: &[Token],
+    i: usize,
+    out: &mut Vec<(String, Vec<String>, usize)>,
+) -> usize {
+    let mut j = i + 1;
+    if j < tokens.len() && tokens[j].is("mut") {
+        j += 1;
+    }
+    let Some(name_tok) = tokens.get(j) else {
+        return i + 1;
+    };
+    if name_tok.kind != TokenKind::Ident || tokens.get(j + 1).is_none_or(|t| !t.is_punct(':')) {
+        return i + 1;
+    }
+    let ty_start = j + 2;
+    let mut t = ty_start;
+    while t < tokens.len() && !tokens[t].is_punct('=') && !tokens[t].is_punct(';') {
+        t += 1;
+    }
+    out.push((
+        name_tok.text.clone(),
+        idents_in(tokens, ty_start..t),
+        name_tok.line,
+    ));
+    t
+}
+
+/// Parses an `impl` header at `i` (`tokens[i]` is `impl`): returns the
+/// self-type name and the token index just past the impl body.
+fn impl_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = skip_generics(tokens, i + 1);
+    // The header runs to the body brace; `for` splits trait from type.
+    let mut path_start = j;
+    while j < tokens.len() && !tokens[j].is_punct('{') {
+        if tokens[j].is("for") {
+            path_start = j + 1;
+        } else if tokens[j].is("where") {
+            break;
+        }
+        j += 1;
+    }
+    while j < tokens.len() && !tokens[j].is_punct('{') {
+        j += 1;
+    }
+    if j >= tokens.len() {
+        return None;
+    }
+    // Self-type name: the ident right before the first `<` in the path
+    // region, else the last ident of the path.
+    let mut name = None;
+    for tok in &tokens[path_start..j] {
+        if tok.is_punct('<') {
+            break;
+        }
+        if tok.kind == TokenKind::Ident && !tok.is("where") {
+            name = Some(tok.text.clone());
+        }
+    }
+    Some((name?, skip_group(tokens, j)))
+}
+
+/// Parses a `fn` item at `i` (`tokens[i]` is `fn`): the declaration and
+/// the token index to resume scanning from (just inside the body, so
+/// nested items are still found). Returns `None` for bodyless
+/// declarations (trait methods, extern).
+fn collect_fn(tokens: &[Token], i: usize, self_ty: Option<String>) -> Option<(FnDecl, usize)> {
+    let name_tok = tokens.get(i + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    let j = skip_generics(tokens, i + 2);
+    if j >= tokens.len() || !tokens[j].is_punct('(') {
+        return None;
+    }
+    let params_end = skip_group(tokens, j) - 1; // index of `)`
+    let params = collect_params(tokens, j + 1, params_end, self_ty.as_deref());
+    // Return type / where clause up to the body `{` (or `;`: no body).
+    let mut k = params_end + 1;
+    let mut depth = 0isize;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => break,
+            ";" if depth <= 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= tokens.len() {
+        return None;
+    }
+    let body_end = skip_group(tokens, k) - 1;
+    Some((
+        FnDecl {
+            name,
+            self_ty,
+            line,
+            params,
+            body: k + 1..body_end,
+        },
+        k + 1,
+    ))
+}
+
+/// Splits a parameter list (`tokens[start..end]`, the region between the
+/// parens) at depth-1 commas and extracts `(name, type idents)` pairs.
+fn collect_params(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+) -> Vec<(String, Vec<String>)> {
+    let mut params = Vec::new();
+    let mut piece_start = start;
+    let mut depth = 0isize;
+    let mut k = start;
+    while k <= end {
+        let at_end = k == end;
+        if !at_end {
+            match tokens[k].text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+        }
+        if at_end || (depth <= 0 && tokens[k].is_punct(',')) {
+            if piece_start < k {
+                param_of(tokens, piece_start, k, self_ty, &mut params);
+            }
+            piece_start = k + 1;
+        }
+        k += 1;
+    }
+    params
+}
+
+/// Extracts one parameter from `tokens[start..end]`.
+fn param_of(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    out: &mut Vec<(String, Vec<String>)>,
+) {
+    // `self` / `&self` / `&mut self` — typed as the impl type.
+    if tokens[start..end].iter().any(|t| t.is("self")) {
+        if let Some(ty) = self_ty {
+            out.push(("self".to_string(), vec![ty.to_string()]));
+        }
+        return;
+    }
+    // `name : Type` — name is the last ident before the first depth-0 `:`
+    // (skipping `mut`); destructuring patterns fall out naturally.
+    let mut colon = None;
+    let mut depth = 0isize;
+    for t in start..end {
+        match tokens[t].text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            ":" if depth <= 0 => {
+                // Not a `::` path separator.
+                if tokens.get(t + 1).is_some_and(|n| n.is_punct(':')) {
+                    continue;
+                }
+                colon = Some(t);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(colon) = colon else { return };
+    let name = tokens[start..colon]
+        .iter()
+        .rfind(|t| t.kind == TokenKind::Ident && !t.is("mut"));
+    if let Some(name) = name {
+        out.push((name.text.clone(), idents_in(tokens, colon + 1..end)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn tokens_roundtrip_offsets_and_lines() {
+        let src = "fn f(x: &str) -> u32 {\n    // comment with 'quotes' and \"strings\"\n    let s = \"a\\\"b\"; let c = 'x'; s.len() as u32\n}\n";
+        for tok in tokenize(src) {
+            assert_eq!(&src[tok.start..tok.end], tok.text, "offset mismatch");
+            assert_eq!(
+                src[..tok.start].matches('\n').count() + 1,
+                tok.line,
+                "line mismatch for {:?}",
+                tok.text
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_are_handled() {
+        assert_eq!(texts("a /* b /* c */ d */ e"), ["a", "e"]);
+        assert_eq!(texts("x // rest\ny"), ["x", "y"]);
+        let toks = tokenize("let s = \"// not a comment\";");
+        assert_eq!(toks[3].kind, TokenKind::Str);
+        assert_eq!(toks[3].text, "\"// not a comment\"");
+    }
+
+    #[test]
+    fn raw_strings_and_byte_literals() {
+        let toks = tokenize(r##"let s = r#"quote " inside"#; let b = b"x"; let c = b'y';"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::Char))
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r##"r#"quote " inside"#"##, "b\"x\"", "b'y'"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'a'");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(texts("0..n"), ["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5f64"), ["1.5f64"]);
+        assert_eq!(texts("1.to_string()"), ["1", ".", "to_string", "(", ")"]);
+    }
+
+    #[test]
+    fn struct_fields_and_lock_types_are_collected() {
+        let index = FileIndex::build(
+            "pub struct S { pub core: Mutex<Core>, conn: Option<Client>, n: usize }\n\
+             struct Unit;\nstruct Tup(u32);\n",
+        );
+        assert_eq!(index.structs.len(), 3);
+        let s = &index.structs[0];
+        assert_eq!(s.name, "S");
+        assert_eq!(s.fields[0].0, "core");
+        assert_eq!(s.fields[0].1, ["Mutex", "Core"]);
+        assert_eq!(s.fields[1].1, ["Option", "Client"]);
+    }
+
+    #[test]
+    fn enum_single_payload_variants_are_collected() {
+        let index = FileIndex::build(
+            "enum Slot { Local(Shard), Remote(Box<RemoteShard>), Pair(u32, u32), Unit }\n",
+        );
+        let e = &index.enums[0];
+        assert_eq!(e.name, "Slot");
+        assert_eq!(
+            e.variants[0],
+            ("Local".to_string(), vec!["Shard".to_string()])
+        );
+        assert_eq!(
+            e.variants[1].1,
+            vec!["Box".to_string(), "RemoteShard".to_string()]
+        );
+        assert!(
+            e.variants[2].1.is_empty(),
+            "multi-field payload must not type"
+        );
+        assert!(e.variants[3].1.is_empty());
+    }
+
+    #[test]
+    fn functions_record_impl_type_params_and_bodies() {
+        let src = "impl Client {\n  fn request(&mut self, line: &str) -> Result<(), Error> { self.flush() }\n}\n\
+                   fn free(conn: &mut Client, n: usize) { conn.request(\"x\") }\n\
+                   impl Display for Shard { fn fmt(&self, f: &mut Formatter) -> fmt::Result { Ok(()) } }\n";
+        let index = FileIndex::build(src);
+        assert_eq!(index.functions.len(), 3);
+        let req = &index.functions[0];
+        assert_eq!(req.name, "request");
+        assert_eq!(req.self_ty.as_deref(), Some("Client"));
+        assert_eq!(
+            req.params[0],
+            ("self".to_string(), vec!["Client".to_string()])
+        );
+        assert_eq!(req.params[1].0, "line");
+        let free = &index.functions[1];
+        assert_eq!(free.name, "free");
+        assert_eq!(free.self_ty, None);
+        assert_eq!(free.params[0].1, ["Client"]);
+        assert_eq!(index.functions[2].self_ty.as_deref(), Some("Shard"));
+        // Body ranges hold the body tokens, braces excluded.
+        let body: Vec<_> = index.tokens[req.body.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["self", ".", "flush", "(", ")"]);
+    }
+
+    #[test]
+    fn test_tail_stops_collection() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn hidden() {} }\n";
+        let index = FileIndex::build(src);
+        assert_eq!(index.functions.len(), 1);
+        assert_eq!(index.test_tail, 2);
+    }
+
+    #[test]
+    fn statics_are_collected() {
+        let index =
+            FileIndex::build("static REGISTRY: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n");
+        assert_eq!(index.statics[0].0, "REGISTRY");
+        assert!(index.statics[0].1.contains(&"Mutex".to_string()));
+    }
+}

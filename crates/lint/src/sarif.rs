@@ -1,0 +1,214 @@
+//! SARIF 2.1.0 rendering for a [`CheckReport`].
+//!
+//! The document is assembled by hand (the crate has no JSON dependency):
+//! one `run`, the rule catalog as `tool.driver.rules`, and one `result`
+//! per finding. Suppressed findings are emitted too, carrying a
+//! `suppressions` entry — `inSource` for `// haste-lint: allow(...)`
+//! absorptions (with the written justification), `external` for
+//! baseline-accepted findings — so SARIF viewers show the full picture
+//! while CI gates only on un-suppressed results.
+
+use crate::catalog;
+use crate::{CheckReport, Finding};
+
+/// How a suppressed result got suppressed, for the `suppressions` array.
+enum Suppression<'a> {
+    /// `// haste-lint: allow(...)` with its written justification.
+    InSource(&'a str),
+    /// Accepted by the `--baseline` file.
+    External,
+}
+
+/// Renders the report as a complete SARIF 2.1.0 document.
+///
+/// `baselined` are findings absorbed by `--baseline` (not in
+/// `report.findings`), reported as externally-suppressed results.
+pub fn render(report: &CheckReport, baselined: &[Finding]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    push_tool(&mut out);
+    out.push_str("      \"results\": [");
+    let mut first = true;
+    for finding in &report.findings {
+        push_result(&mut out, &mut first, finding, None);
+    }
+    for suppressed in &report.suppressed {
+        push_result(
+            &mut out,
+            &mut first,
+            &suppressed.finding,
+            Some(Suppression::InSource(&suppressed.justification)),
+        );
+    }
+    for finding in baselined {
+        push_result(&mut out, &mut first, finding, Some(Suppression::External));
+    }
+    if !first {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn push_tool(out: &mut String) {
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"haste-lint\",\n");
+    out.push_str("          \"informationUri\": \"docs/lints.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (index, info) in catalog::RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": {},\n", json_str(info.id)));
+        out.push_str(&format!(
+            "              \"name\": {},\n",
+            json_str(info.name)
+        ));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }},\n",
+            json_str(info.summary)
+        ));
+        out.push_str(&format!(
+            "              \"fullDescription\": {{ \"text\": {} }}\n",
+            json_str(info.rationale)
+        ));
+        out.push_str("            }");
+        if index + 1 < catalog::RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+}
+
+fn push_result(
+    out: &mut String,
+    first: &mut bool,
+    finding: &Finding,
+    suppression: Option<Suppression<'_>>,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n        {\n");
+    out.push_str(&format!(
+        "          \"ruleId\": {},\n",
+        json_str(finding.rule)
+    ));
+    if let Some(index) = catalog::RULES.iter().position(|r| r.id == finding.rule) {
+        out.push_str(&format!("          \"ruleIndex\": {index},\n"));
+    }
+    out.push_str("          \"level\": \"error\",\n");
+    out.push_str(&format!(
+        "          \"message\": {{ \"text\": {} }},\n",
+        json_str(&finding.message)
+    ));
+    match suppression {
+        Some(Suppression::InSource(justification)) => {
+            out.push_str(&format!(
+                "          \"suppressions\": [ {{ \"kind\": \"inSource\", \
+                 \"justification\": {} }} ],\n",
+                json_str(justification)
+            ));
+        }
+        Some(Suppression::External) => {
+            out.push_str(
+                "          \"suppressions\": [ { \"kind\": \"external\", \
+                 \"justification\": \"accepted by the committed lint baseline\" } ],\n",
+            );
+        }
+        None => {}
+    }
+    out.push_str("          \"locations\": [\n            {\n");
+    out.push_str("              \"physicalLocation\": {\n");
+    out.push_str(&format!(
+        "                \"artifactLocation\": {{ \"uri\": {} }}",
+        json_str(&finding.file)
+    ));
+    if finding.line > 0 {
+        out.push_str(&format!(
+            ",\n                \"region\": {{ \"startLine\": {} }}\n",
+            finding.line
+        ));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("              }\n            }\n          ]\n        }");
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuppressedFinding;
+
+    fn finding(file: &str, line: usize, rule: &'static str, message: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_str("em — dash"), "\"em — dash\"");
+    }
+
+    #[test]
+    fn renders_findings_and_suppressions() {
+        let report = CheckReport {
+            findings: vec![finding("crates/x/src/a.rs", 7, "L2", "blocking \"call\"")],
+            suppressed: vec![SuppressedFinding {
+                finding: finding("crates/x/src/b.rs", 3, "L3", "no deadline"),
+                justification: "audited".to_string(),
+            }],
+        };
+        let baselined = vec![finding("crates/x/src/c.rs", 0, "C1", "drift")];
+        let doc = render(&report, &baselined);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"ruleId\": \"L2\""));
+        assert!(doc.contains("\"startLine\": 7"));
+        assert!(doc.contains("blocking \\\"call\\\""));
+        assert!(doc.contains("\"kind\": \"inSource\""));
+        assert!(doc.contains("\"justification\": \"audited\""));
+        assert!(doc.contains("\"kind\": \"external\""));
+        // The line-0 C1 finding has no region.
+        let c1 = doc.find("crates/x/src/c.rs").expect("c.rs result present");
+        assert!(!doc[c1..].contains("startLine"));
+        // Every catalog rule is listed once under the driver.
+        for info in catalog::RULES {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", info.id)));
+        }
+    }
+
+    #[test]
+    fn empty_report_is_still_a_document() {
+        let doc = render(&CheckReport::default(), &[]);
+        assert!(doc.contains("\"results\": []"));
+        assert!(doc.contains("\"name\": \"haste-lint\""));
+    }
+}

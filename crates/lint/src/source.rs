@@ -19,6 +19,8 @@ struct Suppression {
     rules: Vec<&'static str>,
     /// `allow-file` (whole file) vs `allow` (this line or the next).
     file_scope: bool,
+    /// The written justification after the rule list.
+    reason: String,
     /// Set once the suppression absorbs at least one finding.
     used: bool,
 }
@@ -30,25 +32,56 @@ struct Hit {
     message: String,
 }
 
+/// A finding absorbed by a suppression comment, with its justification —
+/// SARIF output reports these as `suppressed` results.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SuppressedFinding {
+    pub finding: Finding,
+    pub justification: String,
+}
+
+/// The full result of scanning one file: surviving findings plus the
+/// suppressed ones (for SARIF's suppression status).
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<SuppressedFinding>,
+}
+
 /// Scans one source file. `path` is the workspace-relative path with `/`
 /// separators — rule scoping keys off it, so fixture tests can present
 /// synthetic content under any path they like.
 pub fn scan_source(path: &str, content: &str) -> Vec<Finding> {
+    scan_source_extra(path, content, &[])
+}
+
+/// [`scan_source`] with externally-computed hits (the cross-file
+/// concurrency rules) merged in *before* suppression absorption, so one
+/// `allow(L2)` comment both silences the hit and counts as used for S1.
+pub fn scan_source_extra(path: &str, content: &str, extra: &[Finding]) -> Vec<Finding> {
+    scan_source_report(path, content, extra).findings
+}
+
+/// The full scan pipeline: parse suppressions, run the per-line rules,
+/// merge `extra` hits, absorb suppressions (recording justifications),
+/// and emit S1 for unused suppressions.
+pub fn scan_source_report(path: &str, content: &str, extra: &[Finding]) -> ScanReport {
     let lines = split_lines(content);
     let mut suppressions = Vec::new();
-    let mut findings = Vec::new();
+    let mut report = ScanReport::default();
 
     for line in &lines {
         if let Some(comment) = &line.comment {
             if comment.contains("haste-lint:") {
                 match parse_suppression(comment) {
-                    Ok((rules, file_scope)) => suppressions.push(Suppression {
+                    Ok((rules, file_scope, reason)) => suppressions.push(Suppression {
                         line: line.number,
                         rules,
                         file_scope,
+                        reason,
                         used: false,
                     }),
-                    Err(reason) => findings.push(Finding {
+                    Err(reason) => report.findings.push(Finding {
                         file: path.to_string(),
                         line: line.number,
                         rule: "S0",
@@ -83,29 +116,44 @@ pub fn scan_source(path: &str, content: &str) -> Vec<Finding> {
             rule_p1(code, line.number, &mut hits);
         }
     }
+    for f in extra {
+        hits.push(Hit {
+            line: f.line,
+            rule: f.rule,
+            message: f.message.clone(),
+        });
+    }
 
     for hit in hits {
-        let suppressed = suppressions.iter_mut().any(|s| {
+        let mut justification = None;
+        for s in suppressions.iter_mut() {
             let applies = s.rules.contains(&hit.rule)
                 && (s.file_scope || s.line == hit.line || s.line + 1 == hit.line);
             if applies {
                 s.used = true;
+                if justification.is_none() {
+                    justification = Some(s.reason.clone());
+                }
             }
-            applies
-        });
-        if !suppressed {
-            findings.push(Finding {
-                file: path.to_string(),
-                line: hit.line,
-                rule: hit.rule,
-                message: hit.message,
-            });
+        }
+        let finding = Finding {
+            file: path.to_string(),
+            line: hit.line,
+            rule: hit.rule,
+            message: hit.message,
+        };
+        match justification {
+            Some(justification) => report.suppressed.push(SuppressedFinding {
+                finding,
+                justification,
+            }),
+            None => report.findings.push(finding),
         }
     }
 
     for s in &suppressions {
         if !s.used {
-            findings.push(Finding {
+            report.findings.push(Finding {
                 file: path.to_string(),
                 line: s.line,
                 rule: "S1",
@@ -117,8 +165,9 @@ pub fn scan_source(path: &str, content: &str) -> Vec<Finding> {
         }
     }
 
-    findings.sort();
-    findings
+    report.findings.sort();
+    report.suppressed.sort();
+    report
 }
 
 // ----------------------------------------------------------------------
@@ -272,9 +321,9 @@ fn literal_indexes(code: &str) -> Vec<String> {
 // Suppression parsing
 // ----------------------------------------------------------------------
 
-/// Parses the body of a `haste-lint:` comment into (rule ids, file_scope).
-/// Errors are S0 messages.
-fn parse_suppression(comment: &str) -> Result<(Vec<&'static str>, bool), String> {
+/// Parses the body of a `haste-lint:` comment into (rule ids, file_scope,
+/// reason). Errors are S0 messages.
+fn parse_suppression(comment: &str) -> Result<(Vec<&'static str>, bool, String), String> {
     let Some(rest) = comment.split("haste-lint:").nth(1) else {
         return Err("unparsable haste-lint comment".to_string());
     };
@@ -311,7 +360,7 @@ fn parse_suppression(comment: &str) -> Result<(Vec<&'static str>, bool), String>
             "haste-lint suppression needs a reason: `allow(<rules>) — <reason>`".to_string(),
         );
     }
-    Ok((rules, file_scope))
+    Ok((rules, file_scope, reason.to_string()))
 }
 
 // ----------------------------------------------------------------------

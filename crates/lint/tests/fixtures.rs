@@ -4,8 +4,8 @@
 //! here rather than silently passing dirty trees in CI.
 
 use haste_lint::{
-    check_errcode_docs, check_metrics_docs, check_metrics_schema, check_vendor_allowlist,
-    scan_source, Finding, ManifestSet,
+    check_concurrency, check_errcode_docs, check_metrics_docs, check_metrics_schema,
+    check_vendor_allowlist, scan_source, Finding, ManifestSet,
 };
 
 /// Loads a fixture by file name.
@@ -197,4 +197,75 @@ fn c3_fixtures_trigger_exactly_c3() {
     assert_eq!(findings.len(), 2, "{findings:?}");
     assert!(findings.iter().any(|f| f.message.contains("`serde_json`")));
     assert!(findings.iter().any(|f| f.message.contains("`regex`")));
+}
+
+// --- concurrency rules (L1/L2/L3) -----------------------------------------
+
+/// Runs the concurrency-rule path over one in-memory fixture file. The
+/// path places the fixture inside the analyzed scope
+/// (`crates/service/src/`).
+fn conc(content: &str) -> Vec<Finding> {
+    check_concurrency(&[(
+        "crates/service/src/fixture.rs".to_string(),
+        content.to_string(),
+    )])
+}
+
+#[test]
+fn l1_fixture_triggers_exactly_l1() {
+    let findings = conc(fixture!("l1_lock_cycle.rs"));
+    assert_only_rule(&findings, "L1");
+    assert_eq!(findings.len(), 1, "{findings:?}"); // one cycle, reported once
+    let message = &findings[0].message;
+    assert!(
+        message.contains("left") && message.contains("right"),
+        "cycle names both locks: {message}"
+    );
+    assert!(
+        message.contains("fixture.rs:"),
+        "cycle cites file:line per edge: {message}"
+    );
+}
+
+#[test]
+fn l2_fixture_triggers_exactly_l2() {
+    let findings = conc(fixture!("l2_blocking_under_lock.rs"));
+    assert_only_rule(&findings, "L2");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("sleep"), "{findings:?}");
+}
+
+#[test]
+fn l2_suppression_absorbs_and_counts_as_used() {
+    // The audited allow both silences the L2 and registers as used, so
+    // no S1 fires either.
+    let findings = conc(fixture!("l2_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l3_fixture_triggers_exactly_l3() {
+    let findings = conc(fixture!("l3_undeadlined_stream.rs"));
+    assert_only_rule(&findings, "L3");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("deadline") || findings[0].message.contains("timeout"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn guard_dropped_fixture_is_clean() {
+    // Scope-exit and explicit-drop guard deaths, plus a deadlined
+    // stream: the false-positive guards for all three L rules.
+    let findings = conc(fixture!("l_clean_guard_dropped.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn stale_l_allow_triggers_s1() {
+    let findings = conc(fixture!("s1_stale_l_allow.rs"));
+    assert_only_rule(&findings, "S1");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("L2"), "{findings:?}");
 }

@@ -1,0 +1,32 @@
+//! L1 fixture: two entry points acquire the same two locks in opposite
+//! orders, with each second acquisition hidden behind a helper call —
+//! the cycle only appears once lock sets propagate across functions.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub left: Mutex<u32>,
+    pub right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let held = self.left.lock().unwrap();
+        self.take_right();
+        drop(held);
+    }
+
+    fn take_right(&self) {
+        let _r = self.right.lock().unwrap();
+    }
+
+    pub fn backward(&self) {
+        let held = self.right.lock().unwrap();
+        self.take_left();
+        drop(held);
+    }
+
+    fn take_left(&self) {
+        let _l = self.left.lock().unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! L2 fixture: a blocking call while a mutex guard is live.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Cell {
+    pub inner: Mutex<u32>,
+}
+
+impl Cell {
+    pub fn stall(&self, pause: Duration) {
+        let guard = self.inner.lock().unwrap();
+        std::thread::sleep(pause);
+        drop(guard);
+    }
+}

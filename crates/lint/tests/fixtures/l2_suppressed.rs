@@ -1,0 +1,19 @@
+//! L2 fixture, suppressed: the same blocking-under-lock site as
+//! `l2_blocking_under_lock.rs` with an audited in-source allow — must
+//! come back clean, and the suppression must count as used (no S1).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Cell {
+    pub inner: Mutex<u32>,
+}
+
+impl Cell {
+    pub fn stall(&self, pause: Duration) {
+        let guard = self.inner.lock().unwrap();
+        // haste-lint: allow(L2) — fixture: the pause is bounded and the guard must cover it
+        std::thread::sleep(pause);
+        drop(guard);
+    }
+}

@@ -1,0 +1,11 @@
+//! L3 fixture: a `TcpStream::connect` with no deadline call anywhere in
+//! the acquiring function or its direct callees.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn dial(addr: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"ping")?;
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Clean concurrency fixture: every blocking call happens after its
+//! guard is dead — by scope exit or by explicit `drop` — and the stream
+//! gets its deadline at acquisition. None of L1/L2/L3 may fire.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Cell {
+    pub inner: Mutex<u32>,
+}
+
+impl Cell {
+    pub fn read_then_sleep(&self, pause: Duration) -> u32 {
+        let value = {
+            let guard = self.inner.lock().unwrap();
+            *guard
+        };
+        std::thread::sleep(pause);
+        value
+    }
+
+    pub fn drop_then_sleep(&self, pause: Duration) {
+        let guard = self.inner.lock().unwrap();
+        drop(guard);
+        std::thread::sleep(pause);
+    }
+}
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    Ok(stream)
+}

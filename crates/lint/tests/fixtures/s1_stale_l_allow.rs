@@ -1,0 +1,8 @@
+//! S1 fixture for the concurrency rules: an `allow(L2)` that absorbs
+//! nothing — the sweep must know the L rule names and flag it stale.
+
+pub fn quiet() -> u32 {
+    // haste-lint: allow(L2) — fixture: nothing here blocks
+    let value = 1 + 1;
+    value
+}

@@ -1,0 +1,96 @@
+//! Property tests of the lint tokenizer: on arbitrary concatenations of
+//! tricky source fragments (escaped quotes, string continuations, nested
+//! block comments, multi-byte characters), every token's byte offsets
+//! must slice back to its text, tokens must stay ordered and disjoint,
+//! and the recorded 1-based line must equal the newline count before the
+//! token — the invariant every L-rule diagnostic location rests on.
+
+use haste_lint::parse::tokenize;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Fragment alphabet, biased toward the lexer's hard cases. The
+/// `"cont\\\n..."` entry is the escaped-newline string continuation that
+/// once drifted line numbers by the continuation count.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "ident",
+    "x1",
+    "_y",
+    "Mutex",
+    "self",
+    ".",
+    "::",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+    "->",
+    "=",
+    "&",
+    "'a",
+    "'static",
+    "0",
+    "42",
+    "0x1f",
+    "1.5e3",
+    " ",
+    "\n",
+    "\t",
+    "\n\n",
+    "\"plain\"",
+    "\"esc \\\" quote\"",
+    "\"tail\\\\\"",
+    "\"multi\nline\"",
+    "\"cont\\\n    inued\"",
+    "'c'",
+    "'\\n'",
+    "'\\''",
+    "b'x'",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* block */ */",
+    "/* multi\nline */",
+    "é",
+    "émoji🦀",
+    "b\"bytes\"",
+    "r\"raw\"",
+    "r#\"raw # hash\"#",
+    "#",
+    "[",
+    "]",
+    "<",
+    ">",
+    "!",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn token_offsets_and_lines_round_trip(
+        indices in collection::vec(0usize..FRAGMENTS.len(), 0..60)
+    ) {
+        let src: String = indices.iter().map(|&i| FRAGMENTS[i]).collect();
+        let tokens = tokenize(&src);
+        let mut prev_end = 0;
+        for tok in &tokens {
+            // Byte offsets slice back to exactly the token text.
+            prop_assert_eq!(&src[tok.start..tok.end], tok.text.as_str());
+            // Tokens arrive in order and never overlap.
+            prop_assert!(tok.start >= prev_end, "token {:?} overlaps", tok.text);
+            prev_end = tok.end;
+            // The recorded line is 1 + the newlines before the token,
+            // whether those newlines sat in whitespace, comments, or
+            // multi-line / continuation string literals.
+            let line = src[..tok.start].matches('\n').count() + 1;
+            prop_assert_eq!(
+                tok.line, line,
+                "token {:?} at bytes {}..{}", tok.text, tok.start, tok.end
+            );
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! SARIF shape test: renders a report and validates the document against
+//! the SARIF 2.1.0 structure with a minimal JSON parser written here (the
+//! crate stays zero-dependency). This is the guarantee that the output is
+//! real JSON with the fields SARIF viewers and code-scanning UIs require,
+//! not merely a string that looks right in a diff.
+
+use std::collections::BTreeMap;
+
+use haste_lint::{catalog, sarif, CheckReport, Finding, SuppressedFinding};
+
+// --- a minimal JSON model + recursive-descent parser ----------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Object(map) => map
+                .get(key)
+                .unwrap_or_else(|| panic!("missing key `{key}`")),
+            other => panic!("expected object for key `{key}`, got {other:?}"),
+        }
+    }
+
+    fn opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            other => panic!("expected object for key `{key}`, got {other:?}"),
+        }
+    }
+
+    fn array(&self) -> &[Json] {
+        match self {
+            Json::Array(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn string(&self) -> &str {
+        match self {
+            Json::Str(text) => text,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn number(&self) -> f64 {
+        match self {
+            Json::Number(value) => *value,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Json {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value();
+    parser.skip_ws();
+    assert_eq!(
+        parser.pos,
+        parser.bytes.len(),
+        "trailing garbage after JSON"
+    );
+    value
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: u8) {
+        self.skip_ws();
+        assert_eq!(
+            self.bytes.get(self.pos),
+            Some(&ch),
+            "expected `{}` at byte {}",
+            ch as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("unexpected end of JSON")
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Json {
+        self.skip_ws();
+        assert!(
+            self.bytes[self.pos..].starts_with(word.as_bytes()),
+            "expected `{word}` at byte {}",
+            self.pos
+        );
+        self.pos += word.len();
+        value
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Object(map);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            let value = self.value();
+            assert!(
+                map.insert(key.clone(), value).is_none(),
+                "duplicate key `{key}`"
+            );
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    break;
+                }
+                other => panic!("expected `,` or `}}`, got `{}`", other as char),
+            }
+        }
+        Json::Object(map)
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Array(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    break;
+                }
+                other => panic!("expected `,` or `]`, got `{}`", other as char),
+            }
+        }
+        Json::Array(items)
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).expect("unterminated string") {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).expect("dangling escape") {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .expect("\\u escape is ascii hex");
+                            let code = u32::from_str_radix(hex, 16).expect("\\u escape parses");
+                            out.push(char::from_u32(code).expect("valid scalar"));
+                            self.pos += 4;
+                        }
+                        other => panic!("unknown escape `\\{}`", *other as char),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // slicing at char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).expect("utf-8");
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8 number");
+        Json::Number(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number `{text}`")),
+        )
+    }
+}
+
+// --- the shape assertions --------------------------------------------------
+
+fn finding(file: &str, line: usize, rule: &'static str, message: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        message: message.to_string(),
+    }
+}
+
+#[test]
+fn sarif_document_has_the_2_1_0_shape() {
+    let report = CheckReport {
+        findings: vec![
+            finding(
+                "crates/service/src/a.rs",
+                12,
+                "L2",
+                "blocking `sleep` under `core`",
+            ),
+            finding("docs/service_protocol.md", 0, "C1", "code drift \"quoted\""),
+        ],
+        suppressed: vec![SuppressedFinding {
+            finding: finding(
+                "crates/service/src/b.rs",
+                7,
+                "L3",
+                "stream without deadline",
+            ),
+            justification: "audited — bounded elsewhere".to_string(),
+        }],
+    };
+    let baselined = vec![finding("crates/service/src/c.rs", 3, "L1", "cycle")];
+    let document = sarif::render(&report, &baselined);
+    let root = parse_json(&document);
+
+    assert_eq!(root.get("version").string(), "2.1.0");
+    assert!(root.get("$schema").string().contains("sarif-2.1.0"));
+
+    let runs = root.get("runs").array();
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+
+    // tool.driver: name + the full rule catalog with descriptions.
+    let driver = run.get("tool").get("driver");
+    assert_eq!(driver.get("name").string(), "haste-lint");
+    let rules = driver.get("rules").array();
+    assert_eq!(rules.len(), catalog::RULES.len());
+    for (entry, info) in rules.iter().zip(catalog::RULES) {
+        assert_eq!(entry.get("id").string(), info.id);
+        assert_eq!(entry.get("name").string(), info.name);
+        assert_eq!(
+            entry.get("shortDescription").get("text").string(),
+            info.summary
+        );
+        assert!(!entry.get("fullDescription").get("text").string().is_empty());
+    }
+
+    // results: two live + one inSource-suppressed + one external.
+    let results = run.get("results").array();
+    assert_eq!(results.len(), 4);
+    for result in results {
+        let rule_id = result.get("ruleId").string();
+        let index = result.get("ruleIndex").number() as usize;
+        assert_eq!(
+            catalog::RULES[index].id,
+            rule_id,
+            "ruleIndex points at ruleId"
+        );
+        assert_eq!(result.get("level").string(), "error");
+        assert!(!result.get("message").get("text").string().is_empty());
+        let locations = result.get("locations").array();
+        assert_eq!(locations.len(), 1);
+        let physical = locations[0].get("physicalLocation");
+        let uri = physical.get("artifactLocation").get("uri").string();
+        assert!(
+            !uri.is_empty() && !uri.contains('\\'),
+            "relative / uri: {uri}"
+        );
+    }
+
+    // The line-12 L2 carries a region; the line-0 C1 must not.
+    let l2 = results
+        .iter()
+        .find(|r| r.get("ruleId").string() == "L2")
+        .expect("L2 result present");
+    let region = l2.get("locations").array()[0]
+        .get("physicalLocation")
+        .get("region");
+    assert_eq!(region.get("startLine").number() as usize, 12);
+    let c1 = results
+        .iter()
+        .find(|r| r.get("ruleId").string() == "C1")
+        .expect("C1 result present");
+    assert!(c1.get("locations").array()[0]
+        .get("physicalLocation")
+        .opt("region")
+        .is_none());
+
+    // Suppression markers: inSource with the written justification for
+    // the allow-comment, external for the baseline hit, none on live.
+    let l3 = results
+        .iter()
+        .find(|r| r.get("ruleId").string() == "L3")
+        .expect("suppressed L3 present");
+    let suppressions = l3.get("suppressions").array();
+    assert_eq!(suppressions.len(), 1);
+    assert_eq!(suppressions[0].get("kind").string(), "inSource");
+    assert_eq!(
+        suppressions[0].get("justification").string(),
+        "audited — bounded elsewhere"
+    );
+    let l1 = results
+        .iter()
+        .find(|r| r.get("ruleId").string() == "L1")
+        .expect("baselined L1 present");
+    assert_eq!(
+        l1.get("suppressions").array()[0].get("kind").string(),
+        "external"
+    );
+    assert!(l2.opt("suppressions").is_none(), "live findings carry none");
+}
+
+#[test]
+fn sarif_escaping_survives_a_parse_round_trip() {
+    let nasty = "quote \" backslash \\ newline \n tab \t control \u{1} unicode é🦀";
+    let report = CheckReport {
+        findings: vec![finding("crates/service/src/a.rs", 1, "L2", nasty)],
+        suppressed: Vec::new(),
+    };
+    let document = sarif::render(&report, &[]);
+    let root = parse_json(&document);
+    let results = root.get("runs").array()[0].get("results").array();
+    assert_eq!(results[0].get("message").get("text").string(), nasty);
+}

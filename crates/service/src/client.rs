@@ -169,7 +169,20 @@ impl Client {
     /// `ECONNRESET`/`EPIPE`/EOF during `HELLO` (a daemon restarting
     /// between accept and greeting). Any other error fails immediately.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        Self::connect_with_retry(&addr, |client| {
+        Self::connect_with_deadline(addr, None)
+    }
+
+    /// [`connect`](Client::connect) with the socket deadline applied
+    /// *before* the greeting: a peer that accepts and then never sends
+    /// its `HELLO` reply (a wedged daemon, an exhausted handler pool)
+    /// fails with [`ClientError::Timeout`] instead of hanging the
+    /// handshake forever. The deadline stays armed on the session, as if
+    /// [`set_timeout`](Client::set_timeout) had been called.
+    pub fn connect_with_deadline<A: ToSocketAddrs>(
+        addr: A,
+        deadline: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        Self::connect_with_retry(&addr, deadline, |client| {
             client.request_fields(&format!("HELLO {VERSION}"))?;
             Ok(())
         })
@@ -182,7 +195,7 @@ impl Client {
     /// 1×1 grid). Uses the same bounded connect + greeting retry as
     /// [`connect`](Client::connect).
     pub fn connect_v2<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
-        Self::connect_with_retry(&addr, |client| {
+        Self::connect_with_retry(&addr, None, |client| {
             let fields = client.request_fields(&format!("HELLO {VERSION_V2}"))?;
             parse_topology(&fields)
         })
@@ -197,7 +210,7 @@ impl Client {
     /// [`is_binary`](Client::is_binary) for the negotiated mode. Uses the
     /// same bounded connect + greeting retry as [`connect`](Client::connect).
     pub fn connect_v3<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
-        Self::connect_with_retry(&addr, |client| {
+        Self::connect_with_retry(&addr, None, |client| {
             match client.request_fields(&format!("HELLO {VERSION_V3}")) {
                 Ok(fields) => {
                     let topology = parse_topology(&fields)?;
@@ -236,11 +249,12 @@ impl Client {
     /// restarted successor.
     fn connect_with_retry<A: ToSocketAddrs, T>(
         addr: &A,
+        deadline: Option<Duration>,
         hello: impl Fn(&mut Client) -> Result<T, ClientError>,
     ) -> Result<(Client, T), ClientError> {
         let mut delays = CONNECT_RETRY_DELAYS.iter();
         loop {
-            let attempt = Self::connect_transport(addr).and_then(|mut client| {
+            let attempt = Self::connect_transport(addr, deadline).and_then(|mut client| {
                 let greeting = hello(&mut client)?;
                 Ok((client, greeting))
             });
@@ -256,10 +270,19 @@ impl Client {
     }
 
     /// Opens the TCP stream; no handshake, no retry (the caller's retry
-    /// loop wraps connect and greeting together).
-    fn connect_transport<A: ToSocketAddrs>(addr: &A) -> Result<Client, ClientError> {
+    /// loop wraps connect and greeting together). The deadline is armed
+    /// here — before any greeting byte moves — so even the handshake
+    /// reads and writes are bounded.
+    fn connect_transport<A: ToSocketAddrs>(
+        addr: &A,
+        deadline: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(deadline).map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(deadline)
+            .map_err(ClientError::Io)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -1010,5 +1033,30 @@ mod tests {
         assert!(matches!(err, ClientError::Timeout), "got {err}");
         assert_eq!(err.code(), Some("timeout"));
         stall.join().expect("stall thread");
+    }
+
+    #[test]
+    fn a_daemon_that_accepts_but_never_greets_times_out() {
+        // The nastier stall: the listener accepts the connection and then
+        // says nothing at all. The deadline is armed before the greeting
+        // read, so connect fails with `Timeout` instead of hanging — and
+        // `Timeout` is not a transient connect error, so no retry loop.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let mute = std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                std::thread::sleep(Duration::from_millis(500));
+                drop(stream);
+            }
+        });
+        let err = match Client::connect_with_deadline(addr, Some(Duration::from_millis(50))) {
+            Ok(_) => panic!("the greeting never arrives, connect cannot succeed"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ClientError::Timeout), "got {err}");
+        assert_eq!(err.code(), Some("timeout"));
+        mute.join().expect("mute thread");
     }
 }

@@ -1144,6 +1144,7 @@ fn submit_line(spec: &TaskSpec) -> String {
 fn http_scrape(addr: &str) -> Result<String, ClientError> {
     let mut stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;

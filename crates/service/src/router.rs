@@ -364,6 +364,11 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
     })
 }
 
+/// Every socket deadline on the HTTP scrape path — the scraper-facing
+/// stream (both directions) and the internal dial back into the router's
+/// protocol port. One constant so the whole scrape is uniformly bounded.
+const SCRAPE_DEADLINE: Duration = Duration::from_secs(5);
+
 /// Answers one HTTP scrape: any `GET` gets the router's `EXPORT?`
 /// exposition as `200 text/plain`. The handler dials the router's own
 /// protocol port as an ordinary client, so the scrape sees exactly the
@@ -371,7 +376,18 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
 /// HTTP layer stays a dozen lines: request head + headers in, one
 /// `Content-Length`-framed response out, connection closed.
 fn serve_scrape(stream: TcpStream, router: SocketAddr) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    serve_scrape_with(stream, router, SCRAPE_DEADLINE)
+}
+
+/// [`serve_scrape`] with the deadline injectable, so tests can exercise
+/// the wedged-router path in milliseconds instead of [`SCRAPE_DEADLINE`].
+fn serve_scrape_with(
+    stream: TcpStream,
+    router: SocketAddr,
+    deadline: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(deadline))?;
+    stream.set_write_timeout(Some(deadline))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut head = String::new();
@@ -389,7 +405,11 @@ fn serve_scrape(stream: TcpStream, router: SocketAddr) -> std::io::Result<()> {
         )?;
         return writer.flush();
     }
-    let body = Client::connect(router).and_then(|mut conn| conn.export());
+    // The inner dial carries the same deadline end to end: a wedged
+    // router (or one that accepts and never greets) turns into a prompt
+    // `503` with the timeout in the body, never a hung scrape thread.
+    let body =
+        Client::connect_with_deadline(router, Some(deadline)).and_then(|mut conn| conn.export());
     match body {
         Ok(body) => {
             writer.write_all(
@@ -421,6 +441,7 @@ fn serve_scrape(stream: TcpStream, router: SocketAddr) -> std::io::Result<()> {
 /// Serves one connection until EOF, `BYE`, or shutdown.
 fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(crate::server::WRITE_STALL))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -500,6 +521,7 @@ fn execute_batch(specs: &[TaskSpec], shared: &RouterShared) -> Vec<BatchAck> {
                     Some(partition) => {
                         let cell = partition.cell_of(spec.device_pos);
                         let outcome = match core.shards.get(cell) {
+                            // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
                             Some(shard) => shard.submit(*spec),
                             None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
                         };
@@ -605,6 +627,7 @@ fn execute<R: BufRead>(
                 ));
             };
             let mut core = shared.core.lock();
+            // haste-lint: allow(L2) — per-cell LOADs are deadline-bounded; `core` must be held so no request observes a half-partitioned scenario
             load_scenario_text(&mut core, config, &payload)
         }
         Request::Submit {
@@ -631,6 +654,7 @@ fn execute<R: BufRead>(
                             weight,
                         };
                         let outcome = match core.shards.get(cell) {
+                            // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
                             Some(shard) => shard.submit(spec),
                             None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
                         };
@@ -651,6 +675,7 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
+                // haste-lint: allow(L2) — the lockstep pipelines deadline-bounded TICKs across cells under `core`; interleaving another request mid-round would fork the clock
                 match tick_lockstep(&mut core, n, &shared.telemetry) {
                     Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
                     Err(reply) => reply,
@@ -677,6 +702,7 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
+                // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child SCHEDULE? is deadline-bounded
                 match merged_schedule(&core) {
                     Ok(schedule) => Reply::Data(model_io::write_schedule(&schedule)),
                     Err(reply) => reply,
@@ -688,6 +714,7 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
+                // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child PARTS? is deadline-bounded
                 match merged_parts(&core) {
                     Ok(parts) => {
                         // Sequential left-to-right sums over the arrival
@@ -705,6 +732,7 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
+                // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child PARTS? is deadline-bounded
                 match merged_parts(&core) {
                     Ok(parts) => Reply::Data(parts_payload(&parts)),
                     Err(reply) => reply,
@@ -721,6 +749,7 @@ fn execute<R: BufRead>(
             let mut down = 0u64;
             let mut saw_status = false;
             for shard in &core.shards {
+                // haste-lint: allow(L2) — deadline-bounded STATUS? per cell; a down shard answers from its cache instead of blocking the scrape
                 if let Ok((status, health, _restarts, _replay)) = shard.status_view() {
                     merged.absorb(&status);
                     saw_status = true;
@@ -739,6 +768,7 @@ fn execute<R: BufRead>(
             // merge bucket-wise. A down or unparsable child contributes
             // nothing this scrape; counters resume after its rejoin.
             for shard in &core.shards {
+                // haste-lint: allow(L2) — deadline-bounded EXPORT? per cell; a down child contributes nothing this scrape rather than wedging it
                 if let Some(Ok(document)) = shard.export_document() {
                     if let Ok(mut child) = haste_metrics::Snapshot::parse(&document) {
                         child.retain_prefix("haste_service_");
@@ -760,6 +790,7 @@ fn execute<R: BufRead>(
                 let mut down = 0u64;
                 let mut failure = None;
                 for shard in &core.shards {
+                    // haste-lint: allow(L2) — deadline-bounded STATUS? per cell under one `core` hold so the merged totals are a consistent cut
                     match shard.status_view() {
                         Ok((status, health, restarts, replay)) => {
                             merged.absorb(&status);
@@ -820,6 +851,7 @@ fn execute<R: BufRead>(
                 let mut payload = String::new();
                 let mut failure = None;
                 for (index, shard) in core.shards.iter().enumerate() {
+                    // haste-lint: allow(L2) — deadline-bounded STATUS? per cell under one `core` hold so SHARDS? reports a consistent cut
                     match shard.status_view() {
                         Ok((status, health, restarts, replay)) => {
                             let cell = (index % config.cells.0, index / config.cells.0);
@@ -844,6 +876,7 @@ fn execute<R: BufRead>(
             if core.partition.is_none() {
                 shard_err(crate::shard::ShardError::NoScenario)
             } else {
+                // haste-lint: allow(L2) — per-cell SNAP?s are deadline-bounded; `core` held so the composite is one consistent clock cut
                 match composite_snapshot(&core, config) {
                     Ok(text) => Reply::Data(text),
                     Err(reply) => reply,
@@ -858,6 +891,7 @@ fn execute<R: BufRead>(
                 ));
             };
             let mut core = shared.core.lock();
+            // haste-lint: allow(L2) — per-cell RESTOREs are deadline-bounded; `core` held so no request observes a half-restored composite
             restore_composite(&mut core, config, &payload)
         }
         Request::Bye => return Ok((Reply::Ok("bye".to_string()), true)),
@@ -1391,4 +1425,63 @@ fn restore_composite(core: &mut RouterCore, config: &RouterConfig, payload: &str
     core.clock = slot;
     core.partition = Some(partition);
     Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    /// The worst wedge for the metrics shim: the inner dial connects but
+    /// the "router" never greets. The scrape must come back as a prompt
+    /// `503` carrying the deadline error, never hang the handler thread.
+    #[test]
+    fn a_wedged_router_scrape_returns_503_promptly() {
+        let wedged = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let router = wedged.local_addr().expect("bound listener has an address");
+        let hold = std::thread::spawn(move || {
+            // Accept, then hold the socket open in silence until the
+            // handler has long since given up.
+            if let Ok((stream, _)) = wedged.accept() {
+                std::thread::sleep(Duration::from_millis(500));
+                drop(stream);
+            }
+        });
+
+        let scrape = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let scrape_addr = scrape.local_addr().expect("bound listener has an address");
+        let handler = std::thread::spawn(move || {
+            let (stream, _) = scrape.accept().expect("scraper connects");
+            serve_scrape_with(stream, router, Duration::from_millis(100))
+        });
+
+        let mut stream = TcpStream::connect(scrape_addr).expect("dial the scrape port");
+        // The scraper's own read deadline doubles as the promptness
+        // assertion: if the handler sat out the full 500 ms hold (or
+        // hung), this read would time out and fail the test.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("set the scrape read deadline");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+            .expect("send the scrape request");
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .expect("the 503 arrives before the scraper deadline");
+
+        assert!(
+            response.starts_with("HTTP/1.1 503 "),
+            "expected 503, got {response:?}"
+        );
+        assert!(
+            response.contains("request deadline expired"),
+            "body names the timeout: {response:?}"
+        );
+        handler
+            .join()
+            .expect("handler thread")
+            .expect("handler completes the 503 write");
+        hold.join().expect("hold thread");
+    }
 }

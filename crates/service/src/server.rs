@@ -34,6 +34,11 @@ use crate::telemetry::{self, Telemetry};
 /// flag. Short enough for prompt shutdown, long enough to stay off the CPU.
 pub(crate) const READ_POLL: Duration = Duration::from_millis(25);
 
+/// Write deadline for connection handlers: a client that stops reading
+/// while the daemon writes a large reply (an `EXPORT?` document) must
+/// fail the connection, not wedge its handler thread forever.
+pub(crate) const WRITE_STALL: Duration = Duration::from_secs(30);
+
 /// Configuration of a daemon instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -201,6 +206,7 @@ pub(crate) fn read_payload<R: BufRead>(
 /// Serves one connection until EOF, `BYE`, or shutdown.
 fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(WRITE_STALL))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);

@@ -558,8 +558,10 @@ impl RemoteShard {
         let mut locked = self.inner.lock();
         let inner = &mut *locked;
         self.guard(inner)?;
+        // haste-lint: allow(L2) — reconnect is bounded by the child deadline (armed before the greeting); the cell mutex must stay held so reconnect/request/journal stay atomic
         self.ensure_conn(inner)?;
         let outcome = match inner.conn.as_mut() {
+            // haste-lint: allow(L2) — deadline-bounded child request; serializing this cell's request/journal sequence is the mutex's purpose
             Some(conn) => conn.submit(&spec),
             None => return Err(self.fail(inner, "no connection".to_string())),
         };
@@ -586,8 +588,10 @@ impl RemoteShard {
         let mut locked = self.inner.lock();
         let inner = &mut *locked;
         self.guard(inner)?;
+        // haste-lint: allow(L2) — reconnect is bounded by the child deadline; the lockstep holds one cell mutex per in-flight tick, never two
         self.ensure_conn(inner)?;
         let outcome = match inner.conn.as_mut() {
+            // haste-lint: allow(L2) — deadline-bounded TICK; the per-shard mutex is what keeps this child's request/journal sequence serial (see doc above)
             Some(conn) => conn.tick(1),
             None => return Err(self.fail(inner, "no connection".to_string())),
         };
@@ -642,8 +646,10 @@ impl RemoteShard {
         inner.baseline = Some(Baseline::Scenario(Box::new(cell.clone())));
         inner.journal.clear();
         self.guard(inner)?;
+        // haste-lint: allow(L2) — deadline-bounded reconnect; baseline swap and child load must commit under one guard
         self.ensure_conn(inner)?;
         let outcome = match inner.conn.as_mut() {
+            // haste-lint: allow(L2) — deadline-bounded LOAD; a concurrent request between baseline swap and load would observe a half-reset cell
             Some(conn) => conn.load(cell),
             None => return Err(self.fail(inner, "no connection".to_string())),
         };
@@ -663,10 +669,12 @@ impl RemoteShard {
         let inner = &mut *locked;
         inner.baseline = Some(Baseline::Snapshot(text.to_string()));
         inner.journal.clear();
+        // haste-lint: allow(L2) — deadline-bounded reconnect; baseline swap and child restore must commit under one guard
         if self.guard(inner).is_err() || self.ensure_conn(inner).is_err() {
             return;
         }
         let outcome = match inner.conn.as_mut() {
+            // haste-lint: allow(L2) — deadline-bounded RESTORE; divergence control requires no request lands between baseline swap and restore
             Some(conn) => conn.restore(text).map(|_| ()),
             None => {
                 let _ = self.fail(inner, "no connection".to_string());
@@ -700,6 +708,7 @@ impl RemoteShard {
         }
         inner.conn = None;
         inner.child = None; // drops (and reaps) any dead process
+                            // haste-lint: allow(L2) — spawn's readiness read is bounded by the launcher deadline; rejoin must own the cell while rebuilding it
         let (child, mut conn) = match inner.launcher.spawn() {
             Ok(pair) => pair,
             Err(reason) => {
@@ -707,6 +716,7 @@ impl RemoteShard {
                 return false;
             }
         };
+        // haste-lint: allow(L2) — every replayed request runs under the fresh child's deadline; the cell must stay owned until the rebuilt state is verified
         match replay_into(
             &mut conn,
             inner.baseline.as_ref(),
@@ -736,8 +746,10 @@ impl RemoteShard {
     pub(crate) fn status_view(&self) -> (ShardStatus, ShardHealth, u64, u64) {
         let mut locked = self.inner.lock();
         let inner = &mut *locked;
+        // haste-lint: allow(L2) — deadline-bounded reconnect; status must not interleave with a journaled request on the same cell
         if inner.down.is_none() && self.guard(inner).is_ok() && self.ensure_conn(inner).is_ok() {
             let fetched = match inner.conn.as_mut() {
+                // haste-lint: allow(L2) — deadline-bounded STATUS?; a timeout downgrades to cached state instead of wedging METRICS?
                 Some(conn) => fetch_status(conn),
                 None => Err(ClientError::Protocol("no connection".to_string())),
             };
@@ -795,10 +807,10 @@ impl RemoteShard {
             Some(child) => child.addr,
             None => return Err(self.fail(inner, "child process not running".to_string())),
         };
-        let connected = Client::connect(addr).and_then(|mut conn| {
-            conn.set_timeout(Some(inner.launcher.deadline))
-                .map(|()| conn)
-        });
+        // The deadline is armed before the greeting: a child that accepts
+        // but never greets (wedged mid-restart) must count as a crash,
+        // not hang the supervisor.
+        let connected = Client::connect_with_deadline(addr, Some(inner.launcher.deadline));
         match connected {
             Ok(conn) => {
                 inner.conn = Some(conn);
@@ -839,6 +851,7 @@ impl RemoteShard {
         let mut locked = self.inner.lock();
         let inner = &mut *locked;
         self.guard(inner)?;
+        // haste-lint: allow(L2) — deadline-bounded reconnect; the guard/reconnect/fail sequence must be atomic per cell
         self.ensure_conn(inner)?;
         let outcome = match inner.conn.as_mut() {
             Some(conn) => request(conn),
