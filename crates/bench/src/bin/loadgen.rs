@@ -10,7 +10,8 @@
 //!     [--max-pending 4096] [--cells CXxCY] [--no-verify] \
 //!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
 //!     [--fault-plan FILE] [--binary] [--batch N] [--json FILE] \
-//!     [--profile uniform|diurnal[:PERIOD]] [--open-loop RATE] \
+//!     [--profile uniform|diurnal[:PERIOD]|hotspot[:CELL:FACTOR]] \
+//!     [--reshard-split SLOT:CELL] [--open-loop RATE] \
 //!     [--metrics-addr HOST:PORT] [--check-export]
 //! ```
 //!
@@ -24,6 +25,10 @@
 //! `--profile diurnal[:PERIOD]` draws arrival slots from the seeded
 //! double-peaked diurnal curve (PERIOD slots per synthetic day, default
 //! the whole run) and reports peak-band vs trough-band rejection rates.
+//! `--profile hotspot[:CELL:FACTOR]` keeps slots uniform but lands
+//! FACTOR× the arrivals on partition cell CELL (default `0:8`; needs
+//! `--cells`). `--reshard-split SLOT:CELL` scripts a live
+//! `RESHARD SPLIT CELL` right after the SLOT-th tick, mid-run.
 //! `--open-loop RATE` paces raw submissions at RATE/s without waiting
 //! for acks; latency percentiles then come from the server-side
 //! `EXPORT?` histogram, rejections are the saturation signal rather
@@ -137,6 +142,20 @@ fn main() {
             }
             "--profile" => {
                 profile_arg = Some(value(&args, i, "--profile"));
+                i += 1;
+            }
+            "--reshard-split" => {
+                let spec = value(&args, i, "--reshard-split");
+                let parts = spec
+                    .split_once(':')
+                    .map(|(slot, cell)| (parse::<usize>(slot), parse::<usize>(cell)));
+                config.reshard_split = match parts {
+                    Some(pair) => Some(pair),
+                    None => {
+                        eprintln!("bad --reshard-split value `{spec}`; expected SLOT:CELL");
+                        std::process::exit(2);
+                    }
+                };
                 i += 1;
             }
             "--open-loop" => {
@@ -256,6 +275,7 @@ fn report_json(config: &LoadgenConfig, report: &loadgen::LoadgenReport) -> Strin
     let profile = match config.profile {
         ArrivalProfile::Uniform => "\"uniform\"".to_string(),
         ArrivalProfile::Diurnal { period } => format!("\"diurnal:{period}\""),
+        ArrivalProfile::Hotspot { cell, factor } => format!("\"hotspot:{cell}:{factor}\""),
     };
     let open_loop = config
         .open_loop
@@ -288,6 +308,14 @@ fn report_json(config: &LoadgenConfig, report: &loadgen::LoadgenReport) -> Strin
         format!("\"seed\": {}", config.seed),
         format!("\"cells\": {cells}"),
         format!("\"out_of_process\": {}", config.out_of_process),
+        format!(
+            "\"reshard_split\": {}",
+            config
+                .reshard_split
+                .map_or("null".to_string(), |(slot, cell)| format!(
+                    "\"{slot}:{cell}\""
+                ))
+        ),
         format!("\"submitted\": {}", report.submitted),
         format!("\"accepted\": {}", report.accepted),
         format!("\"rejected\": {}", report.rejected),
@@ -311,19 +339,34 @@ fn report_json(config: &LoadgenConfig, report: &loadgen::LoadgenReport) -> Strin
     format!("{{\n  {}\n}}\n", fields.join(",\n  "))
 }
 
-/// Parses `--profile uniform` / `--profile diurnal[:PERIOD]`; a bare
-/// `diurnal` spans the whole run (`period = slots`).
+/// Parses `--profile uniform` / `--profile diurnal[:PERIOD]` /
+/// `--profile hotspot[:CELL:FACTOR]`; a bare `diurnal` spans the whole
+/// run (`period = slots`) and a bare `hotspot` puts 8× weight on cell 0.
 fn parse_profile(s: &str, slots: usize) -> ArrivalProfile {
     match s {
         "uniform" => ArrivalProfile::Uniform,
         "diurnal" => ArrivalProfile::Diurnal { period: slots },
-        _ => match s.strip_prefix("diurnal:").map(parse::<usize>) {
-            Some(period) if period >= 1 => ArrivalProfile::Diurnal { period },
-            _ => {
-                eprintln!("bad --profile value `{s}`; expected uniform or diurnal[:PERIOD]");
-                std::process::exit(2);
+        "hotspot" => ArrivalProfile::Hotspot { cell: 0, factor: 8 },
+        _ => {
+            if let Some(period) = s.strip_prefix("diurnal:").map(parse::<usize>) {
+                if period >= 1 {
+                    return ArrivalProfile::Diurnal { period };
+                }
             }
-        },
+            if let Some(rest) = s.strip_prefix("hotspot:") {
+                if let Some((cell, factor)) = rest.split_once(':') {
+                    return ArrivalProfile::Hotspot {
+                        cell: parse(cell),
+                        factor: parse(factor),
+                    };
+                }
+            }
+            eprintln!(
+                "bad --profile value `{s}`; expected uniform, diurnal[:PERIOD] or \
+                 hotspot[:CELL:FACTOR]"
+            );
+            std::process::exit(2);
+        }
     }
 }
 

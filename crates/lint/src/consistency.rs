@@ -116,6 +116,116 @@ fn is_wire_token(s: &str) -> bool {
 }
 
 // ----------------------------------------------------------------------
+// C1 — request verbs vs the protocol doc's request headings
+// ----------------------------------------------------------------------
+
+/// Cross-checks the wire verbs of `Request::opcode` in `proto_src`
+/// against the ``### `VERB ...` `` request headings of `doc`, both
+/// directions — a verb the daemon dispatches must have a normative
+/// section, and a documented verb must still exist in code.
+pub fn check_verb_docs(
+    proto_path: &str,
+    proto_src: &str,
+    doc_path: &str,
+    doc: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let verbs = opcode_verbs(proto_src);
+    if verbs.is_empty() {
+        findings.push(Finding {
+            file: proto_path.to_string(),
+            line: 0,
+            rule: "C1",
+            message: "found no `=> \"<VERB>\"` arms inside `fn opcode` (Request::opcode moved?)"
+                .to_string(),
+        });
+        return findings;
+    }
+    let headings = doc_verb_headings(doc);
+    for (verb, line) in &verbs {
+        if !headings.iter().any(|(v, _)| v == verb) {
+            findings.push(Finding {
+                file: proto_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!(
+                    "request verb `{verb}` has no `### `{verb}`` section in {doc_path}"
+                ),
+            });
+        }
+    }
+    for (verb, line) in &headings {
+        if !verbs.iter().any(|(v, _)| v == verb) {
+            findings.push(Finding {
+                file: doc_path.to_string(),
+                line: *line,
+                rule: "C1",
+                message: format!(
+                    "documented request verb `{verb}` has no Request::opcode arm in {proto_path}"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// The `=> "VERB"` arms between `fn opcode` and the closing brace of its
+/// match, with their 1-based lines.
+fn opcode_verbs(src: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_fn = false;
+    for (idx, line) in src.lines().enumerate() {
+        if line.contains("fn opcode") {
+            in_fn = true;
+            continue;
+        }
+        if !in_fn {
+            continue;
+        }
+        if line.trim() == "}" {
+            break;
+        }
+        let Some(pos) = line.find("=> \"") else {
+            continue;
+        };
+        let rest = &line[pos + 4..];
+        let Some(end) = rest.find('"') else {
+            continue;
+        };
+        let token = &rest[..end];
+        if is_verb_token(token) {
+            out.push((token.to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+/// The leading verb of every ``### `VERB ...` `` heading.
+fn doc_verb_headings(doc: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("### `") else {
+            continue;
+        };
+        let Some(end) = rest.find('`') else {
+            continue;
+        };
+        let verb = rest[..end].split_whitespace().next().unwrap_or("");
+        if is_verb_token(verb) {
+            out.push((verb.to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+/// Wire verbs are uppercase words, query verbs with a trailing `?`
+/// (`TICK`, `SCHEDULE?`). `OP_*` frame names (underscores) are not verbs.
+fn is_verb_token(s: &str) -> bool {
+    let body = s.strip_suffix('?').unwrap_or(s);
+    !body.is_empty() && body.bytes().all(|b| b.is_ascii_uppercase())
+}
+
+// ----------------------------------------------------------------------
 // C1 — frame opcode constants vs the protocol doc's opcode table
 // ----------------------------------------------------------------------
 
@@ -515,9 +625,13 @@ fn schema_shape_findings(catalog_path: &str, entry: &SchemaEntry) -> Vec<Finding
             entry.name, entry.kind
         ));
     }
-    if !matches!(entry.label.as_str(), "" | "cell" | "opcode" | "err_code") {
+    if !matches!(
+        entry.label.as_str(),
+        "" | "cell" | "opcode" | "err_code" | "tenant"
+    ) {
         flag(format!(
-            "metric `{}` uses label `{}` outside the schema vocabulary (cell, opcode, err_code)",
+            "metric `{}` uses label `{}` outside the schema vocabulary (cell, opcode, \
+             err_code, tenant)",
             entry.name, entry.label
         ));
     }
@@ -807,6 +921,70 @@ Keys: `clock`, `greedy_us`. Reply: `DATA <n>` + lines.
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("`ghost`"), "{f:?}");
         assert_eq!(f[0].file, "d.md");
+    }
+
+    const VERBS: &str = r#"
+        impl Request {
+            pub fn opcode(&self) -> &'static str {
+                match self {
+                    Request::Hello(_) => "HELLO",
+                    Request::Metrics => "METRICS?",
+                    Request::Bye => "BYE",
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn verb_consistency_passes_on_matching_sets() {
+        // DOC has `### `METRICS?`` and `### `BYE`` headings; add HELLO.
+        let doc = DOC.replace("## Requests\n", "## Requests\n\n### `HELLO <version>`\n");
+        let f = check_verb_docs("p.rs", VERBS, "d.md", &doc);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn verb_mismatches_fire_both_directions() {
+        let doc = DOC.replace("## Requests\n", "## Requests\n\n### `HELLO <version>`\n");
+        let code_extra = VERBS.replace(
+            "Request::Bye => \"BYE\",",
+            "Request::Bye => \"BYE\",\nRequest::Tenant { .. } => \"TENANT\",",
+        );
+        let f = check_verb_docs("p.rs", &code_extra, "d.md", &doc);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`TENANT`"), "{f:?}");
+        assert_eq!(f[0].file, "p.rs");
+
+        let doc_extra = doc + "\n### `RESHARD SPLIT <cell>`\n";
+        let f = check_verb_docs("p.rs", VERBS, "d.md", &doc_extra);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`RESHARD`"), "{f:?}");
+        assert_eq!(f[0].file, "d.md");
+    }
+
+    #[test]
+    fn verb_scan_ignores_arms_outside_fn_opcode() {
+        // `=> "OK"` in a Reply::serialize body must not register as a verb.
+        let code = VERBS.to_string()
+            + r#"
+        impl Reply {
+            pub fn serialize(&self) -> String {
+                match self {
+                    Reply::Empty => "OK",
+                }
+            }
+        }
+    "#;
+        let doc = DOC.replace("## Requests\n", "## Requests\n\n### `HELLO <version>`\n");
+        let f = check_verb_docs("p.rs", &code, "d.md", &doc);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn missing_opcode_arms_are_a_finding_not_a_pass() {
+        let f = check_verb_docs("p.rs", "// nothing here\n", "d.md", DOC);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("fn opcode"), "{f:?}");
     }
 
     const FRAMING: &str = "\

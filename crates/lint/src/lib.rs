@@ -15,9 +15,10 @@
 //!   formatting in serialization paths.
 //! * **P1** — panic-safety: no panicking constructs in daemon
 //!   request-handling code.
-//! * **C1/C2/C3** — contract consistency: `ErrCode` and frame opcodes ↔
-//!   protocol doc, `METRICS?` keys and the typed metric catalog ↔ the
-//!   protocol doc's `Metrics schema` table, vendored dependency allowlist.
+//! * **C1/C2/C3** — contract consistency: `ErrCode`, request verbs and
+//!   frame opcodes ↔ protocol doc, `METRICS?` keys and the typed metric
+//!   catalog ↔ the protocol doc's `Metrics schema` table, vendored
+//!   dependency allowlist.
 //! * **L1/L2/L3** — concurrency safety over `crates/service` +
 //!   `crates/parallel`: acyclic lock-order graph, no blocking call while
 //!   a mutex guard is live, every socket acquisition covered by a
@@ -44,7 +45,7 @@ pub mod source;
 
 pub use consistency::{
     check_errcode_docs, check_metrics_docs, check_metrics_schema, check_opcode_docs,
-    check_vendor_allowlist, ManifestSet,
+    check_vendor_allowlist, check_verb_docs, ManifestSet,
 };
 pub use source::{scan_source, scan_source_extra, scan_source_report, SuppressedFinding};
 
@@ -174,6 +175,7 @@ pub fn run_check_report(root: &Path) -> CheckReport {
     ) {
         (Ok(proto), Ok(server), Ok(router), Ok(framing), Ok(catalog), Ok(doc)) => {
             findings.extend(consistency::check_errcode_docs(PROTO, &proto, DOC, &doc));
+            findings.extend(consistency::check_verb_docs(PROTO, &proto, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(SERVER, &server, DOC, &doc));
             findings.extend(consistency::check_metrics_docs(ROUTER, &router, DOC, &doc));
             findings.extend(consistency::check_opcode_docs(FRAMING, &framing, DOC, &doc));

@@ -11,7 +11,8 @@
 //! Naming schema (normative): `haste_<subsystem>_<name>_<unit>`, ASCII
 //! snake case. Counters end in `_total`; histograms end in `_us` or
 //! `_records`; gauges end in `_slots`, `_tasks`, `_threads`, or
-//! `_shards`. Labels are drawn from `cell`, `opcode`, `err_code`.
+//! `_shards`. Labels are drawn from `cell`, `opcode`, `err_code`,
+//! `tenant`.
 
 use crate::{GaugeMerge, Kind};
 
@@ -108,6 +109,10 @@ pub const CATALOG: &[MetricSpec] = &[
     histogram("haste_shard_batch_rejected_records", "", "Records rejected per batch frame at shard children, merged across shards."),
     histogram("haste_router_tick_replan_duration_us", "cell", "Per-shard TICK replan duration in microseconds, by cell index."),
     histogram("haste_router_join_wait_duration_us", "cell", "Time a finished shard waits at the consistent-cut TICK barrier, by cell index."),
+    counter("haste_router_cell_submits_total", "cell", "", "Submissions accepted into each cell of the default tenant, by cell index — the elastic-split load trigger."),
+    counter("haste_router_reshards_total", "tenant", "", "Completed live split/merge migrations, by tenant id."),
+    counter("haste_router_tenant_rejected_total", "tenant", "", "Submissions bounced by a tenant's per-slot admission quota, by tenant id."),
+    gauge("haste_router_tenant_shards", "tenant", "", "Shards currently serving each tenant, by tenant id."),
     counter("haste_supervisor_restarts_total", "cell", "shard_restarts", "Shard child restarts performed by the supervisor, by cell index."),
     counter("haste_supervisor_replays_total", "cell", "shard_replays", "Journaled operations replayed into restarted shard children, by cell index."),
     counter("haste_supervisor_deadline_expired_total", "cell", "", "Supervisor requests that hit the per-request deadline, by cell index."),

@@ -18,6 +18,15 @@
 //!   (ids renumbered, original order preserved), rejecting any task whose
 //!   chargeable chargers do not all lie in the task's own cell.
 //!
+//! Cells are **axis-aligned rectangles**, not a fixed grid: a partition
+//! starts as a uniform grid ([`Partition::grid`]) but is *elastic* —
+//! [`Partition::split_cell`] halves a hot cell along its longer axis and
+//! [`Partition::merge_cells`] re-joins two rect-adjacent cells, both
+//! producing renumbered partitions whose halo invariant still holds.
+//! [`RoutingMap`] versions the cell → shard assignment so a router can
+//! swap topologies atomically and observers can tell which map served a
+//! given reply.
+//!
 //! The preserved relative order of chargers and tasks inside each cell is
 //! what keeps the per-cell sub-problems bit-compatible with the original:
 //! every scheduler in this workspace iterates chargers and tasks in id
@@ -29,16 +38,50 @@ use haste_geometry::Vec2;
 
 use crate::{power, Scenario};
 
-/// A uniform grid partition of the deployment field with a charger-reach
-/// halo. Cells are indexed row-major: `cell = cy * cells_x + cx`.
+/// One cell of a partition: a half-open axis-aligned rectangle
+/// `[x0, x1) × [y0, y1)` (right/top edges are inclusive only where they
+/// coincide with the field boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellRect {
+    /// Left edge (inclusive).
+    pub x0: f64,
+    /// Bottom edge (inclusive).
+    pub y0: f64,
+    /// Right edge (exclusive unless it is the field's far edge).
+    pub x1: f64,
+    /// Top edge (exclusive unless it is the field's far edge).
+    pub y1: f64,
+}
+
+impl CellRect {
+    /// Width of the rect.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rect.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+}
+
+/// A rect-tiling partition of the deployment field with a charger-reach
+/// halo. Built as a uniform grid (cells indexed row-major:
+/// `cell = cy * cells_x + cx`) and mutated by [`Partition::split_cell`] /
+/// [`Partition::merge_cells`], after which indices are positional in the
+/// rect list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     origin: Vec2,
     field_w: f64,
     field_h: f64,
-    cells_x: usize,
-    cells_y: usize,
     halo: f64,
+    /// The base grid shape this partition was derived from — kept for
+    /// topology reporting even after elastic splits/merges.
+    grid: (usize, usize),
+    cells: Vec<CellRect>,
 }
 
 /// Why a partition could not be built or applied.
@@ -133,22 +176,10 @@ impl Partition {
         cells_y: usize,
         halo: f64,
     ) -> Result<Partition, PartitionError> {
-        if !(origin.x.is_finite() && origin.y.is_finite()) {
-            return Err(PartitionError::InvalidGeometry("origin must be finite"));
-        }
-        if !(field_w.is_finite() && field_w > 0.0 && field_h.is_finite() && field_h > 0.0) {
-            return Err(PartitionError::InvalidGeometry(
-                "field extent must be finite and positive",
-            ));
-        }
+        Self::check_field(origin, field_w, field_h, halo)?;
         if cells_x == 0 || cells_y == 0 {
             return Err(PartitionError::InvalidGeometry(
                 "the grid needs at least one cell per axis",
-            ));
-        }
-        if !(halo.is_finite() && halo >= 0.0) {
-            return Err(PartitionError::InvalidGeometry(
-                "halo must be finite and non-negative",
             ));
         }
         // A cell narrower than two halos has no interior a charger could
@@ -164,32 +195,130 @@ impl Partition {
                 "cells are shorter than two halo widths along y",
             ));
         }
+        // Boundary i along an axis is `origin + extent * i / n` — the
+        // exact expression the proptest suite pins, so grid-built rects
+        // reproduce the historical floor-division cell mapping bit for
+        // bit, boundary convention included.
+        let xs: Vec<f64> = (0..=cells_x)
+            .map(|i| origin.x + field_w * (i as f64) / (cells_x as f64))
+            .collect();
+        let ys: Vec<f64> = (0..=cells_y)
+            .map(|i| origin.y + field_h * (i as f64) / (cells_y as f64))
+            .collect();
+        if xs.windows(2).any(|w| w[0] >= w[1]) || ys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PartitionError::InvalidGeometry(
+                "cell boundaries are not strictly increasing",
+            ));
+        }
+        let mut cells = Vec::with_capacity(cells_x * cells_y);
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                cells.push(CellRect {
+                    x0: xs[cx],
+                    y0: ys[cy],
+                    x1: xs[cx + 1],
+                    y1: ys[cy + 1],
+                });
+            }
+        }
         Ok(Partition {
             origin,
             field_w,
             field_h,
-            cells_x,
-            cells_y,
             halo,
+            grid: (cells_x, cells_y),
+            cells,
         })
     }
 
-    /// Cells along x.
+    /// Rebuilds a partition from an explicit rect list (a snapshot restore
+    /// path). Validation is structural: finite rects with positive extent
+    /// that lie inside the field. Tiling *coverage* is not re-proven here —
+    /// the rects come from a partition that enforced it on every mutation.
+    pub fn from_rects(
+        origin: Vec2,
+        field_w: f64,
+        field_h: f64,
+        halo: f64,
+        grid: (usize, usize),
+        cells: Vec<CellRect>,
+    ) -> Result<Partition, PartitionError> {
+        Self::check_field(origin, field_w, field_h, halo)?;
+        if grid.0 == 0 || grid.1 == 0 {
+            return Err(PartitionError::InvalidGeometry(
+                "the grid needs at least one cell per axis",
+            ));
+        }
+        if cells.is_empty() {
+            return Err(PartitionError::InvalidGeometry(
+                "a partition needs at least one cell",
+            ));
+        }
+        let (fx, fy) = (origin.x + field_w, origin.y + field_h);
+        for r in &cells {
+            let finite =
+                r.x0.is_finite() && r.x1.is_finite() && r.y0.is_finite() && r.y1.is_finite();
+            if !finite || r.x0 >= r.x1 || r.y0 >= r.y1 {
+                return Err(PartitionError::InvalidGeometry(
+                    "cell rect must be finite with positive extent",
+                ));
+            }
+            if r.x0 < origin.x || r.x1 > fx || r.y0 < origin.y || r.y1 > fy {
+                return Err(PartitionError::InvalidGeometry(
+                    "cell rect lies outside the field",
+                ));
+            }
+        }
+        Ok(Partition {
+            origin,
+            field_w,
+            field_h,
+            halo,
+            grid,
+            cells,
+        })
+    }
+
+    fn check_field(
+        origin: Vec2,
+        field_w: f64,
+        field_h: f64,
+        halo: f64,
+    ) -> Result<(), PartitionError> {
+        if !(origin.x.is_finite() && origin.y.is_finite()) {
+            return Err(PartitionError::InvalidGeometry("origin must be finite"));
+        }
+        if !(field_w.is_finite() && field_w > 0.0 && field_h.is_finite() && field_h > 0.0) {
+            return Err(PartitionError::InvalidGeometry(
+                "field extent must be finite and positive",
+            ));
+        }
+        if !(halo.is_finite() && halo >= 0.0) {
+            return Err(PartitionError::InvalidGeometry(
+                "halo must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cells along x of the **base grid** this partition was built from.
+    /// After an elastic split or merge the live cell list is positional;
+    /// see [`base_grid`](Partition::base_grid).
     #[inline]
     pub fn cells_x(&self) -> usize {
-        self.cells_x
+        self.grid.0
     }
 
-    /// Cells along y.
+    /// Cells along y of the **base grid** (see [`cells_x`](Partition::cells_x)).
     #[inline]
     pub fn cells_y(&self) -> usize {
-        self.cells_y
+        self.grid.1
     }
 
-    /// Total number of cells.
+    /// Total number of cells in the live rect list.
     #[inline]
     pub fn num_cells(&self) -> usize {
-        self.cells_x * self.cells_y
+        self.cells.len()
     }
 
     /// The halo width (charger reach) this partition was built with.
@@ -210,54 +339,175 @@ impl Partition {
         (self.field_w, self.field_h)
     }
 
-    /// Maps a coordinate to a cell index along one axis: floor division by
-    /// the cell extent, clamped into range. A point exactly on an interior
-    /// boundary belongs to the *higher* cell (floor of the exact ratio); a
-    /// point on or beyond the far field edge clamps to the last cell, and
-    /// one below the origin clamps to cell 0 — so every finite coordinate
-    /// maps to exactly one cell, deterministically.
+    /// The live rect list, indexed by cell.
     #[inline]
-    fn axis_cell(coord: f64, origin: f64, extent: f64, cells: usize) -> usize {
-        let rel = (coord - origin) / (extent / cells as f64);
-        if rel.is_nan() || rel <= 0.0 {
-            return 0;
-        }
-        (rel.floor() as usize).min(cells - 1)
+    pub fn cells(&self) -> &[CellRect] {
+        &self.cells
     }
 
-    /// Deterministically maps any point to exactly one cell (row-major
-    /// index). See [`axis_cell`](Partition::axis_cell) for the boundary
-    /// convention.
+    /// The rect of one cell.
+    #[inline]
+    pub fn cell_rect(&self, cell: usize) -> CellRect {
+        self.cells[cell]
+    }
+
+    /// `Some((cells_x, cells_y))` while the live rect list is exactly the
+    /// uniform base grid (bitwise — splits and merges that do not restore
+    /// the original tiling return `None`), for `cell = cy * cells_x + cx`
+    /// coordinate reporting.
+    pub fn base_grid(&self) -> Option<(usize, usize)> {
+        let (gx, gy) = self.grid;
+        if self.cells.len() != gx * gy {
+            return None;
+        }
+        let uniform = Partition::grid(self.origin, self.field_w, self.field_h, gx, gy, self.halo);
+        match uniform {
+            Ok(p) if p.cells == self.cells => Some((gx, gy)),
+            _ => None,
+        }
+    }
+
+    /// Deterministically maps any point to exactly one cell. The point is
+    /// clamped into the field (NaN coordinates to the origin), then matched
+    /// against the half-open rects — a point exactly on an interior
+    /// boundary belongs to the *higher* cell, the far field edges fold into
+    /// the edge cells. A bit-exact tiling always matches; should float
+    /// pathology ever leave a clamped point unmatched, the nearest rect
+    /// (lowest index on ties) is chosen so the map stays total.
     #[inline]
     pub fn cell_of(&self, p: Vec2) -> usize {
-        let cx = Self::axis_cell(p.x, self.origin.x, self.field_w, self.cells_x);
-        let cy = Self::axis_cell(p.y, self.origin.y, self.field_h, self.cells_y);
-        cy * self.cells_x + cx
+        let fx = self.origin.x + self.field_w;
+        let fy = self.origin.y + self.field_h;
+        // `max`/`min` propagate the non-NaN operand, so NaN clamps to the
+        // origin — the historical convention for unmappable coordinates.
+        let x = p.x.max(self.origin.x).min(fx);
+        let y = p.y.max(self.origin.y).min(fy);
+        for (i, r) in self.cells.iter().enumerate() {
+            let in_x = x >= r.x0 && (x < r.x1 || (x == r.x1 && r.x1 == fx));
+            let in_y = y >= r.y0 && (y < r.y1 || (y == r.y1 && r.y1 == fy));
+            if in_x && in_y {
+                return i;
+            }
+        }
+        self.nearest_cell(x, y)
+    }
+
+    /// Total-map fallback for [`cell_of`](Partition::cell_of): nearest rect
+    /// by squared distance, lowest index on ties.
+    fn nearest_cell(&self, x: f64, y: f64) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, r) in self.cells.iter().enumerate() {
+            let dx = (r.x0 - x).max(x - r.x1).max(0.0);
+            let dy = (r.y0 - y).max(y - r.y1).max(0.0);
+            let d = dx * dx + dy * dy;
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
     }
 
     /// Distance from a point to the nearest *interior* boundary of its own
-    /// cell (`f64::INFINITY` for a 1×1 grid). Outer field edges do not
-    /// count: a point beyond them still maps into the edge cell, so reach
-    /// across them never leaves the cell.
+    /// cell (`f64::INFINITY` for a single-cell partition). Outer field
+    /// edges do not count: a point beyond them still maps into the edge
+    /// cell, so reach across them never leaves the cell.
     pub fn interior_margin(&self, p: Vec2) -> f64 {
-        let cell_w = self.field_w / self.cells_x as f64;
-        let cell_h = self.field_h / self.cells_y as f64;
-        let cx = Self::axis_cell(p.x, self.origin.x, self.field_w, self.cells_x);
-        let cy = Self::axis_cell(p.y, self.origin.y, self.field_h, self.cells_y);
+        let r = self.cells[self.cell_of(p)];
+        let fx = self.origin.x + self.field_w;
+        let fy = self.origin.y + self.field_h;
         let mut margin = f64::INFINITY;
-        if cx > 0 {
-            margin = margin.min(p.x - (self.origin.x + cx as f64 * cell_w));
+        if r.x0 > self.origin.x {
+            margin = margin.min(p.x - r.x0);
         }
-        if cx + 1 < self.cells_x {
-            margin = margin.min((self.origin.x + (cx + 1) as f64 * cell_w) - p.x);
+        if r.x1 < fx {
+            margin = margin.min(r.x1 - p.x);
         }
-        if cy > 0 {
-            margin = margin.min(p.y - (self.origin.y + cy as f64 * cell_h));
+        if r.y0 > self.origin.y {
+            margin = margin.min(p.y - r.y0);
         }
-        if cy + 1 < self.cells_y {
-            margin = margin.min((self.origin.y + (cy + 1) as f64 * cell_h) - p.y);
+        if r.y1 < fy {
+            margin = margin.min(r.y1 - p.y);
         }
         margin
+    }
+
+    /// Splits cell `cell` in half along its longer axis (ties go to x),
+    /// producing a renumbered partition: the children take indices `cell`
+    /// and `cell + 1`, later cells shift up by one. Fails if either child
+    /// would be too narrow to host a charger outside the new boundary's
+    /// halo — the same invariant [`grid`](Partition::grid) enforces — so
+    /// every partition this returns still satisfies the halo precondition
+    /// for *some* charger placement.
+    pub fn split_cell(&self, cell: usize) -> Result<Partition, PartitionError> {
+        let Some(&r) = self.cells.get(cell) else {
+            return Err(PartitionError::InvalidGeometry("cell index out of range"));
+        };
+        let along_x = r.width() >= r.height();
+        let (lo, hi) = if along_x { (r.x0, r.x1) } else { (r.y0, r.y1) };
+        let mid = 0.5 * (lo + hi);
+        if !(mid > lo && mid < hi) {
+            return Err(PartitionError::InvalidGeometry(
+                "cell is too thin to split: midpoint is not strictly interior",
+            ));
+        }
+        if (mid - lo) <= 2.0 * self.halo || (hi - mid) <= 2.0 * self.halo {
+            return Err(PartitionError::InvalidGeometry(
+                "split children would be narrower than two halo widths",
+            ));
+        }
+        let (a, b) = if along_x {
+            (CellRect { x1: mid, ..r }, CellRect { x0: mid, ..r })
+        } else {
+            (CellRect { y1: mid, ..r }, CellRect { y0: mid, ..r })
+        };
+        let mut cells = self.cells.clone();
+        cells[cell] = a;
+        cells.insert(cell + 1, b);
+        Ok(Partition {
+            cells,
+            ..self.clone()
+        })
+    }
+
+    /// Merges two cells whose rects form an exact rectangle (bit-exact
+    /// shared edge, matching extents on the other axis), producing a
+    /// renumbered partition: the merged cell takes the lower of the two
+    /// indices, later cells shift down by one. The merged rect copies the
+    /// outer coordinates verbatim, so `merge_cells` exactly inverts
+    /// [`split_cell`](Partition::split_cell). Merging never violates the
+    /// halo invariant: interior boundaries only disappear.
+    pub fn merge_cells(&self, a: usize, b: usize) -> Result<Partition, PartitionError> {
+        if a == b {
+            return Err(PartitionError::InvalidGeometry(
+                "cannot merge a cell with itself",
+            ));
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (Some(&ra), Some(&rb)) = (self.cells.get(lo), self.cells.get(hi)) else {
+            return Err(PartitionError::InvalidGeometry("cell index out of range"));
+        };
+        let merged = if ra.y0 == rb.y0 && ra.y1 == rb.y1 && ra.x1 == rb.x0 {
+            CellRect { x1: rb.x1, ..ra }
+        } else if ra.y0 == rb.y0 && ra.y1 == rb.y1 && rb.x1 == ra.x0 {
+            CellRect { x0: rb.x0, ..ra }
+        } else if ra.x0 == rb.x0 && ra.x1 == rb.x1 && ra.y1 == rb.y0 {
+            CellRect { y1: rb.y1, ..ra }
+        } else if ra.x0 == rb.x0 && ra.x1 == rb.x1 && rb.y1 == ra.y0 {
+            CellRect { y0: rb.y0, ..ra }
+        } else {
+            return Err(PartitionError::InvalidGeometry(
+                "cells do not form an exact rectangle",
+            ));
+        };
+        let mut cells = self.cells.clone();
+        cells[lo] = merged;
+        cells.remove(hi);
+        Ok(Partition {
+            cells,
+            ..self.clone()
+        })
     }
 
     /// Checks the charger-reach halo: every charger must be at least the
@@ -356,6 +606,63 @@ impl Partition {
     }
 }
 
+/// A **versioned** cell → shard assignment. The router consults the map on
+/// every route and bumps the version atomically when a split or merge
+/// swaps the topology, so `SHARDS?` output (and any future cached client
+/// routing) can be checked against the map that actually served a request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingMap {
+    version: u64,
+    shard_of: Vec<u32>,
+}
+
+impl RoutingMap {
+    /// The identity map over `cells` cells (cell `i` → shard `i`),
+    /// version 1 — the state of a freshly loaded topology.
+    pub fn identity(cells: usize) -> RoutingMap {
+        RoutingMap {
+            version: 1,
+            shard_of: (0..cells as u32).collect(),
+        }
+    }
+
+    /// The map's version; bumped by one on every swap.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The shard serving `cell`.
+    #[inline]
+    pub fn shard_of(&self, cell: usize) -> u32 {
+        self.shard_of[cell]
+    }
+
+    /// Number of cells the map covers.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The identity map over a renumbered topology of `cells` cells, with
+    /// the version advanced — what a split or merge installs when it swaps
+    /// the routing map between ticks.
+    pub fn renumbered(&self, cells: usize) -> RoutingMap {
+        RoutingMap {
+            version: self.version + 1,
+            shard_of: (0..cells as u32).collect(),
+        }
+    }
+
+    /// Restores a map at an explicit version (snapshot restore path).
+    pub fn at_version(version: u64, cells: usize) -> RoutingMap {
+        RoutingMap {
+            version,
+            shard_of: (0..cells as u32).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +713,7 @@ mod tests {
         assert_eq!(p.cell_of(Vec2::new(200.0, 100.0)), 3);
         assert_eq!(p.cell_of(Vec2::new(500.0, -3.0)), 1);
         assert_eq!(p.cell_of(Vec2::new(-1.0, 250.0)), 2);
+        assert_eq!(p.cell_of(Vec2::new(f64::NAN, 60.0)), 2);
     }
 
     #[test]
@@ -473,5 +781,66 @@ mod tests {
         assert_eq!(a.charger_local, vec![0, 0, 1]);
         assert_eq!(a.task_cell, vec![0, 1, 0]);
         assert_eq!(a.task_local, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn split_cell_renumbers_and_merge_inverts() {
+        // 400 × 100, 2 × 1, halo 20: cell 0 is [0,200), wide enough to split.
+        let p = Partition::grid(Vec2::ZERO, 400.0, 100.0, 2, 1, 20.0).unwrap();
+        let split = p.split_cell(0).unwrap();
+        assert_eq!(split.num_cells(), 3);
+        assert_eq!(split.cell_rect(0).x1, 100.0);
+        assert_eq!(split.cell_rect(1).x0, 100.0);
+        assert_eq!(split.cell_rect(2), p.cell_rect(1)); // old cell 1 shifted
+        assert_eq!(split.cell_of(Vec2::new(50.0, 50.0)), 0);
+        assert_eq!(split.cell_of(Vec2::new(150.0, 50.0)), 1);
+        assert_eq!(split.cell_of(Vec2::new(250.0, 50.0)), 2);
+        // The boundary point goes to the higher cell, as on the base grid.
+        assert_eq!(split.cell_of(Vec2::new(100.0, 50.0)), 1);
+        assert_eq!(split.base_grid(), None);
+        // Merge is the exact inverse, and argument order does not matter.
+        assert_eq!(split.merge_cells(0, 1).unwrap(), p);
+        assert_eq!(split.merge_cells(1, 0).unwrap(), p);
+        assert_eq!(p.base_grid(), Some((2, 1)));
+    }
+
+    #[test]
+    fn split_cell_prefers_longer_axis() {
+        // A 100 × 400 single cell splits along y.
+        let p = Partition::grid(Vec2::ZERO, 100.0, 400.0, 1, 1, 20.0).unwrap();
+        let split = p.split_cell(0).unwrap();
+        assert_eq!(split.cell_rect(0).y1, 200.0);
+        assert_eq!(split.cell_rect(1).y0, 200.0);
+        assert_eq!(split.merge_cells(0, 1).unwrap(), p);
+    }
+
+    #[test]
+    fn split_cell_rejects_thin_cells_and_bad_merges() {
+        let p = Partition::grid(Vec2::ZERO, 200.0, 100.0, 2, 1, 30.0).unwrap();
+        // Children would be 50 wide — not above 2 × 30.
+        assert!(p.split_cell(0).is_err());
+        assert!(p.split_cell(7).is_err());
+        assert!(p.merge_cells(0, 0).is_err());
+        assert!(p.merge_cells(0, 7).is_err());
+        // Diagonal cells of a 2 × 2 grid do not form a rectangle.
+        let q = Partition::grid(Vec2::ZERO, 200.0, 200.0, 2, 2, 20.0).unwrap();
+        assert!(q.merge_cells(0, 3).is_err());
+        // Adjacent ones do, along both axes.
+        assert!(q.merge_cells(0, 1).is_ok());
+        assert!(q.merge_cells(0, 2).is_ok());
+        assert!(q.merge_cells(2, 0).is_ok());
+    }
+
+    #[test]
+    fn routing_map_versions_swaps() {
+        let m = RoutingMap::identity(2);
+        assert_eq!(m.version(), 1);
+        assert_eq!(m.num_cells(), 2);
+        assert_eq!(m.shard_of(1), 1);
+        let m2 = m.renumbered(3);
+        assert_eq!(m2.version(), 2);
+        assert_eq!(m2.num_cells(), 3);
+        assert_eq!(m2.shard_of(2), 2);
+        assert_eq!(RoutingMap::at_version(7, 3).version(), 7);
     }
 }

@@ -161,6 +161,66 @@ proptest! {
         split_up.sort_unstable();
         prop_assert_eq!(original, split_up);
     }
+
+    /// Elastic round-trip: splitting any cell and merging the two children
+    /// back reproduces the original partition **exactly** (bitwise rects,
+    /// same base grid), in either argument order.
+    #[test]
+    fn merge_inverts_split_cell(
+        cells_x in 1usize..4,
+        cells_y in 1usize..4,
+        pick in 0usize..16,
+    ) {
+        // Halo 10 over 800×600 keeps every child of a single split wide
+        // enough (cell extents ≥ 200/4 → children ≥ 25 > 2 × 10).
+        let p = Partition::grid(Vec2::ZERO, 800.0, 600.0, cells_x, cells_y, 10.0).unwrap();
+        let cell = pick % p.num_cells();
+        let split = p.split_cell(cell).unwrap();
+        prop_assert_eq!(split.num_cells(), p.num_cells() + 1);
+        prop_assert_eq!(split.merge_cells(cell, cell + 1).unwrap(), p.clone());
+        prop_assert_eq!(split.merge_cells(cell + 1, cell).unwrap(), p);
+    }
+
+    /// Every successful `split_cell` preserves the partition invariants:
+    /// each point still maps to exactly one cell (membership counted
+    /// directly against the rect list, not just via `cell_of`), and every
+    /// rect with an interior boundary stays wider than two halo widths on
+    /// that axis — so the halo precondition remains satisfiable.
+    #[test]
+    fn split_cell_preserves_tiling_and_halo_invariants(
+        cells_x in 1usize..4,
+        cells_y in 1usize..4,
+        pick in 0usize..16,
+        xs in proptest::collection::vec(0.0f64..800.0, 16),
+        ys in proptest::collection::vec(0.0f64..600.0, 16),
+    ) {
+        let halo = 10.0;
+        let p = Partition::grid(Vec2::ZERO, 800.0, 600.0, cells_x, cells_y, halo).unwrap();
+        let split = p.split_cell(pick % p.num_cells()).unwrap();
+        for r in split.cells() {
+            if r.x0 > 0.0 || r.x1 < 800.0 {
+                prop_assert!(r.width() > 2.0 * halo);
+            }
+            if r.y0 > 0.0 || r.y1 < 600.0 {
+                prop_assert!(r.height() > 2.0 * halo);
+            }
+        }
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let owners = split
+                .cells()
+                .iter()
+                .filter(|r| {
+                    let in_x = x >= r.x0 && (x < r.x1 || r.x1 == 800.0);
+                    let in_y = y >= r.y0 && (y < r.y1 || r.y1 == 600.0);
+                    in_x && in_y
+                })
+                .count();
+            prop_assert_eq!(owners, 1);
+            let cell = split.cell_of(Vec2::new(x, y));
+            let r = split.cell_rect(cell);
+            prop_assert!(x >= r.x0 && x <= r.x1 && y >= r.y0 && y <= r.y1);
+        }
+    }
 }
 
 /// The largest float strictly below `x` (for boundary-nudge tests).

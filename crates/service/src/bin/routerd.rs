@@ -21,8 +21,8 @@
 //! cargo run --release -p haste-service --bin routerd -- \
 //!     [--addr 127.0.0.1:7411] [--cells 2x1] [--field 200x100] \
 //!     [--origin 0,0] [--threads 4] [--max-pending 4096] \
-//!     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
-//!     [--fault-plan FILE] [--metrics-addr HOST:PORT]
+//!     [--split-threshold N] [--out-of-process] [--shardd PATH] \
+//!     [--deadline-ms N] [--fault-plan FILE] [--metrics-addr HOST:PORT]
 //! ```
 
 use haste_service::{serve_router, FaultPlan, ProcessShardConfig, RouterConfig};
@@ -48,6 +48,9 @@ fn main() {
             }
             "--threads" => config.worker_threads = single(&value(&args, i, flag), flag),
             "--max-pending" => config.max_pending = single(&value(&args, i, flag), flag),
+            "--split-threshold" => {
+                config.split_threshold = Some(single(&value(&args, i, flag), flag));
+            }
             "--metrics-addr" => config.metrics_addr = Some(value(&args, i, flag)),
             "--out-of-process" => {
                 // Unary flag: no value to skip.
@@ -86,9 +89,9 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: routerd [--addr HOST:PORT] [--cells CXxCY] [--field WxH] \
-                     [--origin X,Y] [--threads N] [--max-pending N] [--out-of-process] \
-                     [--shardd PATH] [--deadline-ms N] [--fault-plan FILE] \
-                     [--metrics-addr HOST:PORT]"
+                     [--origin X,Y] [--threads N] [--max-pending N] [--split-threshold N] \
+                     [--out-of-process] [--shardd PATH] [--deadline-ms N] \
+                     [--fault-plan FILE] [--metrics-addr HOST:PORT]"
                 );
                 return;
             }

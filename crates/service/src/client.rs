@@ -113,8 +113,8 @@ pub struct Topology {
 }
 
 /// One line of a `SHARDS?` reply: a shard's cell, virtual clock,
-/// admission counters, and supervision state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// admission counters, supervision state, and owning tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardInfo {
     /// Shard index (row-major cell index).
     pub index: usize,
@@ -140,6 +140,10 @@ pub struct ShardInfo {
     pub restarts: u64,
     /// Journaled operations replayed into restarted children.
     pub replay: u64,
+    /// The tenant this shard belongs to (`default` on a plain daemon).
+    pub tenant: String,
+    /// The tenant's routing-map version the shard serves under.
+    pub map_version: u64,
 }
 
 /// How requests cross the wire after the handshake.
@@ -619,6 +623,38 @@ impl Client {
         }
     }
 
+    /// Selects the session's tenant (v3 routers). With `quota`, also sets
+    /// the tenant's per-slot admission quota — applied immediately if the
+    /// tenant exists, otherwise at its `LOAD`.
+    pub fn tenant(&mut self, id: &str, quota: Option<u64>) -> Result<(), ClientError> {
+        let request = match quota {
+            Some(q) => format!("TENANT {id} {q}"),
+            None => format!("TENANT {id}"),
+        };
+        self.request_fields(&request)?;
+        Ok(())
+    }
+
+    /// Live-splits one cell of the session tenant's partition; returns the
+    /// new `(cell_count, routing_map_version)`.
+    pub fn reshard_split(&mut self, cell: usize) -> Result<(usize, u64), ClientError> {
+        let fields = self.request_fields(&format!("RESHARD SPLIT {cell}"))?;
+        Ok((
+            parse_field(&fields, "cells")?,
+            parse_field(&fields, "map")? as u64,
+        ))
+    }
+
+    /// Live-merges two sibling cells back together; returns the new
+    /// `(cell_count, routing_map_version)`.
+    pub fn reshard_merge(&mut self, a: usize, b: usize) -> Result<(usize, u64), ClientError> {
+        let fields = self.request_fields(&format!("RESHARD MERGE {a} {b}"))?;
+        Ok((
+            parse_field(&fields, "cells")?,
+            parse_field(&fields, "map")? as u64,
+        ))
+    }
+
     /// Closes the session politely.
     pub fn bye(mut self) -> Result<(), ClientError> {
         self.request_fields("BYE")?;
@@ -715,7 +751,10 @@ fn parse_shard_line(line: &str) -> Result<ShardInfo, ClientError> {
     let health = crate::shard::ShardHealth::parse(health_text).ok_or_else(|| {
         ClientError::Protocol(format!("bad health field `{health_text}` in `{line}`"))
     })?;
+    let tenant = find_value(line, "tenant")?.to_string();
     Ok(ShardInfo {
+        tenant,
+        map_version: parse_field(line, "map")? as u64,
         index: parse_field(line, "shard")?,
         cell,
         slot: parse_field(line, "slot")?,
@@ -797,6 +836,8 @@ mod tests {
             crate::shard::ShardHealth::Degraded,
             2,
             6,
+            "acme",
+            4,
         );
         let info = parse_shard_line(line.trim_end()).expect("well-formed line");
         assert_eq!(
@@ -814,6 +855,8 @@ mod tests {
                 health: crate::shard::ShardHealth::Degraded,
                 restarts: 2,
                 replay: 6,
+                tenant: "acme".to_string(),
+                map_version: 4,
             }
         );
     }

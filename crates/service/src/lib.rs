@@ -49,7 +49,10 @@ pub mod supervisor;
 mod telemetry;
 
 pub use client::{Client, ClientError, ShardInfo, Topology};
-pub use router::{parse_composite, serve_router, CompositeSnapshot, RouterConfig, RouterHandle};
+pub use router::{
+    parse_composite, render_composite, serve_router, CompositeSnapshot, HistOp, RouterConfig,
+    RouterHandle,
+};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use shard::{LoadInfo, Shard, ShardError, ShardHealth, ShardStatus, UtilityParts};
 pub use supervisor::{resolve_shardd, FaultPlan, ProcessShardConfig, DEFAULT_SHARD_DEADLINE};

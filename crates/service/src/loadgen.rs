@@ -22,7 +22,13 @@
 //! Arrival shaping: [`LoadgenConfig::profile`] switches the slot draw
 //! from uniform to a seeded diurnal rate curve (double-peaked, 288
 //! canonical steps, piecewise-linear), and the report then splits the
-//! admission-rejection rate into peak and trough slot bands.
+//! admission-rejection rate into peak and trough slot bands. The
+//! [`Hotspot`](ArrivalProfile::Hotspot) profile instead skews *space*:
+//! arrival slots stay uniform but device positions concentrate on one
+//! partition cell, the load pattern live resharding exists for.
+//! [`LoadgenConfig::reshard_split`] scripts a mid-run `RESHARD SPLIT`
+//! between two ticks of a sharded run; the replay verification carries
+//! through the topology change unchanged.
 //!
 //! Open-loop mode: [`LoadgenConfig::open_loop`] paces raw `SUBMIT` lines
 //! at a fixed aggregate rate without waiting for acks (a drain thread
@@ -87,6 +93,18 @@ pub enum ArrivalProfile {
     Diurnal {
         /// Slots per synthetic day.
         period: usize,
+    },
+    /// Spatially skewed arrivals for sharded runs: arrival *slots* stay
+    /// uniform (the temporal draw is the exact expression the uniform
+    /// profile uses), but each device position first draws a partition
+    /// cell — the hot cell with weight `factor`, every other cell with
+    /// weight 1 — and then lands uniformly inside that cell's rect.
+    /// Needs [`LoadgenConfig::cells`].
+    Hotspot {
+        /// Row-major index of the cell receiving the skewed load.
+        cell: usize,
+        /// Relative arrival weight of the hot cell (≥ 1; 1 is uniform).
+        factor: u64,
     },
 }
 
@@ -175,6 +193,14 @@ pub struct LoadgenConfig {
     /// session's accepted + rejected + unavailable submissions. A
     /// mismatch is an error, not a statistic.
     pub check_export: bool,
+    /// Scripted live resharding: `(after_slot, cell)` issues
+    /// `RESHARD SPLIT cell` on the control connection immediately after
+    /// the `TICK` that closes slot `after_slot - 1` — mid-run, between
+    /// ticks, while the workers keep submitting. Needs a sharded
+    /// closed-loop run; the replay verification handles the post-split
+    /// topology transparently (the composite snapshot carries the cell
+    /// rects the merge order is derived from).
+    pub reshard_split: Option<(usize, usize)>,
 }
 
 impl Default for LoadgenConfig {
@@ -200,6 +226,7 @@ impl Default for LoadgenConfig {
             open_loop: None,
             metrics_addr: None,
             check_export: false,
+            reshard_split: None,
         }
     }
 }
@@ -417,6 +444,53 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
             "diurnal profile needs a period of at least 1 slot".to_string(),
         ));
     }
+    if let ArrivalProfile::Hotspot { cell, factor } = config.profile {
+        let Some((cx, cy)) = config.cells else {
+            return Err(ClientError::Protocol(
+                "hotspot profile skews load across partition cells (set cells)".to_string(),
+            ));
+        };
+        if cell >= cx * cy {
+            return Err(ClientError::Protocol(format!(
+                "hotspot cell {cell} is outside the {cx}x{cy} grid"
+            )));
+        }
+        if factor == 0 {
+            return Err(ClientError::Protocol(
+                "hotspot factor must be at least 1".to_string(),
+            ));
+        }
+    }
+    if let Some((after_slot, cell)) = config.reshard_split {
+        let Some((cx, cy)) = config.cells else {
+            return Err(ClientError::Protocol(
+                "a scripted reshard needs a sharded router (set cells)".to_string(),
+            ));
+        };
+        if cell >= cx * cy {
+            return Err(ClientError::Protocol(format!(
+                "reshard cell {cell} is outside the {cx}x{cy} grid"
+            )));
+        }
+        if after_slot == 0 || after_slot >= config.slots {
+            return Err(ClientError::Protocol(format!(
+                "reshard slot {after_slot} must fall mid-run (1..{})",
+                config.slots
+            )));
+        }
+        if config.open_loop.is_some() {
+            return Err(ClientError::Protocol(
+                "open-loop mode drives no TICKs, so a scripted reshard never fires".to_string(),
+            ));
+        }
+        if config.fault_plan.is_some() {
+            return Err(ClientError::Protocol(
+                "scripted resharding and chaos mode cannot share a run: the per-cell \
+                 reference comparison assumes a stable topology"
+                    .to_string(),
+            ));
+        }
+    }
     if let Some(rate) = config.open_loop {
         if !rate.is_finite() || rate <= 0.0 {
             return Err(ClientError::Protocol(format!(
@@ -569,20 +643,40 @@ fn run_session(
     // keeps per-worker load balanced.
     let weights = slot_weights(config.profile, config.slots);
     let sampler = SlotSampler::new(&weights);
+    // Hotspot runs draw a weighted cell before each position; every other
+    // profile leaves the position draws untouched, so pre-hotspot seeds
+    // reproduce their traces bit for bit.
+    let cell_sampler = match (config.profile, config.cells) {
+        (ArrivalProfile::Hotspot { cell, factor }, Some((cx, cy))) => {
+            let mut cell_weights = vec![1u64; cx * cy];
+            cell_weights[cell] = factor;
+            Some((SlotSampler::new(&cell_weights), (cx, cy)))
+        }
+        _ => None,
+    };
     let mut arrivals: Vec<(usize, TaskSpec)> = Vec::with_capacity(config.submissions);
     for _ in 0..config.submissions {
         let slot = match config.profile {
             // The uniform draw keeps the literal pre-profile expression so
-            // existing seeds reproduce their traces bit for bit.
-            ArrivalProfile::Uniform => rng.gen_range(0..config.slots),
+            // existing seeds reproduce their traces bit for bit. Hotspot
+            // skews space, not time, and shares it.
+            ArrivalProfile::Uniform | ArrivalProfile::Hotspot { .. } => {
+                rng.gen_range(0..config.slots)
+            }
             ArrivalProfile::Diurnal { .. } => sampler.draw(&mut rng),
         };
         let duration = rng.gen_range(2..=8usize);
-        let spec = TaskSpec {
-            device_pos: Vec2::new(
+        let device_pos = match &cell_sampler {
+            Some((cells, grid)) => {
+                cell_uniform_pos(cells.draw(&mut rng), *grid, config.field, &mut rng)
+            }
+            None => Vec2::new(
                 rng.gen_range(0.0..config.field),
                 rng.gen_range(0.0..config.field),
             ),
+        };
+        let spec = TaskSpec {
+            device_pos,
             device_facing: Angle::from_radians(rng.gen_range(0.0..std::f64::consts::TAU)),
             end_slot: (slot + duration).min(config.slots),
             required_energy: rng.gen_range(500.0..3000.0),
@@ -701,11 +795,21 @@ fn run_session(
             barrier.wait();
             let submit_start = Instant::now();
             let mut tick_failure: Option<ClientError> = None;
-            for _ in 0..config.slots {
+            for slot in 0..config.slots {
                 barrier.wait();
                 if tick_failure.is_none() {
                     if let Err(e) = control.tick(1) {
                         tick_failure = Some(e);
+                    }
+                }
+                // The scripted split lands between ticks: the slot just
+                // closed, the next is already open, and workers are
+                // submitting into it the moment the barrier releases.
+                if let Some((after_slot, cell)) = config.reshard_split {
+                    if slot + 1 == after_slot && tick_failure.is_none() {
+                        if let Err(e) = control.reshard_split(cell) {
+                            tick_failure = Some(e);
+                        }
                     }
                 }
                 barrier.wait();
@@ -827,7 +931,7 @@ fn run_session(
         ),
     };
     let (peak_overload_rate, trough_overload_rate) = match config.profile {
-        ArrivalProfile::Uniform => (None, None),
+        ArrivalProfile::Uniform | ArrivalProfile::Hotspot { .. } => (None, None),
         ArrivalProfile::Diurnal { .. } => {
             let (peak, trough) =
                 band_overload_rates(&weights, &accepted_per_slot, &rejected_per_slot);
@@ -850,7 +954,10 @@ fn run_session(
         relaxed,
         replay_utility,
         replay_matches,
-        shards: config.cells.map(|(cx, cy)| cx * cy),
+        // A scripted split leaves one extra shard serving at the end.
+        shards: config
+            .cells
+            .map(|(cx, cy)| cx * cy + usize::from(config.reshard_split.is_some())),
         chaos: None,
         peak_overload_rate,
         trough_overload_rate,
@@ -885,11 +992,23 @@ fn worker_connect(addr: &str, binary: bool) -> Result<Client, ClientError> {
 /// diurnal.
 fn slot_weights(profile: ArrivalProfile, slots: usize) -> Vec<u64> {
     match profile {
-        ArrivalProfile::Uniform => vec![1; slots],
+        // Hotspot skews where arrivals land, not when.
+        ArrivalProfile::Uniform | ArrivalProfile::Hotspot { .. } => vec![1; slots],
         ArrivalProfile::Diurnal { period } => (0..slots)
             .map(|slot| diurnal_weight((slot % period) * DIURNAL_STEPS / period))
             .collect(),
     }
+}
+
+/// A uniform position inside one cell of the `(cells_x, cells_y)` grid
+/// over the square field — the spatial half of the hotspot profile.
+fn cell_uniform_pos(cell: usize, grid: (usize, usize), field: f64, rng: &mut StdRng) -> Vec2 {
+    let (cells_x, cells_y) = grid;
+    let (cw, ch) = (field / cells_x as f64, field / cells_y as f64);
+    Vec2::new(
+        (cell % cells_x) as f64 * cw + rng.gen_range(0.0..cw),
+        (cell / cells_x) as f64 * ch + rng.gen_range(0.0..ch),
+    )
 }
 
 /// The curve weight at one canonical step: integer piecewise-linear
@@ -1253,9 +1372,48 @@ fn base_scenario(config: &LoadgenConfig, rng: &mut StdRng) -> Scenario {
                         2.0 * inset < cw.min(ch),
                         "cells too small for halo-safe charger placement"
                     );
+                    let (mut x0, mut y0, mut x1, mut y1) = (
+                        (cell % cells_x) as f64 * cw,
+                        (cell / cells_x) as f64 * ch,
+                        (cell % cells_x) as f64 * cw + cw,
+                        (cell / cells_x) as f64 * ch + ch,
+                    );
+                    // A scripted mid-run split halves `split_cell` along
+                    // its longer axis (ties go to x). Chargers there are
+                    // placed alternately inside the two future child
+                    // interiors, so the same placement stays halo-safe
+                    // before *and* after the migration.
+                    if config
+                        .reshard_split
+                        .is_some_and(|(_, target)| target == cell)
+                    {
+                        // `round` is this charger's rank within its cell,
+                        // so alternating on it fills both children even
+                        // when the cell's charger indices share a parity.
+                        let round = i / (cells_x * cells_y);
+                        if cw >= ch {
+                            let mid = x0 + cw / 2.0;
+                            if round % 2 == 0 {
+                                x1 = mid
+                            } else {
+                                x0 = mid
+                            }
+                        } else {
+                            let mid = y0 + ch / 2.0;
+                            if round % 2 == 0 {
+                                y1 = mid
+                            } else {
+                                y0 = mid
+                            }
+                        }
+                        assert!(
+                            2.0 * inset < (x1 - x0).min(y1 - y0),
+                            "split children too small for halo-safe charger placement"
+                        );
+                    }
                     Vec2::new(
-                        (cell % cells_x) as f64 * cw + rng.gen_range(inset..cw - inset),
-                        (cell / cells_x) as f64 * ch + rng.gen_range(inset..ch - inset),
+                        rng.gen_range(x0 + inset..x1 - inset),
+                        rng.gen_range(y0 + inset..y1 - inset),
                     )
                 }
             };

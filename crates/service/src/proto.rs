@@ -69,6 +69,13 @@ pub enum ErrCode {
     /// connection. Engine state is unspecified — `RESTORE` (or `LOAD` on a
     /// fresh daemon) to recover a known-good state.
     Internal,
+    /// The session's tenant id names a tenant that was never created
+    /// (`LOAD` under a `TENANT` binding creates one). Only sent by a
+    /// router — the single daemon serves the `default` tenant alone.
+    UnknownTenant,
+    /// The tenant's admission quota for the open slot is exhausted; retry
+    /// after a `TICK` (the per-slot counter resets when the slot closes).
+    Quota,
 }
 
 impl ErrCode {
@@ -87,6 +94,8 @@ impl ErrCode {
             ErrCode::Timeout => "timeout",
             ErrCode::Version => "version",
             ErrCode::Internal => "internal",
+            ErrCode::UnknownTenant => "unknown-tenant",
+            ErrCode::Quota => "quota",
         }
     }
 
@@ -94,7 +103,7 @@ impl ErrCode {
     /// back into a code. Used by the router's shard supervisor to pass a
     /// child daemon's structured `ERR` replies through unchanged.
     pub fn parse(token: &str) -> Option<ErrCode> {
-        const ALL: [ErrCode; 12] = [
+        const ALL: [ErrCode; 14] = [
             ErrCode::BadRequest,
             ErrCode::BadTask,
             ErrCode::Overload,
@@ -107,6 +116,8 @@ impl ErrCode {
             ErrCode::Timeout,
             ErrCode::Version,
             ErrCode::Internal,
+            ErrCode::UnknownTenant,
+            ErrCode::Quota,
         ];
         ALL.into_iter().find(|code| code.as_str() == token)
     }
@@ -187,6 +198,21 @@ pub enum Request {
     Export,
     /// `SHARDS?` — per-shard slot, cell, and admission counters (v2).
     Shards,
+    /// `TENANT <id> [<quota>]` — bind this connection's session tenant,
+    /// optionally (re)setting its per-slot admission quota (v2 router).
+    Tenant {
+        /// The tenant id (alphanumeric plus `-`, `_`, `.`; max 64 bytes).
+        id: String,
+        /// Per-slot accepted-submission cap; `None` leaves it unchanged
+        /// (unlimited for a tenant that never set one).
+        quota: Option<u64>,
+    },
+    /// `RESHARD SPLIT <cell>` — split a cell of the session tenant's
+    /// partition in two and migrate its engine live (v2 router).
+    ReshardSplit(usize),
+    /// `RESHARD MERGE <a> <b>` — merge two rect-adjacent cells of the
+    /// session tenant's partition live (v2 router).
+    ReshardMerge(usize, usize),
     /// `SNAPSHOT` — serialize full engine state.
     Snapshot,
     /// `RESTORE <n>` — replace engine state from an `n`-line snapshot.
@@ -211,6 +237,8 @@ impl Request {
             Request::Metrics => "METRICS?",
             Request::Export => "EXPORT?",
             Request::Shards => "SHARDS?",
+            Request::Tenant { .. } => "TENANT",
+            Request::ReshardSplit(_) | Request::ReshardMerge(..) => "RESHARD",
             Request::Snapshot => "SNAPSHOT",
             Request::Restore(_) => "RESTORE",
             Request::Bye => "BYE",
@@ -233,6 +261,19 @@ impl Request {
         };
         let num = |s: &str| -> Result<f64, String> {
             s.parse().map_err(|_| format!("`{s}` is not a number"))
+        };
+        let tenant_id = |s: &str| -> Result<String, String> {
+            let well_formed = !s.is_empty()
+                && s.len() <= 64
+                && s.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'));
+            if well_formed {
+                Ok(s.to_string())
+            } else {
+                Err(format!(
+                    "`{s}` is not a tenant id (alphanumeric plus `-`, `_`, `.`; max 64 bytes)"
+                ))
+            }
         };
         match (directive, rest.as_slice()) {
             ("HELLO", [version]) => Ok(Request::Hello(version.to_string())),
@@ -271,6 +312,18 @@ impl Request {
             ("EXPORT?", _) => Err(arity(0)),
             ("SHARDS?", []) => Ok(Request::Shards),
             ("SHARDS?", _) => Err(arity(0)),
+            ("TENANT", [id]) => Ok(Request::Tenant {
+                id: tenant_id(id)?,
+                quota: None,
+            }),
+            ("TENANT", [id, quota]) => Ok(Request::Tenant {
+                id: tenant_id(id)?,
+                quota: Some(uint(quota)? as u64),
+            }),
+            ("TENANT", _) => Err("TENANT expects 1 or 2 fields".to_string()),
+            ("RESHARD", ["SPLIT", cell]) => Ok(Request::ReshardSplit(uint(cell)?)),
+            ("RESHARD", ["MERGE", a, b]) => Ok(Request::ReshardMerge(uint(a)?, uint(b)?)),
+            ("RESHARD", _) => Err("RESHARD expects SPLIT <cell> or MERGE <a> <b>".to_string()),
             ("SNAPSHOT", []) => Ok(Request::Snapshot),
             ("SNAPSHOT", _) => Err(arity(0)),
             ("RESTORE", [count]) => Ok(Request::Restore(uint(count)?)),
@@ -313,6 +366,28 @@ mod tests {
         assert_eq!(Request::parse("METRICS?"), Ok(Request::Metrics));
         assert_eq!(Request::parse("EXPORT?"), Ok(Request::Export));
         assert_eq!(Request::parse("SHARDS?"), Ok(Request::Shards));
+        assert_eq!(
+            Request::parse("TENANT acme"),
+            Ok(Request::Tenant {
+                id: "acme".to_string(),
+                quota: None,
+            })
+        );
+        assert_eq!(
+            Request::parse("TENANT acme-2 500"),
+            Ok(Request::Tenant {
+                id: "acme-2".to_string(),
+                quota: Some(500),
+            })
+        );
+        assert_eq!(
+            Request::parse("RESHARD SPLIT 0"),
+            Ok(Request::ReshardSplit(0))
+        );
+        assert_eq!(
+            Request::parse("RESHARD MERGE 1 2"),
+            Ok(Request::ReshardMerge(1, 2))
+        );
         assert_eq!(Request::parse("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(Request::parse("RESTORE 40"), Ok(Request::Restore(40)));
         assert_eq!(Request::parse("BYE"), Ok(Request::Bye));
@@ -331,6 +406,15 @@ mod tests {
         assert!(Request::parse("CLOCK? now").is_err());
         assert!(Request::parse("PARTS? 1").is_err());
         assert!(Request::parse("EXPORT? all").is_err());
+        assert!(Request::parse("TENANT").is_err());
+        assert!(Request::parse("TENANT bad id extra").is_err());
+        assert!(Request::parse("TENANT spaced/slash").is_err());
+        assert!(Request::parse("TENANT acme lots").is_err());
+        assert!(Request::parse("RESHARD").is_err());
+        assert!(Request::parse("RESHARD SPLIT").is_err());
+        assert!(Request::parse("RESHARD SPLIT x").is_err());
+        assert!(Request::parse("RESHARD MERGE 1").is_err());
+        assert!(Request::parse("RESHARD GROW 1").is_err());
     }
 
     #[test]
@@ -347,6 +431,9 @@ mod tests {
             "METRICS?",
             "EXPORT?",
             "SHARDS?",
+            "TENANT acme",
+            "RESHARD SPLIT 0",
+            "RESHARD MERGE 0 1",
             "SNAPSHOT",
             "RESTORE 4",
             "BYE",
@@ -372,6 +459,8 @@ mod tests {
             "timeout",
             "version",
             "internal",
+            "unknown-tenant",
+            "quota",
         ] {
             let code = ErrCode::parse(token).unwrap_or_else(|| panic!("unknown token {token}"));
             assert_eq!(code.as_str(), token);

@@ -1,18 +1,48 @@
-//! The sharded router: N [`Shard`]s behind one listener, in-process or
-//! supervised child processes.
+//! The sharded router: per-tenant shard fleets behind one listener,
+//! in-process or supervised child processes, with **elastic resharding**.
 //!
-//! The router owns one shard per cell of a [`Partition`] (uniform grid
+//! The router owns one shard per cell of a [`Partition`] (rect tiling
 //! with a charger-reach halo). `LOAD` splits the scenario into per-cell
 //! sub-scenarios — rejecting unpartitionable inputs with
 //! `ERR unpartitionable` — and `SUBMIT` routes each task to the shard
-//! owning its device position. `TICK`, `UTILITY?`, `METRICS?` and
-//! `SHARDS?` fan out to every shard.
+//! owning its device position through a versioned [`RoutingMap`].
+//! `TICK`, `UTILITY?`, `METRICS?` fan out to every shard of the
+//! session's tenant; `SHARDS?` and `EXPORT?` span all tenants.
+//!
+//! **Multi-tenancy.** Each tenant owns a full routing universe: its own
+//! partition, shard fleet, routing map, accepted-operation history, and
+//! (optionally) a per-slot admission quota. `TENANT <id> [<quota>]`
+//! binds a connection's session to a tenant; `LOAD` creates the tenant
+//! on first use (spawning its fleet in process mode), and every other
+//! stateful verb on a never-created tenant fails with
+//! `ERR unknown-tenant`. The `default` tenant always exists, so the
+//! single-tenant protocol of earlier versions works unchanged. Tenants
+//! share nothing but the listener and the router mutex, so two tenants'
+//! runs are bit-identical to each running alone.
+//!
+//! **Elastic resharding.** `RESHARD SPLIT <cell>` / `RESHARD MERGE <a>
+//! <b>` change the session tenant's topology *live*: the new partition
+//! is validated (halo invariants, charger reach), replacement shards for
+//! the affected cell(s) are built off to the side — baseline sub-scenario
+//! load plus a replay of the tenant's accepted-operation history — and
+//! the routing map swaps atomically under the router mutex, bumping its
+//! version. Unaffected shards are untouched. Because replay repeats
+//! exactly the accepted submissions and ticks in arrival order, and
+//! localized replanning is per-cell-deterministic, the rebuilt cells'
+//! engine state is bitwise what a fresh run under the new partition
+//! would have produced — so global utility is bit-identical across the
+//! swap (DESIGN.md §13 has the full argument). A per-cell submission
+//! gauge can trigger splits automatically
+//! ([`RouterConfig::split_threshold`]).
 //!
 //! **Deployment modes.** By default every shard is an in-process
 //! [`Shard`]. With [`RouterConfig::process`] set, each shard instead
 //! lives in a spawned `haste-shardd` child reached over localhost TCP
 //! (see [`crate::supervisor`]): same protocol, same bits — the wire
 //! round-trips floats losslessly — plus a real failure domain per cell.
+//! The launcher is retained, so tenants created later and reshard
+//! children spawn the same way. Fault-plan directives bind to the cells
+//! that exist at startup; shards spawned later carry no directives.
 //!
 //! **Failure model (out-of-process).** A child crash, hang past the
 //! per-request deadline, or injected fault marks its shard *down*; the
@@ -37,6 +67,9 @@
 //! tasks, then staged releases and live submissions as slots open) and
 //! sums per-task `wⱼ·Uⱼ` terms in that order — the same addends in the
 //! same sequence as the single engine's evaluator, hence the same bits.
+//! Arrival order is stored as device *positions*, so it survives cell
+//! renumbering: owners are re-derived from the current partition on
+//! every merge.
 //!
 //! **Consistent cut.** All request handling serializes on one router
 //! mutex and `TICK` advances every shard in lockstep inside it — the
@@ -49,9 +82,12 @@
 //! consistent cut; it requires every shard up (a down shard's state is
 //! mid-replay by definition) and, once the composite document is
 //! assembled, commits each section as its shard's new replay baseline.
-//! The composite document restores bit-identically.
+//! Resharding runs under the same mutex, so a migration is always a
+//! between-ticks cut too. The composite document restores
+//! bit-identically, into the tenant it names.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -61,7 +97,9 @@ use std::time::Duration;
 
 use haste_distributed::{OnlineConfig, OnlineEngine, TaskSpec};
 use haste_geometry::{Angle, Vec2};
-use haste_model::{io as model_io, ChargerId, Partition, PartitionError, Schedule};
+use haste_model::{
+    io as model_io, CellRect, ChargerId, Partition, PartitionError, RoutingMap, Scenario, Schedule,
+};
 use haste_parallel::ThreadPool;
 use parking_lot::Mutex;
 
@@ -76,10 +114,14 @@ use crate::shard::{Shard, ShardHealth, ShardStatus, UtilityParts};
 use crate::supervisor::{
     resolve_shardd, Launcher, ProcessShardConfig, RemoteShard, ShardSlot, SlotError,
 };
-use crate::telemetry::{self, SupervisorCounters, Telemetry};
+use crate::telemetry::{self, SupervisorCounters, Telemetry, TenantCounters};
 
 /// Magic first line of a composite router snapshot.
-const COMPOSITE_MAGIC: &str = "# haste-router snapshot v2";
+const COMPOSITE_MAGIC: &str = "# haste-router snapshot v3";
+
+/// The tenant every connection starts bound to; it exists from startup,
+/// so single-tenant clients never need `TENANT`.
+const DEFAULT_TENANT: &str = "default";
 
 /// Configuration of a router instance.
 #[derive(Debug, Clone)]
@@ -96,7 +138,9 @@ pub struct RouterConfig {
     /// with a single-engine run requires `localized: true` here and on the
     /// reference daemon.
     pub scheduling: OnlineConfig,
-    /// Partition grid as `(cells_x, cells_y)`; one shard per cell.
+    /// Initial partition grid as `(cells_x, cells_y)`; one shard per
+    /// cell. Every tenant starts on this grid; resharding departs from it
+    /// per tenant.
     pub cells: (usize, usize),
     /// Field origin `(x, y)` in meters.
     pub origin: (f64, f64),
@@ -111,6 +155,11 @@ pub struct RouterConfig {
     /// (Prometheus-style). `None` disables it; `EXPORT?` on the wire
     /// protocol is always available.
     pub metrics_addr: Option<String>,
+    /// `Some(n)`: at each `TICK`, a cell that accepted more than `n`
+    /// submissions during the closing slot is split automatically (best
+    /// effort — an unsplittable cell keeps its load). `None` disables
+    /// the trigger; `RESHARD SPLIT` always works.
+    pub split_threshold: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -125,51 +174,110 @@ impl Default for RouterConfig {
             field: (200.0, 100.0),
             process: None,
             metrics_addr: None,
+            split_threshold: None,
         }
     }
 }
 
-/// Mutable router state: the shards plus the global bookkeeping that maps
-/// shard-local task ids back onto the single-engine arrival order.
-struct RouterCore {
+/// One entry of a tenant's accepted-operation history: exactly the
+/// state-changing operations the router acked since `LOAD`, in arrival
+/// order. Replaying this history into a freshly loaded cell rebuilds its
+/// engine bit-identically (engine determinism + localized replanning),
+/// which is how live migration reconstructs the children of a split or
+/// the union cell of a merge. Rejected submissions are *not* recorded:
+/// they changed no state, and a child cell's pending set is a subset of
+/// its parent's at every prefix, so replaying only acceptances can never
+/// hit an admission bound the original run did not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistOp {
+    /// An accepted live submission (`SUBMIT` or one `OP_BATCH` record).
+    Submit(TaskSpec),
+    /// One lockstep tick.
+    Tick,
+}
+
+/// Everything one tenant owns: its shard fleet, partition, versioned
+/// routing map, accepted-operation history, global arrival bookkeeping,
+/// and admission quota. Arrival order and the staged-release plan store
+/// device *positions* — owners are derived from the current partition on
+/// demand, so they survive cell renumbering across resharding.
+struct TenantCore {
     shards: Vec<ShardSlot>,
     /// Built at `LOAD`/`RESTORE` (the halo is the scenario's radius).
     partition: Option<Partition>,
-    /// `charger_shard[i]` — owning shard of original charger `i`.
-    /// Shard-local charger ids follow by per-shard counting.
-    charger_shard: Vec<u32>,
-    /// Owning shard of every materialized task, in global arrival order.
-    /// Shard-local task ids follow by per-shard counting.
-    order: Vec<u32>,
-    /// Staged tasks not yet released: `(release_slot, shard)` in the
+    /// Versioned cell → shard assignment; bumped on every reshard.
+    map: RoutingMap,
+    /// The loaded scenario, kept verbatim: reshard baselines re-split it.
+    scenario: Option<Scenario>,
+    /// Accepted-operation history since `LOAD` (see [`HistOp`]).
+    ops: Vec<HistOp>,
+    /// Device position of every materialized task, in global arrival
+    /// order. Shard-local task ids follow by per-shard counting.
+    order: Vec<Vec2>,
+    /// Staged tasks not yet released: `(release_slot, position)` in the
     /// single engine's injection order (stable by release slot).
-    plan: VecDeque<(usize, u32)>,
+    plan: VecDeque<(usize, Vec2)>,
     /// Time-grid length, for merging schedules.
     slots: usize,
-    /// The router's virtual clock. This is the authority — healthy shards
+    /// The tenant's virtual clock. This is the authority — healthy shards
     /// follow it in lockstep, and a down shard rejoins *to it* by replay —
     /// so it stays correct even while children are dead.
     clock: usize,
+    /// Per-slot accepted-submission cap; `None` is unlimited.
+    quota: Option<u64>,
+    /// Accepted submissions in the currently open slot.
+    quota_used: u64,
+    /// Accepted submissions per cell in the currently open slot — the
+    /// elastic-split load trigger.
+    cell_submits: Vec<u64>,
+    /// Tenant-labeled counters (reshards, quota rejections).
+    counters: TenantCounters,
 }
 
-impl RouterCore {
+impl TenantCore {
+    fn new(shards: Vec<ShardSlot>, quota: Option<u64>, counters: TenantCounters) -> TenantCore {
+        let cells = shards.len();
+        TenantCore {
+            shards,
+            partition: None,
+            map: RoutingMap::identity(cells.max(1)),
+            scenario: None,
+            ops: Vec::new(),
+            order: Vec::new(),
+            plan: VecDeque::new(),
+            slots: 0,
+            clock: 0,
+            quota,
+            quota_used: 0,
+            cell_submits: vec![0; cells],
+            counters,
+        }
+    }
+
     /// Appends to `order` every planned staged release for slots up to and
     /// including `clock` (the single engine injects staged tasks the
     /// moment their slot opens, before any live submission of that slot).
     fn drain_plan(&mut self, clock: usize) {
-        while let Some(&(slot, shard)) = self.plan.front() {
+        while let Some(&(slot, pos)) = self.plan.front() {
             if slot > clock {
                 break;
             }
-            self.order.push(shard);
+            self.order.push(pos);
             self.plan.pop_front();
         }
     }
 
-    /// Whether the router's grid still has open slots.
+    /// Whether the tenant's grid still has open slots.
     fn open(&self) -> bool {
         self.clock < self.slots
     }
+}
+
+/// Mutable router state: every tenant's universe, under one mutex.
+struct RouterCore {
+    /// Tenant id → tenant state. `BTreeMap` so cross-tenant fan-outs
+    /// (`SHARDS?`, `EXPORT?`) iterate in a stable order.
+    tenants: BTreeMap<String, TenantCore>,
 }
 
 /// State shared by every connection of one router.
@@ -178,6 +286,27 @@ struct RouterShared {
     config: RouterConfig,
     shutdown: AtomicBool,
     telemetry: Telemetry,
+    /// Retained in process mode so tenants created after startup and
+    /// reshard children spawn the same `haste-shardd` fleet; `None` in
+    /// in-process mode.
+    launcher: Option<Launcher>,
+}
+
+/// Per-connection session state: which tenant the connection is bound
+/// to, plus a quota remembered from a `TENANT` naming a not-yet-created
+/// tenant (applied when `LOAD` creates it).
+struct Session {
+    tenant: String,
+    pending_quota: Option<u64>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session {
+            tenant: DEFAULT_TENANT.to_string(),
+            pending_quota: None,
+        }
+    }
 }
 
 /// A running router. Dropping the handle shuts it down and joins its
@@ -195,7 +324,7 @@ impl RouterHandle {
         self.addr
     }
 
-    /// The number of shards this router owns.
+    /// The number of shards the initial grid gives every tenant.
     pub fn shards(&self) -> usize {
         self.shared.config.cells.0 * self.shared.config.cells.1
     }
@@ -231,10 +360,11 @@ impl Drop for RouterHandle {
 }
 
 /// Starts a router and returns its handle. Mirrors [`crate::serve`] but
-/// owns `cells_x × cells_y` shards instead of one engine. With
+/// owns per-tenant shard fleets instead of one engine. With
 /// [`RouterConfig::process`] set this spawns one `haste-shardd` child per
-/// cell before binding; a launch failure aborts startup (there is no
-/// state to recover yet — supervision begins once the fleet is up).
+/// cell of the default tenant before binding; a launch failure aborts
+/// startup (there is no state to recover yet — supervision begins once
+/// the fleet is up). The launcher is retained for tenants created later.
 pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
     if config.cells.0 == 0 || config.cells.1 == 0 {
         return Err(std::io::Error::new(
@@ -244,6 +374,7 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
     }
     let num_shards = config.cells.0 * config.cells.1;
     let router_telemetry = Telemetry::new();
+    let mut launcher = None;
     let shards: Vec<ShardSlot> = match &config.process {
         None => (0..num_shards)
             .map(|_| ShardSlot::Local(Shard::new(config.scheduling.clone(), config.max_pending)))
@@ -267,7 +398,7 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
                 ));
             }
             let program = resolve_shardd(process.shardd.as_deref())?;
-            let launcher = Launcher::new(
+            let spawner = Launcher::new(
                 program,
                 &config.scheduling,
                 config.max_pending,
@@ -277,14 +408,25 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
             for cell in 0..num_shards {
                 shards.push(ShardSlot::Remote(RemoteShard::launch(
                     cell,
-                    launcher.clone(),
+                    spawner.clone(),
                     plan.for_cell(cell),
                     SupervisorCounters::for_cell(router_telemetry.registry(), cell),
                 )?));
             }
+            launcher = Some(spawner);
             shards
         }
     };
+    let mut tenants = BTreeMap::new();
+    tenants.insert(
+        DEFAULT_TENANT.to_string(),
+        TenantCore::new(
+            shards,
+            None,
+            TenantCounters::for_tenant(router_telemetry.registry(), DEFAULT_TENANT),
+        ),
+    );
+    TenantCounters::set_shards(router_telemetry.registry(), DEFAULT_TENANT, num_shards);
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -299,18 +441,11 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
         None => None,
     };
     let shared = Arc::new(RouterShared {
-        core: Mutex::new(RouterCore {
-            shards,
-            partition: None,
-            charger_shard: Vec::new(),
-            order: Vec::new(),
-            plan: VecDeque::new(),
-            slots: 0,
-            clock: 0,
-        }),
+        core: Mutex::new(RouterCore { tenants }),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
         telemetry: router_telemetry,
+        launcher,
     });
     let accept_shared = Arc::clone(&shared);
     let workers = config.worker_threads.max(1);
@@ -438,7 +573,9 @@ fn serve_scrape_with(
     writer.flush()
 }
 
-/// Serves one connection until EOF, `BYE`, or shutdown.
+/// Serves one connection until EOF, `BYE`, or shutdown. The session (the
+/// connection's tenant binding) lives in a `RefCell` because the framed
+/// loop hands two closures to [`framing::serve_frames`] and both need it.
 fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_POLL))?;
     stream.set_write_timeout(Some(crate::server::WRITE_STALL))?;
@@ -446,6 +583,7 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Resul
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut buf = Vec::new();
+    let session = RefCell::new(Session::default());
     loop {
         let Some(line) = read_line_polling(&mut reader, &mut buf, &shared.shutdown)? else {
             return Ok(());
@@ -453,7 +591,7 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Resul
         if line.is_empty() {
             continue;
         }
-        let (reply, close) = dispatch(&line, &mut reader, shared)?;
+        let (reply, close) = dispatch(&line, &mut reader, shared, &session)?;
         let upgrade = framing::upgrades_to_v3(&line, &reply);
         writer.write_all(reply.serialize().as_bytes())?;
         writer.flush()?;
@@ -463,7 +601,7 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared) -> std::io::Resul
         if upgrade {
             // Same switch as the single-engine daemon: the accepted
             // `HELLO v3` greeting is the last text exchange.
-            return serve_framed(&mut reader, &mut writer, shared);
+            return serve_framed(&mut reader, &mut writer, shared, &session);
         }
     }
 }
@@ -476,6 +614,7 @@ fn serve_framed<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
     shared: &RouterShared,
+    session: &RefCell<Session>,
 ) -> std::io::Result<()> {
     framing::serve_frames(
         reader,
@@ -483,70 +622,64 @@ fn serve_framed<R: BufRead, W: Write>(
         &shared.shutdown,
         |head, payload| {
             let mut embedded = std::io::Cursor::new(payload);
-            dispatch(head, &mut embedded, shared)
+            dispatch(head, &mut embedded, shared, session)
         },
-        |specs| batch_backstop(specs, || execute_batch(specs, shared)),
+        |specs| batch_backstop(specs, || execute_batch(specs, shared, session)),
     )
 }
 
 /// Executes a batched submission on the router: one lock acquisition,
-/// then per record the exact `SUBMIT` path — finiteness check, cell
-/// routing, shard admission, and a push onto the global arrival order.
-/// Holding the lock across the whole frame means the batch occupies a
-/// contiguous run of the arrival order, but any interleaving with other
-/// connections' submissions would be equally valid: within a slot the
-/// recorded order *is* the determinism contract, exactly as for text
-/// submits racing on separate connections.
-fn execute_batch(specs: &[TaskSpec], shared: &RouterShared) -> Vec<BatchAck> {
+/// then per record the exact `SUBMIT` path — finiteness check, quota
+/// gate, cell routing, shard admission, and a push onto the tenant's
+/// arrival order and operation history. Holding the lock across the
+/// whole frame means the batch occupies a contiguous run of the arrival
+/// order, but any interleaving with other connections' submissions would
+/// be equally valid: within a slot the recorded order *is* the
+/// determinism contract, exactly as for text submits racing on separate
+/// connections.
+fn execute_batch(
+    specs: &[TaskSpec],
+    shared: &RouterShared,
+    session: &RefCell<Session>,
+) -> Vec<BatchAck> {
     let start = telemetry::clock_start();
+    let tenant_id = session.borrow().tenant.clone();
     let mut core = shared.core.lock();
-    let core = &mut *core;
-    let acks: Vec<BatchAck> = specs
-        .iter()
-        .map(|spec| {
-            if !(spec.device_pos.x.is_finite()
-                && spec.device_pos.y.is_finite()
-                && spec.device_facing.radians().is_finite())
-            {
-                BatchAck::rejected(ErrCode::BadTask, "non-finite position/facing")
-            } else {
-                match core.partition.as_ref() {
-                    None => {
-                        let (code, message) = shard_err_parts(crate::shard::ShardError::NoScenario);
-                        BatchAck::Err {
+    let acks: Vec<BatchAck> = match core.tenants.get_mut(&tenant_id) {
+        None => {
+            let (code, message) = unknown_tenant_parts(&tenant_id);
+            specs
+                .iter()
+                .map(|_| BatchAck::Err {
+                    code: code.as_str().to_string(),
+                    message: message.clone(),
+                })
+                .collect()
+        }
+        Some(tenant) => specs
+            .iter()
+            .map(|spec| {
+                if !(spec.device_pos.x.is_finite()
+                    && spec.device_pos.y.is_finite()
+                    && spec.device_facing.radians().is_finite())
+                {
+                    BatchAck::rejected(ErrCode::BadTask, "non-finite position/facing")
+                } else {
+                    // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
+                    match submit_routed(tenant, &tenant_id, *spec, shared) {
+                        Ok((global, release, _shard)) => BatchAck::Ok {
+                            task: global as u64,
+                            release: release as u64,
+                        },
+                        Err((code, message)) => BatchAck::Err {
                             code: code.as_str().to_string(),
                             message,
-                        }
-                    }
-                    Some(partition) => {
-                        let cell = partition.cell_of(spec.device_pos);
-                        let outcome = match core.shards.get(cell) {
-                            // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
-                            Some(shard) => shard.submit(*spec),
-                            None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
-                        };
-                        match outcome {
-                            Ok((_local, release)) => {
-                                let global = core.order.len();
-                                core.order.push(cell as u32);
-                                BatchAck::Ok {
-                                    task: global as u64,
-                                    release: release as u64,
-                                }
-                            }
-                            Err(e) => {
-                                let (code, message) = slot_err_parts(e);
-                                BatchAck::Err {
-                                    code: code.as_str().to_string(),
-                                    message,
-                                }
-                            }
-                        }
+                        },
                     }
                 }
-            }
-        })
-        .collect();
+            })
+            .collect(),
+    };
     let rejected = acks
         .iter()
         .filter(|ack| matches!(ack, BatchAck::Err { .. }))
@@ -563,6 +696,7 @@ fn dispatch<R: BufRead>(
     line: &str,
     reader: &mut R,
     shared: &RouterShared,
+    session: &RefCell<Session>,
 ) -> std::io::Result<(Reply, bool)> {
     let request = match Request::parse(line) {
         Ok(request) => request,
@@ -573,7 +707,9 @@ fn dispatch<R: BufRead>(
     };
     let opcode = request.opcode();
     let start = telemetry::clock_start();
-    let result = catching(AssertUnwindSafe(|| execute(request, reader, shared)));
+    let result = catching(AssertUnwindSafe(|| {
+        execute(request, reader, shared, session)
+    }));
     if let Ok((reply, _)) = &result {
         shared
             .telemetry
@@ -608,17 +744,185 @@ fn slot_err_parts(e: SlotError) -> (ErrCode, String) {
     }
 }
 
+/// The code/message pair of the never-created-tenant error.
+fn unknown_tenant_parts(id: &str) -> (ErrCode, String) {
+    (
+        ErrCode::UnknownTenant,
+        format!("tenant `{id}` does not exist (LOAD creates it)"),
+    )
+}
+
+/// `ERR unknown-tenant` as a reply.
+fn unknown_tenant(id: &str) -> Reply {
+    let (code, message) = unknown_tenant_parts(id);
+    Reply::Err(code, message)
+}
+
+/// The session's tenant, or `ERR unknown-tenant`.
+fn tenant_mut<'a>(core: &'a mut RouterCore, id: &str) -> Result<&'a mut TenantCore, Reply> {
+    match core.tenants.get_mut(id) {
+        Some(tenant) => Ok(tenant),
+        None => Err(unknown_tenant(id)),
+    }
+}
+
+/// Shared-reference variant of [`tenant_mut`].
+fn tenant_ref<'a>(core: &'a RouterCore, id: &str) -> Result<&'a TenantCore, Reply> {
+    match core.tenants.get(id) {
+        Some(tenant) => Ok(tenant),
+        None => Err(unknown_tenant(id)),
+    }
+}
+
+/// Builds one empty shard slot for cell index `cell`: in-process, or a
+/// freshly spawned `haste-shardd` child via the retained launcher. New
+/// slots carry no fault directives — the fault plan bound to the cells
+/// that existed at startup.
+fn fresh_slot(shared: &RouterShared, cell: usize) -> Result<ShardSlot, Reply> {
+    match &shared.launcher {
+        None => Ok(ShardSlot::Local(Shard::new(
+            shared.config.scheduling.clone(),
+            shared.config.max_pending,
+        ))),
+        Some(launcher) => match RemoteShard::launch(
+            cell,
+            launcher.clone(),
+            Vec::new(),
+            SupervisorCounters::for_cell(shared.telemetry.registry(), cell),
+        ) {
+            Ok(shard) => Ok(ShardSlot::Remote(shard)),
+            Err(e) => Err(internal(&format!("spawning a shard child failed: {e}"))),
+        },
+    }
+}
+
+/// Creates tenant `id` with an empty fleet on the configured grid if it
+/// does not exist yet (the `LOAD` path; `TENANT` only selects).
+fn ensure_tenant(
+    core: &mut RouterCore,
+    shared: &RouterShared,
+    id: &str,
+    quota: Option<u64>,
+) -> Result<(), Reply> {
+    if let Some(tenant) = core.tenants.get_mut(id) {
+        if quota.is_some() {
+            tenant.quota = quota;
+        }
+        return Ok(());
+    }
+    let count = shared.config.cells.0 * shared.config.cells.1;
+    let mut shards = Vec::with_capacity(count);
+    for cell in 0..count {
+        shards.push(fresh_slot(shared, cell)?);
+    }
+    core.tenants.insert(
+        id.to_string(),
+        TenantCore::new(
+            shards,
+            quota,
+            TenantCounters::for_tenant(shared.telemetry.registry(), id),
+        ),
+    );
+    TenantCounters::set_shards(shared.telemetry.registry(), id, count);
+    Ok(())
+}
+
+/// The shared `SUBMIT` path (text and batch): quota gate, cell routing
+/// through the tenant's routing map, shard admission, then the
+/// bookkeeping pushes — arrival order (position), operation history,
+/// quota usage, and the per-cell submission gauge that feeds the
+/// elastic-split trigger.
+fn submit_routed(
+    tenant: &mut TenantCore,
+    tenant_id: &str,
+    spec: TaskSpec,
+    shared: &RouterShared,
+) -> Result<(usize, usize, usize), (ErrCode, String)> {
+    let Some(partition) = tenant.partition.as_ref() else {
+        return Err(shard_err_parts(crate::shard::ShardError::NoScenario));
+    };
+    if let Some(quota) = tenant.quota {
+        if tenant.quota_used >= quota {
+            tenant.counters.quota_rejected.inc();
+            return Err((
+                ErrCode::Quota,
+                format!(
+                    "tenant `{tenant_id}` exhausted its quota of {quota} submissions this slot"
+                ),
+            ));
+        }
+    }
+    let cell = partition.cell_of(spec.device_pos);
+    let shard_index = tenant.map.shard_of(cell) as usize;
+    let outcome = match tenant.shards.get(shard_index) {
+        Some(shard) => shard.submit(spec),
+        None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
+    };
+    match outcome {
+        Ok((_local, release)) => {
+            let global = tenant.order.len();
+            tenant.order.push(spec.device_pos);
+            tenant.ops.push(HistOp::Submit(spec));
+            tenant.quota_used += 1;
+            if let Some(count) = tenant.cell_submits.get_mut(cell) {
+                *count += 1;
+            }
+            if tenant_id == DEFAULT_TENANT {
+                telemetry::count_cell_submit(shared.telemetry.registry(), cell);
+            }
+            Ok((global, release, shard_index))
+        }
+        Err(e) => Err(slot_err_parts(e)),
+    }
+}
+
 /// Executes one parsed request; returns the reply and whether the
 /// connection should close.
 fn execute<R: BufRead>(
     request: Request,
     reader: &mut R,
     shared: &RouterShared,
+    session: &RefCell<Session>,
 ) -> std::io::Result<(Reply, bool)> {
     let config = &shared.config;
-    let num_shards = config.cells.0 * config.cells.1;
     let reply = match request {
-        Request::Hello(version) => hello_reply(&version, num_shards, config.cells),
+        Request::Hello(version) => {
+            let core = shared.core.lock();
+            let shards = core
+                .tenants
+                .get(&session.borrow().tenant)
+                .map(|tenant| tenant.shards.len())
+                .unwrap_or(config.cells.0 * config.cells.1);
+            hello_reply(&version, shards, config.cells)
+        }
+        Request::Tenant { id, quota } => {
+            let mut core = shared.core.lock();
+            let mut session = session.borrow_mut();
+            session.tenant = id.clone();
+            match core.tenants.get_mut(&id) {
+                Some(tenant) => {
+                    // The tenant exists: a quota applies immediately, and
+                    // any quota parked from an earlier `TENANT` is moot.
+                    if quota.is_some() {
+                        tenant.quota = quota;
+                    }
+                    session.pending_quota = None;
+                    match tenant.quota {
+                        Some(q) => Reply::Ok(format!("tenant={id} quota={q}")),
+                        None => Reply::Ok(format!("tenant={id}")),
+                    }
+                }
+                None => {
+                    // Selecting never creates: the quota waits for the
+                    // `LOAD` that will create this tenant.
+                    session.pending_quota = quota;
+                    match quota {
+                        Some(q) => Reply::Ok(format!("tenant={id} quota={q}")),
+                        None => Reply::Ok(format!("tenant={id}")),
+                    }
+                }
+            }
+        }
         Request::Load(count) => {
             let Some(payload) = read_payload(reader, count, &shared.shutdown)? else {
                 return Ok((
@@ -626,9 +930,23 @@ fn execute<R: BufRead>(
                     true,
                 ));
             };
+            let (tenant_id, pending_quota) = {
+                let mut session = session.borrow_mut();
+                (session.tenant.clone(), session.pending_quota.take())
+            };
             let mut core = shared.core.lock();
-            // haste-lint: allow(L2) — per-cell LOADs are deadline-bounded; `core` must be held so no request observes a half-partitioned scenario
-            load_scenario_text(&mut core, config, &payload)
+            // haste-lint: allow(L2) — spawning the tenant's fleet is deadline-bounded per child; `core` must be held so no request observes a half-created tenant
+            match ensure_tenant(&mut core, shared, &tenant_id, pending_quota) {
+                Err(reply) => reply,
+                Ok(()) => {
+                    let tenant = match tenant_mut(&mut core, &tenant_id) {
+                        Ok(tenant) => tenant,
+                        Err(reply) => return Ok((reply, false)),
+                    };
+                    // haste-lint: allow(L2) — per-cell LOADs are deadline-bounded; `core` must be held so no request observes a half-partitioned scenario
+                    load_scenario_text(tenant, &tenant_id, config, shared, &payload)
+                }
+            }
         }
         Request::Submit {
             x,
@@ -641,11 +959,11 @@ fn execute<R: BufRead>(
             if !(x.is_finite() && y.is_finite() && facing.is_finite()) {
                 Reply::Err(ErrCode::BadTask, "non-finite position/facing".to_string())
             } else {
+                let tenant_id = session.borrow().tenant.clone();
                 let mut core = shared.core.lock();
-                match core.partition.as_ref() {
-                    None => shard_err(crate::shard::ShardError::NoScenario),
-                    Some(partition) => {
-                        let cell = partition.cell_of(Vec2::new(x, y));
+                match tenant_mut(&mut core, &tenant_id) {
+                    Err(reply) => reply,
+                    Ok(tenant) => {
                         let spec = TaskSpec {
                             device_pos: Vec2::new(x, y),
                             device_facing: Angle::from_radians(facing),
@@ -653,89 +971,122 @@ fn execute<R: BufRead>(
                             required_energy: energy,
                             weight,
                         };
-                        let outcome = match core.shards.get(cell) {
-                            // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
-                            Some(shard) => shard.submit(spec),
-                            None => Err(SlotError::Shard(crate::shard::ShardError::NoScenario)),
-                        };
-                        match outcome {
-                            Ok((_local, release)) => {
-                                let global = core.order.len();
-                                core.order.push(cell as u32);
-                                Reply::Ok(format!("task={global} release={release} shard={cell}"))
+                        // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
+                        match submit_routed(tenant, &tenant_id, spec, shared) {
+                            Ok((global, release, shard)) => {
+                                Reply::Ok(format!("task={global} release={release} shard={shard}"))
                             }
-                            Err(e) => slot_err(e),
+                            Err((code, message)) => Reply::Err(code, message),
                         }
                     }
                 }
             }
         }
         Request::Tick(n) => {
+            let tenant_id = session.borrow().tenant.clone();
             let mut core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                // haste-lint: allow(L2) — the lockstep pipelines deadline-bounded TICKs across cells under `core`; interleaving another request mid-round would fork the clock
-                match tick_lockstep(&mut core, n, &shared.telemetry) {
-                    Ok((slot, open)) => Reply::Ok(format!("slot={slot} open={}", u8::from(open))),
-                    Err(reply) => reply,
+            match tenant_mut(&mut core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // The load trigger fires between slots: a cell
+                        // whose closing slot ran hot is split before the
+                        // clock moves (best effort).
+                        // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut under `core`; each child call is deadline-bounded
+                        maybe_auto_split(tenant, &tenant_id, shared);
+                        // haste-lint: allow(L2) — the lockstep pipelines deadline-bounded TICKs across cells under `core`; interleaving another request mid-round would fork the clock
+                        match tick_lockstep(tenant, n, &shared.telemetry) {
+                            Ok((slot, open)) => {
+                                Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
+                            }
+                            Err(reply) => reply,
+                        }
+                    }
                 }
             }
         }
         Request::Clock => {
+            let tenant_id = session.borrow().tenant.clone();
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                // The router clock is authoritative (healthy shards track
-                // it in lockstep; down shards rejoin to it), so CLOCK?
-                // answers even while children are restarting.
-                Reply::Ok(format!(
-                    "slot={} open={}",
-                    core.clock,
-                    u8::from(core.open())
-                ))
+            match tenant_ref(&core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // The tenant clock is authoritative (healthy
+                        // shards track it in lockstep; down shards rejoin
+                        // to it), so CLOCK? answers even while children
+                        // are restarting.
+                        Reply::Ok(format!(
+                            "slot={} open={}",
+                            tenant.clock,
+                            u8::from(tenant.open())
+                        ))
+                    }
+                }
             }
         }
         Request::Schedule => {
+            let tenant_id = session.borrow().tenant.clone();
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child SCHEDULE? is deadline-bounded
-                match merged_schedule(&core) {
-                    Ok(schedule) => Reply::Data(model_io::write_schedule(&schedule)),
-                    Err(reply) => reply,
+            match tenant_ref(&core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child SCHEDULE? is deadline-bounded
+                        match merged_schedule(tenant) {
+                            Ok(schedule) => Reply::Data(model_io::write_schedule(&schedule)),
+                            Err(reply) => reply,
+                        }
+                    }
                 }
             }
         }
         Request::Utility => {
+            let tenant_id = session.borrow().tenant.clone();
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child PARTS? is deadline-bounded
-                match merged_parts(&core) {
-                    Ok(parts) => {
-                        // Sequential left-to-right sums over the arrival
-                        // order: the single engine's exact addend sequence.
-                        let utility: f64 = parts.full.iter().sum();
-                        let relaxed: f64 = parts.relaxed.iter().sum();
-                        Reply::Ok(format!("utility={utility} relaxed={relaxed}"))
+            match tenant_ref(&core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child PARTS? is deadline-bounded
+                        match merged_parts(tenant) {
+                            Ok(parts) => {
+                                // Sequential left-to-right sums over the
+                                // arrival order: the single engine's exact
+                                // addend sequence.
+                                let utility: f64 = parts.full.iter().sum();
+                                let relaxed: f64 = parts.relaxed.iter().sum();
+                                Reply::Ok(format!("utility={utility} relaxed={relaxed}"))
+                            }
+                            Err(reply) => reply,
+                        }
                     }
-                    Err(reply) => reply,
                 }
             }
         }
         Request::Parts => {
+            let tenant_id = session.borrow().tenant.clone();
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child PARTS? is deadline-bounded
-                match merged_parts(&core) {
-                    Ok(parts) => Reply::Data(parts_payload(&parts)),
-                    Err(reply) => reply,
+            match tenant_ref(&core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // haste-lint: allow(L2) — merge must read every cell at one consistent clock; each child PARTS? is deadline-bounded
+                        match merged_parts(tenant) {
+                            Ok(parts) => Reply::Data(parts_payload(&parts)),
+                            Err(reply) => reply,
+                        }
+                    }
                 }
             }
         }
@@ -743,18 +1094,21 @@ fn execute<R: BufRead>(
             let core = shared.core.lock();
             let mut snap = shared.telemetry.registry().snapshot();
             // Engine aliases and the down gauge come from the status view,
-            // uniformly across deployment modes; the router renders them
-            // itself so child engine series are never double-counted.
+            // uniformly across deployment modes and tenants; the router
+            // renders them itself so child engine series are never
+            // double-counted.
             let mut merged = ShardStatus::default();
             let mut down = 0u64;
             let mut saw_status = false;
-            for shard in &core.shards {
-                // haste-lint: allow(L2) — deadline-bounded STATUS? per cell; a down shard answers from its cache instead of blocking the scrape
-                if let Ok((status, health, _restarts, _replay)) = shard.status_view() {
-                    merged.absorb(&status);
-                    saw_status = true;
-                    if health == ShardHealth::Restarting {
-                        down += 1;
+            for tenant in core.tenants.values() {
+                for shard in &tenant.shards {
+                    // haste-lint: allow(L2) — deadline-bounded STATUS? per cell; a down shard answers from its cache instead of blocking the scrape
+                    if let Ok((status, health, _restarts, _replay)) = shard.status_view() {
+                        merged.absorb(&status);
+                        saw_status = true;
+                        if health == ShardHealth::Restarting {
+                            down += 1;
+                        }
                     }
                 }
             }
@@ -767,119 +1121,89 @@ fn execute<R: BufRead>(
             // series, rename them into the shard-scoped families, and
             // merge bucket-wise. A down or unparsable child contributes
             // nothing this scrape; counters resume after its rejoin.
-            for shard in &core.shards {
-                // haste-lint: allow(L2) — deadline-bounded EXPORT? per cell; a down child contributes nothing this scrape rather than wedging it
-                if let Some(Ok(document)) = shard.export_document() {
-                    if let Ok(mut child) = haste_metrics::Snapshot::parse(&document) {
-                        child.retain_prefix("haste_service_");
-                        child.rename_prefix("haste_service_", "haste_shard_");
-                        snap.merge(child);
+            for tenant in core.tenants.values() {
+                for shard in &tenant.shards {
+                    // haste-lint: allow(L2) — deadline-bounded EXPORT? per cell; a down child contributes nothing this scrape rather than wedging it
+                    if let Some(Ok(document)) = shard.export_document() {
+                        if let Ok(mut child) = haste_metrics::Snapshot::parse(&document) {
+                            child.retain_prefix("haste_service_");
+                            child.rename_prefix("haste_service_", "haste_shard_");
+                            snap.merge(child);
+                        }
                     }
                 }
             }
             Reply::Data(snap.render())
         }
         Request::Metrics => {
+            let tenant_id = session.borrow().tenant.clone();
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                let mut merged = ShardStatus::default();
-                let mut restarts_total = 0u64;
-                let mut replays_total = 0u64;
-                let mut down = 0u64;
-                let mut failure = None;
-                for shard in &core.shards {
-                    // haste-lint: allow(L2) — deadline-bounded STATUS? per cell under one `core` hold so the merged totals are a consistent cut
-                    match shard.status_view() {
-                        Ok((status, health, restarts, replay)) => {
-                            merged.absorb(&status);
-                            restarts_total += restarts;
-                            replays_total += replay;
-                            if health == ShardHealth::Restarting {
-                                down += 1;
+            match tenant_ref(&core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // haste-lint: allow(L2) — deadline-bounded STATUS? per cell under one `core` hold so the merged totals are a consistent cut
+                        match fleet_totals(tenant) {
+                            Err(reply) => reply,
+                            Ok(totals) => {
+                                let status = &totals.status;
+                                let mut payload = String::new();
+                                for (key, value) in [
+                                    ("clock", status.clock.to_string()),
+                                    ("tasks", status.tasks.to_string()),
+                                    ("staged", status.staged.to_string()),
+                                    ("admitted", status.admitted.to_string()),
+                                    ("rejected", status.rejected.to_string()),
+                                    ("pending", status.pending.to_string()),
+                                    ("threads", status.threads.to_string()),
+                                    ("oracle_marginals", status.oracle_marginals.to_string()),
+                                    ("oracle_commits", status.oracle_commits.to_string()),
+                                    ("messages", status.messages.to_string()),
+                                    ("rounds", status.rounds.to_string()),
+                                    ("instance_build_us", status.instance_build_us.to_string()),
+                                    ("greedy_us", status.greedy_us.to_string()),
+                                    ("rounding_us", status.rounding_us.to_string()),
+                                    ("coverage_build_us", status.coverage_build_us.to_string()),
+                                    // Supervision totals across the shard fleet
+                                    // (identically zero for in-process shards).
+                                    ("shard_restarts", totals.restarts.to_string()),
+                                    ("shard_replays", totals.replays.to_string()),
+                                    ("shards_down", totals.down.to_string()),
+                                ] {
+                                    payload.push_str(key);
+                                    payload.push(' ');
+                                    payload.push_str(&value);
+                                    payload.push('\n');
+                                }
+                                Reply::Data(payload)
                             }
                         }
-                        Err(e) => {
-                            failure = Some(slot_err(e));
-                            break;
-                        }
-                    }
-                }
-                match failure {
-                    Some(reply) => reply,
-                    None => {
-                        let status = merged;
-                        let mut payload = String::new();
-                        for (key, value) in [
-                            ("clock", status.clock.to_string()),
-                            ("tasks", status.tasks.to_string()),
-                            ("staged", status.staged.to_string()),
-                            ("admitted", status.admitted.to_string()),
-                            ("rejected", status.rejected.to_string()),
-                            ("pending", status.pending.to_string()),
-                            ("threads", status.threads.to_string()),
-                            ("oracle_marginals", status.oracle_marginals.to_string()),
-                            ("oracle_commits", status.oracle_commits.to_string()),
-                            ("messages", status.messages.to_string()),
-                            ("rounds", status.rounds.to_string()),
-                            ("instance_build_us", status.instance_build_us.to_string()),
-                            ("greedy_us", status.greedy_us.to_string()),
-                            ("rounding_us", status.rounding_us.to_string()),
-                            ("coverage_build_us", status.coverage_build_us.to_string()),
-                            // Supervision totals across the shard fleet
-                            // (identically zero for in-process shards).
-                            ("shard_restarts", restarts_total.to_string()),
-                            ("shard_replays", replays_total.to_string()),
-                            ("shards_down", down.to_string()),
-                        ] {
-                            payload.push_str(key);
-                            payload.push(' ');
-                            payload.push_str(&value);
-                            payload.push('\n');
-                        }
-                        Reply::Data(payload)
                     }
                 }
             }
         }
         Request::Shards => {
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                let mut payload = String::new();
-                let mut failure = None;
-                for (index, shard) in core.shards.iter().enumerate() {
-                    // haste-lint: allow(L2) — deadline-bounded STATUS? per cell under one `core` hold so SHARDS? reports a consistent cut
-                    match shard.status_view() {
-                        Ok((status, health, restarts, replay)) => {
-                            let cell = (index % config.cells.0, index / config.cells.0);
-                            payload.push_str(&shard_line(
-                                index, cell, &status, health, restarts, replay,
-                            ));
-                        }
-                        Err(e) => {
-                            failure = Some(slot_err(e));
-                            break;
-                        }
-                    }
-                }
-                match failure {
-                    Some(reply) => reply,
-                    None => Reply::Data(payload),
-                }
-            }
+            // haste-lint: allow(L2) — deadline-bounded STATUS? per cell under one `core` hold so SHARDS? reports a consistent cut
+            shards_payload(&core)
         }
         Request::Snapshot => {
+            let tenant_id = session.borrow().tenant.clone();
             let core = shared.core.lock();
-            if core.partition.is_none() {
-                shard_err(crate::shard::ShardError::NoScenario)
-            } else {
-                // haste-lint: allow(L2) — per-cell SNAP?s are deadline-bounded; `core` held so the composite is one consistent clock cut
-                match composite_snapshot(&core, config) {
-                    Ok(text) => Reply::Data(text),
-                    Err(reply) => reply,
+            match tenant_ref(&core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    if tenant.partition.is_none() {
+                        shard_err(crate::shard::ShardError::NoScenario)
+                    } else {
+                        // haste-lint: allow(L2) — per-cell SNAP?s are deadline-bounded; `core` held so the composite is one consistent clock cut
+                        match composite_snapshot(tenant, &tenant_id) {
+                            Ok(text) => Reply::Data(text),
+                            Err(reply) => reply,
+                        }
+                    }
                 }
             }
         }
@@ -892,21 +1216,134 @@ fn execute<R: BufRead>(
             };
             let mut core = shared.core.lock();
             // haste-lint: allow(L2) — per-cell RESTOREs are deadline-bounded; `core` held so no request observes a half-restored composite
-            restore_composite(&mut core, config, &payload)
+            restore_composite(&mut core, shared, &payload)
+        }
+        Request::ReshardSplit(cell) => {
+            let tenant_id = session.borrow().tenant.clone();
+            let mut core = shared.core.lock();
+            match tenant_mut(&mut core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut: children are rebuilt and swapped in under `core`, each child call deadline-bounded
+                    match reshard(tenant, &tenant_id, ReshardOp::Split(cell), shared) {
+                        Ok((cells, version)) => Reply::Ok(format!("cells={cells} map={version}")),
+                        Err(reply) => reply,
+                    }
+                }
+            }
+        }
+        Request::ReshardMerge(a, b) => {
+            let tenant_id = session.borrow().tenant.clone();
+            let mut core = shared.core.lock();
+            match tenant_mut(&mut core, &tenant_id) {
+                Err(reply) => reply,
+                Ok(tenant) => {
+                    // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut: children are rebuilt and swapped in under `core`, each child call deadline-bounded
+                    match reshard(tenant, &tenant_id, ReshardOp::Merge(a, b), shared) {
+                        Ok((cells, version)) => Reply::Ok(format!("cells={cells} map={version}")),
+                        Err(reply) => reply,
+                    }
+                }
+            }
         }
         Request::Bye => return Ok((Reply::Ok("bye".to_string()), true)),
     };
     Ok((reply, false))
 }
 
-/// `LOAD` on the router: parse, partition, split, install per-cell
-/// engines, and record the global bookkeeping (charger owners, release-0
-/// arrival order, staged release plan). Totals come from the split itself
-/// (each charger and task belongs to exactly one cell), so the reply is
-/// correct even if a child shard is down — its baseline is recorded and
-/// the first tick's rejoin pass replays the load into a fresh child.
-fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &str) -> Reply {
-    if core.partition.is_some() {
+/// Fleet-wide counter totals backing the `METRICS?` payload: the merged
+/// per-shard status plus the supervision counters summed across one
+/// tenant's fleet.
+struct FleetTotals {
+    status: ShardStatus,
+    restarts: u64,
+    replays: u64,
+    down: u64,
+}
+
+fn fleet_totals(tenant: &TenantCore) -> Result<FleetTotals, Reply> {
+    let mut status = ShardStatus::default();
+    let mut restarts = 0u64;
+    let mut replays = 0u64;
+    let mut down = 0u64;
+    for shard in &tenant.shards {
+        match shard.status_view() {
+            Ok((view, health, shard_restarts, replay)) => {
+                status.absorb(&view);
+                restarts += shard_restarts;
+                replays += replay;
+                if health == ShardHealth::Restarting {
+                    down += 1;
+                }
+            }
+            Err(e) => return Err(slot_err(e)),
+        }
+    }
+    Ok(FleetTotals {
+        status,
+        restarts,
+        replays,
+        down,
+    })
+}
+
+/// The `SHARDS?` payload: one line per shard of every loaded tenant, in
+/// tenant order, each carrying the tenant id and the routing-map version
+/// that currently serves it. Cell coordinates come from the base grid
+/// while the tenant still sits on one; after a split the tiling is no
+/// longer a uniform grid and cells are numbered linearly as `(i, 0)`.
+fn shards_payload(core: &RouterCore) -> Reply {
+    let mut payload = String::new();
+    let mut any = false;
+    for (tenant_id, tenant) in &core.tenants {
+        let Some(partition) = tenant.partition.as_ref() else {
+            continue;
+        };
+        any = true;
+        let grid = partition.base_grid();
+        for (index, shard) in tenant.shards.iter().enumerate() {
+            match shard.status_view() {
+                Ok((status, health, restarts, replay)) => {
+                    let cell = match grid {
+                        Some((gx, _)) => (index % gx, index / gx),
+                        None => (index, 0),
+                    };
+                    payload.push_str(&shard_line(
+                        index,
+                        cell,
+                        &status,
+                        health,
+                        restarts,
+                        replay,
+                        tenant_id,
+                        tenant.map.version(),
+                    ));
+                }
+                Err(e) => return slot_err(e),
+            }
+        }
+    }
+    if !any {
+        return shard_err(crate::shard::ShardError::NoScenario);
+    }
+    Reply::Data(payload)
+}
+
+/// `LOAD` on a tenant: parse, partition, split, install per-cell
+/// engines, and record the global bookkeeping (release-0 arrival order,
+/// staged release plan, the scenario itself for reshard baselines).
+/// Totals come from the split itself (each charger and task belongs to
+/// exactly one cell), so the reply is correct even if a child shard is
+/// down — its baseline is recorded and the first tick's rejoin pass
+/// replays the load into a fresh child.
+fn load_scenario_text(
+    tenant: &mut TenantCore,
+    tenant_id: &str,
+    config: &RouterConfig,
+    shared: &RouterShared,
+    payload: &str,
+) -> Reply {
+    if tenant.partition.is_some() {
         return shard_err(crate::shard::ShardError::AlreadyLoaded);
     }
     let scenario = match model_io::read_scenario(payload) {
@@ -933,7 +1370,7 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
     };
     let mut total_chargers = 0;
     let mut total_staged = 0;
-    for (shard, cell) in core.shards.iter().zip(cells) {
+    for (shard, cell) in tenant.shards.iter().zip(cells) {
         total_chargers += cell.chargers.len();
         total_staged += cell.tasks.len();
         match shard.load_scenario(cell) {
@@ -947,47 +1384,37 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
             Err(e) => return slot_err(e),
         }
     }
-    core.charger_shard = scenario
-        .chargers
-        .iter()
-        .map(|c| partition.cell_of(c.pos) as u32)
-        .collect();
-    core.order = scenario
-        .tasks
-        .iter()
-        .filter(|t| t.release_slot == 0)
-        .map(|t| partition.cell_of(t.device_pos) as u32)
-        .collect();
-    let mut staged: Vec<(usize, u32)> = scenario
-        .tasks
-        .iter()
-        .filter(|t| t.release_slot > 0)
-        .map(|t| (t.release_slot, partition.cell_of(t.device_pos) as u32))
-        .collect();
-    // Stable by release slot — the exact injection order of the single
-    // engine's staging queue.
-    staged.sort_by_key(|&(slot, _)| slot);
-    core.plan = staged.into();
-    core.slots = scenario.grid.num_slots;
-    core.clock = 0;
-    core.partition = Some(partition);
+    let (order, plan, _clock) = rebuild_bookkeeping(&scenario, &[]);
+    tenant.order = order;
+    tenant.plan = plan;
+    tenant.slots = scenario.grid.num_slots;
+    tenant.clock = 0;
+    tenant.ops = Vec::new();
+    tenant.map = RoutingMap::identity(tenant.shards.len());
+    tenant.quota_used = 0;
+    tenant.cell_submits = vec![0; tenant.shards.len()];
+    tenant.partition = Some(partition);
+    tenant.scenario = Some(scenario);
+    TenantCounters::set_shards(shared.telemetry.registry(), tenant_id, tenant.shards.len());
     // Slot-0 fault directives mature the moment the grid opens.
-    for shard in &core.shards {
+    for shard in &tenant.shards {
         shard.apply_slot_faults(0);
     }
     Reply::Ok(format!(
         "chargers={total_chargers} staged={total_staged} slots={} shards={}",
-        core.slots,
-        core.shards.len()
+        tenant.slots,
+        tenant.shards.len()
     ))
 }
 
-/// Advances the lockstep one slot at a time, releasing staged arrivals
-/// into the global order as their slots open. Down shards do not stall
-/// the fleet: each step first gives them a rejoin (restart + replay to
-/// the router clock), then ticks every shard, *pipelined*; a shard that
-/// is still down has the missed slot journaled so its eventual replay
-/// catches up, and fault directives for the newly opened slot mature last.
+/// Advances one tenant's lockstep one slot at a time, releasing staged
+/// arrivals into the global order as their slots open. Down shards do
+/// not stall the fleet: each step first gives them a rejoin (restart +
+/// replay to the tenant clock), then ticks every shard, *pipelined*; a
+/// shard that is still down has the missed slot journaled so its
+/// eventual replay catches up, and fault directives for the newly opened
+/// slot mature last. Closing a slot resets the quota usage and the
+/// per-cell submission counts (they measure the closing slot only).
 ///
 /// **Pipelined negotiation.** The per-shard `tick1` calls of one step run
 /// concurrently on scoped `haste-parallel` threads: every [`ShardSlot`]
@@ -995,30 +1422,30 @@ fn load_scenario_text(core: &mut RouterCore, config: &RouterConfig, payload: &st
 /// shard's engine mutex; an out-of-process shard's connection state, so a
 /// remote step is a concurrently-issued child request under the usual
 /// per-request deadline). The join below is the consistent-cut barrier —
-/// the router clock, the staged-release plan, and slot faults advance
+/// the tenant clock, the staged-release plan, and slot faults advance
 /// only after *every* shard has finished (or missed) the slot, so between
-/// requests all healthy shards still sit at the router's virtual slot.
+/// requests all healthy shards still sit at the tenant's virtual slot.
 /// Replanning is per-shard-deterministic and shards share no state, so
 /// thread interleaving cannot reach any output bits; tick outcomes are
 /// processed sequentially in shard order, keeping error reporting
 /// deterministic too (DESIGN.md §11 has the full argument).
 fn tick_lockstep(
-    core: &mut RouterCore,
+    tenant: &mut TenantCore,
     n: usize,
     router_telemetry: &Telemetry,
 ) -> Result<(usize, bool), Reply> {
-    if !core.open() {
+    if !tenant.open() {
         return Err(shard_err(crate::shard::ShardError::AtHorizon));
     }
     for _ in 0..n {
-        if !core.open() {
+        if !tenant.open() {
             break;
         }
-        for shard in &core.shards {
-            shard.rejoin(core.clock);
+        for shard in &tenant.shards {
+            shard.rejoin(tenant.clock);
         }
         let step_start = telemetry::clock_start();
-        let outcomes = haste_parallel::par_map(&core.shards, core.shards.len(), |_, shard| {
+        let outcomes = haste_parallel::par_map(&tenant.shards, tenant.shards.len(), |_, shard| {
             let replan_start = telemetry::clock_start();
             let outcome = shard.tick1();
             (outcome, telemetry::elapsed_us(replan_start))
@@ -1026,7 +1453,8 @@ fn tick_lockstep(
         // The join above is the consistent-cut barrier: a shard's wait is
         // the gap between its own replan finishing and the whole step.
         let step_us = telemetry::elapsed_us(step_start);
-        for (index, (shard, (outcome, replan_us))) in core.shards.iter().zip(outcomes).enumerate() {
+        for (index, (shard, (outcome, replan_us))) in tenant.shards.iter().zip(outcomes).enumerate()
+        {
             let cell_label = index.to_string();
             let registry = router_telemetry.registry();
             registry
@@ -1037,10 +1465,10 @@ fn tick_lockstep(
                 .observe((step_us - replan_us).max(0.0));
             match outcome {
                 Ok((slot, _open)) => {
-                    if slot != core.clock + 1 {
+                    if slot != tenant.clock + 1 {
                         return Err(internal(&format!(
                             "lockstep broken: shard at slot {slot} after ticking from {}",
-                            core.clock
+                            tenant.clock
                         )));
                     }
                 }
@@ -1048,26 +1476,217 @@ fn tick_lockstep(
                 Err(e) => return Err(slot_err(e)),
             }
         }
-        core.clock += 1;
-        core.drain_plan(core.clock);
-        for shard in &core.shards {
-            shard.apply_slot_faults(core.clock);
+        tenant.clock += 1;
+        tenant.ops.push(HistOp::Tick);
+        tenant.drain_plan(tenant.clock);
+        tenant.quota_used = 0;
+        for count in &mut tenant.cell_submits {
+            *count = 0;
+        }
+        for shard in &tenant.shards {
+            shard.apply_slot_faults(tenant.clock);
         }
     }
-    Ok((core.clock, core.open()))
+    Ok((tenant.clock, tenant.open()))
+}
+
+/// The elastic-split load trigger: if any cell accepted more than
+/// [`RouterConfig::split_threshold`] submissions during the closing slot,
+/// split the first such cell. Best effort — an unsplittable hot cell
+/// (too thin, a charger too close to the midline) keeps its load and the
+/// trigger re-arms next slot.
+fn maybe_auto_split(tenant: &mut TenantCore, tenant_id: &str, shared: &RouterShared) {
+    let Some(threshold) = shared.config.split_threshold else {
+        return;
+    };
+    let hot = tenant.cell_submits.iter().position(|&n| n > threshold);
+    if let Some(cell) = hot {
+        let _ = reshard(tenant, tenant_id, ReshardOp::Split(cell), shared);
+    }
+}
+
+/// A live topology change.
+#[derive(Debug, Clone, Copy)]
+enum ReshardOp {
+    Split(usize),
+    Merge(usize, usize),
+}
+
+/// Live migration: split one cell in two, or merge two adjacent cells,
+/// without touching any other shard. Runs entirely under the router
+/// mutex, so the whole migration is one between-ticks consistent cut.
+///
+/// Phase 1 builds the replacement shard(s) *off to the side*: the new
+/// partition re-splits the loaded scenario into per-cell baselines, the
+/// affected cell(s) get fresh shards loaded with their baselines, and the
+/// tenant's accepted-operation history replays into them in arrival
+/// order (ticks tick every rebuilt child; submissions route by the *new*
+/// partition and land only in rebuilt cells). Accepted-only replay never
+/// re-rejects: a child cell's pending set is a subset of its parent's at
+/// every prefix. Any failure aborts with the live topology untouched
+/// (dropped spawned children are killed by their supervisor guard).
+///
+/// Phase 2 swaps atomically: surviving shards are renumbered around the
+/// rebuilt ones, the routing map bumps its version, and the per-cell
+/// submission counters reset to the new width. DESIGN.md §13 argues why
+/// the global utility is bit-identical across the swap.
+fn reshard(
+    tenant: &mut TenantCore,
+    tenant_id: &str,
+    op: ReshardOp,
+    shared: &RouterShared,
+) -> Result<(usize, u64), Reply> {
+    let Some(partition) = tenant.partition.as_ref() else {
+        return Err(shard_err(crate::shard::ShardError::NoScenario));
+    };
+    let Some(scenario) = tenant.scenario.as_ref() else {
+        return Err(shard_err(crate::shard::ShardError::NoScenario));
+    };
+    let new_partition = match op {
+        ReshardOp::Split(cell) => partition.split_cell(cell),
+        ReshardOp::Merge(a, b) => partition.merge_cells(a, b),
+    }
+    .map_err(partition_err)?;
+    if matches!(op, ReshardOp::Split(_)) {
+        // A split introduces a new interior boundary; every charger's
+        // reach must still stay inside its (possibly shrunken) cell.
+        // Merging only removes boundaries, so it never needs this.
+        new_partition
+            .validate_chargers(scenario)
+            .map_err(partition_err)?;
+    }
+    let baselines = new_partition.split(scenario).map_err(partition_err)?;
+    let new_count = new_partition.num_cells();
+    // New cell index → surviving old shard index; `None` marks the
+    // rebuilt cell(s). Split(c): children take c and c+1, later cells
+    // shift up. Merge(a, b): the union takes min(a, b), later cells
+    // shift down.
+    let old_of: Vec<Option<usize>> = match op {
+        ReshardOp::Split(cell) => (0..new_count)
+            .map(|j| {
+                if j < cell {
+                    Some(j)
+                } else if j <= cell + 1 {
+                    None
+                } else {
+                    Some(j - 1)
+                }
+            })
+            .collect(),
+        ReshardOp::Merge(a, b) => {
+            let (lo, hi) = (a.min(b), a.max(b));
+            (0..new_count)
+                .map(|j| {
+                    if j == lo {
+                        None
+                    } else if j < hi {
+                        Some(j)
+                    } else {
+                        Some(j + 1)
+                    }
+                })
+                .collect()
+        }
+    };
+    // Validate the remap before touching live state: every surviving
+    // reference must be unique and in range, so the swap below is
+    // infallible once the old fleet is drained. (Old shards nothing
+    // references — the split parent, the merged pair — are retired when
+    // they drop; a remote child's guard kills its process.)
+    {
+        let mut seen = vec![false; tenant.shards.len()];
+        for entry in old_of.iter().flatten() {
+            if *entry >= seen.len() || seen[*entry] {
+                return Err(internal("reshard remap is not injective"));
+            }
+            seen[*entry] = true;
+        }
+    }
+    // Phase 1: build and rebuild the replacement shard(s) off to the
+    // side. `children` pairs each fresh slot with its new cell index.
+    let mut children: Vec<(usize, ShardSlot)> = Vec::new();
+    for (j, old) in old_of.iter().enumerate() {
+        if old.is_none() {
+            children.push((j, fresh_slot(shared, j)?));
+        }
+    }
+    for (j, child) in &children {
+        let Some(baseline) = baselines.get(*j).cloned() else {
+            return Err(internal("reshard lost a cell baseline"));
+        };
+        child.load_scenario(baseline).map_err(slot_err)?;
+    }
+    // Replay the accepted-operation history in arrival order. Ticks
+    // advance every rebuilt child; submissions route by the *new*
+    // partition and only matter if they land in a rebuilt cell.
+    for histop in &tenant.ops {
+        match histop {
+            HistOp::Tick => {
+                for (_, child) in &children {
+                    child.tick1().map_err(slot_err)?;
+                }
+            }
+            HistOp::Submit(spec) => {
+                let cell = new_partition.cell_of(spec.device_pos);
+                if let Some((_, child)) = children.iter().find(|(j, _)| *j == cell) {
+                    child.submit(*spec).map_err(slot_err)?;
+                }
+            }
+        }
+    }
+    // The rebuilt children must have landed exactly on the tenant clock.
+    for (j, child) in &children {
+        let (slot, _open) = child.clock().map_err(slot_err)?;
+        if slot != tenant.clock {
+            return Err(internal(&format!(
+                "rebuilt cell {j} landed on slot {slot}, tenant clock {}",
+                tenant.clock
+            )));
+        }
+    }
+    // Phase 2: the atomic swap. Everything fallible already happened.
+    let mut old: Vec<Option<ShardSlot>> = tenant.shards.drain(..).map(Some).collect();
+    let mut fresh = children.into_iter();
+    let mut new_shards = Vec::with_capacity(new_count);
+    for entry in &old_of {
+        match entry {
+            // haste-lint: allow(P1) — the remap was validated injective-in-range before the drain, so each old slot is taken exactly once
+            Some(i) => new_shards.push(old[*i].take().expect("remap validated above")),
+            None => {
+                // haste-lint: allow(P1) — `children` was built with one entry per `None` in the remap, in order
+                new_shards.push(fresh.next().expect("one fresh child per rebuilt cell").1)
+            }
+        }
+    }
+    for (index, shard) in new_shards.iter().enumerate() {
+        shard.set_cell(index);
+    }
+    tenant.shards = new_shards;
+    tenant.partition = Some(new_partition);
+    tenant.map = tenant.map.renumbered(new_count);
+    tenant.cell_submits = vec![0; new_count];
+    tenant.counters.reshards.inc();
+    TenantCounters::set_shards(shared.telemetry.registry(), tenant_id, new_count);
+    Ok((new_count, tenant.map.version()))
 }
 
 /// Re-merges shard schedules into original charger numbering. Bitwise
-/// faithful: orientations are copied, never recomputed.
-fn merged_schedule(core: &RouterCore) -> Result<Schedule, Reply> {
-    let mut shard_schedules = Vec::with_capacity(core.shards.len());
-    for shard in &core.shards {
+/// faithful: orientations are copied, never recomputed. Charger owners
+/// are derived from positions against the *current* partition, so the
+/// merge is correct across any number of reshards.
+fn merged_schedule(tenant: &TenantCore) -> Result<Schedule, Reply> {
+    let (Some(partition), Some(scenario)) = (tenant.partition.as_ref(), tenant.scenario.as_ref())
+    else {
+        return Err(shard_err(crate::shard::ShardError::NoScenario));
+    };
+    let mut shard_schedules = Vec::with_capacity(tenant.shards.len());
+    for shard in &tenant.shards {
         shard_schedules.push(shard.schedule().map_err(slot_err)?);
     }
-    let mut merged = Schedule::empty(core.charger_shard.len(), core.slots);
-    let mut locals = vec![0u32; core.shards.len()];
-    for (i, &owner) in core.charger_shard.iter().enumerate() {
-        let shard = owner as usize;
+    let mut merged = Schedule::empty(scenario.chargers.len(), tenant.slots);
+    let mut locals = vec![0u32; tenant.shards.len()];
+    for (i, charger) in scenario.chargers.iter().enumerate() {
+        let shard = tenant.map.shard_of(partition.cell_of(charger.pos)) as usize;
         let local = match locals.get_mut(shard) {
             Some(counter) => {
                 let local = *counter;
@@ -1079,7 +1698,7 @@ fn merged_schedule(core: &RouterCore) -> Result<Schedule, Reply> {
         let Some(source) = shard_schedules.get(shard) else {
             return Err(internal("charger owner out of range"));
         };
-        for slot in 0..core.slots {
+        for slot in 0..tenant.slots {
             merged.set(
                 ChargerId(i as u32),
                 slot,
@@ -1092,17 +1711,22 @@ fn merged_schedule(core: &RouterCore) -> Result<Schedule, Reply> {
 
 /// Merges per-shard `wⱼ·Uⱼ` terms into the global arrival order — the
 /// exact addend sequence of a single engine's evaluator (see module
-/// docs). `UTILITY?` sums this; `PARTS?` serves it verbatim.
-fn merged_parts(core: &RouterCore) -> Result<UtilityParts, Reply> {
-    let mut parts = Vec::with_capacity(core.shards.len());
-    for shard in &core.shards {
+/// docs). `UTILITY?` sums this; `PARTS?` serves it verbatim. Task owners
+/// are derived from the recorded arrival *positions* against the current
+/// partition, so the walk is correct across any number of reshards.
+fn merged_parts(tenant: &TenantCore) -> Result<UtilityParts, Reply> {
+    let Some(partition) = tenant.partition.as_ref() else {
+        return Err(shard_err(crate::shard::ShardError::NoScenario));
+    };
+    let mut parts = Vec::with_capacity(tenant.shards.len());
+    for shard in &tenant.shards {
         parts.push(shard.utility_parts().map_err(slot_err)?);
     }
-    let mut cursors = vec![0usize; core.shards.len()];
-    let mut full = Vec::with_capacity(core.order.len());
-    let mut relaxed = Vec::with_capacity(core.order.len());
-    for &owner in &core.order {
-        let shard = owner as usize;
+    let mut cursors = vec![0usize; tenant.shards.len()];
+    let mut full = Vec::with_capacity(tenant.order.len());
+    let mut relaxed = Vec::with_capacity(tenant.order.len());
+    for pos in &tenant.order {
+        let shard = tenant.map.shard_of(partition.cell_of(*pos)) as usize;
         let (Some(cursor), Some(part)) = (cursors.get_mut(shard), parts.get(shard)) else {
             return Err(internal("task owner out of range"));
         };
@@ -1122,111 +1746,239 @@ fn internal(reason: &str) -> Reply {
     Reply::Err(ErrCode::Internal, reason.to_string())
 }
 
-/// Serializes the router's consistent cut: topology, partition geometry,
-/// global bookkeeping, and every shard's embedded engine snapshot. Every
-/// shard must be up and sitting on the router clock (a down shard's
-/// state is mid-replay by definition, so `SNAPSHOT` in degraded mode
-/// fails with `ERR unavailable`). Once the document is assembled, each
-/// section is committed as its shard's new replay baseline — never
-/// before, so a failed snapshot moves no baseline.
-fn composite_snapshot(core: &RouterCore, config: &RouterConfig) -> Result<String, Reply> {
-    let Some(partition) = core.partition.as_ref() else {
+/// Serializes one tenant's consistent cut: tenancy, routing-map version,
+/// partition geometry (base grid + explicit cell rects, so post-reshard
+/// tilings round-trip), the loaded scenario, the accepted-operation
+/// history, and every shard's embedded engine snapshot. Every shard must
+/// be up and sitting on the tenant clock (a down shard's state is
+/// mid-replay by definition, so `SNAPSHOT` in degraded mode fails with
+/// `ERR unavailable`). Once the document is assembled, each section is
+/// committed as its shard's new replay baseline — never before, so a
+/// failed snapshot moves no baseline.
+fn composite_snapshot(tenant: &TenantCore, tenant_id: &str) -> Result<String, Reply> {
+    let (Some(partition), Some(scenario)) = (tenant.partition.as_ref(), tenant.scenario.as_ref())
+    else {
         return Err(shard_err(crate::shard::ShardError::NoScenario));
     };
-    let mut sections = Vec::with_capacity(core.shards.len());
-    for shard in &core.shards {
+    let mut sections = Vec::with_capacity(tenant.shards.len());
+    for shard in &tenant.shards {
         // Lockstep is an invariant (one mutex, ticks inside it); this
         // re-checks it so a corrupt snapshot can never be emitted
         // silently, and surfaces `unavailable` for down shards.
         let (slot, _open) = shard.clock().map_err(slot_err)?;
-        if slot != core.clock {
+        if slot != tenant.clock {
             return Err(internal(&format!(
-                "shards out of lockstep: slot={slot} vs router clock {}",
-                core.clock
+                "shards out of lockstep: slot={slot} vs tenant clock {}",
+                tenant.clock
             )));
         }
         sections.push(shard.snapshot().map_err(slot_err)?);
     }
-    let mut text = String::new();
-    text.push_str(COMPOSITE_MAGIC);
-    text.push('\n');
-    text.push_str(&format!("cells {} {}\n", config.cells.0, config.cells.1));
     let origin = partition.origin();
-    let (field_w, field_h) = partition.field();
-    text.push_str(&format!(
-        "field {} {} {} {} {}\n",
-        origin.x,
-        origin.y,
-        field_w,
-        field_h,
-        partition.halo()
-    ));
-    text.push_str(&format!("chargers {}\n", core.charger_shard.len()));
-    for &owner in &core.charger_shard {
-        text.push_str(&format!("{owner}\n"));
-    }
-    text.push_str(&format!("order {}\n", core.order.len()));
-    for &owner in &core.order {
-        text.push_str(&format!("{owner}\n"));
-    }
-    text.push_str(&format!("plan {}\n", core.plan.len()));
-    for &(slot, owner) in &core.plan {
-        text.push_str(&format!("{slot} {owner}\n"));
-    }
-    for (index, snapshot) in sections.iter().enumerate() {
-        text.push_str(&format!("shard {index} {}\n", snapshot.lines().count()));
-        text.push_str(snapshot);
-        if !snapshot.is_empty() && !snapshot.ends_with('\n') {
-            text.push('\n');
-        }
-    }
+    let composite = CompositeSnapshot {
+        tenant: tenant_id.to_string(),
+        map_version: tenant.map.version(),
+        grid: (partition.cells_x(), partition.cells_y()),
+        origin: (origin.x, origin.y),
+        field: partition.field(),
+        halo: partition.halo(),
+        cells: partition.cells().to_vec(),
+        scenario: model_io::write_scenario(scenario),
+        ops: tenant.ops.clone(),
+        shards: sections.clone(),
+        order: tenant
+            .order
+            .iter()
+            .map(|pos| partition.cell_of(*pos) as u32)
+            .collect(),
+    };
+    let text = render_composite(&composite);
     // Commit: the cut is complete, so each section becomes its shard's
     // replay baseline and the journals empty (bounding replay depth).
-    for (shard, section) in core.shards.iter().zip(sections) {
+    for (shard, section) in tenant.shards.iter().zip(sections) {
         shard.checkpoint(&section);
     }
     Ok(text)
 }
 
-/// A parsed composite router snapshot. [`parse_composite`] is public so
-/// out-of-process tooling (loadgen verification, operators) can split a
-/// composite document back into per-shard engine snapshots.
+/// A parsed composite router snapshot (format v3). [`parse_composite`]
+/// and [`render_composite`] are public so out-of-process tooling
+/// (loadgen verification, operators) can split a composite document back
+/// into per-shard engine snapshots and re-render it bit-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompositeSnapshot {
-    /// Partition grid `(cells_x, cells_y)`.
-    pub cells: (usize, usize),
+    /// The tenant this cut belongs to (`RESTORE` targets it).
+    pub tenant: String,
+    /// Routing-map version at the cut.
+    pub map_version: u64,
+    /// Base partition grid `(cells_x, cells_y)` the tiling descends from.
+    pub grid: (usize, usize),
     /// Field origin `(x, y)`.
     pub origin: (f64, f64),
     /// Field extent `(width, height)`.
     pub field: (f64, f64),
     /// Charger-reach halo width.
     pub halo: f64,
-    /// Owning shard of each original charger, in original order.
-    pub charger_shard: Vec<u32>,
-    /// Owning shard of each materialized task, in global arrival order.
-    pub order: Vec<u32>,
-    /// Staged `(release_slot, shard)` pairs not yet released.
-    pub plan: Vec<(usize, u32)>,
+    /// The cell rects of the tiling, in cell order (not necessarily a
+    /// uniform grid after resharding).
+    pub cells: Vec<CellRect>,
+    /// The loaded scenario, in canonical `write_scenario` text.
+    pub scenario: String,
+    /// The accepted-operation history since `LOAD`, in arrival order.
+    pub ops: Vec<HistOp>,
     /// Each shard's embedded engine snapshot document.
     pub shards: Vec<String>,
+    /// Owning shard of each materialized task, in global arrival order —
+    /// **derived** at parse time from the scenario, the history, and the
+    /// cell rects (not serialized; [`render_composite`] ignores it).
+    pub order: Vec<u32>,
 }
 
-/// Parses a composite router snapshot document.
+/// Renders a composite snapshot into the v3 wire document. Inverse of
+/// [`parse_composite`]: `render(parse(text)) == text` for any document
+/// `parse_composite` accepts.
+pub fn render_composite(composite: &CompositeSnapshot) -> String {
+    let mut text = String::new();
+    text.push_str(COMPOSITE_MAGIC);
+    text.push('\n');
+    text.push_str(&format!("tenant {}\n", composite.tenant));
+    text.push_str(&format!("map {}\n", composite.map_version));
+    text.push_str(&format!("grid {} {}\n", composite.grid.0, composite.grid.1));
+    text.push_str(&format!(
+        "field {} {} {} {} {}\n",
+        composite.origin.0,
+        composite.origin.1,
+        composite.field.0,
+        composite.field.1,
+        composite.halo
+    ));
+    text.push_str(&format!("cells {}\n", composite.cells.len()));
+    for rect in &composite.cells {
+        text.push_str(&format!(
+            "{} {} {} {}\n",
+            rect.x0, rect.y0, rect.x1, rect.y1
+        ));
+    }
+    text.push_str(&format!(
+        "scenario {}\n",
+        composite.scenario.lines().count()
+    ));
+    text.push_str(&composite.scenario);
+    if !composite.scenario.is_empty() && !composite.scenario.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&format!("ops {}\n", composite.ops.len()));
+    for op in &composite.ops {
+        match op {
+            HistOp::Tick => text.push_str("tick\n"),
+            HistOp::Submit(spec) => text.push_str(&format!(
+                "submit {} {} {} {} {} {}\n",
+                spec.device_pos.x,
+                spec.device_pos.y,
+                spec.device_facing.radians(),
+                spec.end_slot,
+                spec.required_energy,
+                spec.weight
+            )),
+        }
+    }
+    for (index, snapshot) in composite.shards.iter().enumerate() {
+        text.push_str(&format!("shard {index} {}\n", snapshot.lines().count()));
+        text.push_str(snapshot);
+        if !snapshot.is_empty() && !snapshot.ends_with('\n') {
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// The tenant-id grammar of the wire protocol (`TENANT`), shared by the
+/// composite document's `tenant` line.
+fn valid_tenant_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+/// Rebuilds the arrival bookkeeping a cut implies: the device positions
+/// of every materialized task in global arrival order, the staged
+/// releases still pending, and the clock the history has reached. Pure —
+/// shared by `LOAD` (empty history), `RESTORE`, and [`parse_composite`].
+fn rebuild_bookkeeping(
+    scenario: &Scenario,
+    ops: &[HistOp],
+) -> (Vec<Vec2>, VecDeque<(usize, Vec2)>, usize) {
+    let mut order: Vec<Vec2> = scenario
+        .tasks
+        .iter()
+        .filter(|t| t.release_slot == 0)
+        .map(|t| t.device_pos)
+        .collect();
+    let mut staged: Vec<(usize, Vec2)> = scenario
+        .tasks
+        .iter()
+        .filter(|t| t.release_slot > 0)
+        .map(|t| (t.release_slot, t.device_pos))
+        .collect();
+    // Stable by release slot — the exact injection order of the single
+    // engine's staging queue.
+    staged.sort_by_key(|&(slot, _)| slot);
+    let mut plan: VecDeque<(usize, Vec2)> = staged.into();
+    let mut clock = 0usize;
+    for op in ops {
+        match op {
+            HistOp::Tick => {
+                clock += 1;
+                while let Some(&(slot, pos)) = plan.front() {
+                    if slot > clock {
+                        break;
+                    }
+                    order.push(pos);
+                    plan.pop_front();
+                }
+            }
+            HistOp::Submit(spec) => order.push(spec.device_pos),
+        }
+    }
+    (order, plan, clock)
+}
+
+/// Parses a composite router snapshot document (format v3), re-deriving
+/// the arrival-order owners from the scenario, the operation history,
+/// and the cell rects.
 pub fn parse_composite(text: &str) -> Result<CompositeSnapshot, String> {
     let mut lines = text.lines();
     if lines.next() != Some(COMPOSITE_MAGIC) {
         return Err(format!("missing magic line `{COMPOSITE_MAGIC}`"));
     }
-    let cells_line = lines.next().ok_or("truncated before cells")?;
-    let cells = match cells_line.split_whitespace().collect::<Vec<_>>().as_slice() {
-        ["cells", cx, cy] => (
-            cx.parse::<usize>().map_err(|_| "bad cells_x".to_string())?,
-            cy.parse::<usize>().map_err(|_| "bad cells_y".to_string())?,
-        ),
-        _ => return Err(format!("bad cells line `{cells_line}`")),
+    let tenant_line = lines.next().ok_or("truncated before tenant")?;
+    let tenant = match tenant_line
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["tenant", id] if valid_tenant_id(id) => id.to_string(),
+        _ => return Err(format!("bad tenant line `{tenant_line}`")),
     };
-    if cells.0 == 0 || cells.1 == 0 {
-        return Err("cells must be positive".to_string());
+    let map_line = lines.next().ok_or("truncated before map")?;
+    let map_version = match map_line.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["map", version] => version
+            .parse::<u64>()
+            .map_err(|_| format!("bad map version `{version}`"))?,
+        _ => return Err(format!("bad map line `{map_line}`")),
+    };
+    let grid_line = lines.next().ok_or("truncated before grid")?;
+    let grid = match grid_line.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["grid", gx, gy] => (
+            gx.parse::<usize>().map_err(|_| "bad grid x".to_string())?,
+            gy.parse::<usize>().map_err(|_| "bad grid y".to_string())?,
+        ),
+        _ => return Err(format!("bad grid line `{grid_line}`")),
+    };
+    if grid.0 == 0 || grid.1 == 0 {
+        return Err("grid must be positive".to_string());
     }
     let field_line = lines.next().ok_or("truncated before field")?;
     let field_fields = field_line.split_whitespace().collect::<Vec<_>>();
@@ -1265,38 +2017,66 @@ pub fn parse_composite(text: &str) -> Result<CompositeSnapshot, String> {
             }
             Ok(entries)
         };
-    let charger_shard = counted_section(&mut lines, "chargers")?
+    let cells = counted_section(&mut lines, "cells")?
         .iter()
-        .map(|line| {
-            line.trim()
-                .parse::<u32>()
-                .map_err(|_| format!("bad charger owner `{line}`"))
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let order = counted_section(&mut lines, "order")?
-        .iter()
-        .map(|line| {
-            line.trim()
-                .parse::<u32>()
-                .map_err(|_| format!("bad task owner `{line}`"))
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let plan = counted_section(&mut lines, "plan")?
-        .iter()
-        .map(|line| -> Result<(usize, u32), String> {
+        .map(|line| -> Result<CellRect, String> {
+            let parse = |s: &str| -> Result<f64, String> {
+                s.parse::<f64>()
+                    .map_err(|_| format!("bad cell rect `{line}`"))
+            };
             match line.split_whitespace().collect::<Vec<_>>().as_slice() {
-                [slot, owner] => Ok((
-                    slot.parse()
-                        .map_err(|_| format!("bad plan slot `{line}`"))?,
-                    owner
-                        .parse()
-                        .map_err(|_| format!("bad plan owner `{line}`"))?,
-                )),
-                _ => Err(format!("bad plan line `{line}`")),
+                [x0, y0, x1, y1] => Ok(CellRect {
+                    x0: parse(x0)?,
+                    y0: parse(y0)?,
+                    x1: parse(x1)?,
+                    y1: parse(y1)?,
+                }),
+                _ => Err(format!("bad cell rect `{line}`")),
             }
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let num_shards = cells.0 * cells.1;
+    if cells.is_empty() {
+        return Err("cells must be positive".to_string());
+    }
+    let scenario_text = {
+        let mut text = counted_section(&mut lines, "scenario")?.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        text
+    };
+    let scenario = model_io::read_scenario(&scenario_text)
+        .map_err(|e| format!("bad embedded scenario: {e}"))?;
+    let ops = counted_section(&mut lines, "ops")?
+        .iter()
+        .map(|line| -> Result<HistOp, String> {
+            match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+                ["tick"] => Ok(HistOp::Tick),
+                ["submit", x, y, facing, end, energy, weight] => {
+                    let parse = |s: &str| -> Result<f64, String> {
+                        let value = s
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad op line `{line}`"))?;
+                        if !value.is_finite() {
+                            return Err(format!("non-finite value in op line `{line}`"));
+                        }
+                        Ok(value)
+                    };
+                    Ok(HistOp::Submit(TaskSpec {
+                        device_pos: Vec2::new(parse(x)?, parse(y)?),
+                        device_facing: Angle::from_radians(parse(facing)?),
+                        end_slot: end
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad op line `{line}`"))?,
+                        required_energy: parse(energy)?,
+                        weight: parse(weight)?,
+                    }))
+                }
+                _ => Err(format!("bad op line `{line}`")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let num_shards = cells.len();
     let mut shards = Vec::with_capacity(num_shards);
     for expected in 0..num_shards {
         let head = lines
@@ -1326,64 +2106,82 @@ pub fn parse_composite(text: &str) -> Result<CompositeSnapshot, String> {
     if lines.next().is_some() {
         return Err("trailing lines after the last shard snapshot".to_string());
     }
-    for (owner, what) in charger_shard
-        .iter()
-        .map(|o| (o, "charger"))
-        .chain(order.iter().map(|o| (o, "task")))
-        .chain(plan.iter().map(|(_, o)| (o, "plan")))
-    {
-        if *owner as usize >= num_shards {
-            return Err(format!(
-                "{what} owner {owner} out of range ({num_shards} shards)"
-            ));
-        }
+    // Validate the geometry as a whole and re-derive the arrival-order
+    // owners (`cell_of` is total, so every derived owner is in range).
+    let partition = Partition::from_rects(
+        Vec2::new(origin.0, origin.1),
+        field.0,
+        field.1,
+        halo,
+        grid,
+        cells.clone(),
+    )
+    .map_err(|e| format!("bad partition geometry: {e}"))?;
+    let (positions, _plan, clock) = rebuild_bookkeeping(&scenario, &ops);
+    if clock > scenario.grid.num_slots {
+        return Err(format!(
+            "history ticks past the horizon: clock {clock} of {} slots",
+            scenario.grid.num_slots
+        ));
     }
+    let order = positions
+        .iter()
+        .map(|pos| partition.cell_of(*pos) as u32)
+        .collect();
     Ok(CompositeSnapshot {
-        cells,
+        tenant,
+        map_version,
+        grid,
         origin,
         field,
         halo,
-        charger_shard,
-        order,
-        plan,
+        cells,
+        scenario: scenario_text,
+        ops,
         shards,
+        order,
     })
 }
 
 /// `RESTORE` on the router, two-phase so no failure can leave a partial
-/// cut behind. Phase 1 parses the composite document and restores every
-/// embedded engine *off to the side*, validating the set as a whole (per
-/// section parse/validate, clock consistency across the cut); any failure
-/// returns a structured `ERR` with all live state untouched. Phase 2
-/// commits: every shard installs its restored engine (in-process) or
-/// receives the snapshot text as its new baseline (child process — a push
-/// failure there just marks the child down, and the rejoin replay
-/// rebuilds it from that same committed baseline).
-fn restore_composite(core: &mut RouterCore, config: &RouterConfig, payload: &str) -> Reply {
+/// cut behind. The document names its tenant; `RESTORE` creates that
+/// tenant if needed (or rebuilds its fleet to the document's cell
+/// count), then overwrites its state wholesale. Phase 1 parses the
+/// composite document and restores every embedded engine *off to the
+/// side*, validating the set as a whole (per section parse/validate,
+/// clock consistency across the cut and against the operation history);
+/// any failure returns a structured `ERR` with all live state untouched.
+/// Phase 2 commits: every shard installs its restored engine
+/// (in-process) or receives the snapshot text as its new baseline (child
+/// process — a push failure there just marks the child down, and the
+/// rejoin replay rebuilds it from that same committed baseline).
+fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str) -> Reply {
     let composite = match parse_composite(payload) {
         Ok(composite) => composite,
         Err(reason) => return Reply::Err(ErrCode::BadSnapshot, reason),
     };
-    if composite.cells != config.cells {
-        return Reply::Err(
-            ErrCode::BadSnapshot,
-            format!(
-                "snapshot topology {}x{} does not match this router's {}x{}",
-                composite.cells.0, composite.cells.1, config.cells.0, config.cells.1
-            ),
-        );
-    }
-    let partition = match Partition::grid(
+    let partition = match Partition::from_rects(
         Vec2::new(composite.origin.0, composite.origin.1),
         composite.field.0,
         composite.field.1,
-        composite.cells.0,
-        composite.cells.1,
         composite.halo,
+        composite.grid,
+        composite.cells.clone(),
     ) {
         Ok(partition) => partition,
         Err(e) => return Reply::Err(ErrCode::BadSnapshot, e.to_string()),
     };
+    let scenario = match model_io::read_scenario(&composite.scenario) {
+        Ok(scenario) => scenario,
+        Err(e) => return Reply::Err(ErrCode::BadSnapshot, format!("bad embedded scenario: {e}")),
+    };
+    let (order, plan, ops_clock) = rebuild_bookkeeping(&scenario, &composite.ops);
+    if composite.shards.len() != composite.cells.len() {
+        return Reply::Err(
+            ErrCode::BadSnapshot,
+            "shard count does not match cell count".to_string(),
+        );
+    }
     // Phase 1: restore and validate every section without installing.
     let mut engines = Vec::with_capacity(composite.shards.len());
     let mut clock: Option<(usize, bool)> = None;
@@ -1413,17 +2211,71 @@ fn restore_composite(core: &mut RouterCore, config: &RouterConfig, payload: &str
     let Some((slot, open)) = clock else {
         return Reply::Err(ErrCode::BadSnapshot, "snapshot has no shards".to_string());
     };
+    if slot != ops_clock {
+        return Reply::Err(
+            ErrCode::BadSnapshot,
+            format!(
+                "inconsistent cut: operation history reaches clock {ops_clock}, shards sit at {slot}"
+            ),
+        );
+    }
+    // The document's tenant: create it (or rebuild its fleet) to the
+    // document's cell count. Fresh slots are built before any live state
+    // is replaced, so a spawn failure aborts cleanly.
+    let count = composite.shards.len();
+    let matches_fleet = core
+        .tenants
+        .get(&composite.tenant)
+        .map(|tenant| tenant.shards.len() == count)
+        .unwrap_or(false);
+    if !matches_fleet {
+        let mut fresh = Vec::with_capacity(count);
+        for cell in 0..count {
+            match fresh_slot(shared, cell) {
+                Ok(slot) => fresh.push(slot),
+                Err(reply) => return reply,
+            }
+        }
+        match core.tenants.get_mut(&composite.tenant) {
+            Some(tenant) => tenant.shards = fresh,
+            None => {
+                core.tenants.insert(
+                    composite.tenant.clone(),
+                    TenantCore::new(
+                        fresh,
+                        None,
+                        TenantCounters::for_tenant(shared.telemetry.registry(), &composite.tenant),
+                    ),
+                );
+            }
+        }
+    }
+    let Some(tenant) = core.tenants.get_mut(&composite.tenant) else {
+        return internal("the restored tenant vanished mid-request");
+    };
     // Phase 2: the whole cut validated — commit it everywhere.
-    for ((shard, engine), snapshot) in core.shards.iter().zip(engines).zip(composite.shards.iter())
+    for ((shard, engine), snapshot) in tenant
+        .shards
+        .iter()
+        .zip(engines)
+        .zip(composite.shards.iter())
     {
         shard.install_restored(engine, snapshot);
     }
-    core.charger_shard = composite.charger_shard;
-    core.order = composite.order;
-    core.plan = composite.plan.into();
-    core.slots = slots;
-    core.clock = slot;
-    core.partition = Some(partition);
+    for (index, shard) in tenant.shards.iter().enumerate() {
+        shard.set_cell(index);
+    }
+    tenant.partition = Some(partition);
+    tenant.map = RoutingMap::at_version(composite.map_version, count);
+    tenant.scenario = Some(scenario);
+    tenant.ops = composite.ops;
+    tenant.order = order;
+    tenant.plan = plan;
+    tenant.slots = slots;
+    tenant.clock = slot;
+    tenant.quota_used = 0;
+    tenant.cell_submits = vec![0; count];
+    TenantCounters::set_shards(shared.telemetry.registry(), &composite.tenant, count);
     Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
 }
 

@@ -419,6 +419,7 @@ pub(crate) fn hello_reply(version: &str, shards: usize, cells: (usize, usize)) -
 /// Formats one `SHARDS?` payload line. Shared with the router so both
 /// emitters stay field-compatible. `health`/`restarts`/`replay` come from
 /// the out-of-process supervisor; in-process shards report `up 0 0`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn shard_line(
     index: usize,
     cell: (usize, usize),
@@ -426,9 +427,11 @@ pub(crate) fn shard_line(
     health: ShardHealth,
     restarts: u64,
     replay: u64,
+    tenant: &str,
+    map_version: u64,
 ) -> String {
     format!(
-        "shard={index} cell={},{} slot={} open={} tasks={} staged={} admitted={} rejected={} pending={} health={} restarts={restarts} replay={replay}\n",
+        "shard={index} cell={},{} slot={} open={} tasks={} staged={} admitted={} rejected={} pending={} health={} restarts={restarts} replay={replay} tenant={tenant} map={map_version}\n",
         cell.0,
         cell.1,
         status.clock,
@@ -565,8 +568,18 @@ fn execute<R: BufRead>(
         },
         Request::Shards => match shared.shard.status() {
             Err(e) => shard_err(e),
-            // The single-engine daemon is its own one-shard topology.
-            Ok(status) => Reply::Data(shard_line(0, (0, 0), &status, ShardHealth::Up, 0, 0)),
+            // The single-engine daemon is its own one-shard topology:
+            // fixed default tenant, routing map version 0 (never swapped).
+            Ok(status) => Reply::Data(shard_line(
+                0,
+                (0, 0),
+                &status,
+                ShardHealth::Up,
+                0,
+                0,
+                "default",
+                0,
+            )),
         },
         Request::Snapshot => match shared.shard.snapshot() {
             Ok(text) => Reply::Data(text),
@@ -584,6 +597,23 @@ fn execute<R: BufRead>(
                 Err(e) => shard_err(e),
             }
         }
+        // The single-engine daemon serves exactly one tenant. Selecting it
+        // is a no-op (so v1 clients written against a router still work);
+        // any other id names state this process does not hold.
+        Request::Tenant { id, .. } => {
+            if id == "default" {
+                Reply::Ok("tenant=default".to_string())
+            } else {
+                Reply::Err(
+                    ErrCode::UnknownTenant,
+                    format!("tenant `{id}` does not exist on a single-engine daemon"),
+                )
+            }
+        }
+        Request::ReshardSplit(_) | Request::ReshardMerge(..) => Reply::Err(
+            ErrCode::BadRequest,
+            "RESHARD requires a router (single-engine daemon has no cells)".to_string(),
+        ),
         Request::Bye => return Ok((Reply::Ok("bye".to_string()), true)),
     };
     Ok((reply, false))
@@ -710,7 +740,7 @@ mod tests {
                 assert!(
                     payload
                         .trim_end()
-                        .ends_with("health=up restarts=0 replay=0"),
+                        .ends_with("health=up restarts=0 replay=0 tenant=default map=0"),
                     "{payload}"
                 );
             }

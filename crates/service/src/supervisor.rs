@@ -494,7 +494,10 @@ struct RemoteInner {
 /// and journal that make its death recoverable. All methods are `&self`
 /// (interior mutex), mirroring [`Shard`].
 pub(crate) struct RemoteShard {
-    cell: usize,
+    /// The cell this shard currently owns. Atomic because elastic
+    /// resharding renumbers cells while other connections may be
+    /// formatting error details that name this one.
+    cell: std::sync::atomic::AtomicUsize,
     inner: Mutex<RemoteInner>,
 }
 
@@ -509,7 +512,7 @@ impl RemoteShard {
     ) -> std::io::Result<RemoteShard> {
         match launcher.spawn() {
             Ok((child, conn)) => Ok(RemoteShard {
-                cell,
+                cell: std::sync::atomic::AtomicUsize::new(cell),
                 inner: Mutex::new(RemoteInner {
                     launcher,
                     child: Some(child),
@@ -528,6 +531,11 @@ impl RemoteShard {
             }),
             Err(reason) => Err(std::io::Error::other(format!("shard {cell}: {reason}"))),
         }
+    }
+
+    /// Renumbers the cell this shard owns (after a routing-map swap).
+    pub(crate) fn set_cell(&self, cell: usize) {
+        self.cell.store(cell, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Matures every fault directive scheduled at or before `clock`.
@@ -777,7 +785,7 @@ impl RemoteShard {
     fn guard(&self, inner: &mut RemoteInner) -> Result<(), SlotError> {
         if let Some(reason) = inner.down.clone() {
             return Err(SlotError::Unavailable {
-                cell: self.cell,
+                cell: self.cell.load(std::sync::atomic::Ordering::Relaxed),
                 detail: reason,
             });
         }
@@ -837,7 +845,7 @@ impl RemoteShard {
         inner.child = None; // ChildProc::drop kills and reaps
         inner.down = Some(reason.clone());
         SlotError::Unavailable {
-            cell: self.cell,
+            cell: self.cell.load(std::sync::atomic::Ordering::Relaxed),
             detail: reason,
         }
     }
@@ -1049,6 +1057,14 @@ impl ShardSlot {
         match self {
             ShardSlot::Local(_) => None,
             ShardSlot::Remote(shard) => Some(shard.export_document()),
+        }
+    }
+
+    /// Renumbers the cell a remote shard reports in `Unavailable` errors
+    /// (no-op for in-process shards, which carry no cell identity).
+    pub(crate) fn set_cell(&self, cell: usize) {
+        if let ShardSlot::Remote(shard) = self {
+            shard.set_cell(cell);
         }
     }
 

@@ -26,7 +26,7 @@ use crate::shard::ShardStatus;
 
 /// Every wire directive, for pre-building per-opcode series handles.
 /// Must stay in sync with [`crate::proto::Request::opcode`].
-const OPCODES: [&str; 14] = [
+const OPCODES: [&str; 16] = [
     "HELLO",
     "LOAD",
     "SUBMIT",
@@ -38,6 +38,8 @@ const OPCODES: [&str; 14] = [
     "METRICS?",
     "EXPORT?",
     "SHARDS?",
+    "TENANT",
+    "RESHARD",
     "SNAPSHOT",
     "RESTORE",
     "BYE",
@@ -221,6 +223,46 @@ impl SupervisorCounters {
             ),
         }
     }
+}
+
+/// The router's per-tenant elasticity series, resolved once per tenant
+/// when it is created (or restored).
+#[derive(Clone)]
+pub(crate) struct TenantCounters {
+    /// Completed split/merge migrations.
+    pub reshards: Counter,
+    /// Submissions bounced by the tenant's per-slot admission quota.
+    pub quota_rejected: Counter,
+}
+
+impl TenantCounters {
+    /// Resolves the counters of one tenant (labeled by tenant id).
+    pub(crate) fn for_tenant(registry: &Registry, tenant: &str) -> TenantCounters {
+        TenantCounters {
+            reshards: registry.counter_with("haste_router_reshards_total", "tenant", tenant),
+            quota_rejected: registry.counter_with(
+                "haste_router_tenant_rejected_total",
+                "tenant",
+                tenant,
+            ),
+        }
+    }
+
+    /// Publishes a tenant's current shard count (the
+    /// `haste_router_tenant_shards` gauge).
+    pub(crate) fn set_shards(registry: &Registry, tenant: &str, shards: usize) {
+        registry
+            .gauge_with("haste_router_tenant_shards", "tenant", tenant)
+            .set(shards as u64);
+    }
+}
+
+/// Counts one accepted submission against its cell's arrival-rate series
+/// (`haste_router_cell_submits_total`, the auto-split load trigger).
+pub(crate) fn count_cell_submit(registry: &Registry, cell: usize) {
+    registry
+        .counter_with("haste_router_cell_submits_total", "cell", &cell.to_string())
+        .inc();
 }
 
 #[cfg(test)]

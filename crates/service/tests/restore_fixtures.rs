@@ -7,7 +7,7 @@
 use haste_distributed::{OnlineConfig, TaskSpec};
 use haste_geometry::{Angle, Vec2};
 use haste_model::{Charger, ChargingParams, Scenario, Task, TimeGrid};
-use haste_service::{parse_composite, serve_router, Client, CompositeSnapshot, RouterConfig};
+use haste_service::{parse_composite, render_composite, serve_router, Client, RouterConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,37 +96,11 @@ fn drive_to(client: &mut Client, trace: &[(usize, TaskSpec)], to_slot: usize) {
     }
 }
 
-/// Re-serializes a parsed composite in the router's own document format.
-/// `render(parse(text)) == text` is asserted against a live snapshot
-/// before any spliced document is trusted, so corruption built on top of
-/// this helper corrupts exactly what it means to.
-fn render(c: &CompositeSnapshot) -> String {
-    let mut text = String::from("# haste-router snapshot v2\n");
-    text.push_str(&format!("cells {} {}\n", c.cells.0, c.cells.1));
-    text.push_str(&format!(
-        "field {} {} {} {} {}\n",
-        c.origin.0, c.origin.1, c.field.0, c.field.1, c.halo
-    ));
-    text.push_str(&format!("chargers {}\n", c.charger_shard.len()));
-    for owner in &c.charger_shard {
-        text.push_str(&format!("{owner}\n"));
-    }
-    text.push_str(&format!("order {}\n", c.order.len()));
-    for owner in &c.order {
-        text.push_str(&format!("{owner}\n"));
-    }
-    text.push_str(&format!("plan {}\n", c.plan.len()));
-    for (slot, owner) in &c.plan {
-        text.push_str(&format!("{slot} {owner}\n"));
-    }
-    for (index, snapshot) in c.shards.iter().enumerate() {
-        text.push_str(&format!("shard {index} {}\n", snapshot.lines().count()));
-        text.push_str(snapshot);
-        if !snapshot.is_empty() && !snapshot.ends_with('\n') {
-            text.push('\n');
-        }
-    }
-    text
+/// `render_composite(parse_composite(text)) == text` is asserted against
+/// live snapshots before any spliced document is trusted, so corruption
+/// built on top of the round-trip corrupts exactly what it means to.
+fn render(c: &haste_service::CompositeSnapshot) -> String {
+    render_composite(c)
 }
 
 /// The full live-state fingerprint a failed RESTORE must not perturb.
