@@ -12,7 +12,8 @@
 //!     [--fault-plan FILE] [--binary] [--batch N] [--json FILE] \
 //!     [--profile uniform|diurnal[:PERIOD]|hotspot[:CELL:FACTOR]] \
 //!     [--reshard-split SLOT:CELL] [--open-loop RATE] \
-//!     [--metrics-addr HOST:PORT] [--check-export]
+//!     [--metrics-addr HOST:PORT] [--check-export] \
+//!     [--wal-dir DIR] [--routerd PATH]
 //! ```
 //!
 //! `--binary` negotiates protocol v3 binary framing on the worker
@@ -48,6 +49,15 @@
 //! a no-fault reference session first and fails unless every cell the
 //! plan did not target finishes bit-identical to it, every targeted
 //! shard recovers, and at least one restart was actually exercised.
+//!
+//! `--wal-dir DIR` makes the self-hosted router durable (stale WAL
+//! artifacts in DIR are removed at session start). A fault plan with
+//! `kill-router @slot` directives requires it: the harness then runs the
+//! router as a `routerd` subprocess (`--routerd` overrides the binary
+//! path), SIGKILLs it at each listed post-tick barrier, respawns it to
+//! recover from the WAL, and fails unless the recovered run finishes
+//! bit-identical to the undisturbed reference — every cell and the
+//! total.
 //!
 //! Exits non-zero on any transport/protocol error, on rejected
 //! submissions, or when the streamed session's utility does not match the
@@ -167,6 +177,14 @@ fn main() {
                 i += 1;
             }
             "--check-export" => config.check_export = true,
+            "--wal-dir" => {
+                config.wal_dir = Some(std::path::PathBuf::from(value(&args, i, "--wal-dir")));
+                i += 1;
+            }
+            "--routerd" => {
+                config.routerd = Some(std::path::PathBuf::from(value(&args, i, "--routerd")));
+                i += 1;
+            }
             "--json" => {
                 json_path = Some(value(&args, i, "--json"));
                 i += 1;

@@ -1003,6 +1003,17 @@ mod tests {
     }
 
     #[test]
+    fn the_wal_module_is_in_concurrency_scope() {
+        // The durability layer's file I/O runs under the router lock by
+        // design (the durability point must precede the ack), so every
+        // such hold needs a written safety argument — L2/L3 must keep
+        // scanning wal.rs for unargued ones.
+        let src = "struct S { m: Mutex<u32> }\nimpl S { fn f(&self) { let g = self.m.lock(); \
+                   std::thread::sleep(d); } }\n";
+        assert!(!analyze_one("crates/service/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
     fn blocking_under_let_bound_guard_is_l2() {
         let src = "struct S { m: Mutex<u32> }\nimpl S { fn f(&self) {\n\
                    let g = self.m.lock();\nstd::thread::sleep(d);\n} }\n";

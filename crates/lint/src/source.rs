@@ -198,6 +198,7 @@ const D3_FILES: &[&str] = &[
     "crates/service/src/server.rs",
     "crates/service/src/router.rs",
     "crates/service/src/framing.rs",
+    "crates/service/src/wal.rs",
 ];
 
 fn in_d3_scope(path: &str) -> bool {
@@ -563,6 +564,19 @@ mod tests {
         let src = "let s = format!(\"{:?}\", x).unwrap();\n";
         assert_eq!(
             rules_of(&scan_source("crates/service/src/framing.rs", src)),
+            ["D3", "P1"]
+        );
+    }
+
+    #[test]
+    fn d3_and_p1_cover_the_wal_module() {
+        // WAL records round-trip through the same shortest-roundtrip
+        // float Display as the wire protocol, and the append path runs
+        // inside request handling: recovery bit-identity rests on both
+        // scopes covering the durability layer.
+        let src = "let s = format!(\"{:?}\", x).unwrap();\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/service/src/wal.rs", src)),
             ["D3", "P1"]
         );
     }

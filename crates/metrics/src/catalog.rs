@@ -113,6 +113,11 @@ pub const CATALOG: &[MetricSpec] = &[
     counter("haste_router_reshards_total", "tenant", "", "Completed live split/merge migrations, by tenant id."),
     counter("haste_router_tenant_rejected_total", "tenant", "", "Submissions bounced by a tenant's per-slot admission quota, by tenant id."),
     gauge("haste_router_tenant_shards", "tenant", "", "Shards currently serving each tenant, by tenant id."),
+    histogram("haste_wal_append_duration_us", "", "Write-ahead-log record append latency in microseconds (framing plus file write, excluding fsync)."),
+    histogram("haste_wal_fsync_duration_us", "", "Write-ahead-log fsync latency in microseconds, at the configured durability points."),
+    counter("haste_wal_checkpoints_total", "tenant", "", "Checkpoints written (snapshot to temp, fsync, atomic rename, log truncate), by tenant id."),
+    counter("haste_wal_replayed_ops_total", "tenant", "", "Log-tail operations replayed on top of a checkpoint during crash recovery, by tenant id."),
+    counter("haste_wal_recoveries_total", "tenant", "", "Tenants recovered from the write-ahead-log directory at router startup, by tenant id."),
     counter("haste_supervisor_restarts_total", "cell", "shard_restarts", "Shard child restarts performed by the supervisor, by cell index."),
     counter("haste_supervisor_replays_total", "cell", "shard_replays", "Journaled operations replayed into restarted shard children, by cell index."),
     counter("haste_supervisor_deadline_expired_total", "cell", "", "Supervisor requests that hit the per-request deadline, by cell index."),

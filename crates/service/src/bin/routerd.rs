@@ -17,20 +17,34 @@
 //! registry as Prometheus-style exposition over plain HTTP (any `GET`);
 //! the same document is always available in-protocol via `EXPORT?`.
 //!
+//! `--wal-dir DIR` makes the router durable: every accepted mutation is
+//! framed into a per-tenant write-ahead log under `DIR` before it is
+//! acknowledged, with periodic checkpoints (`--wal-checkpoint-every N`)
+//! and a configurable fsync policy (`--wal-sync always|every-tick`). On
+//! restart the router recovers every tenant — newest checkpoint plus
+//! log-tail replay — before accepting connections. See
+//! `docs/service_protocol.md`, "Durability".
+//!
 //! ```text
 //! cargo run --release -p haste-service --bin routerd -- \
 //!     [--addr 127.0.0.1:7411] [--cells 2x1] [--field 200x100] \
 //!     [--origin 0,0] [--threads 4] [--max-pending 4096] \
 //!     [--split-threshold N] [--out-of-process] [--shardd PATH] \
-//!     [--deadline-ms N] [--fault-plan FILE] [--metrics-addr HOST:PORT]
+//!     [--deadline-ms N] [--fault-plan FILE] [--metrics-addr HOST:PORT] \
+//!     [--wal-dir DIR] [--wal-sync always|every-tick] \
+//!     [--wal-checkpoint-every N]
 //! ```
 
+use haste_service::wal::{WalConfig, WalSync};
 use haste_service::{serve_router, FaultPlan, ProcessShardConfig, RouterConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = RouterConfig::default();
     let mut process: Option<ProcessShardConfig> = None;
+    let mut wal_dir: Option<std::path::PathBuf> = None;
+    let mut wal_sync: Option<WalSync> = None;
+    let mut wal_checkpoint_every: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -86,12 +100,26 @@ fn main() {
                     Err(reason) => fail(&format!("--fault-plan: {reason}")),
                 }
             }
+            "--wal-dir" => wal_dir = Some(std::path::PathBuf::from(value(&args, i, flag))),
+            "--wal-sync" => {
+                let policy = value(&args, i, flag);
+                match WalSync::parse(&policy) {
+                    Some(sync) => wal_sync = Some(sync),
+                    None => fail(&format!(
+                        "--wal-sync: bad policy `{policy}`; expected `always` or `every-tick`"
+                    )),
+                }
+            }
+            "--wal-checkpoint-every" => {
+                wal_checkpoint_every = Some(single(&value(&args, i, flag), flag));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: routerd [--addr HOST:PORT] [--cells CXxCY] [--field WxH] \
                      [--origin X,Y] [--threads N] [--max-pending N] [--split-threshold N] \
                      [--out-of-process] [--shardd PATH] [--deadline-ms N] \
-                     [--fault-plan FILE] [--metrics-addr HOST:PORT]"
+                     [--fault-plan FILE] [--metrics-addr HOST:PORT] [--wal-dir DIR] \
+                     [--wal-sync always|every-tick] [--wal-checkpoint-every N]"
                 );
                 return;
             }
@@ -100,6 +128,24 @@ fn main() {
         i += 2;
     }
     config.process = process;
+    config.wal = match wal_dir {
+        Some(dir) => {
+            let mut wal = WalConfig::new(dir);
+            if let Some(sync) = wal_sync {
+                wal.sync = sync;
+            }
+            if let Some(every) = wal_checkpoint_every {
+                wal.checkpoint_every = every;
+            }
+            Some(wal)
+        }
+        None => {
+            if wal_sync.is_some() || wal_checkpoint_every.is_some() {
+                fail("--wal-sync/--wal-checkpoint-every need --wal-dir");
+            }
+            None
+        }
+    };
 
     let (cx, cy) = config.cells;
     if cx == 0 || cy == 0 {

@@ -81,11 +81,21 @@ impl ClientError {
     /// dropped the connection between accept and greeting
     /// (`ECONNRESET`/`EPIPE`/abort/EOF mid-reply).
     fn transient_for_connect(&self) -> bool {
+        matches!(self, ClientError::Io(e) if e.kind() == std::io::ErrorKind::ConnectionRefused)
+            || self.disconnected()
+    }
+
+    /// Whether the error means the established connection is gone —
+    /// `ECONNRESET`/`ECONNABORTED`/`EPIPE`, or EOF mid-reply. These (and
+    /// only these) justify a transparent reconnect: the request may
+    /// never have reached the peer, or the peer restarted. A refused
+    /// connect, a timeout, a server `ERR`, or a protocol violation is
+    /// not a disconnect — retrying those would mask a real failure.
+    pub fn disconnected(&self) -> bool {
         match self {
             ClientError::Io(e) => matches!(
                 e.kind(),
-                std::io::ErrorKind::ConnectionRefused
-                    | std::io::ErrorKind::ConnectionReset
+                std::io::ErrorKind::ConnectionReset
                     | std::io::ErrorKind::ConnectionAborted
                     | std::io::ErrorKind::BrokenPipe
                     | std::io::ErrorKind::UnexpectedEof
@@ -158,10 +168,28 @@ enum WireMode {
 
 /// A connected protocol client. One request is in flight at a time
 /// (the protocol is strictly request/reply).
+///
+/// The idempotent read-only queries — [`shards`](Client::shards),
+/// [`metrics`](Client::metrics), [`export`](Client::export) — survive a
+/// dropped connection transparently: on `ECONNRESET`/`EPIPE`/EOF the
+/// client reconnects to the remembered peer, re-negotiates the exact
+/// `HELLO` version this session had (re-selecting its tenant, if one was
+/// chosen), and retries the query once. Mutating requests never
+/// reconnect — a `SUBMIT` or `TICK` whose connection died may or may not
+/// have been applied, and silently retrying it could double-apply.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     mode: WireMode,
+    /// The peer this session dialed, for transparent reconnects.
+    peer: Option<std::net::SocketAddr>,
+    /// The armed request deadline, re-applied across reconnects.
+    deadline: Option<Duration>,
+    /// The `HELLO` version token the session actually negotiated.
+    hello: &'static str,
+    /// The tenant selected with [`tenant`](Client::tenant), re-selected
+    /// (by id only — never the quota, which is a mutation) on reconnect.
+    tenant: Option<String>,
 }
 
 impl Client {
@@ -201,6 +229,7 @@ impl Client {
     pub fn connect_v2<A: ToSocketAddrs>(addr: A) -> Result<(Client, Topology), ClientError> {
         Self::connect_with_retry(&addr, None, |client| {
             let fields = client.request_fields(&format!("HELLO {VERSION_V2}"))?;
+            client.hello = VERSION_V2;
             parse_topology(&fields)
         })
     }
@@ -220,11 +249,15 @@ impl Client {
                     let topology = parse_topology(&fields)?;
                     // The daemon switches to frames right after its OK.
                     client.mode = WireMode::Framed;
+                    client.hello = VERSION_V3;
                     Ok(topology)
                 }
                 Err(ClientError::Server { code, .. }) if code == "version" => {
                     match client.request_fields(&format!("HELLO {VERSION_V2}")) {
-                        Ok(fields) => parse_topology(&fields),
+                        Ok(fields) => {
+                            client.hello = VERSION_V2;
+                            parse_topology(&fields)
+                        }
                         Err(ClientError::Server { code, .. }) if code == "version" => {
                             client.request_fields(&format!("HELLO {VERSION}"))?;
                             Ok(Topology {
@@ -287,10 +320,15 @@ impl Client {
         stream
             .set_write_timeout(deadline)
             .map_err(ClientError::Io)?;
+        let peer = stream.peer_addr().ok();
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             mode: WireMode::Text,
+            peer,
+            deadline,
+            hello: VERSION,
+            tenant: None,
         })
     }
 
@@ -307,6 +345,7 @@ impl Client {
         stream
             .set_write_timeout(deadline)
             .map_err(ClientError::Io)?;
+        self.deadline = deadline;
         Ok(())
     }
 
@@ -406,6 +445,49 @@ impl Client {
             Payload::Document(document) => Ok(document),
             Payload::Fields(_) => Err(ClientError::Protocol("expected DATA, got OK".to_string())),
         }
+    }
+
+    /// [`request_document`](Client::request_document) for **idempotent
+    /// read-only** queries only: on a disconnect the session is
+    /// re-established ([`reconnect`](Client::reconnect)) and the query is
+    /// retried exactly once. Safe because the query mutates nothing on
+    /// the peer — asking twice answers the same question.
+    fn request_document_reconnecting(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.request_document(line) {
+            Err(e) if e.disconnected() => {
+                self.reconnect()?;
+                self.request_document(line)
+            }
+            other => other,
+        }
+    }
+
+    /// Re-establishes a dropped session: dials the remembered peer (with
+    /// the same bounded retry as the original connect, covering a daemon
+    /// mid-restart), re-negotiates the **exact** `HELLO` version this
+    /// session had — a downgrade mid-session would silently change
+    /// semantics, so an endpoint that no longer speaks it is an error —
+    /// and re-selects the session tenant by id. The tenant quota, if one
+    /// was ever sent, is a mutation and is never re-sent.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let peer = self.peer.ok_or_else(|| {
+            ClientError::Protocol("no remembered peer address to reconnect to".to_string())
+        })?;
+        let hello = self.hello;
+        let (mut fresh, ()) = Self::connect_with_retry(&peer, self.deadline, |client| {
+            client.request_fields(&format!("HELLO {hello}"))?;
+            if hello == VERSION_V3 {
+                client.mode = WireMode::Framed;
+            }
+            client.hello = hello;
+            Ok(())
+        })?;
+        if let Some(tenant) = &self.tenant {
+            fresh.request_fields(&format!("TENANT {tenant}"))?;
+            fresh.tenant = Some(tenant.clone());
+        }
+        *self = fresh;
+        Ok(())
     }
 
     fn read_line(&mut self) -> Result<String, ClientError> {
@@ -582,9 +664,10 @@ impl Client {
         Ok(crate::shard::UtilityParts { full, relaxed })
     }
 
-    /// Solver metrics and counters, as `(key, value)` pairs.
+    /// Solver metrics and counters, as `(key, value)` pairs. Idempotent:
+    /// survives a dropped connection by transparent reconnect.
     pub fn metrics(&mut self) -> Result<Vec<(String, String)>, ClientError> {
-        let document = self.request_document("METRICS?")?;
+        let document = self.request_document_reconnecting("METRICS?")?;
         document
             .lines()
             .map(|line| {
@@ -597,14 +680,17 @@ impl Client {
 
     /// The typed metric registry as Prometheus-style exposition text
     /// (`EXPORT?`). Parse with [`haste_metrics::Snapshot::parse`].
+    /// Idempotent: survives a dropped connection by transparent
+    /// reconnect.
     pub fn export(&mut self) -> Result<String, ClientError> {
-        self.request_document("EXPORT?")
+        self.request_document_reconnecting("EXPORT?")
     }
 
     /// Per-shard slot/cell/admission counters (v2). A plain daemon
-    /// answers with itself as shard 0 on cell `(0, 0)`.
+    /// answers with itself as shard 0 on cell `(0, 0)`. Idempotent:
+    /// survives a dropped connection by transparent reconnect.
     pub fn shards(&mut self) -> Result<Vec<ShardInfo>, ClientError> {
-        let document = self.request_document("SHARDS?")?;
+        let document = self.request_document_reconnecting("SHARDS?")?;
         document.lines().map(parse_shard_line).collect()
     }
 
@@ -632,6 +718,7 @@ impl Client {
             None => format!("TENANT {id}"),
         };
         self.request_fields(&request)?;
+        self.tenant = Some(id.to_string());
         Ok(())
     }
 
@@ -1049,6 +1136,151 @@ mod tests {
         assert_eq!(err.code(), Some("no-scenario"));
         client.bye().expect("polite framed shutdown");
         server.shutdown();
+    }
+
+    /// A scripted text daemon session on an already-accepted stream:
+    /// answers each expected request with its reply, then returns the
+    /// stream (dropped by the caller to slam the door, or kept to go
+    /// on).
+    fn run_script(
+        stream: &mut TcpStream,
+        reader: &mut std::io::BufReader<TcpStream>,
+        script: &[(&str, &str)],
+    ) {
+        for (expect, reply) in script {
+            let mut line = String::new();
+            std::io::BufRead::read_line(reader, &mut line).expect("request line");
+            assert_eq!(line.trim_end(), *expect, "session went off-script");
+            std::io::Write::write_all(stream, reply.as_bytes()).expect("reply");
+        }
+    }
+
+    #[test]
+    fn read_only_queries_reconnect_through_a_dropped_session() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let daemon = std::thread::spawn(move || {
+            // Session 1: greet, then slam the door on the first METRICS?
+            // without a reply — the client sees EOF mid-reply.
+            let (mut stream, _) = listener.accept().expect("first session");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            run_script(
+                &mut stream,
+                &mut reader,
+                &[("HELLO v1", "OK haste-service v1\n")],
+            );
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("METRICS?");
+            assert_eq!(line.trim_end(), "METRICS?");
+            // Both handles must go: `reader` holds a clone of the socket,
+            // and only closing the last handle delivers the EOF.
+            drop(reader);
+            drop(stream);
+            // Session 2, same listener: the transparent reconnect must
+            // re-run the same HELLO and then retry the query.
+            let (mut stream, _) = listener.accept().expect("reconnect session");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            run_script(
+                &mut stream,
+                &mut reader,
+                &[
+                    ("HELLO v1", "OK haste-service v1\n"),
+                    ("METRICS?", "DATA 1\nsolver_runs 3\n"),
+                    ("BYE", "OK bye\n"),
+                ],
+            );
+        });
+        let mut client = Client::connect(addr).expect("handshake");
+        let metrics = client.metrics().expect("the query survives the drop");
+        assert_eq!(
+            metrics,
+            vec![("solver_runs".to_string(), "3".to_string())],
+            "the retried reply must come through intact"
+        );
+        client.bye().expect("polite shutdown on the new session");
+        daemon.join().expect("scripted daemon thread");
+    }
+
+    #[test]
+    fn reconnect_reselects_the_tenant_without_its_quota() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let daemon = std::thread::spawn(move || {
+            // Session 1: the tenant is selected WITH a quota; the door
+            // slams on EXPORT?.
+            let (mut stream, _) = listener.accept().expect("first session");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            run_script(
+                &mut stream,
+                &mut reader,
+                &[
+                    ("HELLO v1", "OK haste-service v1\n"),
+                    ("TENANT acme 7", "OK tenant=acme\n"),
+                ],
+            );
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("EXPORT?");
+            assert_eq!(line.trim_end(), "EXPORT?");
+            // Close both handles (the reader clones the socket), so the
+            // client actually sees the EOF.
+            drop(reader);
+            drop(stream);
+            // Session 2: the reconnect re-selects by id only — re-sending
+            // the quota would be a mutation smuggled inside a read.
+            let (mut stream, _) = listener.accept().expect("reconnect session");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            run_script(
+                &mut stream,
+                &mut reader,
+                &[
+                    ("HELLO v1", "OK haste-service v1\n"),
+                    ("TENANT acme", "OK tenant=acme\n"),
+                    ("EXPORT?", "DATA 1\n# TYPE haste_x counter\n"),
+                ],
+            );
+        });
+        let mut client = Client::connect(addr).expect("handshake");
+        client.tenant("acme", Some(7)).expect("select the tenant");
+        let document = client.export().expect("the query survives the drop");
+        assert_eq!(document, "# TYPE haste_x counter\n");
+        daemon.join().expect("scripted daemon thread");
+    }
+
+    #[test]
+    fn mutating_requests_never_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let daemon = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("only session");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            run_script(
+                &mut stream,
+                &mut reader,
+                &[("HELLO v1", "OK haste-service v1\n")],
+            );
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("TICK");
+            assert_eq!(line.trim_end(), "TICK 1");
+            // Drop both socket handles AND the listener: if TICK tried
+            // to reconnect it would now get ECONNREFUSED instead of the
+            // disconnect below, failing the match.
+            drop(reader);
+            drop(stream);
+            drop(listener);
+        });
+        let mut client = Client::connect(addr).expect("handshake");
+        let err = client.tick(1).expect_err("the connection died mid-TICK");
+        daemon.join().expect("scripted daemon thread");
+        assert!(
+            err.disconnected(),
+            "a mutating request must surface the raw disconnect, got {err}"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod server;
 pub mod shard;
 pub mod supervisor;
 mod telemetry;
+pub mod wal;
 
 pub use client::{Client, ClientError, ShardInfo, Topology};
 pub use router::{
@@ -55,4 +56,6 @@ pub use router::{
 };
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use shard::{LoadInfo, Shard, ShardError, ShardHealth, ShardStatus, UtilityParts};
-pub use supervisor::{resolve_shardd, FaultPlan, ProcessShardConfig, DEFAULT_SHARD_DEADLINE};
+pub use supervisor::{
+    resolve_routerd, resolve_shardd, FaultPlan, ProcessShardConfig, DEFAULT_SHARD_DEADLINE,
+};

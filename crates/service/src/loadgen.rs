@@ -38,6 +38,7 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -201,6 +202,17 @@ pub struct LoadgenConfig {
     /// topology transparently (the composite snapshot carries the cell
     /// rects the merge order is derived from).
     pub reshard_split: Option<(usize, usize)>,
+    /// Write-ahead-log directory for durable self-hosted sharded runs.
+    /// Stale `*.wal`/`*.ckpt` files in it are removed at session start,
+    /// so every session begins from a clean slate. Required by
+    /// `kill-router` fault plans (the respawned router recovers from
+    /// this directory); on any other sharded self-hosted run it simply
+    /// makes the router durable.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Explicit `routerd` binary path for `kill-router` chaos runs
+    /// (`None` resolves via `HASTE_ROUTERD`, then next to the current
+    /// executable; see [`crate::resolve_routerd`]).
+    pub routerd: Option<std::path::PathBuf>,
 }
 
 impl Default for LoadgenConfig {
@@ -227,6 +239,8 @@ impl Default for LoadgenConfig {
             metrics_addr: None,
             check_export: false,
             reshard_split: None,
+            wal_dir: None,
+            routerd: None,
         }
     }
 }
@@ -316,6 +330,12 @@ pub struct ChaosReport {
     pub recovered: bool,
     /// Final utility of the no-fault reference run, for context.
     pub reference_utility: f64,
+    /// `kill-router` directives executed: each one SIGKILLed the whole
+    /// router process at a post-tick barrier and respawned it, and WAL
+    /// recovery had to bring every tenant back bit-identically (for
+    /// these runs [`surviving_match`](ChaosReport::surviving_match)
+    /// covers **all** cells and the final total utility).
+    pub router_kills: usize,
 }
 
 impl LoadgenReport {
@@ -387,6 +407,9 @@ impl std::fmt::Display for LoadgenReport {
                 chaos.replays,
                 chaos.recovered
             )?;
+            if chaos.router_kills > 0 {
+                write!(f, " router_kills={}", chaos.router_kills)?;
+            }
         }
         Ok(())
     }
@@ -420,6 +443,145 @@ impl Hosted {
     }
 }
 
+/// A `routerd` subprocess hosting the session's endpoint — the victim of
+/// `kill-router` directives. Respawns reuse the exact argument list, so
+/// every incarnation binds the same reserved address and recovers from
+/// the same WAL directory.
+struct RouterProcess {
+    program: std::path::PathBuf,
+    args: Vec<String>,
+    child: Child,
+    addr: String,
+}
+
+impl RouterProcess {
+    /// Resolves the `routerd` binary, cleans the WAL directory, reserves
+    /// a local address, and spawns the first incarnation, waiting for
+    /// its listening greeting.
+    fn launch(config: &LoadgenConfig) -> Result<RouterProcess, ClientError> {
+        let program = crate::resolve_routerd(config.routerd.as_deref())?;
+        let wal_dir = config
+            .wal_dir
+            .as_ref()
+            .expect("kill-router validation requires a WAL directory");
+        clean_wal_dir(wal_dir)?;
+        let (cx, cy) = config
+            .cells
+            .expect("kill-router validation requires a sharded router");
+        let addr = reserve_addr()?;
+        let mut args = vec![
+            "--addr".to_string(),
+            addr.clone(),
+            "--cells".to_string(),
+            format!("{cx}x{cy}"),
+            "--field".to_string(),
+            format!("{0}x{0}", config.field),
+            "--origin".to_string(),
+            "0,0".to_string(),
+            // Workers + control + slack, same deadlock-avoidance rule as
+            // the in-process pools.
+            "--threads".to_string(),
+            (config.connections + 2).to_string(),
+            "--max-pending".to_string(),
+            config.max_pending.to_string(),
+            "--wal-dir".to_string(),
+            wal_dir.display().to_string(),
+            // Ticks close slots at the barriers where kills land, so the
+            // every-tick policy is exactly the durability the bitwise
+            // comparison relies on.
+            "--wal-sync".to_string(),
+            "every-tick".to_string(),
+        ];
+        if config.out_of_process {
+            args.push("--out-of-process".to_string());
+            let shardd = crate::resolve_shardd(config.shardd.as_deref())?;
+            args.push("--shardd".to_string());
+            args.push(shardd.display().to_string());
+        }
+        if let Some(deadline) = config.deadline {
+            args.push("--deadline-ms".to_string());
+            args.push(deadline.as_millis().to_string());
+        }
+        let child = RouterProcess::spawn(&program, &args)?;
+        Ok(RouterProcess {
+            program,
+            args,
+            child,
+            addr,
+        })
+    }
+
+    /// Spawns one incarnation and blocks until it prints its listening
+    /// greeting — which `routerd` does only after WAL recovery finished
+    /// and the listener is bound, so a successful spawn is a router
+    /// ready to serve recovered state.
+    fn spawn(program: &std::path::Path, args: &[String]) -> Result<Child, ClientError> {
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("routerd stdout was piped");
+        let mut greeting = String::new();
+        let outcome = BufReader::new(stdout).read_line(&mut greeting);
+        match outcome {
+            Ok(n) if n > 0 && greeting.contains("listening on") => Ok(child),
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(ClientError::Protocol(format!(
+                    "routerd subprocess did not come up (greeting `{}`)",
+                    greeting.trim_end()
+                )))
+            }
+        }
+    }
+
+    /// SIGKILLs the current incarnation — no shutdown handshake, the
+    /// whole point — reaps it, and spawns a replacement with the same
+    /// arguments. Returns once the replacement has greeted, i.e. once
+    /// recovery is complete.
+    fn kill_and_respawn(&mut self) -> Result<(), ClientError> {
+        self.child.kill()?;
+        self.child.wait()?;
+        self.child = RouterProcess::spawn(&self.program, &self.args)?;
+        Ok(())
+    }
+
+    /// Tears the subprocess down at end of session.
+    fn shutdown(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Removes stale WAL artifacts (`*.wal`, `*.ckpt`, `*.tmp`) from the
+/// configured directory, creating it first if needed, so every session
+/// starts durable from a clean slate.
+fn clean_wal_dir(dir: &std::path::Path) -> Result<(), ClientError> {
+    std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let stale = path
+            .extension()
+            .is_some_and(|ext| ext == "wal" || ext == "ckpt" || ext == "tmp");
+        if stale {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reserves a local address for the router subprocess: bind an ephemeral
+/// port, note it, release it. The respawned incarnations must reuse one
+/// fixed address (workers reconnect to it), which an OS-assigned port
+/// per spawn could not provide.
+fn reserve_addr() -> Result<String, ClientError> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?.to_string())
+}
+
 /// Runs the load generator. Returns an error on any transport or protocol
 /// failure (a malformed daemon response is an error, not a statistic —
 /// correctness is binary here).
@@ -428,7 +590,11 @@ impl Hosted {
 /// reference session, then the fault session; the returned report is the
 /// fault session's, with [`LoadgenReport::chaos`] carrying the verdict.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
-    let process_mode = config.out_of_process || config.fault_plan.is_some();
+    let shard_chaos = config
+        .fault_plan
+        .as_ref()
+        .is_some_and(FaultPlan::has_shard_faults);
+    let process_mode = config.out_of_process || shard_chaos;
     if process_mode && config.addr.is_some() {
         return Err(ClientError::Protocol(
             "out-of-process shards need a self-hosted router (drop the address)".to_string(),
@@ -437,6 +603,59 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     if process_mode && config.cells.is_none() {
         return Err(ClientError::Protocol(
             "out-of-process shards need a sharded router (set cells)".to_string(),
+        ));
+    }
+    if let Some(plan) = &config.fault_plan {
+        if !plan.router_kills().is_empty() {
+            if plan.has_shard_faults() {
+                return Err(ClientError::Protocol(
+                    "kill-router cannot share a plan with shard fault directives: a shard \
+                     fault in flight when the router dies would make the post-recovery \
+                     comparison ill-defined"
+                        .to_string(),
+                ));
+            }
+            if config.addr.is_some() {
+                return Err(ClientError::Protocol(
+                    "kill-router spawns and kills its own routerd (drop the address)".to_string(),
+                ));
+            }
+            if config.cells.is_none() {
+                return Err(ClientError::Protocol(
+                    "kill-router drives a sharded router (set cells)".to_string(),
+                ));
+            }
+            if config.wal_dir.is_none() {
+                return Err(ClientError::Protocol(
+                    "kill-router needs a write-ahead-log directory to recover from \
+                     (set wal_dir)"
+                        .to_string(),
+                ));
+            }
+            if config.metrics_addr.is_some() {
+                return Err(ClientError::Protocol(
+                    "the scrape listener belongs to an in-process router; kill-router runs \
+                     routerd as a subprocess"
+                        .to_string(),
+                ));
+            }
+            if config.check_export {
+                return Err(ClientError::Protocol(
+                    "the exposition self-check cannot cross a router kill: counters do not \
+                     survive the process"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    if config.wal_dir.is_some() && config.addr.is_some() {
+        return Err(ClientError::Protocol(
+            "the WAL belongs to the self-hosted router (drop the address)".to_string(),
+        ));
+    }
+    if config.wal_dir.is_some() && config.cells.is_none() {
+        return Err(ClientError::Protocol(
+            "the WAL needs a sharded router (set cells)".to_string(),
         ));
     }
     if let ArrivalProfile::Diurnal { period: 0 } = config.profile {
@@ -483,10 +702,15 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
                 "open-loop mode drives no TICKs, so a scripted reshard never fires".to_string(),
             ));
         }
-        if config.fault_plan.is_some() {
+        // Shard-fault chaos assumes a stable topology for its per-cell
+        // reference comparison. A kill-router plan is fine: both the
+        // reference and the fault session perform the same split, so the
+        // comparison stays aligned — and the split record's WAL replay is
+        // exactly what the kill is meant to exercise.
+        if shard_chaos {
             return Err(ClientError::Protocol(
-                "scripted resharding and chaos mode cannot share a run: the per-cell \
-                 reference comparison assumes a stable topology"
+                "scripted resharding and shard-fault chaos cannot share a run: the \
+                 per-cell reference comparison assumes a stable topology"
                     .to_string(),
             ));
         }
@@ -550,6 +774,17 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
     let obs = expect_observed(obs)?;
 
     let fault_cells: Vec<usize> = plan.cells().into_iter().collect();
+    // For `kill-router` runs `fault_cells` is empty, so this compares
+    // EVERY cell bitwise — and the total on top: the recovered router
+    // must be indistinguishable from one that never died. The total is
+    // compared in canonical cell order, NOT via the sessions' raw
+    // `UTILITY?` replies: those sum the per-task terms in each session's
+    // own cross-connection arrival interleaving, and float addition is
+    // not associative, so two *independent* sessions (even two no-fault
+    // ones) wobble in the last ulp. Each session's arrival-order total
+    // is separately pinned against its own offline replay
+    // (`replay_matches`), which is exactly the axis a kill could bend.
+    let canonical_total = |cells: &[f64]| cells.iter().fold(0.0f64, |acc, utility| acc + utility);
     let surviving_match = reference_obs.per_shard_utility.len() == obs.per_shard_utility.len()
         && reference_obs
             .per_shard_utility
@@ -558,7 +793,10 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
             .enumerate()
             .all(|(cell, (reference, faulted))| {
                 fault_cells.contains(&cell) || reference.to_bits() == faulted.to_bits()
-            });
+            })
+        && (plan.router_kills().is_empty()
+            || canonical_total(&reference_obs.per_shard_utility).to_bits()
+                == canonical_total(&obs.per_shard_utility).to_bits());
     report.chaos = Some(ChaosReport {
         fault_cells,
         surviving_match,
@@ -567,6 +805,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         unavailable: report.unavailable,
         recovered: obs.all_serving,
         reference_utility: reference.utility,
+        router_kills: plan.router_kills().len(),
     });
     Ok(report)
 }
@@ -598,38 +837,69 @@ fn run_session(
     fault: Option<&FaultPlan>,
     observe: bool,
 ) -> Result<(LoadgenReport, Option<ShardObservations>), ClientError> {
-    let process_mode = config.out_of_process || config.fault_plan.is_some();
-    let hosted = match (&config.addr, config.cells) {
-        (Some(_), _) => None,
-        // Workers + the control connection must all fit in the pool, or
-        // the barrier protocol deadlocks waiting on a queued connection.
-        (None, None) => Some(Hosted::Daemon(serve(ServerConfig {
-            worker_threads: config.connections + 2,
-            max_pending: config.max_pending,
-            ..ServerConfig::default()
-        })?)),
-        (None, Some(cells)) => {
-            let process = process_mode.then(|| ProcessShardConfig {
-                shardd: config.shardd.clone(),
-                deadline: config.deadline,
-                fault_plan: fault.cloned(),
-            });
-            Some(Hosted::Router(serve_router(RouterConfig {
+    let process_mode = config.out_of_process
+        || config
+            .fault_plan
+            .as_ref()
+            .is_some_and(FaultPlan::has_shard_faults);
+    // A `kill-router` session cannot host its victim in-process: the
+    // whole point is SIGKILLing the router mid-run, so it runs as a
+    // `routerd` subprocess recovering from the configured WAL directory.
+    // The chaos *reference* session (`fault` is `None`) stays in-process
+    // — the undisturbed yardstick (durable too when `wal_dir` is set,
+    // which changes nothing the comparison can see).
+    let router_kill_slots: Vec<usize> = fault
+        .map(|plan| plan.router_kills().to_vec())
+        .unwrap_or_default();
+    let mut router_process = if router_kill_slots.is_empty() {
+        None
+    } else {
+        Some(RouterProcess::launch(config)?)
+    };
+    let hosted = if router_process.is_some() {
+        None
+    } else {
+        match (&config.addr, config.cells) {
+            (Some(_), _) => None,
+            // Workers + the control connection must all fit in the pool, or
+            // the barrier protocol deadlocks waiting on a queued connection.
+            (None, None) => Some(Hosted::Daemon(serve(ServerConfig {
                 worker_threads: config.connections + 2,
                 max_pending: config.max_pending,
-                cells,
-                origin: (0.0, 0.0),
-                field: (config.field, config.field),
-                process,
-                metrics_addr: config.metrics_addr.clone(),
-                ..RouterConfig::default()
-            })?))
+                ..ServerConfig::default()
+            })?)),
+            (None, Some(cells)) => {
+                let process = process_mode.then(|| ProcessShardConfig {
+                    shardd: config.shardd.clone(),
+                    deadline: config.deadline,
+                    fault_plan: fault.cloned(),
+                });
+                let wal = match &config.wal_dir {
+                    Some(dir) => {
+                        clean_wal_dir(dir)?;
+                        Some(crate::wal::WalConfig::new(dir.clone()))
+                    }
+                    None => None,
+                };
+                Some(Hosted::Router(serve_router(RouterConfig {
+                    worker_threads: config.connections + 2,
+                    max_pending: config.max_pending,
+                    cells,
+                    origin: (0.0, 0.0),
+                    field: (config.field, config.field),
+                    process,
+                    metrics_addr: config.metrics_addr.clone(),
+                    wal,
+                    ..RouterConfig::default()
+                })?))
+            }
         }
     };
-    let addr = match (&config.addr, &hosted) {
-        (Some(addr), _) => addr.clone(),
-        (None, Some(handle)) => handle.addr().to_string(),
-        (None, None) => unreachable!("self-hosted handle exists"),
+    let addr = match (&config.addr, &hosted, &router_process) {
+        (_, _, Some(process)) => process.addr.clone(),
+        (Some(addr), _, None) => addr.clone(),
+        (None, Some(handle), None) => handle.addr().to_string(),
+        (None, None, None) => unreachable!("self-hosted handle exists"),
     };
 
     let start = Instant::now();
@@ -723,6 +993,7 @@ fn run_session(
                 let slots = config.slots;
                 let binary = config.binary;
                 let batch = config.batch.max(1);
+                let reconnect = !router_kill_slots.is_empty();
                 handles.push(scope.spawn(move || -> Result<Vec<u64>, ClientError> {
                     // A failed worker keeps meeting the barriers (without
                     // submitting) so the remaining participants never
@@ -747,6 +1018,26 @@ fn run_session(
                                 let sent = Instant::now();
                                 let acks = match client.submit_batch(chunk) {
                                     Ok(acks) => acks,
+                                    // The router was killed and respawned at
+                                    // an earlier barrier: this worker's socket
+                                    // died while it was idle, so nothing of
+                                    // this chunk reached the old process —
+                                    // reconnecting and resubmitting the whole
+                                    // chunk cannot duplicate anything.
+                                    Err(e) if reconnect && e.disconnected() => {
+                                        let retried =
+                                            worker_connect(addr, binary).and_then(|fresh| {
+                                                *client = fresh;
+                                                client.submit_batch(chunk)
+                                            });
+                                        match retried {
+                                            Ok(acks) => acks,
+                                            Err(e) => {
+                                                failure = Some(e);
+                                                break 'chunks;
+                                            }
+                                        }
+                                    }
                                     Err(e) => {
                                         failure = Some(e);
                                         break 'chunks;
@@ -784,9 +1075,16 @@ fn run_session(
                     if let Some(e) = failure {
                         return Err(e);
                     }
-                    client
+                    let farewell = client
                         .expect("a connected worker reaches the epilogue")
-                        .bye()?;
+                        .bye();
+                    match farewell {
+                        // A worker with nothing to submit after the last
+                        // router kill first notices its dead socket here;
+                        // there is nothing left to say to the new process.
+                        Err(e) if reconnect && e.disconnected() => {}
+                        other => other?,
+                    }
                     Ok(latencies)
                 }));
             }
@@ -810,6 +1108,24 @@ fn run_session(
                         if let Err(e) = control.reshard_split(cell) {
                             tick_failure = Some(e);
                         }
+                    }
+                }
+                // A kill-router directive fires here, while every worker
+                // is parked at the barrier below: the slot is closed (and
+                // fsynced, under the every-tick policy the subprocess
+                // runs), nothing is in flight, and the respawn blocks on
+                // the greeting — so the control reconnect lands on a
+                // fully recovered router before any worker wakes up and
+                // notices its dead socket.
+                if router_kill_slots.contains(&slot) && tick_failure.is_none() {
+                    let revived = router_process
+                        .as_mut()
+                        .expect("kill-router sessions run a routerd subprocess")
+                        .kill_and_respawn()
+                        .and_then(|()| Client::connect(&addr));
+                    match revived {
+                        Ok(fresh) => control = fresh,
+                        Err(e) => tick_failure = Some(e),
                     }
                 }
                 barrier.wait();
@@ -919,6 +1235,9 @@ fn run_session(
     let elapsed_s = start.elapsed().as_secs_f64();
     if let Some(handle) = hosted {
         handle.shutdown();
+    }
+    if let Some(process) = router_process {
+        process.shutdown();
     }
 
     all_latencies.sort_unstable();
@@ -1292,6 +1611,15 @@ fn nearest_rank(sorted: &[u64], p: usize) -> u64 {
 /// Each shard's final utility, recomputed by restoring its section of the
 /// composite snapshot and evaluating the restored engine — a per-cell
 /// fingerprint that is bit-comparable across sessions.
+///
+/// The engine's own `total_utility` sums the weighted per-task terms in
+/// the shard's *local arrival order*, which differs between two
+/// independent sessions (workers race for the wire), so at high task
+/// counts two equivalent schedules can disagree in the last ulp purely
+/// from float addition order. The fingerprint therefore re-sums the
+/// terms sorted by the task's full spec (and the term itself as the
+/// tie-break for duplicate specs): any two sessions that scheduled the
+/// same tasks to the same utilities produce bit-identical sums.
 fn per_shard_utilities(composite_text: &str) -> Result<Vec<f64>, ClientError> {
     let composite = parse_composite(composite_text)
         .map_err(|e| ClientError::Protocol(format!("router snapshot unusable: {e}")))?;
@@ -1301,7 +1629,27 @@ fn per_shard_utilities(composite_text: &str) -> Result<Vec<f64>, ClientError> {
         .map(|snapshot| {
             let mut engine = OnlineEngine::restore(snapshot)
                 .map_err(|e| ClientError::Protocol(format!("shard snapshot unusable: {e}")))?;
-            Ok(engine.evaluate().total_utility)
+            let report = engine.evaluate();
+            let mut terms: Vec<([u64; 7], f64)> = engine
+                .scenario()
+                .tasks
+                .iter()
+                .zip(&report.per_task_utility)
+                .map(|(task, utility)| {
+                    let key = [
+                        task.release_slot as u64,
+                        task.end_slot as u64,
+                        task.device_pos.x.to_bits(),
+                        task.device_pos.y.to_bits(),
+                        task.device_facing.radians().to_bits(),
+                        task.required_energy.to_bits(),
+                        task.weight.to_bits(),
+                    ];
+                    (key, task.weight * utility)
+                })
+                .collect();
+            terms.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            Ok(terms.iter().fold(0.0f64, |acc, (_, term)| acc + term))
         })
         .collect()
 }

@@ -114,7 +114,8 @@ use crate::shard::{Shard, ShardHealth, ShardStatus, UtilityParts};
 use crate::supervisor::{
     resolve_shardd, Launcher, ProcessShardConfig, RemoteShard, ShardSlot, SlotError,
 };
-use crate::telemetry::{self, SupervisorCounters, Telemetry, TenantCounters};
+use crate::telemetry::{self, SupervisorCounters, Telemetry, TenantCounters, WalTelemetry};
+use crate::wal::{self, TenantWal, WalConfig, WalRecord, WalSync};
 
 /// Magic first line of a composite router snapshot.
 const COMPOSITE_MAGIC: &str = "# haste-router snapshot v3";
@@ -160,6 +161,13 @@ pub struct RouterConfig {
     /// effort — an unsplittable cell keeps its load). `None` disables
     /// the trigger; `RESHARD SPLIT` always works.
     pub split_threshold: Option<u64>,
+    /// `Some` makes the router durable: every tenant mutation is framed
+    /// into a per-tenant write-ahead log under the configured directory,
+    /// checkpointed through the composite-snapshot machinery, and at
+    /// startup every tenant found there is recovered bit-identically
+    /// before the first connection is accepted. `None` is the original
+    /// in-memory router.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for RouterConfig {
@@ -175,6 +183,7 @@ impl Default for RouterConfig {
             process: None,
             metrics_addr: None,
             split_threshold: None,
+            wal: None,
         }
     }
 }
@@ -273,11 +282,38 @@ impl TenantCore {
     }
 }
 
+/// One durable tenant's log handle. `Poisoned` is the fail-stop state: a
+/// log write failed after its operation was already applied, so the
+/// router can no longer promise recovery equals the acked history — the
+/// tenant stays readable, every further mutation is refused, and only a
+/// restart (recovery from the last durable state) or a `RESTORE` (which
+/// re-creates the log wholesale) clears it. This is divergence-safe: the
+/// applied-but-unlogged operation was NACKed and is the tenant's last
+/// mutation ever, so the durable state never silently forks from the
+/// acked one.
+enum WalHandle {
+    Open(TenantWal),
+    Poisoned,
+}
+
 /// Mutable router state: every tenant's universe, under one mutex.
 struct RouterCore {
     /// Tenant id → tenant state. `BTreeMap` so cross-tenant fan-outs
     /// (`SHARDS?`, `EXPORT?`) iterate in a stable order.
     tenants: BTreeMap<String, TenantCore>,
+    /// Tenant id → open write-ahead log. Populated only on a durable
+    /// router ([`RouterConfig::wal`]), and only for tenants with state
+    /// (`LOAD`/`RESTORE` create the entry; recovery re-opens it). Lives
+    /// beside `tenants` under the same mutex so the log order is exactly
+    /// the apply order.
+    wals: BTreeMap<String, WalHandle>,
+}
+
+/// The durability runtime of one router: the `--wal-dir` configuration
+/// plus the pre-resolved `haste_wal_*` hot-path histograms.
+struct WalRuntime {
+    config: WalConfig,
+    telemetry: WalTelemetry,
 }
 
 /// State shared by every connection of one router.
@@ -290,6 +326,8 @@ struct RouterShared {
     /// reshard children spawn the same `haste-shardd` fleet; `None` in
     /// in-process mode.
     launcher: Option<Launcher>,
+    /// `Some` on a durable router (see [`RouterConfig::wal`]).
+    wal: Option<WalRuntime>,
 }
 
 /// Per-connection session state: which tenant the connection is bound
@@ -440,13 +478,32 @@ pub fn serve_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
         }
         None => None,
     };
+    let wal_runtime = match &config.wal {
+        None => None,
+        Some(wal_config) => {
+            std::fs::create_dir_all(&wal_config.dir)?;
+            Some(WalRuntime {
+                config: wal_config.clone(),
+                telemetry: WalTelemetry::new(router_telemetry.registry()),
+            })
+        }
+    };
     let shared = Arc::new(RouterShared {
-        core: Mutex::new(RouterCore { tenants }),
+        core: Mutex::new(RouterCore {
+            tenants,
+            wals: BTreeMap::new(),
+        }),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
         telemetry: router_telemetry,
         launcher,
+        wal: wal_runtime,
     });
+    // Durable startup: recover every tenant the WAL directory holds —
+    // newest checkpoint plus log-tail replay — before the accept thread
+    // exists, so the first connection already sees the recovered state.
+    // (The listener is bound; early connectors wait in its backlog.)
+    recover_from_wal(&shared)?;
     let accept_shared = Arc::clone(&shared);
     let workers = config.worker_threads.max(1);
     let accept_thread = std::thread::Builder::new()
@@ -645,41 +702,75 @@ fn execute_batch(
     let start = telemetry::clock_start();
     let tenant_id = session.borrow().tenant.clone();
     let mut core = shared.core.lock();
-    let acks: Vec<BatchAck> = match core.tenants.get_mut(&tenant_id) {
-        None => {
-            let (code, message) = unknown_tenant_parts(&tenant_id);
-            specs
-                .iter()
-                .map(|_| BatchAck::Err {
-                    code: code.as_str().to_string(),
-                    message: message.clone(),
-                })
-                .collect()
-        }
-        Some(tenant) => specs
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut acks: Vec<BatchAck> = if wal_poisoned(&core, &tenant_id) {
+        let (code, message) = wal_poisoned_parts(&tenant_id);
+        specs
             .iter()
-            .map(|spec| {
-                if !(spec.device_pos.x.is_finite()
-                    && spec.device_pos.y.is_finite()
-                    && spec.device_facing.radians().is_finite())
-                {
-                    BatchAck::rejected(ErrCode::BadTask, "non-finite position/facing")
-                } else {
-                    // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
-                    match submit_routed(tenant, &tenant_id, *spec, shared) {
-                        Ok((global, release, _shard)) => BatchAck::Ok {
-                            task: global as u64,
-                            release: release as u64,
-                        },
-                        Err((code, message)) => BatchAck::Err {
-                            code: code.as_str().to_string(),
-                            message,
-                        },
-                    }
-                }
+            .map(|_| BatchAck::Err {
+                code: code.as_str().to_string(),
+                message: message.clone(),
             })
-            .collect(),
+            .collect()
+    } else {
+        match core.tenants.get_mut(&tenant_id) {
+            None => {
+                let (code, message) = unknown_tenant_parts(&tenant_id);
+                specs
+                    .iter()
+                    .map(|_| BatchAck::Err {
+                        code: code.as_str().to_string(),
+                        message: message.clone(),
+                    })
+                    .collect()
+            }
+            Some(tenant) => specs
+                .iter()
+                .map(|spec| {
+                    if !(spec.device_pos.x.is_finite()
+                        && spec.device_pos.y.is_finite()
+                        && spec.device_facing.radians().is_finite())
+                    {
+                        // Never reached the tenant: nothing to log.
+                        BatchAck::rejected(ErrCode::BadTask, "non-finite position/facing")
+                    } else {
+                        // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
+                        match submit_routed(tenant, &tenant_id, *spec, shared) {
+                            Ok((global, release, _shard)) => {
+                                records.push(WalRecord::Submit(*spec));
+                                BatchAck::Ok {
+                                    task: global as u64,
+                                    release: release as u64,
+                                }
+                            }
+                            Err((code, message)) => {
+                                records.push(WalRecord::Reject {
+                                    code: code.as_str().to_string(),
+                                    spec: *spec,
+                                });
+                                BatchAck::Err {
+                                    code: code.as_str().to_string(),
+                                    message,
+                                }
+                            }
+                        }
+                    }
+                })
+                .collect(),
+        }
     };
+    if !wal_append(&mut core, shared, &tenant_id, &records) {
+        // The whole frame's durability failed: no record may be acked as
+        // applied, because none of them would survive recovery.
+        let (code, message) = wal_poisoned_parts(&tenant_id);
+        acks = specs
+            .iter()
+            .map(|_| BatchAck::Err {
+                code: code.as_str().to_string(),
+                message: message.clone(),
+            })
+            .collect();
+    }
     let rejected = acks
         .iter()
         .filter(|ack| matches!(ack, BatchAck::Err { .. }))
@@ -876,6 +967,340 @@ fn submit_routed(
     }
 }
 
+/// Whether a tenant's log is in the fail-stop state (see [`WalHandle`]).
+fn wal_poisoned(core: &RouterCore, tenant_id: &str) -> bool {
+    matches!(core.wals.get(tenant_id), Some(WalHandle::Poisoned))
+}
+
+/// The reply every mutation on a poisoned tenant gets.
+fn wal_poisoned_reply(tenant_id: &str) -> Reply {
+    internal(&format!(
+        "tenant `{tenant_id}` is read-only: its write-ahead log failed; restart the router to recover, or RESTORE a snapshot"
+    ))
+}
+
+/// The error-code/message pair of [`wal_poisoned_reply`], for batch acks.
+fn wal_poisoned_parts(tenant_id: &str) -> (ErrCode, String) {
+    match wal_poisoned_reply(tenant_id) {
+        Reply::Err(code, message) => (code, message),
+        _ => (ErrCode::Internal, "write-ahead log failed".to_string()),
+    }
+}
+
+/// Logs already-applied operations to a durable tenant's WAL, fsyncing
+/// per the configured policy (`always`, or `every-tick` when the batch
+/// carries a slot close). Returns `true` when the operations are as
+/// durable as the policy promises — including the vacuous cases (no WAL
+/// configured, tenant has no log yet). On a write or sync failure the
+/// tenant's log poisons (fail-stop; see [`WalHandle`]) and the caller
+/// must reply `ERR internal` *instead of* the success ack, because an
+/// acked-but-unlogged mutation would survive in memory but not in
+/// recovery.
+fn wal_append(
+    core: &mut RouterCore,
+    shared: &RouterShared,
+    tenant_id: &str,
+    records: &[WalRecord],
+) -> bool {
+    let Some(runtime) = shared.wal.as_ref() else {
+        return true;
+    };
+    if records.is_empty() {
+        return true;
+    }
+    let Some(WalHandle::Open(tenant_wal)) = core.wals.get_mut(tenant_id) else {
+        // No log yet (tenant not loaded — nothing durable to protect) or
+        // poisoned (the arm already refused the mutation up front).
+        return true;
+    };
+    let start = telemetry::clock_start();
+    let appended = tenant_wal.append(records);
+    runtime
+        .telemetry
+        .append
+        .observe(telemetry::elapsed_us(start));
+    let synced = appended.and_then(|()| {
+        let must_sync = match runtime.config.sync {
+            WalSync::Always => true,
+            WalSync::EveryTick => records
+                .iter()
+                .any(|record| matches!(record, WalRecord::Tick)),
+        };
+        if must_sync {
+            let start = telemetry::clock_start();
+            let result = tenant_wal.sync();
+            runtime
+                .telemetry
+                .fsync
+                .observe(telemetry::elapsed_us(start));
+            result
+        } else {
+            Ok(())
+        }
+    });
+    match synced {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("haste-router: wal append for tenant `{tenant_id}` failed ({e}); the tenant is now read-only");
+            core.wals.insert(tenant_id.to_string(), WalHandle::Poisoned);
+            false
+        }
+    }
+}
+
+/// Creates (or wholesale re-creates) a durable tenant's log and writes
+/// its first checkpoint — the `LOAD`/`RESTORE` invariant: a tenant with
+/// state always has a checkpoint, so its log tail only ever carries
+/// post-load operations and recovery always has a scenario to start
+/// from. A failure poisons the tenant (the state was already installed
+/// but cannot be made durable) and returns the fail-stop reply.
+fn wal_install(core: &mut RouterCore, shared: &RouterShared, tenant_id: &str) -> Result<(), Reply> {
+    let Some(runtime) = shared.wal.as_ref() else {
+        return Ok(());
+    };
+    match TenantWal::create(&runtime.config.dir, tenant_id) {
+        Ok(tenant_wal) => {
+            core.wals
+                .insert(tenant_id.to_string(), WalHandle::Open(tenant_wal));
+            wal_checkpoint(core, shared, tenant_id)
+        }
+        Err(e) => {
+            eprintln!(
+                "haste-router: creating the wal for tenant `{tenant_id}` failed ({e}); the tenant is now read-only"
+            );
+            core.wals.insert(tenant_id.to_string(), WalHandle::Poisoned);
+            Err(wal_poisoned_reply(tenant_id))
+        }
+    }
+}
+
+/// Checkpoints a durable tenant: the composite consistent-cut document —
+/// rendered by the exact code path the operator-facing `SNAPSHOT` verb
+/// uses — is installed atomically and the log truncates behind it. A
+/// composite failure (a down shard) propagates untouched; a file failure
+/// poisons the tenant.
+fn wal_checkpoint(
+    core: &mut RouterCore,
+    shared: &RouterShared,
+    tenant_id: &str,
+) -> Result<(), Reply> {
+    if shared.wal.is_none() {
+        return Ok(());
+    }
+    let Some(tenant) = core.tenants.get(tenant_id) else {
+        return Ok(());
+    };
+    let text = composite_snapshot(tenant, tenant_id)?;
+    let quota = tenant.quota;
+    let Some(WalHandle::Open(tenant_wal)) = core.wals.get_mut(tenant_id) else {
+        return Ok(());
+    };
+    match tenant_wal.checkpoint(&text, quota) {
+        Ok(()) => {
+            WalTelemetry::count_checkpoint(shared.telemetry.registry(), tenant_id);
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!(
+                "haste-router: checkpointing tenant `{tenant_id}` failed ({e}); the tenant is now read-only"
+            );
+            core.wals.insert(tenant_id.to_string(), WalHandle::Poisoned);
+            Err(wal_poisoned_reply(tenant_id))
+        }
+    }
+}
+
+/// The automatic checkpoint trigger, attempted at slot close: once a
+/// durable tenant's log accumulated [`WalConfig::checkpoint_every`]
+/// records, take a checkpoint. Best effort — a composite failure (e.g. a
+/// shard is down mid-restart) skips this attempt and the threshold
+/// re-arms at the next tick; only file failures poison (via
+/// [`wal_checkpoint`]).
+fn maybe_wal_checkpoint(core: &mut RouterCore, shared: &RouterShared, tenant_id: &str) {
+    let Some(runtime) = shared.wal.as_ref() else {
+        return;
+    };
+    if runtime.config.checkpoint_every == 0 {
+        return;
+    }
+    let due = matches!(
+        core.wals.get(tenant_id),
+        Some(WalHandle::Open(tenant_wal))
+            if tenant_wal.ops_since_checkpoint >= runtime.config.checkpoint_every
+    );
+    if !due {
+        return;
+    }
+    let Some(tenant) = core.tenants.get(tenant_id) else {
+        return;
+    };
+    let Ok(text) = composite_snapshot(tenant, tenant_id) else {
+        return;
+    };
+    let quota = tenant.quota;
+    let Some(WalHandle::Open(tenant_wal)) = core.wals.get_mut(tenant_id) else {
+        return;
+    };
+    match tenant_wal.checkpoint(&text, quota) {
+        Ok(()) => WalTelemetry::count_checkpoint(shared.telemetry.registry(), tenant_id),
+        Err(e) => {
+            eprintln!(
+                "haste-router: checkpointing tenant `{tenant_id}` failed ({e}); the tenant is now read-only"
+            );
+            core.wals.insert(tenant_id.to_string(), WalHandle::Poisoned);
+        }
+    }
+}
+
+/// The stable text of a reply for recovery error reporting.
+fn reply_error_text(reply: &Reply) -> String {
+    match reply {
+        Reply::Err(code, message) => format!("{} {message}", code.as_str()),
+        Reply::Ok(line) => format!("unexpected ok: {line}"),
+        Reply::Data(_) => "unexpected data reply".to_string(),
+    }
+}
+
+/// Replays one log record into a recovered tenant through the *live*
+/// request paths, so replay determinism is the router's ordinary
+/// determinism. Rejected submissions and checkpoint markers replay as
+/// no-ops: neither ever mutated tenant state (rejections are logged so
+/// the admission decision is durable; orphaned markers belong to
+/// checkpoints that never finished installing).
+fn apply_wal_record(
+    core: &mut RouterCore,
+    shared: &RouterShared,
+    tenant_id: &str,
+    record: &WalRecord,
+) -> Result<(), String> {
+    let Some(tenant) = core.tenants.get_mut(tenant_id) else {
+        return Err("tenant vanished mid-recovery".to_string());
+    };
+    match record {
+        WalRecord::Reject { .. } | WalRecord::Checkpoint { .. } => Ok(()),
+        WalRecord::Quota(q) => {
+            tenant.quota = Some(*q);
+            Ok(())
+        }
+        WalRecord::Submit(spec) => match submit_routed(tenant, tenant_id, *spec, shared) {
+            Ok(_) => Ok(()),
+            Err((code, message)) => Err(format!(
+                "logged-accepted submit re-rejected: {} {message}",
+                code.as_str()
+            )),
+        },
+        WalRecord::Tick => tick_lockstep(tenant, 1, &shared.telemetry)
+            .map(|_| ())
+            .map_err(|reply| reply_error_text(&reply)),
+        WalRecord::ReshardSplit(cell) => {
+            reshard(tenant, tenant_id, ReshardOp::Split(*cell), shared)
+                .map(|_| ())
+                .map_err(|reply| reply_error_text(&reply))
+        }
+        WalRecord::ReshardMerge(a, b) => {
+            reshard(tenant, tenant_id, ReshardOp::Merge(*a, *b), shared)
+                .map(|_| ())
+                .map_err(|reply| reply_error_text(&reply))
+        }
+    }
+}
+
+/// Durable startup: recovers every tenant found in the WAL directory —
+/// `RESTORE` the newest checkpoint through the ordinary composite path,
+/// then replay the log tail through the live request paths, then re-open
+/// the log (truncated at the last valid CRC boundary) for appending.
+/// Runs before the accept thread exists, so recovery is single-threaded
+/// under one lock hold and no connection can observe a half-recovered
+/// tenant. A tenant whose checkpoint or tail fails to apply is skipped
+/// with a warning (its files are left on disk for inspection) rather
+/// than failing startup — the other tenants' durability should not be
+/// hostage to one corrupt directory entry.
+fn recover_from_wal(shared: &Arc<RouterShared>) -> std::io::Result<()> {
+    let Some(runtime) = shared.wal.as_ref() else {
+        return Ok(());
+    };
+    let recovered = wal::recover_dir(&runtime.config.dir)?;
+    let mut core = shared.core.lock();
+    for entry in recovered {
+        // haste-lint: allow(L2) — startup-only recovery before the accept thread exists; per-cell work is deadline-bounded
+        let restored = match restore_composite_state(&mut core, shared, &entry.checkpoint) {
+            Ok(restored) => restored,
+            Err(reply) => {
+                eprintln!(
+                    "haste-router: skipping recovery of tenant `{}`: bad checkpoint: {}",
+                    entry.tenant,
+                    reply_error_text(&reply)
+                );
+                continue;
+            }
+        };
+        if restored.tenant != entry.tenant {
+            eprintln!(
+                "haste-router: skipping recovery of `{}`: its checkpoint names tenant `{}`",
+                entry.tenant, restored.tenant
+            );
+            core.tenants.remove(&restored.tenant);
+            continue;
+        }
+        if let Some(reason) = &entry.truncated {
+            eprintln!(
+                "haste-router: tenant `{}` log tail torn ({reason}); truncating to the last valid record",
+                entry.tenant
+            );
+        }
+        let mut replay_failed = false;
+        for record in &entry.tail {
+            // haste-lint: allow(L2) — startup-only replay before the accept thread exists; child requests are deadline-bounded
+            if let Err(reason) = apply_wal_record(&mut core, shared, &entry.tenant, record) {
+                eprintln!(
+                    "haste-router: skipping recovery of tenant `{}`: log replay failed: {reason}",
+                    entry.tenant
+                );
+                core.tenants.remove(&entry.tenant);
+                replay_failed = true;
+                break;
+            }
+        }
+        if replay_failed {
+            continue;
+        }
+        // haste-lint: allow(L2) — startup-only local file I/O before the accept thread exists
+        let tenant_wal = TenantWal::open_recovered(
+            &runtime.config.dir,
+            &entry.tenant,
+            entry.valid_len,
+            entry.tail.len(),
+        )?;
+        core.wals
+            .insert(entry.tenant.clone(), WalHandle::Open(tenant_wal));
+        WalTelemetry::count_recovery(
+            shared.telemetry.registry(),
+            &entry.tenant,
+            entry.tail.len() as u64,
+        );
+        eprintln!(
+            "haste-router: recovered tenant `{}` at slot {} (replayed {} logged ops)",
+            entry.tenant,
+            restored.slot,
+            entry.tail.len()
+        );
+    }
+    // Connections start bound to the default tenant, which always exists
+    // on a fresh router. If its recovery was skipped above (and removed
+    // the half-restored entry), put back an empty fleet so the startup
+    // contract holds.
+    if !core.tenants.contains_key(DEFAULT_TENANT) {
+        // haste-lint: allow(L2) — startup-only rebuild before the accept thread exists; child spawns are deadline-bounded
+        if let Err(reply) = ensure_tenant(&mut core, shared, DEFAULT_TENANT, None) {
+            eprintln!(
+                "haste-router: rebuilding the default tenant after a failed recovery failed: {}",
+                reply_error_text(&reply)
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Executes one parsed request; returns the reply and whether the
 /// connection should close.
 fn execute<R: BufRead>(
@@ -897,17 +1322,27 @@ fn execute<R: BufRead>(
         }
         Request::Tenant { id, quota } => {
             let mut core = shared.core.lock();
+            if quota.is_some() && wal_poisoned(&core, &id) {
+                return Ok((wal_poisoned_reply(&id), false));
+            }
             let mut session = session.borrow_mut();
             session.tenant = id.clone();
             match core.tenants.get_mut(&id) {
                 Some(tenant) => {
                     // The tenant exists: a quota applies immediately, and
                     // any quota parked from an earlier `TENANT` is moot.
-                    if quota.is_some() {
-                        tenant.quota = quota;
-                    }
+                    let logged = match quota {
+                        Some(q) => {
+                            tenant.quota = quota;
+                            wal_append(&mut core, shared, &id, &[WalRecord::Quota(q)])
+                        }
+                        None => true,
+                    };
                     session.pending_quota = None;
-                    match tenant.quota {
+                    if !logged {
+                        return Ok((wal_poisoned_reply(&id), false));
+                    }
+                    match core.tenants[&id].quota {
                         Some(q) => Reply::Ok(format!("tenant={id} quota={q}")),
                         None => Reply::Ok(format!("tenant={id}")),
                     }
@@ -935,6 +1370,9 @@ fn execute<R: BufRead>(
                 (session.tenant.clone(), session.pending_quota.take())
             };
             let mut core = shared.core.lock();
+            if wal_poisoned(&core, &tenant_id) {
+                return Ok((wal_poisoned_reply(&tenant_id), false));
+            }
             // haste-lint: allow(L2) — spawning the tenant's fleet is deadline-bounded per child; `core` must be held so no request observes a half-created tenant
             match ensure_tenant(&mut core, shared, &tenant_id, pending_quota) {
                 Err(reply) => reply,
@@ -944,7 +1382,17 @@ fn execute<R: BufRead>(
                         Err(reply) => return Ok((reply, false)),
                     };
                     // haste-lint: allow(L2) — per-cell LOADs are deadline-bounded; `core` must be held so no request observes a half-partitioned scenario
-                    load_scenario_text(tenant, &tenant_id, config, shared, &payload)
+                    let reply = load_scenario_text(tenant, &tenant_id, config, shared, &payload);
+                    if matches!(reply, Reply::Ok(_)) {
+                        // A freshly loaded tenant starts durable from a
+                        // checkpoint, so the log tail only ever carries
+                        // post-load operations.
+                        // haste-lint: allow(L2) — durability point: the checkpoint must land before LOAD is acked; `core` must be held so no request observes a non-durable loaded tenant
+                        if let Err(reply) = wal_install(&mut core, shared, &tenant_id) {
+                            return Ok((reply, false));
+                        }
+                    }
+                    reply
                 }
             }
         }
@@ -961,22 +1409,41 @@ fn execute<R: BufRead>(
             } else {
                 let tenant_id = session.borrow().tenant.clone();
                 let mut core = shared.core.lock();
-                match tenant_mut(&mut core, &tenant_id) {
-                    Err(reply) => reply,
-                    Ok(tenant) => {
-                        let spec = TaskSpec {
-                            device_pos: Vec2::new(x, y),
-                            device_facing: Angle::from_radians(facing),
-                            end_slot,
-                            required_energy: energy,
-                            weight,
-                        };
-                        // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
-                        match submit_routed(tenant, &tenant_id, spec, shared) {
-                            Ok((global, release, shard)) => {
-                                Reply::Ok(format!("task={global} release={release} shard={shard}"))
+                if wal_poisoned(&core, &tenant_id) {
+                    wal_poisoned_reply(&tenant_id)
+                } else {
+                    match tenant_mut(&mut core, &tenant_id) {
+                        Err(reply) => reply,
+                        Ok(tenant) => {
+                            let spec = TaskSpec {
+                                device_pos: Vec2::new(x, y),
+                                device_facing: Angle::from_radians(facing),
+                                end_slot,
+                                required_energy: energy,
+                                weight,
+                            };
+                            // haste-lint: allow(L2) — lockstep contract: `core` serializes shard traffic so global arrival order stays bit-identical; the child request is deadline-bounded
+                            let routed = submit_routed(tenant, &tenant_id, spec, shared);
+                            let (reply, record) = match routed {
+                                Ok((global, release, shard)) => (
+                                    Reply::Ok(format!(
+                                        "task={global} release={release} shard={shard}"
+                                    )),
+                                    WalRecord::Submit(spec),
+                                ),
+                                Err((code, message)) => {
+                                    let record = WalRecord::Reject {
+                                        code: code.as_str().to_string(),
+                                        spec,
+                                    };
+                                    (Reply::Err(code, message), record)
+                                }
+                            };
+                            if wal_append(&mut core, shared, &tenant_id, &[record]) {
+                                reply
+                            } else {
+                                wal_poisoned_reply(&tenant_id)
                             }
-                            Err((code, message)) => Reply::Err(code, message),
                         }
                     }
                 }
@@ -985,23 +1452,48 @@ fn execute<R: BufRead>(
         Request::Tick(n) => {
             let tenant_id = session.borrow().tenant.clone();
             let mut core = shared.core.lock();
-            match tenant_mut(&mut core, &tenant_id) {
-                Err(reply) => reply,
-                Ok(tenant) => {
-                    if tenant.partition.is_none() {
-                        shard_err(crate::shard::ShardError::NoScenario)
-                    } else {
-                        // The load trigger fires between slots: a cell
-                        // whose closing slot ran hot is split before the
-                        // clock moves (best effort).
-                        // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut under `core`; each child call is deadline-bounded
-                        maybe_auto_split(tenant, &tenant_id, shared);
-                        // haste-lint: allow(L2) — the lockstep pipelines deadline-bounded TICKs across cells under `core`; interleaving another request mid-round would fork the clock
-                        match tick_lockstep(tenant, n, &shared.telemetry) {
-                            Ok((slot, open)) => {
-                                Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
+            if wal_poisoned(&core, &tenant_id) {
+                wal_poisoned_reply(&tenant_id)
+            } else {
+                match tenant_mut(&mut core, &tenant_id) {
+                    Err(reply) => reply,
+                    Ok(tenant) => {
+                        if tenant.partition.is_none() {
+                            shard_err(crate::shard::ShardError::NoScenario)
+                        } else {
+                            // The load trigger fires between slots: a cell
+                            // whose closing slot ran hot is split before the
+                            // clock moves (best effort).
+                            // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut under `core`; each child call is deadline-bounded
+                            let split = maybe_auto_split(tenant, &tenant_id, shared);
+                            let before = tenant.clock;
+                            // haste-lint: allow(L2) — the lockstep pipelines deadline-bounded TICKs across cells under `core`; interleaving another request mid-round would fork the clock
+                            let outcome = tick_lockstep(tenant, n, &shared.telemetry);
+                            // Log what actually happened — an auto-split
+                            // and every slot that closed — even when a
+                            // later step of a multi-slot TICK failed:
+                            // the clock moved for the completed steps.
+                            let closed = tenant.clock - before;
+                            let mut records = Vec::with_capacity(closed + 1);
+                            if let Some(cell) = split {
+                                records.push(WalRecord::ReshardSplit(cell));
                             }
-                            Err(reply) => reply,
+                            records.extend(std::iter::repeat_n(WalRecord::Tick, closed));
+                            if !wal_append(&mut core, shared, &tenant_id, &records) {
+                                wal_poisoned_reply(&tenant_id)
+                            } else {
+                                match outcome {
+                                    Ok((slot, open)) => {
+                                        // The slot closed cleanly — the
+                                        // moment the automatic checkpoint
+                                        // threshold is checked.
+                                        // haste-lint: allow(L2) — durability point: the automatic checkpoint must land before the TICK ack; per-cell snapshots are deadline-bounded
+                                        maybe_wal_checkpoint(&mut core, shared, &tenant_id);
+                                        Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
+                                    }
+                                    Err(reply) => reply,
+                                }
+                            }
                         }
                     }
                 }
@@ -1191,19 +1683,41 @@ fn execute<R: BufRead>(
         }
         Request::Snapshot => {
             let tenant_id = session.borrow().tenant.clone();
-            let core = shared.core.lock();
-            match tenant_ref(&core, &tenant_id) {
-                Err(reply) => reply,
+            let mut core = shared.core.lock();
+            let rendered = match tenant_ref(&core, &tenant_id) {
+                Err(reply) => Err(reply),
                 Ok(tenant) => {
                     if tenant.partition.is_none() {
-                        shard_err(crate::shard::ShardError::NoScenario)
+                        Err(shard_err(crate::shard::ShardError::NoScenario))
                     } else {
                         // haste-lint: allow(L2) — per-cell SNAP?s are deadline-bounded; `core` held so the composite is one consistent clock cut
-                        match composite_snapshot(tenant, &tenant_id) {
-                            Ok(text) => Reply::Data(text),
-                            Err(reply) => reply,
+                        composite_snapshot(tenant, &tenant_id).map(|text| (text, tenant.quota))
+                    }
+                }
+            };
+            match rendered {
+                Err(reply) => reply,
+                Ok((text, quota)) => {
+                    // An operator SNAPSHOT doubles as a durability
+                    // checkpoint, written from the very bytes of this
+                    // reply — the `.ckpt` file and the operator's copy
+                    // can never drift.
+                    if let Some(WalHandle::Open(tenant_wal)) = core.wals.get_mut(&tenant_id) {
+                        match tenant_wal.checkpoint(&text, quota) {
+                            Ok(()) => WalTelemetry::count_checkpoint(
+                                shared.telemetry.registry(),
+                                &tenant_id,
+                            ),
+                            Err(e) => {
+                                eprintln!(
+                                    "haste-router: checkpointing tenant `{tenant_id}` failed ({e}); the tenant is now read-only"
+                                );
+                                core.wals.insert(tenant_id.clone(), WalHandle::Poisoned);
+                                return Ok((wal_poisoned_reply(&tenant_id), false));
+                            }
                         }
                     }
+                    Reply::Data(text)
                 }
             }
         }
@@ -1221,13 +1735,24 @@ fn execute<R: BufRead>(
         Request::ReshardSplit(cell) => {
             let tenant_id = session.borrow().tenant.clone();
             let mut core = shared.core.lock();
-            match tenant_mut(&mut core, &tenant_id) {
-                Err(reply) => reply,
-                Ok(tenant) => {
-                    // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut: children are rebuilt and swapped in under `core`, each child call deadline-bounded
-                    match reshard(tenant, &tenant_id, ReshardOp::Split(cell), shared) {
-                        Ok((cells, version)) => Reply::Ok(format!("cells={cells} map={version}")),
-                        Err(reply) => reply,
+            if wal_poisoned(&core, &tenant_id) {
+                wal_poisoned_reply(&tenant_id)
+            } else {
+                match tenant_mut(&mut core, &tenant_id) {
+                    Err(reply) => reply,
+                    Ok(tenant) => {
+                        // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut: children are rebuilt and swapped in under `core`, each child call deadline-bounded
+                        match reshard(tenant, &tenant_id, ReshardOp::Split(cell), shared) {
+                            Ok((cells, version)) => {
+                                let record = WalRecord::ReshardSplit(cell);
+                                if wal_append(&mut core, shared, &tenant_id, &[record]) {
+                                    Reply::Ok(format!("cells={cells} map={version}"))
+                                } else {
+                                    wal_poisoned_reply(&tenant_id)
+                                }
+                            }
+                            Err(reply) => reply,
+                        }
                     }
                 }
             }
@@ -1235,13 +1760,24 @@ fn execute<R: BufRead>(
         Request::ReshardMerge(a, b) => {
             let tenant_id = session.borrow().tenant.clone();
             let mut core = shared.core.lock();
-            match tenant_mut(&mut core, &tenant_id) {
-                Err(reply) => reply,
-                Ok(tenant) => {
-                    // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut: children are rebuilt and swapped in under `core`, each child call deadline-bounded
-                    match reshard(tenant, &tenant_id, ReshardOp::Merge(a, b), shared) {
-                        Ok((cells, version)) => Reply::Ok(format!("cells={cells} map={version}")),
-                        Err(reply) => reply,
+            if wal_poisoned(&core, &tenant_id) {
+                wal_poisoned_reply(&tenant_id)
+            } else {
+                match tenant_mut(&mut core, &tenant_id) {
+                    Err(reply) => reply,
+                    Ok(tenant) => {
+                        // haste-lint: allow(L2) — the migration must be one consistent between-ticks cut: children are rebuilt and swapped in under `core`, each child call deadline-bounded
+                        match reshard(tenant, &tenant_id, ReshardOp::Merge(a, b), shared) {
+                            Ok((cells, version)) => {
+                                let record = WalRecord::ReshardMerge(a, b);
+                                if wal_append(&mut core, shared, &tenant_id, &[record]) {
+                                    Reply::Ok(format!("cells={cells} map={version}"))
+                                } else {
+                                    wal_poisoned_reply(&tenant_id)
+                                }
+                            }
+                            Err(reply) => reply,
+                        }
                     }
                 }
             }
@@ -1494,15 +2030,20 @@ fn tick_lockstep(
 /// [`RouterConfig::split_threshold`] submissions during the closing slot,
 /// split the first such cell. Best effort — an unsplittable hot cell
 /// (too thin, a charger too close to the midline) keeps its load and the
-/// trigger re-arms next slot.
-fn maybe_auto_split(tenant: &mut TenantCore, tenant_id: &str, shared: &RouterShared) {
-    let Some(threshold) = shared.config.split_threshold else {
-        return;
-    };
-    let hot = tenant.cell_submits.iter().position(|&n| n > threshold);
-    if let Some(cell) = hot {
-        let _ = reshard(tenant, tenant_id, ReshardOp::Split(cell), shared);
-    }
+/// trigger re-arms next slot. Returns the cell that was actually split,
+/// if any, so the caller can journal the topology change: recovery
+/// replays the *logged* split rather than re-running this heuristic
+/// (whose per-slot submission counters don't survive a restart).
+fn maybe_auto_split(
+    tenant: &mut TenantCore,
+    tenant_id: &str,
+    shared: &RouterShared,
+) -> Option<usize> {
+    let threshold = shared.config.split_threshold?;
+    let hot = tenant.cell_submits.iter().position(|&n| n > threshold)?;
+    reshard(tenant, tenant_id, ReshardOp::Split(hot), shared)
+        .ok()
+        .map(|_| hot)
 }
 
 /// A live topology change.
@@ -2156,9 +2697,43 @@ pub fn parse_composite(text: &str) -> Result<CompositeSnapshot, String> {
 /// process — a push failure there just marks the child down, and the
 /// rejoin replay rebuilds it from that same committed baseline).
 fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str) -> Reply {
+    let restored = match restore_composite_state(core, shared, payload) {
+        Ok(restored) => restored,
+        Err(reply) => return reply,
+    };
+    // Durable router: a restore wholesale replaces the tenant, so its log
+    // starts over from a checkpoint of the restored state (this also
+    // clears a poisoned log — the operator just handed us a full
+    // replacement for whatever the failed log could not persist).
+    if let Err(reply) = wal_install(core, shared, &restored.tenant) {
+        return reply;
+    }
+    Reply::Ok(format!(
+        "slot={} open={}",
+        restored.slot,
+        u8::from(restored.open)
+    ))
+}
+
+/// What [`restore_composite_state`] installed: which tenant, at which
+/// clock.
+struct RestoredTenant {
+    tenant: String,
+    slot: usize,
+    open: bool,
+}
+
+/// The state-install half of `RESTORE`, shared verbatim by the wire verb
+/// and WAL recovery (recovery must not re-checkpoint or touch the log,
+/// so the durability hook lives in the verb wrapper above).
+fn restore_composite_state(
+    core: &mut RouterCore,
+    shared: &RouterShared,
+    payload: &str,
+) -> Result<RestoredTenant, Reply> {
     let composite = match parse_composite(payload) {
         Ok(composite) => composite,
-        Err(reason) => return Reply::Err(ErrCode::BadSnapshot, reason),
+        Err(reason) => return Err(Reply::Err(ErrCode::BadSnapshot, reason)),
     };
     let partition = match Partition::from_rects(
         Vec2::new(composite.origin.0, composite.origin.1),
@@ -2169,18 +2744,23 @@ fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str
         composite.cells.clone(),
     ) {
         Ok(partition) => partition,
-        Err(e) => return Reply::Err(ErrCode::BadSnapshot, e.to_string()),
+        Err(e) => return Err(Reply::Err(ErrCode::BadSnapshot, e.to_string())),
     };
     let scenario = match model_io::read_scenario(&composite.scenario) {
         Ok(scenario) => scenario,
-        Err(e) => return Reply::Err(ErrCode::BadSnapshot, format!("bad embedded scenario: {e}")),
+        Err(e) => {
+            return Err(Reply::Err(
+                ErrCode::BadSnapshot,
+                format!("bad embedded scenario: {e}"),
+            ))
+        }
     };
     let (order, plan, ops_clock) = rebuild_bookkeeping(&scenario, &composite.ops);
     if composite.shards.len() != composite.cells.len() {
-        return Reply::Err(
+        return Err(Reply::Err(
             ErrCode::BadSnapshot,
             "shard count does not match cell count".to_string(),
-        );
+        ));
     }
     // Phase 1: restore and validate every section without installing.
     let mut engines = Vec::with_capacity(composite.shards.len());
@@ -2189,7 +2769,12 @@ fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str
     for (index, snapshot) in composite.shards.iter().enumerate() {
         let engine = match OnlineEngine::restore(snapshot) {
             Ok(engine) => engine,
-            Err(e) => return Reply::Err(ErrCode::BadSnapshot, format!("shard {index}: {e}")),
+            Err(e) => {
+                return Err(Reply::Err(
+                    ErrCode::BadSnapshot,
+                    format!("shard {index}: {e}"),
+                ))
+            }
         };
         let seen = (engine.clock(), !engine.is_closed());
         slots = slots.max(engine.scenario().grid.num_slots);
@@ -2197,27 +2782,30 @@ fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str
             None => clock = Some(seen),
             Some(common) if common == seen => {}
             Some(common) => {
-                return Reply::Err(
+                return Err(Reply::Err(
                     ErrCode::BadSnapshot,
                     format!(
                         "inconsistent cut: shard clocks differ ({} vs {})",
                         common.0, seen.0
                     ),
-                );
+                ));
             }
         }
         engines.push(engine);
     }
     let Some((slot, open)) = clock else {
-        return Reply::Err(ErrCode::BadSnapshot, "snapshot has no shards".to_string());
+        return Err(Reply::Err(
+            ErrCode::BadSnapshot,
+            "snapshot has no shards".to_string(),
+        ));
     };
     if slot != ops_clock {
-        return Reply::Err(
+        return Err(Reply::Err(
             ErrCode::BadSnapshot,
             format!(
                 "inconsistent cut: operation history reaches clock {ops_clock}, shards sit at {slot}"
             ),
-        );
+        ));
     }
     // The document's tenant: create it (or rebuild its fleet) to the
     // document's cell count. Fresh slots are built before any live state
@@ -2233,7 +2821,7 @@ fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str
         for cell in 0..count {
             match fresh_slot(shared, cell) {
                 Ok(slot) => fresh.push(slot),
-                Err(reply) => return reply,
+                Err(reply) => return Err(reply),
             }
         }
         match core.tenants.get_mut(&composite.tenant) {
@@ -2251,7 +2839,7 @@ fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str
         }
     }
     let Some(tenant) = core.tenants.get_mut(&composite.tenant) else {
-        return internal("the restored tenant vanished mid-request");
+        return Err(internal("the restored tenant vanished mid-request"));
     };
     // Phase 2: the whole cut validated — commit it everywhere.
     for ((shard, engine), snapshot) in tenant
@@ -2276,7 +2864,11 @@ fn restore_composite(core: &mut RouterCore, shared: &RouterShared, payload: &str
     tenant.quota_used = 0;
     tenant.cell_submits = vec![0; count];
     TenantCounters::set_shards(shared.telemetry.registry(), &composite.tenant, count);
-    Reply::Ok(format!("slot={slot} open={}", u8::from(open)))
+    Ok(RestoredTenant {
+        tenant: composite.tenant,
+        slot,
+        open,
+    })
 }
 
 #[cfg(test)]

@@ -129,6 +129,49 @@ pub fn resolve_shardd(explicit: Option<&Path>) -> std::io::Result<PathBuf> {
     }
 }
 
+/// Locates the `routerd` binary for drivers that spawn (and kill, and
+/// respawn) the router as a subprocess — the `kill-router` chaos path.
+/// Resolution mirrors [`resolve_shardd`]: an explicit path wins, then
+/// the `HASTE_ROUTERD` environment variable, then a sibling of the
+/// current executable.
+pub fn resolve_routerd(explicit: Option<&Path>) -> std::io::Result<PathBuf> {
+    if let Some(path) = explicit {
+        return Ok(path.to_path_buf());
+    }
+    if let Ok(path) = std::env::var("HASTE_ROUTERD") {
+        if !path.is_empty() {
+            return Ok(PathBuf::from(path));
+        }
+    }
+    let exe = std::env::current_exe()?;
+    let mut dir = match exe.parent() {
+        Some(parent) => parent.to_path_buf(),
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "current executable has no parent directory",
+            ))
+        }
+    };
+    if dir.file_name().map(|name| name == "deps") == Some(true) {
+        if let Some(parent) = dir.parent() {
+            dir = parent.to_path_buf();
+        }
+    }
+    let candidate = dir.join(format!("routerd{}", std::env::consts::EXE_SUFFIX));
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "routerd not found at {} (pass an explicit path or set HASTE_ROUTERD)",
+                candidate.display()
+            ),
+        ))
+    }
+}
+
 // ----------------------------------------------------------------------
 // Fault plans
 // ----------------------------------------------------------------------
@@ -162,21 +205,31 @@ pub(crate) struct Directive {
 /// kill 1 @6           # kill cell 1's child when slot 6 opens
 /// stall 0 for 2 @3    # cell 0's next 2 requests time out, from slot 3
 /// drop-conn 0 @2      # drop the connection to cell 0 once, at slot 2
+/// kill-router @16     # kill the whole routerd process at slot 16
 /// ```
 ///
 /// `stall`/`drop-conn` default to slot 0 when `@slot` is omitted. Faults
 /// mature when the router clock reaches their slot — immediately after
 /// `LOAD` for slot 0, otherwise at the `TICK` that opens the slot — so a
 /// plan is reproducible bit for bit across runs.
+///
+/// `kill-router` is different in kind: it targets the router process
+/// itself, not a shard child, and is executed by the *driver* (loadgen
+/// kills its `routerd` subprocess at the named slot's post-tick barrier
+/// and respawns it, exercising WAL crash recovery). The router ignores
+/// these directives; they never appear in [`FaultPlan::cells`] and never
+/// count toward [`FaultPlan::expects_restarts`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     directives: Vec<Directive>,
+    router_kills: Vec<usize>,
 }
 
 impl FaultPlan {
     /// Parses the fault-plan grammar; errors name the offending line.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut directives = Vec::new();
+        let mut router_kills = Vec::new();
         for (index, raw) in text.lines().enumerate() {
             let line = match raw.split('#').next() {
                 Some(code) => code.trim(),
@@ -187,6 +240,10 @@ impl FaultPlan {
             }
             let number = index + 1;
             let fields: Vec<&str> = line.split_whitespace().collect();
+            if let ["kill-router", at] = fields.as_slice() {
+                router_kills.push(slot_token(at, number)?);
+                continue;
+            }
             let directive = match fields.as_slice() {
                 ["kill", cell, at] => Directive {
                     cell: cell_token(cell, number)?,
@@ -216,13 +273,19 @@ impl FaultPlan {
                 _ => {
                     return Err(format!(
                         "fault plan line {number}: `{line}` (expected `kill <cell> @<slot>`, \
-                         `stall <cell> for <n> [@<slot>]`, or `drop-conn <cell> [@<slot>]`)"
+                         `stall <cell> for <n> [@<slot>]`, `drop-conn <cell> [@<slot>]`, \
+                         or `kill-router @<slot>`)"
                     ))
                 }
             };
             directives.push(directive);
         }
-        Ok(FaultPlan { directives })
+        router_kills.sort_unstable();
+        router_kills.dedup();
+        Ok(FaultPlan {
+            directives,
+            router_kills,
+        })
     }
 
     /// The cells any directive targets — the cells whose state a chaos
@@ -231,16 +294,36 @@ impl FaultPlan {
         self.directives.iter().map(|d| d.cell).collect()
     }
 
-    /// Whether the plan has no directives.
+    /// Whether the plan has no directives (shard faults or router kills).
     pub fn is_empty(&self) -> bool {
-        self.directives.is_empty()
+        self.directives.is_empty() && self.router_kills.is_empty()
+    }
+
+    /// Whether the plan carries any *shard* fault directive (`kill`,
+    /// `stall`, `drop-conn`). Drivers that execute `kill-router` forbid
+    /// mixing the two: a shard fault in flight while the router dies
+    /// would make the post-recovery comparison ill-defined.
+    pub fn has_shard_faults(&self) -> bool {
+        !self.directives.is_empty()
+    }
+
+    /// The slots at which the *driver* must kill and respawn the router
+    /// process (`kill-router @<slot>` directives), sorted and deduped.
+    pub fn router_kills(&self) -> &[usize] {
+        &self.router_kills
     }
 
     /// The latest slot any directive matures at (`None` when empty).
     /// Chaos drivers check it against the horizon: a fault maturing at or
-    /// after the final slot leaves no tick in which the shard can rejoin.
+    /// after the final slot leaves no tick in which the shard can rejoin
+    /// (nor, for `kill-router`, any slot in which the respawned router
+    /// can be observed making progress).
     pub fn latest_slot(&self) -> Option<usize> {
-        self.directives.iter().map(|d| d.at_slot).max()
+        self.directives
+            .iter()
+            .map(|d| d.at_slot)
+            .chain(self.router_kills.iter().copied())
+            .max()
     }
 
     /// Whether any directive forces a child restart (`kill` or `stall`).
@@ -1155,9 +1238,43 @@ mod tests {
     }
 
     #[test]
+    fn kill_router_directives_parse_apart_from_shard_faults() {
+        let plan = FaultPlan::parse(
+            "kill-router @16\n\
+             kill-router @16   # duplicates collapse\n\
+             kill-router @4\n",
+        )
+        .expect("well-formed plan");
+        assert_eq!(plan.router_kills(), &[4, 16]);
+        assert!(!plan.is_empty());
+        assert!(!plan.has_shard_faults());
+        // Router kills target no cell and force no child restart: the
+        // whole process dies and the WAL brings it back.
+        assert!(plan.cells().is_empty());
+        assert!(!plan.expects_restarts());
+        assert_eq!(plan.latest_slot(), Some(16));
+
+        let mixed = FaultPlan::parse("kill 1 @6\nkill-router @8\n").expect("well-formed plan");
+        assert!(mixed.has_shard_faults());
+        assert_eq!(mixed.router_kills(), &[8]);
+        assert_eq!(mixed.latest_slot(), Some(8));
+
+        for bad in ["kill-router", "kill-router 16", "kill-router @x"] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
     fn resolve_shardd_prefers_the_explicit_path() {
         let explicit = PathBuf::from("/does/not/need/to/exist");
         let resolved = resolve_shardd(Some(&explicit)).expect("explicit path wins unchecked");
+        assert_eq!(resolved, explicit);
+    }
+
+    #[test]
+    fn resolve_routerd_prefers_the_explicit_path() {
+        let explicit = PathBuf::from("/does/not/need/to/exist");
+        let resolved = resolve_routerd(Some(&explicit)).expect("explicit path wins unchecked");
         assert_eq!(resolved, explicit);
     }
 

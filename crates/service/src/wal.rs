@@ -1,0 +1,937 @@
+//! The router's durability layer: a per-tenant, append-only, CRC32-framed
+//! write-ahead log plus checkpoint files, written under
+//! `routerd --wal-dir DIR`.
+//!
+//! Every client-visible mutation of a tenant appends one record — an
+//! accepted or rejected `SUBMIT` (batch records individually), a `TICK`
+//! slot close, a `RESHARD` split/merge, a `TENANT` quota change — in the
+//! exact order the router applied it (the router lock serializes both).
+//! `LOAD` and `RESTORE` do not append; they write a **checkpoint**: the
+//! tenant's composite v3 snapshot document (the same
+//! [`crate::render_composite`] bytes the operator-facing `SNAPSHOT` verb
+//! returns), written to a temp file, fsynced, atomically renamed, after
+//! which the log truncates back to its header. Recovery is therefore
+//! always *newest valid checkpoint + replay of the log tail*, and the
+//! determinism contract makes the replayed tenant bit-identical to the
+//! one that crashed.
+//!
+//! The log format is designed for torn writes: a fixed text header
+//! followed by binary frames `len:u32_be | crc32:u32_be | payload`,
+//! where the payload is one UTF-8 operation line. A crash can only ever
+//! tear the final frame; [`scan_wal`] walks frames until the first
+//! invalid one (short header, absurd length, CRC mismatch, unparsable
+//! payload) and reports the byte length of the valid prefix, which
+//! recovery truncates to. Scanning never panics on arbitrary bytes.
+//!
+//! Fsync policy is explicit ([`WalSync`]): `always` syncs after every
+//! append (each ack is durable), `every-tick` syncs only when a `TICK`
+//! record lands (a crash may lose acked submissions of the open slot,
+//! never a closed one). DESIGN.md §14 has the full durability argument.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use haste_distributed::TaskSpec;
+use haste_geometry::{Angle, Vec2};
+
+/// First bytes of every log file; a file that does not start with this
+/// header is treated as having no valid records at all.
+pub const WAL_MAGIC: &[u8] = b"# haste-wal v1\n";
+
+/// Upper bound on one record's payload, far above any real operation
+/// line. A length prefix past this is corruption, not a long record.
+pub const MAX_RECORD: usize = 1 << 20;
+
+/// Default automatic-checkpoint threshold: a checkpoint is attempted at
+/// the next slot close once this many records accumulated since the
+/// last one.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 1024;
+
+/// When appended records are fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSync {
+    /// fsync after every append: an acked operation is always durable.
+    Always,
+    /// fsync when a `TICK` record is appended (and at checkpoints): a
+    /// crash can lose acked submissions of the still-open slot, but
+    /// never an operation of a closed slot.
+    EveryTick,
+}
+
+impl WalSync {
+    /// Parses the `--wal-sync` flag values `always` / `every-tick`.
+    pub fn parse(text: &str) -> Option<WalSync> {
+        match text {
+            "always" => Some(WalSync::Always),
+            "every-tick" => Some(WalSync::EveryTick),
+            _ => None,
+        }
+    }
+
+    /// The flag token this policy parses from.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WalSync::Always => "always",
+            WalSync::EveryTick => "every-tick",
+        }
+    }
+}
+
+/// Durability settings of a router (see [`crate::RouterConfig::wal`]).
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the per-tenant `<id>.wal` / `<id>.ckpt` files;
+    /// created if absent.
+    pub dir: PathBuf,
+    /// Fsync policy for appended records.
+    pub sync: WalSync,
+    /// Automatic-checkpoint threshold in records (see
+    /// [`DEFAULT_CHECKPOINT_EVERY`]). Zero disables automatic
+    /// checkpoints (explicit `SNAPSHOT`s still write them).
+    pub checkpoint_every: usize,
+}
+
+impl WalConfig {
+    /// Durability under `dir` with the default `every-tick` fsync policy
+    /// and checkpoint threshold.
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            sync: WalSync::EveryTick,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        }
+    }
+}
+
+/// One logged operation. Render/parse round-trip exactly: floats use
+/// shortest-roundtrip formatting, the same determinism anchor as the
+/// wire protocol and the snapshot formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An accepted submission, with the spec as admitted.
+    Submit(TaskSpec),
+    /// A rejected submission: the stable error-code token and the spec.
+    /// Rejections never mutated engine state, so recovery skips them;
+    /// they are logged so the admission decision itself is durable.
+    Reject {
+        /// Stable error code of the rejection (see [`crate::proto::ErrCode`]).
+        code: String,
+        /// The refused submission.
+        spec: TaskSpec,
+    },
+    /// One closed slot.
+    Tick,
+    /// A completed live split of one cell.
+    ReshardSplit(usize),
+    /// A completed live merge of two cells.
+    ReshardMerge(usize, usize),
+    /// The tenant's per-slot admission quota was set to this value.
+    Quota(u64),
+    /// A checkpoint marker: the CRC-32 and byte length of a checkpoint
+    /// document about to be installed. Appended and fsynced *before* the
+    /// checkpoint file's atomic rename, so a crash anywhere between the
+    /// rename and the log truncation cannot replay a stale tail: recovery
+    /// replays only records after the last marker matching the on-disk
+    /// checkpoint, and a marker matching nothing (the rename never
+    /// happened) replays as a no-op.
+    Checkpoint {
+        /// [`crc32`] of the checkpoint document's bytes.
+        crc: u32,
+        /// Byte length of the checkpoint document.
+        len: usize,
+    },
+}
+
+impl WalRecord {
+    /// The operation line this record serializes to.
+    pub fn render(&self) -> String {
+        match self {
+            WalRecord::Submit(spec) => format!("submit {}", spec_fields(spec)),
+            WalRecord::Reject { code, spec } => {
+                format!("reject {code} {}", spec_fields(spec))
+            }
+            WalRecord::Tick => "tick".to_string(),
+            WalRecord::ReshardSplit(cell) => format!("reshard split {cell}"),
+            WalRecord::ReshardMerge(a, b) => format!("reshard merge {a} {b}"),
+            WalRecord::Quota(q) => format!("quota {q}"),
+            WalRecord::Checkpoint { crc, len } => format!("checkpoint {crc} {len}"),
+        }
+    }
+
+    /// Parses one operation line; `None` on anything malformed.
+    pub fn parse(line: &str) -> Option<WalRecord> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["submit", rest @ ..] => Some(WalRecord::Submit(parse_spec(rest)?)),
+            ["reject", code, rest @ ..] => {
+                if code.is_empty() {
+                    return None;
+                }
+                Some(WalRecord::Reject {
+                    code: (*code).to_string(),
+                    spec: parse_spec(rest)?,
+                })
+            }
+            ["tick"] => Some(WalRecord::Tick),
+            ["reshard", "split", cell] => Some(WalRecord::ReshardSplit(cell.parse().ok()?)),
+            ["reshard", "merge", a, b] => {
+                Some(WalRecord::ReshardMerge(a.parse().ok()?, b.parse().ok()?))
+            }
+            ["quota", q] => Some(WalRecord::Quota(q.parse().ok()?)),
+            ["checkpoint", crc, len] => Some(WalRecord::Checkpoint {
+                crc: crc.parse().ok()?,
+                len: len.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The six submission fields in wire `SUBMIT` order.
+fn spec_fields(spec: &TaskSpec) -> String {
+    format!(
+        "{} {} {} {} {} {}",
+        spec.device_pos.x,
+        spec.device_pos.y,
+        spec.device_facing.radians(),
+        spec.end_slot,
+        spec.required_energy,
+        spec.weight
+    )
+}
+
+fn parse_spec(fields: &[&str]) -> Option<TaskSpec> {
+    match fields {
+        [x, y, facing, end, energy, weight] => Some(TaskSpec {
+            device_pos: Vec2::new(x.parse().ok()?, y.parse().ok()?),
+            device_facing: Angle::from_radians(facing.parse().ok()?),
+            end_slot: end.parse().ok()?,
+            required_energy: energy.parse().ok()?,
+            weight: weight.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+// ----------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib/PNG polynomial), hand-rolled: the
+// workspace builds fully offline.
+// ----------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// The IEEE CRC-32 of `bytes` (polynomial `0xEDB88320`, reflected,
+/// init/xorout `!0`) — the framing checksum of every log record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = (c >> 8) ^ CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !c
+}
+
+/// Frames one payload as it appears in the log:
+/// `len:u32_be | crc32:u32_be | payload`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What a scan of raw log bytes found: the records of the valid prefix,
+/// the byte length of that prefix (header included — the truncation
+/// point for a torn log), and why the scan stopped early, if it did.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix. Equal to the input length when
+    /// the whole log is valid; `0` when even the header is wrong.
+    pub valid_len: usize,
+    /// Why the scan stopped before the end (`None` = clean log).
+    pub truncated: Option<String>,
+}
+
+/// Walks the framed records of a log byte-for-byte, stopping at the
+/// first invalid frame. Total: any byte string yields a scan, never a
+/// panic — the recovery path for torn and corrupted logs.
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            truncated: Some("missing or torn log header".to_string()),
+        };
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    let truncated = loop {
+        if offset == bytes.len() {
+            break None;
+        }
+        let Some(header) = bytes.get(offset..offset + 8) else {
+            break Some(format!("torn frame header at byte {offset}"));
+        };
+        let (len_bytes, crc_bytes) = header.split_at(4);
+        let len = u32::from_be_bytes(match len_bytes.try_into() {
+            Ok(array) => array,
+            Err(_) => break Some(format!("torn frame header at byte {offset}")),
+        }) as usize;
+        let stored_crc = u32::from_be_bytes(match crc_bytes.try_into() {
+            Ok(array) => array,
+            Err(_) => break Some(format!("torn frame header at byte {offset}")),
+        });
+        if len == 0 || len > MAX_RECORD {
+            break Some(format!("absurd frame length {len} at byte {offset}"));
+        }
+        let Some(payload) = bytes.get(offset + 8..offset + 8 + len) else {
+            break Some(format!("torn frame payload at byte {offset}"));
+        };
+        if crc32(payload) != stored_crc {
+            break Some(format!("CRC mismatch at byte {offset}"));
+        }
+        let Ok(line) = std::str::from_utf8(payload) else {
+            break Some(format!("non-UTF-8 payload at byte {offset}"));
+        };
+        let Some(record) = WalRecord::parse(line.trim_end()) else {
+            break Some(format!(
+                "unparsable record `{}` at byte {offset}",
+                line.trim_end()
+            ));
+        };
+        records.push(record);
+        offset += 8 + len;
+    };
+    WalScan {
+        records,
+        valid_len: offset,
+        truncated,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-tenant files
+// ----------------------------------------------------------------------
+
+fn log_path(dir: &Path, tenant: &str) -> PathBuf {
+    dir.join(format!("{tenant}.wal"))
+}
+
+fn checkpoint_path(dir: &Path, tenant: &str) -> PathBuf {
+    dir.join(format!("{tenant}.ckpt"))
+}
+
+fn checkpoint_tmp_path(dir: &Path, tenant: &str) -> PathBuf {
+    dir.join(format!("{tenant}.ckpt.tmp"))
+}
+
+/// Fsyncs the directory itself so a just-renamed checkpoint survives a
+/// crash of the file system cache (POSIX durability of `rename`).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// The open write-ahead log of one tenant: an append handle on the log
+/// file plus the checkpoint bookkeeping.
+pub struct TenantWal {
+    dir: PathBuf,
+    tenant: String,
+    file: File,
+    /// Records appended since the last checkpoint (drives the automatic
+    /// checkpoint threshold).
+    pub ops_since_checkpoint: usize,
+}
+
+impl TenantWal {
+    /// Creates (or truncates) the tenant's log with a fresh header — the
+    /// `LOAD`/`RESTORE` path, immediately followed by a checkpoint.
+    pub fn create(dir: &Path, tenant: &str) -> io::Result<TenantWal> {
+        std::fs::create_dir_all(dir)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(log_path(dir, tenant))?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(TenantWal {
+            dir: dir.to_path_buf(),
+            tenant: tenant.to_string(),
+            file,
+            ops_since_checkpoint: 0,
+        })
+    }
+
+    /// Re-opens a recovered tenant's log for appending after recovery
+    /// truncated it to `valid_len` bytes holding `tail_ops` records.
+    pub fn open_recovered(
+        dir: &Path,
+        tenant: &str,
+        valid_len: usize,
+        tail_ops: usize,
+    ) -> io::Result<TenantWal> {
+        let path = log_path(dir, tenant);
+        // `create(true)`: a checkpoint with no log at all (the file was
+        // lost after the crash) recovers as an empty tail, so appends
+        // need a fresh log — `valid_len` is 0 and the header is
+        // rewritten below. `truncate(false)`: the surviving prefix of an
+        // existing log must be kept; `set_len` below cuts exactly the
+        // torn suffix.
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        // Drop the torn suffix (no-op on a clean log); `valid_len` of 0
+        // means even the header was bad — rewrite it.
+        file.set_len(valid_len as u64)?;
+        let mut wal = TenantWal {
+            dir: dir.to_path_buf(),
+            tenant: tenant.to_string(),
+            file,
+            ops_since_checkpoint: tail_ops,
+        };
+        use std::io::Seek;
+        wal.file.seek(io::SeekFrom::End(0))?;
+        if valid_len == 0 {
+            wal.file.write_all(WAL_MAGIC)?;
+        }
+        wal.file.sync_all()?;
+        Ok(wal)
+    }
+
+    /// Appends records without fsyncing (the caller decides the sync
+    /// point from the [`WalSync`] policy). One `write_all` per call, so
+    /// a batch tears at most once.
+    pub fn append(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        for record in records {
+            bytes.extend_from_slice(&frame(record.render().as_bytes()));
+        }
+        self.file.write_all(&bytes)?;
+        self.ops_since_checkpoint += records.len();
+        Ok(())
+    }
+
+    /// Fsyncs the log — the durability point of every acked operation
+    /// since the previous sync.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Writes `composite` as the tenant's checkpoint, then truncates the
+    /// log back to its header and re-seeds it with the tenant's quota —
+    /// the only piece of front-door state the composite document does
+    /// not carry. Recovery from the resulting pair replays nothing.
+    ///
+    /// Crash-safe in three ordered steps, each durable before the next
+    /// starts: (1) a [`WalRecord::Checkpoint`] marker naming the document
+    /// by CRC and length is appended and fsynced, (2) the document is
+    /// written to a temp file, fsynced, atomically renamed over the
+    /// `.ckpt` path, and the directory fsynced, (3) the log truncates and
+    /// re-seeds. A crash after (2) leaves the new checkpoint with the old
+    /// log — but the matching marker tells recovery to discard everything
+    /// before it; a crash before (2) leaves the old checkpoint, and the
+    /// marker (matching nothing) replays as a no-op.
+    pub fn checkpoint(&mut self, composite: &str, quota: Option<u64>) -> io::Result<()> {
+        self.append(&[WalRecord::Checkpoint {
+            crc: crc32(composite.as_bytes()),
+            len: composite.len(),
+        }])?;
+        self.file.sync_all()?;
+        let tmp = checkpoint_tmp_path(&self.dir, &self.tenant);
+        let mut out = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        out.write_all(composite.as_bytes())?;
+        out.sync_all()?;
+        drop(out);
+        std::fs::rename(&tmp, checkpoint_path(&self.dir, &self.tenant))?;
+        sync_dir(&self.dir)?;
+        self.file.set_len(0)?;
+        use std::io::Seek;
+        self.file.seek(io::SeekFrom::Start(0))?;
+        let mut reseed = WAL_MAGIC.to_vec();
+        if let Some(q) = quota {
+            reseed.extend_from_slice(&frame(WalRecord::Quota(q).render().as_bytes()));
+        }
+        self.file.write_all(&reseed)?;
+        self.ops_since_checkpoint = 0;
+        self.file.sync_all()
+    }
+}
+
+/// One tenant as found on disk at recovery: its checkpoint document and
+/// the valid log tail to replay on top of it.
+pub struct RecoveredTenant {
+    /// Tenant id (derived from the checkpoint file name).
+    pub tenant: String,
+    /// The checkpoint's composite snapshot document.
+    pub checkpoint: String,
+    /// The valid log records appended after that checkpoint: everything
+    /// past the last [`WalRecord::Checkpoint`] marker matching the
+    /// checkpoint document, or the whole valid prefix if no marker
+    /// matches (the log was already truncated, or the crash landed
+    /// before the checkpoint's rename).
+    pub tail: Vec<WalRecord>,
+    /// Byte length of the valid log prefix (the file is truncated to
+    /// this before appends resume).
+    pub valid_len: usize,
+    /// Why the log scan stopped early (`None` = the log was clean).
+    pub truncated: Option<String>,
+}
+
+/// Scans a WAL directory for recoverable tenants: every `<id>.ckpt`
+/// file, paired with the valid prefix of its `<id>.wal` log (a missing
+/// log is an empty tail — the crash happened right after a checkpoint).
+/// Stale `.ckpt.tmp` files (a crash mid-checkpoint-write) are removed;
+/// torn log suffixes are truncated away on the spot. Tenants come back
+/// in id order.
+pub fn recover_dir(dir: &Path) -> io::Result<Vec<RecoveredTenant>> {
+    let mut recovered = Vec::new();
+    if !dir.is_dir() {
+        return Ok(recovered);
+    }
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_suffix(".ckpt.tmp") {
+            // A checkpoint that never completed its atomic rename: the
+            // previous (fully written) checkpoint is still the newest
+            // valid one, so the partial file is just noise.
+            let _ = stem;
+            std::fs::remove_file(entry.path())?;
+            continue;
+        }
+        if let Some(stem) = name.strip_suffix(".ckpt") {
+            names.push(stem.to_string());
+        }
+    }
+    names.sort();
+    for tenant in names {
+        let checkpoint = std::fs::read_to_string(checkpoint_path(dir, &tenant))?;
+        let mut bytes = Vec::new();
+        match File::open(log_path(dir, &tenant)) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let scan = scan_wal(&bytes);
+        // A crash between a checkpoint's atomic rename and its log
+        // truncation leaves the pre-checkpoint records in the log; the
+        // marker the checkpoint fsynced first says where its state
+        // actually begins.
+        let ckpt_crc = crc32(checkpoint.as_bytes());
+        let cut = scan.records.iter().rposition(
+            |record| matches!(record, WalRecord::Checkpoint { crc, len } if *crc == ckpt_crc && *len == checkpoint.len()),
+        );
+        let tail = match cut {
+            Some(marker) => scan.records.get(marker + 1..).unwrap_or(&[]).to_vec(),
+            None => scan.records,
+        };
+        recovered.push(RecoveredTenant {
+            tenant,
+            checkpoint,
+            tail,
+            valid_len: scan.valid_len,
+            truncated: scan.truncated,
+        });
+    }
+    Ok(recovered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(x: f64) -> TaskSpec {
+        TaskSpec {
+            device_pos: Vec2::new(x, 42.5),
+            device_facing: Angle::from_radians(1.25),
+            end_slot: 7,
+            required_energy: 1500.125,
+            weight: 0.1,
+        }
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Quota(12),
+            WalRecord::Submit(spec(30.75)),
+            WalRecord::Reject {
+                code: "overload".to_string(),
+                spec: spec(130.5),
+            },
+            WalRecord::Tick,
+            WalRecord::ReshardSplit(0),
+            WalRecord::Submit(spec(99.0625)),
+            WalRecord::ReshardMerge(0, 1),
+            WalRecord::Checkpoint {
+                crc: 0xDEAD_BEEF,
+                len: 4096,
+            },
+            WalRecord::Tick,
+        ]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("haste-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn records_roundtrip_through_render_and_parse() {
+        for record in sample_records() {
+            let line = record.render();
+            assert_eq!(WalRecord::parse(&line), Some(record.clone()), "{line}");
+        }
+        // Shortest-roundtrip floats survive exactly, including awkward ones.
+        let awkward = WalRecord::Submit(TaskSpec {
+            device_pos: Vec2::new(0.1 + 0.2, -0.0),
+            device_facing: Angle::from_radians(std::f64::consts::PI),
+            end_slot: usize::MAX,
+            required_energy: f64::MIN_POSITIVE,
+            weight: 1.0 / 3.0,
+        });
+        assert_eq!(WalRecord::parse(&awkward.render()), Some(awkward));
+    }
+
+    #[test]
+    fn malformed_record_lines_are_rejected() {
+        for bad in [
+            "",
+            "submit",
+            "submit 1 2 3 4 5",
+            "submit 1 2 3 4 5 6 7",
+            "submit a 2 3 4 5 6",
+            "reject",
+            "reject overload 1 2 3 4 5",
+            "tick 2",
+            "reshard",
+            "reshard split",
+            "reshard split x",
+            "reshard merge 1",
+            "quota",
+            "quota -1",
+            "quota x",
+            "checkpoint",
+            "checkpoint 1",
+            "checkpoint 1 2 3",
+            "checkpoint x 2",
+            "unknown 1 2",
+        ] {
+            assert_eq!(WalRecord::parse(bad), None, "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vectors() {
+        // The canonical IEEE test vector plus a couple of anchors.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"tick"), crc32(b"tick"));
+        assert_ne!(crc32(b"tick"), crc32(b"tock"));
+    }
+
+    /// Builds a log image in memory: header + framed records.
+    fn log_image(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for record in records {
+            bytes.extend_from_slice(&frame(record.render().as_bytes()));
+        }
+        bytes
+    }
+
+    #[test]
+    fn a_clean_log_scans_completely() {
+        let records = sample_records();
+        let bytes = log_image(&records);
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, bytes.len());
+        assert!(scan.truncated.is_none());
+    }
+
+    #[test]
+    fn every_truncation_recovers_the_longest_valid_prefix() {
+        let records = sample_records();
+        let bytes = log_image(&records);
+        // Frame boundaries: after the header, then after each record.
+        let mut boundaries = vec![WAL_MAGIC.len()];
+        let mut offset = WAL_MAGIC.len();
+        for record in &records {
+            offset += 8 + record.render().len();
+            boundaries.push(offset);
+        }
+        assert_eq!(offset, bytes.len());
+        for cut in 0..=bytes.len() {
+            let scan = scan_wal(&bytes[..cut]);
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+            if complete == 0 {
+                // Not even the header fits: nothing valid at all.
+                assert_eq!(scan.valid_len, 0, "cut {cut}");
+                assert!(scan.records.is_empty(), "cut {cut}");
+            } else {
+                let records_in = complete - 1;
+                assert_eq!(scan.records, records[..records_in], "cut {cut}");
+                assert_eq!(scan.valid_len, boundaries[records_in], "cut {cut}");
+            }
+            // Truncation is reported exactly when bytes were dropped —
+            // including a cut inside the header, where nothing is valid.
+            let dropped = scan.valid_len != cut || cut < WAL_MAGIC.len();
+            assert_eq!(scan.truncated.is_some(), dropped, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught_and_truncates() {
+        let records = vec![
+            WalRecord::Submit(spec(10.0)),
+            WalRecord::Tick,
+            WalRecord::Submit(spec(20.0)),
+        ];
+        let bytes = log_image(&records);
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            let scan = scan_wal(&corrupt);
+            // Never a panic, never more records than were written, and
+            // the valid prefix stops at a frame boundary.
+            assert!(scan.records.len() <= records.len(), "bit {bit}");
+            if bit < WAL_MAGIC.len() * 8 {
+                assert_eq!(scan.valid_len, 0, "header bit {bit}");
+            }
+            // A flip can only ever damage the frame it lands in; earlier
+            // records must survive verbatim.
+            let damaged_frame = if bit < WAL_MAGIC.len() * 8 {
+                0
+            } else {
+                let mut offset = WAL_MAGIC.len();
+                let mut frame_index = records.len();
+                for (index, record) in records.iter().enumerate() {
+                    let end = offset + 8 + record.render().len();
+                    if bit / 8 < end {
+                        frame_index = index;
+                        break;
+                    }
+                    offset = end;
+                }
+                frame_index
+            };
+            if bit >= WAL_MAGIC.len() * 8 {
+                assert!(
+                    scan.records.len() >= damaged_frame.min(records.len()),
+                    "bit {bit}: records before the damaged frame went missing"
+                );
+                for (a, b) in scan.records.iter().zip(records.iter()).take(damaged_frame) {
+                    assert_eq!(a, b, "bit {bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spliced_and_trailing_garbage_is_dropped_at_the_splice_point() {
+        let records = sample_records();
+        let mut bytes = log_image(&records[..3]);
+        let clean_len = bytes.len();
+        // A half record followed by a whole valid one: the torn frame
+        // ends the valid prefix, the valid-looking tail never counts.
+        let torn = frame(WalRecord::Tick.render().as_bytes());
+        bytes.extend_from_slice(&torn[..5]);
+        bytes.extend_from_slice(&frame(WalRecord::Quota(3).render().as_bytes()));
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.records, records[..3]);
+        assert_eq!(scan.valid_len, clean_len);
+        assert!(scan.truncated.is_some());
+
+        // A correctly-CRC'd frame whose payload is not an operation line
+        // is corruption too, not a record.
+        let mut bytes = log_image(&records[..2]);
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&frame(b"definitely not an op"));
+        bytes.extend_from_slice(&frame(WalRecord::Tick.render().as_bytes()));
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.records, records[..2]);
+        assert_eq!(scan.valid_len, clean_len);
+        assert!(scan.truncated.is_some());
+    }
+
+    #[test]
+    fn append_checkpoint_and_recover_roundtrip_on_disk() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = TenantWal::create(&dir, "acme").unwrap();
+        wal.append(&sample_records()).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.ops_since_checkpoint, sample_records().len());
+
+        // No checkpoint yet: the tenant is invisible to recovery (a
+        // crash mid-LOAD, before the first checkpoint, never acked).
+        assert!(recover_dir(&dir).unwrap().is_empty());
+
+        wal.checkpoint("# pretend composite\n", Some(9)).unwrap();
+        assert_eq!(wal.ops_since_checkpoint, 0);
+        wal.append(&[WalRecord::Tick]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].tenant, "acme");
+        assert_eq!(recovered[0].checkpoint, "# pretend composite\n");
+        // The quota re-seed survives the truncation, then the tick.
+        assert_eq!(
+            recovered[0].tail,
+            vec![WalRecord::Quota(9), WalRecord::Tick]
+        );
+        assert!(recovered[0].truncated.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_on_disk_and_appends_resume_cleanly() {
+        let dir = temp_dir("torn");
+        let mut wal = TenantWal::create(&dir, "acme").unwrap();
+        wal.checkpoint("ckpt\n", None).unwrap();
+        wal.append(&[WalRecord::Tick, WalRecord::Quota(5)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Tear the final record: chop 3 bytes off the file.
+        let path = dir.join("acme.wal");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].tail, vec![WalRecord::Tick]);
+        assert!(recovered[0].truncated.is_some());
+
+        // Re-open at the valid boundary, truncate, append again: the log
+        // is clean afterwards.
+        let mut wal = TenantWal::open_recovered(
+            &dir,
+            "acme",
+            recovered[0].valid_len,
+            recovered[0].tail.len(),
+        )
+        .unwrap();
+        wal.append(&[WalRecord::Tick]).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.ops_since_checkpoint, 2);
+        drop(wal);
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(recovered[0].tail, vec![WalRecord::Tick, WalRecord::Tick]);
+        assert!(recovered[0].truncated.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_crash_between_checkpoint_rename_and_truncation_discards_the_stale_tail() {
+        let dir = temp_dir("stale-tail");
+        let mut wal = TenantWal::create(&dir, "acme").unwrap();
+        wal.checkpoint("old state\n", None).unwrap();
+        wal.append(&[WalRecord::Tick, WalRecord::Tick]).unwrap();
+        wal.sync().unwrap();
+        // Simulate a checkpoint that crashed right after its atomic
+        // rename: marker fsynced, new document installed, log untouched.
+        let new_doc = "new state\n";
+        wal.append(&[WalRecord::Checkpoint {
+            crc: crc32(new_doc.as_bytes()),
+            len: new_doc.len(),
+        }])
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        std::fs::write(dir.join("acme.ckpt"), new_doc).unwrap();
+
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].checkpoint, new_doc);
+        // The ticks predate the installed checkpoint: replaying them on
+        // top of it would double-apply. The marker cuts them away.
+        assert!(recovered[0].tail.is_empty(), "stale tail must be dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_crash_before_checkpoint_rename_replays_the_whole_tail() {
+        let dir = temp_dir("pre-rename");
+        let mut wal = TenantWal::create(&dir, "acme").unwrap();
+        wal.checkpoint("old state\n", None).unwrap();
+        wal.append(&[WalRecord::Tick]).unwrap();
+        // Simulate a checkpoint that crashed after fsyncing its marker
+        // but before the rename: the marker names a document that never
+        // made it to disk.
+        let doomed = "never installed\n";
+        wal.append(&[WalRecord::Checkpoint {
+            crc: crc32(doomed.as_bytes()),
+            len: doomed.len(),
+        }])
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].checkpoint, "old state\n");
+        // No marker matches the old document, so the whole tail replays;
+        // the orphaned marker rides along as a replay no-op.
+        assert_eq!(
+            recovered[0].tail,
+            vec![
+                WalRecord::Tick,
+                WalRecord::Checkpoint {
+                    crc: crc32(doomed.as_bytes()),
+                    len: doomed.len(),
+                },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_stale_checkpoint_tmp_is_swept_and_the_real_checkpoint_wins() {
+        let dir = temp_dir("tmp-sweep");
+        let mut wal = TenantWal::create(&dir, "acme").unwrap();
+        wal.checkpoint("the real one\n", None).unwrap();
+        drop(wal);
+        // A crash mid-checkpoint leaves a partial temp file behind.
+        std::fs::write(dir.join("acme.ckpt.tmp"), "half-writ").unwrap();
+        let recovered = recover_dir(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].checkpoint, "the real one\n");
+        assert!(!dir.join("acme.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
